@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs the
+corresponding experiment module at a laptop-friendly scale, prints the series
+the paper plots, appends them to ``results/*.txt`` next to this directory,
+and uses pytest-benchmark to time one representative operation of the
+pipeline under test.
+
+Scale note: the paper uses the full WordNet noun database (82k synsets) and
+the 173k-document WSJ corpus; the defaults here (a few thousand synsets,
+~1,000 documents) keep a full ``pytest benchmarks/ --benchmark-only`` run in
+the minutes range.  Pass ``--repro-synsets`` / ``--repro-documents`` to scale
+up.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ExperimentContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-synsets",
+        action="store",
+        type=int,
+        default=2500,
+        help="number of synsets in the synthetic lexicon used by the benchmarks",
+    )
+    parser.addoption(
+        "--repro-documents",
+        action="store",
+        type=int,
+        default=1000,
+        help="number of documents in the synthetic corpus used by the benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def context(request) -> ExperimentContext:
+    """The shared experiment context (lexicon + corpus + index), built once."""
+    return ExperimentContext(
+        num_synsets=request.config.getoption("--repro-synsets"),
+        num_documents=request.config.getoption("--repro-documents"),
+        seed=2010,
+    )
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write a figure's regenerated table to stdout and to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, table: str) -> None:
+        print(f"\n{table}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+
+    return _record

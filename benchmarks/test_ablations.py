@@ -1,0 +1,44 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* Figure-3 "first try" bucket formation versus the final Figure-4 algorithm.
+* Hypernym-depth versus document-frequency specificity.
+* Benaloh versus Paillier ciphertext sizes (the Appendix A.2 justification).
+"""
+
+import random
+
+from repro.crypto.benaloh import generate_keypair as benaloh_keypair
+from repro.crypto.paillier import generate_keypair as paillier_keypair
+from repro.experiments import ablations
+
+
+def test_ablation_segment_modulation(benchmark, context, record_result):
+    result = ablations.run_segment_modulation(context, bucket_sizes=(4, 8, 16), trials=200)
+    record_result("ablation_segment_modulation", result.format_table())
+    for row in result.sweep.rows:
+        assert row["figure4_final"] < row["figure3_first_try"]
+    benchmark(ablations.run_segment_modulation, context, (4,), 50)
+
+
+def test_ablation_specificity_source(benchmark, context, record_result):
+    result = ablations.run_specificity_source(context, bucket_size=8)
+    record_result("ablation_specificity_source", result.format_table())
+    assert -1.0 <= result.rank_correlation <= 1.0
+    benchmark(ablations.run_specificity_source, context, 8)
+
+
+def test_ablation_benaloh_vs_paillier(benchmark, context, record_result):
+    result = ablations.run_ciphertext_size(context, bucket_size=8, query_size=12, key_bits=768)
+    record_result("ablation_benaloh_vs_paillier", result.format_table())
+    assert result.paillier_downstream_kb > 1.8 * result.benaloh_downstream_kb
+
+    # Time the per-candidate work that actually differs: one encryption under each scheme.
+    benaloh = benaloh_keypair(key_bits=256, block_size=3**9, rng=random.Random(1))
+    paillier = paillier_keypair(key_bits=256, rng=random.Random(2))
+    rng = random.Random(3)
+
+    def encrypt_both():
+        benaloh.public.encrypt(1, rng)
+        paillier.public.encrypt(1, rng)
+
+    benchmark(encrypt_both)

@@ -1,0 +1,30 @@
+"""Claim 1 benchmark: the PR scheme preserves the engine's relevance ranking.
+
+Runs the full cryptographic pipeline for a workload of random queries,
+verifies every ranking against the plaintext engine, and times the client's
+post-filtering step (the decrypt-and-rank work the user pays per query).
+"""
+
+import random
+
+from repro.experiments import claim1
+from repro.core.client import PrivateSearchSystem
+from repro.core.workloads import QueryWorkloadGenerator
+
+
+def test_claim1_ranking_preservation(benchmark, context, record_result):
+    result = claim1.run(
+        context, num_queries=15, query_size=6, bucket_size=4, key_bits=192, seed=31
+    )
+    record_result("claim1_ranking_preservation", result.format_table())
+    assert result.claim_holds
+    assert result.average_kendall_tau == 1.0
+
+    organization = context.buckets(4, None, searchable_only=True)
+    system = PrivateSearchSystem(
+        index=context.index, organization=organization, key_bits=192, rng=random.Random(11)
+    )
+    query = QueryWorkloadGenerator(context.index, seed=13).random_query(6)
+    embellished = system.client.formulate(query)
+    encrypted = system.server.process_query(embellished)
+    benchmark(system.client.post_filter, encrypted, 20)

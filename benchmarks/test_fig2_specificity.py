@@ -1,0 +1,21 @@
+"""Figure 2 benchmark: term-specificity distribution of the dictionary.
+
+Regenerates the histogram the paper plots (specificity 0-18, mode near 7)
+and times the specificity computation over the whole lexicon.
+"""
+
+from repro.experiments import figure2
+from repro.lexicon.specificity import hypernym_depth_specificity
+
+
+def test_figure2_specificity_distribution(benchmark, context, record_result):
+    result = figure2.run(context)
+    record_result("figure2_specificity_distribution", result.format_table())
+
+    # Paper shape: range 0..18, unimodal near 7, single root at 0.
+    assert result.min_specificity == 0
+    assert result.max_specificity <= 18
+    assert 6 <= result.modal_specificity <= 8
+    assert result.histogram[0] == 1
+
+    benchmark(hypernym_depth_specificity, context.lexicon)

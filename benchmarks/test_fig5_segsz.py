@@ -1,0 +1,36 @@
+"""Figure 5 benchmark: effect of SegSz on bucket formation (BktSz = 4).
+
+Regenerates both panels -- intra-bucket specificity difference and
+closest/farthest cover distance difference, Bucket versus Random -- and times
+bucket formation itself at one representative segment size.
+"""
+
+from repro.core.buckets import generate_buckets
+from repro.experiments import figure5
+
+
+def test_figure5_segment_size_sweep(benchmark, context, record_result):
+    result = figure5.run(
+        context,
+        bucket_size=4,
+        segsz_exponents=(2, 4, 6, 8, 10, 12, 14),
+        trials=300,
+        seed=99,
+    )
+    record_result("figure5_segsz_sweep", result.format_table())
+
+    bucket_series = result.specificity.series("bucket")
+    random_series = result.specificity.series("random")
+    # Paper shape: specificity difference falls as SegSz grows and ends well
+    # below Random; the closest cover stays within a few hops.
+    assert bucket_series[-1] < bucket_series[0]
+    assert bucket_series[-1] < random_series[-1]
+    assert max(result.distance.series("bucket_closest")) <= 4.0
+
+    benchmark(
+        generate_buckets,
+        context.dictionary_sequence,
+        context.specificity,
+        4,
+        2**10,
+    )

@@ -1,0 +1,42 @@
+"""Figure 7 benchmark: PR vs PIR retrieval performance as a function of BktSz.
+
+Regenerates the four panels (server I/O, server CPU, network traffic, user
+CPU) for 12-term queries over bucket sizes 2-24, and times the real
+cryptographic PR pipeline for one query as the benchmarked operation.
+"""
+
+import random
+
+from repro.core.client import PrivateSearchSystem
+from repro.core.workloads import QueryWorkloadGenerator
+from repro.experiments import figure7
+
+
+def test_figure7_bucket_size_performance(benchmark, context, record_result):
+    result = figure7.run(
+        context,
+        bucket_sizes=(2, 4, 8, 16, 24),
+        query_size=12,
+        num_queries=200,
+        seed=500,
+    )
+    record_result("figure7_bktsz_performance", result.format_table())
+
+    io_rows = result.server_io.rows
+    traffic_rows = result.traffic.rows
+    user_rows = result.user_cpu.rows
+    # Paper shape: comparable server I/O; PR traffic an order of magnitude
+    # lower and sublinear in BktSz; PR user CPU below PIR's.
+    assert all(0.6 < row["PR"] / row["PIR"] < 1.7 for row in io_rows)
+    assert all(row["PR"] * 5 < row["PIR"] for row in traffic_rows)
+    pr_growth = traffic_rows[-1]["PR"] / traffic_rows[0]["PR"]
+    assert pr_growth < traffic_rows[-1]["BktSz"] / traffic_rows[0]["BktSz"]
+    assert all(row["PR"] < row["PIR"] for row in user_rows)
+
+    # Benchmark the real (cryptographic) PR pipeline on one 12-term query.
+    organization = context.buckets(8, None, searchable_only=True)
+    system = PrivateSearchSystem(
+        index=context.index, organization=organization, key_bits=192, rng=random.Random(7)
+    )
+    query = QueryWorkloadGenerator(context.index, seed=3).random_query(12)
+    benchmark(system.search, query, 20)

@@ -1,0 +1,41 @@
+"""Figure 8 benchmark: PR vs PIR retrieval performance as a function of query size.
+
+Regenerates the four panels for query sizes 2-40 at BktSz = 8, and times the
+real Kushilevitz-Ostrovsky PIR retrieval of one term's inverted list as the
+benchmarked operation (the unit whose repetition makes PIR scale linearly).
+"""
+
+import random
+
+from repro.core.pir_retrieval import PIRRetrievalSystem
+from repro.core.workloads import QueryWorkloadGenerator
+from repro.experiments import figure8
+
+
+def test_figure8_query_size_performance(benchmark, context, record_result):
+    result = figure8.run(
+        context,
+        query_sizes=(2, 4, 8, 12, 16, 24, 32, 40),
+        bucket_size=8,
+        num_queries=200,
+        seed=800,
+    )
+    record_result("figure8_querysize_performance", result.format_table())
+
+    traffic = result.traffic.rows
+    user = result.user_cpu.rows
+    # Paper shape: PIR traffic and user CPU grow linearly with the query
+    # size; PR grows much more slowly and wins clearly for long queries.
+    pir_growth = traffic[-1]["PIR"] / traffic[0]["PIR"]
+    size_growth = traffic[-1]["query size"] / traffic[0]["query size"]
+    assert 0.5 * size_growth <= pir_growth <= 1.5 * size_growth
+    assert traffic[-1]["PR"] / traffic[0]["PR"] < pir_growth
+    assert all(row["PR"] < row["PIR"] for row in user if row["query size"] >= 8)
+
+    # Benchmark one real KO retrieval from a BktSz=8 bucket.
+    organization = context.buckets(8, None, searchable_only=True)
+    pir_system = PIRRetrievalSystem(
+        index=context.index, organization=organization, key_bits=192, rng=random.Random(5)
+    )
+    term = QueryWorkloadGenerator(context.index, seed=9).random_query(1)[0]
+    benchmark(pir_system.search, [term], 20)

@@ -1,0 +1,77 @@
+"""Microbenchmarks of the individual pipeline stages.
+
+These do not correspond to a specific figure; they quantify the cost of each
+moving part (index construction, sequencing, embellishment, homomorphic
+accumulation, Benaloh decryption, KO answer generation) so that changes to
+the implementation are easy to track over time.
+"""
+
+import random
+
+import pytest
+
+from repro.core.embellish import QueryEmbellisher
+from repro.core.sequencing import sequence_dictionary
+from repro.core.server import PrivateRetrievalServer
+from repro.core.workloads import QueryWorkloadGenerator
+from repro.crypto.benaloh import generate_keypair
+from repro.crypto.pir import PIRClient, PIRDatabase, PIRServer
+from repro.textsearch.inverted_index import InvertedIndex
+from repro.textsearch.synthetic import SyntheticCorpusGenerator
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(key_bits=256, block_size=3**9, rng=random.Random(42))
+
+
+def test_bench_index_build(benchmark, context):
+    corpus = SyntheticCorpusGenerator(
+        lexicon=context.lexicon, num_documents=300, seed=5
+    ).generate()
+    benchmark(InvertedIndex.build, corpus)
+
+
+def test_bench_dictionary_sequencing(benchmark, context):
+    benchmark(sequence_dictionary, context.lexicon)
+
+
+def test_bench_query_embellishment(benchmark, context, keypair):
+    organization = context.buckets(8, None, searchable_only=True)
+    embellisher = QueryEmbellisher(
+        organization=organization, keypair=keypair, rng=random.Random(1)
+    )
+    query = QueryWorkloadGenerator(context.index, seed=2).random_query(12)
+    benchmark(embellisher.embellish, query)
+
+
+def test_bench_server_homomorphic_accumulation(benchmark, context, keypair):
+    organization = context.buckets(8, None, searchable_only=True)
+    embellisher = QueryEmbellisher(
+        organization=organization, keypair=keypair, rng=random.Random(3)
+    )
+    server = PrivateRetrievalServer(
+        index=context.index, organization=organization, public_key=keypair.public
+    )
+    query = embellisher.embellish(QueryWorkloadGenerator(context.index, seed=4).random_query(4))
+    benchmark(server.process_query, query)
+
+
+def test_bench_benaloh_encrypt(benchmark, keypair):
+    rng = random.Random(9)
+    benchmark(keypair.public.encrypt, 1, rng)
+
+
+def test_bench_benaloh_decrypt(benchmark, keypair):
+    rng = random.Random(10)
+    ciphertext = keypair.public.encrypt(1234, rng)
+    benchmark(keypair.private.decrypt, ciphertext)
+
+
+def test_bench_pir_answer_generation(benchmark):
+    columns = [bytes([i] * 64) for i in range(8)]
+    database = PIRDatabase.from_columns(columns)
+    client = PIRClient.with_new_group(key_bits=192, rng=random.Random(11))
+    query = client.build_query(database.cols, 3)
+    server = PIRServer(database)
+    benchmark(server.answer, query)

@@ -1,0 +1,77 @@
+"""Inspect the bucket organisation the way Section 3 of the paper does.
+
+Reproduces, on the synthetic lexicon, the artefacts the paper shows while
+explaining its mechanism:
+
+* the Figure-2 specificity histogram of the dictionary;
+* snippets of the Algorithm-1 term sequence (related terms clustered);
+* example buckets with the specificity of each member, like the paper's
+  bucket 1419 / 2076 / 7927 examples;
+* the Section 5.1 quality metrics for the organisation versus random decoys.
+
+Run with::
+
+    python examples/bucket_analysis.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.metrics import BucketQualityEvaluator
+from repro.core.random_buckets import random_buckets
+from repro.experiments.figure2 import run as run_figure2
+from repro.experiments.harness import ExperimentContext
+from repro.lexicon.distance import SemanticDistanceCalculator
+
+
+def main() -> None:
+    context = ExperimentContext(num_synsets=2500, num_documents=400, seed=2010)
+    lexicon = context.lexicon
+    specificity = context.specificity
+
+    print("=== Figure 2: specificity distribution of the dictionary ===")
+    print(run_figure2(context).format_table())
+
+    print("\n=== Algorithm 1: snippets of the term sequence ===")
+    sequence = context.dictionary_sequence
+    for start in (0, len(sequence) // 2):
+        snippet = ", ".join(repr(t) for t in sequence[start : start + 8])
+        print(f"  ... {snippet} ...")
+
+    print("\n=== Algorithm 2: sample buckets (BktSz=4, SegSz=N/BktSz) ===")
+    organization = context.buckets(4, None)
+    step = max(1, organization.num_buckets // 5)
+    for bucket_id in range(0, organization.num_buckets, step):
+        bucket = organization.buckets[bucket_id]
+        rendered = ", ".join(f"{term!r} ({specificity.get(term, 0)})" for term in bucket)
+        print(f"  bucket {bucket_id:5d}: {rendered}")
+
+    print("\n=== Section 5.1 quality metrics (Bucket vs Random, BktSz=4) ===")
+    calculator = SemanticDistanceCalculator(lexicon)
+    bucket_report = BucketQualityEvaluator(organization, calculator).evaluate(
+        trials=300, rng=random.Random(1)
+    )
+    random_org = random_buckets(sequence, specificity, bucket_size=4, rng=random.Random(2))
+    random_report = BucketQualityEvaluator(random_org, calculator).evaluate(
+        trials=300, rng=random.Random(3)
+    )
+    print(f"  {'metric':28s} {'Bucket':>10s} {'Random':>10s}")
+    for label, bucket_value, random_value in (
+        ("specificity difference", bucket_report.specificity_difference, random_report.specificity_difference),
+        ("closest cover distance", bucket_report.closest_cover, random_report.closest_cover),
+        ("farthest cover distance", bucket_report.farthest_cover, random_report.farthest_cover),
+    ):
+        print(f"  {label:28s} {bucket_value:10.2f} {random_value:10.2f}")
+
+    print("\nExample decoys: a query on the two most specific searchable terms")
+    searchable = context.searchable_sequence
+    focus_terms = sorted(searchable, key=lambda t: -specificity.get(t, 0))[:2]
+    org = context.buckets(4, None, searchable_only=True)
+    for term in focus_terms:
+        decoys = ", ".join(f"{d!r} ({specificity.get(d, 0)})" for d in org.decoys_for(term))
+        print(f"  {term!r} ({specificity.get(term, 0)}) always brings decoys: {decoys}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""repro -- a reproduction of "Embellishing Text Search Queries To Protect User Privacy".
+
+Pang, Ding and Xiao (PVLDB 3(1), 2010) propose protecting the intent behind
+text search queries by *embellishing* each query with decoy terms drawn from
+pre-computed buckets of similarly specific but semantically diverse terms,
+together with a private retrieval scheme (Benaloh additively homomorphic
+encryption) that lets the search engine rank documents by the genuine terms
+only, without learning which terms those are.
+
+The package is organised as:
+
+* :mod:`repro.lexicon` -- the WordNet-style lexical substrate (synset graph,
+  specificity, semantic distance, synthetic generator, I/O).
+* :mod:`repro.textsearch` -- the similarity search engine substrate
+  (tokeniser, corpus, impact-ordered inverted index, scoring, evaluation).
+* :mod:`repro.crypto` -- Benaloh and Paillier homomorphic encryption,
+  quadratic-residuosity machinery and Kushilevitz-Ostrovsky PIR.
+* :mod:`repro.core` -- the paper's contribution: dictionary sequencing,
+  bucket formation, query embellishment, the PR scheme, the PIR baseline,
+  privacy-risk and bucket-quality metrics, cost model, sessions, workloads.
+* :mod:`repro.experiments` -- runnable reproductions of every figure in the
+  paper's evaluation (Figures 2, 5, 6, 7, 8 and the Claim-1 check).
+
+Quickstart
+----------
+
+>>> from repro import build_private_search_system
+>>> system, index, lexicon = build_private_search_system(
+...     num_synsets=1200, num_documents=300, bucket_size=4, seed=7)
+>>> genuine = index.terms[:3]
+>>> ranking, costs = system.search(genuine, k=10)
+>>> len(ranking) <= 10
+True
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import (
+    BucketOrganization,
+    PrivateSearchClient,
+    PrivateSearchSystem,
+    QueryEmbellisher,
+    generate_buckets,
+    sequence_dictionary,
+)
+from repro.core.pir_retrieval import PIRRetrievalSystem
+from repro.core.sequencing import concatenate_sequences
+from repro.lexicon import Lexicon, build_lexicon, hypernym_depth_specificity
+from repro.textsearch import InvertedIndex, SearchEngine, SyntheticCorpusGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "build_bucket_organization",
+    "build_private_search_system",
+    "BucketOrganization",
+    "PrivateSearchClient",
+    "PrivateSearchSystem",
+    "PIRRetrievalSystem",
+    "QueryEmbellisher",
+    "Lexicon",
+    "InvertedIndex",
+    "SearchEngine",
+]
+
+
+def build_bucket_organization(
+    lexicon: Lexicon,
+    bucket_size: int = 8,
+    segment_size: int | None = None,
+) -> BucketOrganization:
+    """Run the full Section-3 pipeline (Algorithm 1 + Algorithm 2) over a lexicon."""
+    sequences = sequence_dictionary(lexicon)
+    specificity = hypernym_depth_specificity(lexicon)
+    return generate_buckets(
+        concatenate_sequences(sequences),
+        specificity,
+        bucket_size=bucket_size,
+        segment_size=segment_size,
+    )
+
+
+def build_private_search_system(
+    num_synsets: int = 2000,
+    num_documents: int = 500,
+    bucket_size: int = 8,
+    segment_size: int | None = None,
+    key_bits: int = 256,
+    seed: int = 2010,
+) -> tuple[PrivateSearchSystem, InvertedIndex, Lexicon]:
+    """One-call setup of a complete private search deployment on synthetic data.
+
+    Builds a synthetic lexicon, generates a corpus over its vocabulary,
+    indexes it, restricts the bucket organisation to the searchable
+    dictionary, and wires up a :class:`~repro.core.client.PrivateSearchSystem`.
+    Returns the system together with the index and the lexicon so callers can
+    generate workloads and evaluate privacy metrics.
+    """
+    lexicon = build_lexicon(num_synsets, seed=seed)
+    corpus = SyntheticCorpusGenerator(
+        lexicon=lexicon, num_documents=num_documents, seed=seed + 1
+    ).generate()
+    index = InvertedIndex.build(corpus)
+
+    # Only searchable terms (those that occur in the corpus) need buckets;
+    # this mirrors the paper's intersection of the Lucene dictionary with
+    # WordNet.  Terms outside the index keep no bucket and never appear in
+    # queries.
+    sequences = sequence_dictionary(lexicon)
+    specificity = hypernym_depth_specificity(lexicon)
+    searchable = set(index.terms)
+    sequence = [t for t in concatenate_sequences(sequences) if t in searchable]
+    organization = generate_buckets(
+        sequence, specificity, bucket_size=bucket_size, segment_size=segment_size
+    )
+
+    system = PrivateSearchSystem(
+        index=index,
+        organization=organization,
+        key_bits=key_bits,
+        rng=random.Random(seed + 2),
+    )
+    return system, index, lexicon

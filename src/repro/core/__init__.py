@@ -1,0 +1,72 @@
+"""The paper's primary contribution: query embellishment with private retrieval.
+
+Pipeline overview (Sections 3 and 4 of the paper):
+
+1. **Dictionary sequencing** (:mod:`repro.core.sequencing`, Algorithm 1) --
+   order the dictionary so that semantically related terms sit near each
+   other, by walking the lexicon's synset relations.
+2. **Bucket formation** (:mod:`repro.core.buckets`, Algorithm 2) -- cut the
+   sequence into buckets of ``BktSz`` terms whose members are similar in
+   specificity but semantically diverse; every term belongs to exactly one
+   bucket, which fixes the decoys it will always bring along.
+3. **Query embellishment** (:mod:`repro.core.embellish`, Algorithm 3) -- the
+   client replaces each genuine term with its whole bucket, attaching a
+   Benaloh encryption of 1 to genuine terms and of 0 to decoys, then permutes
+   the query.
+4. **Private retrieval** (:mod:`repro.core.server`, Algorithm 4) -- the search
+   engine accumulates encrypted relevance scores over the inverted lists of
+   every term in the embellished query; decoy contributions vanish under the
+   encryption because their selector bit is 0.
+5. **Post filtering** (:mod:`repro.core.postfilter`, Algorithm 5) -- the
+   client decrypts the scores and ranks the candidate documents.
+
+Baselines and analysis companions: the Random decoy baseline
+(:mod:`repro.core.random_buckets`), the PIR-based retrieval alternative
+(:mod:`repro.core.pir_retrieval`), the Section 3.1 privacy-risk model
+(:mod:`repro.core.risk`), the Section 5.1 bucket-quality metrics
+(:mod:`repro.core.metrics`), the Section 5.2 cost model
+(:mod:`repro.core.costs`), session modelling (:mod:`repro.core.session`) and
+workload generation (:mod:`repro.core.workloads`).
+"""
+
+from repro.core.baselines import CanonicalQueryGroups, GhostQueryGenerator, pds_retrieval_loss
+from repro.core.buckets import BucketOrganization, generate_buckets, simple_buckets
+from repro.core.client import PrivateSearchClient, PrivateSearchSystem
+from repro.core.costs import CostModel, CostReport
+from repro.core.embellish import EmbellishedQuery, QueryEmbellisher
+from repro.core.metrics import BucketQualityEvaluator
+from repro.core.pir_retrieval import PIRRetrievalClient, PIRRetrievalServer
+from repro.core.postfilter import post_filter
+from repro.core.random_buckets import random_buckets
+from repro.core.risk import PrivacyRiskModel
+from repro.core.sequencing import sequence_dictionary
+from repro.core.server import EncryptedResult, PrivateRetrievalServer
+from repro.core.session import QuerySession, session_intersection
+from repro.core.workloads import QueryWorkloadGenerator
+
+__all__ = [
+    "sequence_dictionary",
+    "generate_buckets",
+    "simple_buckets",
+    "random_buckets",
+    "BucketOrganization",
+    "QueryEmbellisher",
+    "EmbellishedQuery",
+    "PrivateRetrievalServer",
+    "EncryptedResult",
+    "post_filter",
+    "PrivateSearchClient",
+    "PrivateSearchSystem",
+    "PIRRetrievalClient",
+    "PIRRetrievalServer",
+    "PrivacyRiskModel",
+    "BucketQualityEvaluator",
+    "CostModel",
+    "CostReport",
+    "QuerySession",
+    "session_intersection",
+    "QueryWorkloadGenerator",
+    "GhostQueryGenerator",
+    "CanonicalQueryGroups",
+    "pds_retrieval_loss",
+]

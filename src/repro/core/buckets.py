@@ -1,0 +1,247 @@
+"""Bucket formation (Algorithm 2 of the paper) and the bucket organisation API.
+
+A *bucket organisation* assigns every dictionary term to exactly one bucket of
+``BktSz`` terms.  The buckets are what provide privacy: whenever a genuine
+query term is used, all the other terms in its bucket join the query as
+decoys, so
+
+* terms in the same bucket should be **similar in specificity** (a rare,
+  revealing term gets equally rare decoys -- countering the recurring
+  high-specificity-term attack), and
+* terms in the same bucket should be **semantically diverse** (the decoys
+  point to plausible *alternative* topics), while corresponding slots of
+  different buckets should be semantically *close* (related genuine terms
+  attract related decoy pairs -- countering the semantically-related-terms
+  attack).
+
+Algorithm 2 achieves this by cutting the Algorithm-1 sequence into
+``N / SegSz`` segments, sorting each segment by decreasing specificity
+(stable, so ties keep their sequence order and synsets stay clustered), and
+then striping terms across widely separated segments into buckets.
+
+:func:`simple_buckets` implements the "first try" of Figure 3 -- plain
+striding with no segment modulation -- kept as an ablation baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+__all__ = ["BucketOrganization", "generate_buckets", "simple_buckets"]
+
+
+@dataclass(frozen=True)
+class BucketOrganization:
+    """An immutable assignment of dictionary terms to buckets.
+
+    Parameters
+    ----------
+    buckets:
+        ``buckets[b]`` is the tuple of terms in bucket ``b``.  Most buckets
+        have exactly ``bucket_size`` terms; the final buckets may be smaller
+        when the dictionary size is not divisible by the bucket size.
+    bucket_size:
+        The requested ``BktSz``.
+    segment_size:
+        The ``SegSz`` used during formation (0 for organisations that did not
+        use segmentation, e.g. the random baseline).
+    specificity:
+        The term-specificity map used during formation; kept so that privacy
+        metrics can be computed without re-deriving it.
+    """
+
+    buckets: tuple[tuple[str, ...], ...]
+    bucket_size: int
+    segment_size: int
+    specificity: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        index: dict[str, int] = {}
+        for bucket_id, bucket in enumerate(self.buckets):
+            for term in bucket:
+                if term in index:
+                    raise ValueError(f"term {term!r} assigned to more than one bucket")
+                index[term] = bucket_id
+        object.__setattr__(self, "_term_to_bucket", index)
+
+    # -- lookups ---------------------------------------------------------------
+    @property
+    def num_buckets(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._term_to_bucket)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_bucket
+
+    def __iter__(self) -> Iterator[tuple[str, ...]]:
+        return iter(self.buckets)
+
+    def bucket_id_of(self, term: str) -> int:
+        """The bucket index hosting ``term`` (raises ``KeyError`` when unknown)."""
+        try:
+            return self._term_to_bucket[term]
+        except KeyError:
+            raise KeyError(f"term {term!r} is not in the bucket organisation") from None
+
+    def bucket_of(self, term: str) -> tuple[str, ...]:
+        """All the terms sharing ``term``'s bucket (including ``term`` itself)."""
+        return self.buckets[self.bucket_id_of(term)]
+
+    def decoys_for(self, term: str) -> tuple[str, ...]:
+        """The decoy terms that ``term`` always brings into a query."""
+        return tuple(t for t in self.bucket_of(term) if t != term)
+
+    def slot_of(self, term: str) -> int:
+        """The position of ``term`` within its bucket (0-based slot index)."""
+        return self.bucket_of(term).index(term)
+
+    def buckets_for_query(self, terms: Sequence[str]) -> dict[int, tuple[str, ...]]:
+        """The distinct buckets covering a query's terms, keyed by bucket id.
+
+        Terms absent from the organisation are ignored here; the embellisher
+        decides how to handle them (see Algorithm 3's implementation notes).
+        """
+        covered: dict[int, tuple[str, ...]] = {}
+        for term in terms:
+            if term in self._term_to_bucket:
+                bucket_id = self._term_to_bucket[term]
+                covered[bucket_id] = self.buckets[bucket_id]
+        return covered
+
+    def intra_bucket_specificity_difference(self, bucket_id: int) -> int:
+        """Max minus min specificity within one bucket (the Figure 5(a)/6(a) metric)."""
+        bucket = self.buckets[bucket_id]
+        values = [self.specificity.get(term, 0) for term in bucket]
+        if not values:
+            return 0
+        return max(values) - min(values)
+
+
+def generate_buckets(
+    term_sequence: Sequence[str],
+    specificity: Mapping[str, int],
+    bucket_size: int,
+    segment_size: int | None = None,
+) -> BucketOrganization:
+    """Algorithm 2: form buckets from the sequenced dictionary.
+
+    Parameters
+    ----------
+    term_sequence:
+        The concatenated Algorithm-1 output (every dictionary term once).
+    specificity:
+        Term specificity values (Section 3.2); segments are sorted by
+        decreasing specificity before striping.
+    bucket_size:
+        ``BktSz`` -- how many terms (1 genuine + BktSz-1 decoys) share a bucket.
+    segment_size:
+        ``SegSz`` -- how many consecutive terms may trade places to even out
+        specificity.  ``None`` (the default) maximises it to ``N / BktSz``,
+        the setting the paper converges on after Figure 5.
+
+    The paper's pseudocode assumes ``N`` divisible by ``BktSz * SegSz``; real
+    dictionaries rarely oblige, so the sequence is padded internally with
+    empty slots which are skipped when buckets are emitted -- every real term
+    still lands in exactly one bucket, and only the few buckets that absorb a
+    padding slot come out one term short of ``BktSz``.
+    """
+    terms = list(term_sequence)
+    n = len(terms)
+    if n == 0:
+        raise ValueError("cannot form buckets from an empty term sequence")
+    if n > 1 and not 1 <= bucket_size <= max(1, n // 2):
+        raise ValueError(f"bucket_size must be between 1 and N/2 = {n // 2}")
+    if segment_size is None:
+        segment_size = max(1, math.ceil(n / bucket_size))
+    if segment_size < 1:
+        raise ValueError("segment_size must be at least 1")
+    segment_size = min(segment_size, max(1, math.ceil(n / bucket_size)))
+
+    # Lines 3-4: split the sequence into equal segments.  The paper's
+    # pseudocode assumes N divisible by BktSz * SegSz; for arbitrary N we
+    # round the number of segments up to a multiple of BktSz (so every batch
+    # stripes exactly BktSz segments) and shrink the segment size minimally
+    # so the padding stays below one term per segment.
+    requested_segments = max(1, round(n / segment_size))
+    num_segments = max(bucket_size, math.ceil(requested_segments / bucket_size) * bucket_size)
+    segment_size = math.ceil(n / num_segments)
+    num_segments = max(bucket_size, math.ceil(n / segment_size))
+    if num_segments % bucket_size:
+        num_segments += bucket_size - num_segments % bucket_size
+    padded_length = num_segments * segment_size
+    padded: list[str | None] = terms + [None] * (padded_length - n)
+    segments: list[list[str | None]] = [
+        padded[start : start + segment_size] for start in range(0, padded_length, segment_size)
+    ]
+
+    # Line 5: sort terms within each segment by decreasing specificity.  The
+    # sort is stable, so terms tying on specificity keep their sequence order
+    # -- this is what keeps whole synsets clustered inside a segment, the
+    # behaviour the paper highlights when discussing Figure 5(b).
+    for segment in segments:
+        segment.sort(key=lambda term: -(specificity.get(term, 0) if term is not None else -1))
+
+    # Lines 6-13: stripe BktSz segments (spread evenly across the dictionary)
+    # into SegSz buckets per batch.
+    batches = num_segments // bucket_size
+    buckets: list[tuple[str, ...]] = []
+    for batch_index in range(batches):
+        active_segments = [
+            segments[stripe * batches + batch_index] for stripe in range(bucket_size)
+        ]
+        for position in range(segment_size):
+            bucket = tuple(
+                segment[position]
+                for segment in active_segments
+                if segment[position] is not None
+            )
+            if bucket:
+                buckets.append(bucket)
+
+    return BucketOrganization(
+        buckets=tuple(buckets),
+        bucket_size=bucket_size,
+        segment_size=segment_size,
+        specificity=dict(specificity),
+    )
+
+
+def simple_buckets(
+    term_sequence: Sequence[str],
+    specificity: Mapping[str, int],
+    bucket_size: int,
+) -> BucketOrganization:
+    """The "first try" bucket formation of Figure 3 (no segment modulation).
+
+    Bucket ``i`` receives the terms at positions ``i``, ``#Bkts + i``,
+    ``2 * #Bkts + i``, ... of the raw sequence.  Semantic diversity within a
+    bucket is maximal, but specificity within a bucket is uncontrolled, which
+    is exactly the weakness the final algorithm fixes; kept as an ablation.
+    """
+    terms = list(term_sequence)
+    n = len(terms)
+    if n == 0:
+        raise ValueError("cannot form buckets from an empty term sequence")
+    if bucket_size < 1:
+        raise ValueError("bucket_size must be at least 1")
+    num_buckets = math.ceil(n / bucket_size)
+    buckets = []
+    for bucket_index in range(num_buckets):
+        bucket = tuple(
+            terms[slot * num_buckets + bucket_index]
+            for slot in range(bucket_size)
+            if slot * num_buckets + bucket_index < n
+        )
+        if bucket:
+            buckets.append(bucket)
+    return BucketOrganization(
+        buckets=tuple(buckets),
+        bucket_size=bucket_size,
+        segment_size=0,
+        specificity=dict(specificity),
+    )

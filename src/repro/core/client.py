@@ -1,0 +1,176 @@
+"""End-to-end facade for the Private Retrieval (PR) scheme.
+
+:class:`PrivateSearchClient` owns the user-side state (Benaloh key pair,
+bucket organisation, random generator) and exposes the three client steps --
+embellish, submit, post-filter -- while :class:`PrivateSearchSystem` wires a
+client and a :class:`~repro.core.server.PrivateRetrievalServer` together and
+produces the Section 5.2 cost report for every query.  The system also offers
+an analytic cost estimator that reproduces the exact operation counts of a
+real run without performing the cryptography, so large parameter sweeps
+(Figures 7 and 8) stay fast.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.buckets import BucketOrganization
+from repro.core.costs import CostModel, CostReport
+from repro.core.embellish import EmbellishedQuery, QueryEmbellisher
+from repro.core.postfilter import PostFilterCounters, post_filter
+from repro.core.server import EncryptedResult, PrivateRetrievalServer
+from repro.crypto.benaloh import BenalohKeyPair, generate_keypair
+from repro.textsearch.engine import SearchResult
+from repro.textsearch.inverted_index import InvertedIndex
+
+__all__ = ["PrivateSearchClient", "PrivateSearchSystem"]
+
+#: Default Benaloh plaintext space.  It must exceed the largest relevance
+#: score a document can accumulate (number of genuine query terms times the
+#: maximum quantised impact); 3^9 = 19,683 covers 40-term queries against the
+#: default 255-level impact quantisation with room to spare.
+DEFAULT_BLOCK_SIZE = 3**9
+
+
+@dataclass
+class PrivateSearchClient:
+    """User-side state and operations of the PR scheme."""
+
+    organization: BucketOrganization
+    key_bits: int = 256
+    block_size: int = DEFAULT_BLOCK_SIZE
+    rng: random.Random = field(default_factory=random.Random)
+    keypair: BenalohKeyPair | None = None
+    embellisher: QueryEmbellisher = field(init=False)
+    postfilter_counters: PostFilterCounters = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.keypair is None:
+            self.keypair = generate_keypair(
+                key_bits=self.key_bits, block_size=self.block_size, rng=self.rng
+            )
+        self.embellisher = QueryEmbellisher(
+            organization=self.organization, keypair=self.keypair, rng=self.rng
+        )
+        self.postfilter_counters = PostFilterCounters()
+
+    def formulate(self, genuine_terms: Sequence[str]) -> EmbellishedQuery:
+        """Algorithm 3: embellish the genuine terms into the query the server sees."""
+        return self.embellisher.embellish(genuine_terms)
+
+    def post_filter(self, result: EncryptedResult, k: int | None = 20) -> SearchResult:
+        """Algorithm 5: decrypt and rank the server's candidate result."""
+        self.postfilter_counters = PostFilterCounters()
+        return post_filter(
+            result, self.keypair.private, k=k, counters=self.postfilter_counters
+        )
+
+    def max_supported_query_size(self, quantise_levels: int) -> int:
+        """Largest genuine-term count whose scores cannot overflow the plaintext space."""
+        return max(1, (self.block_size - 1) // max(1, quantise_levels))
+
+
+@dataclass
+class PrivateSearchSystem:
+    """A client and a server wired together, with cost accounting."""
+
+    index: InvertedIndex
+    organization: BucketOrganization
+    key_bits: int = 256
+    block_size: int = DEFAULT_BLOCK_SIZE
+    cost_model: CostModel = field(default_factory=CostModel)
+    rng: random.Random = field(default_factory=random.Random)
+    client: PrivateSearchClient = field(init=False)
+    server: PrivateRetrievalServer = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.client = PrivateSearchClient(
+            organization=self.organization,
+            key_bits=self.key_bits,
+            block_size=self.block_size,
+            rng=self.rng,
+        )
+        self.server = PrivateRetrievalServer(
+            index=self.index,
+            organization=self.organization,
+            public_key=self.client.keypair.public,
+        )
+
+    # -- real execution -------------------------------------------------------------
+    def search(self, genuine_terms: Sequence[str], k: int | None = 20) -> tuple[SearchResult, CostReport]:
+        """Run the full PR pipeline and return the ranking plus its cost report."""
+        genuine = list(dict.fromkeys(genuine_terms))
+        max_genuine = self.client.max_supported_query_size(self.index.quantise_levels)
+        if len(genuine) > max_genuine:
+            raise ValueError(
+                f"{len(genuine)} genuine terms could overflow the Benaloh plaintext space "
+                f"(at most {max_genuine} supported with block_size={self.block_size}); "
+                "regenerate the client keypair with a larger block_size"
+            )
+        query = self.client.formulate(genuine)
+        encrypted_result = self.server.process_query(query)
+        ranking = self.client.post_filter(encrypted_result, k=k)
+
+        counters = self.server.counters
+        report = self.cost_model.pr_report(
+            buckets_fetched=counters.buckets_fetched,
+            blocks_read=counters.blocks_read,
+            server_exponentiations=counters.modular_exponentiations,
+            server_multiplications=counters.modular_multiplications,
+            upstream_bytes=query.upstream_bytes(self.key_bits),
+            downstream_bytes=encrypted_result.downstream_bytes(),
+            client_encryptions=self.client.embellisher.encryptions_performed,
+            client_decryptions=self.client.postfilter_counters.decryptions,
+        )
+        return ranking, report
+
+    # -- analytic estimation -----------------------------------------------------------
+    def estimate_costs(self, genuine_terms: Sequence[str]) -> CostReport:
+        """Operation counts of :meth:`search` without performing the cryptography.
+
+        The counts are exact: the embellished query is determined by the
+        bucket organisation alone, and every posting of every embellished term
+        costs the server one exponentiation (plus one multiplication when the
+        document was already a candidate).
+        """
+        genuine = [t for t in dict.fromkeys(genuine_terms)]
+        buckets = self.organization.buckets_for_query(genuine)
+        embellished_terms: list[str] = []
+        for bucket in buckets.values():
+            embellished_terms.extend(bucket)
+        embellished_terms.extend(t for t in genuine if t not in self.organization)
+
+        # I/O model: one fetch per bucket (lists co-located), loose terms together.
+        blocks_read = 0
+        for bucket in buckets.values():
+            bucket_bytes = sum(self.index.list_size_bytes(t) for t in bucket)
+            blocks_read += max(1, -(-bucket_bytes // self.index.block_size))
+        loose_bytes = sum(
+            self.index.list_size_bytes(t) for t in genuine if t not in self.organization
+        )
+        if loose_bytes:
+            blocks_read += max(1, -(-loose_bytes // self.index.block_size))
+
+        candidates: set[int] = set()
+        postings_total = 0
+        for term in embellished_terms:
+            for posting in self.index.postings(term):
+                postings_total += 1
+                candidates.add(posting.doc_id)
+
+        key_bytes = (self.key_bits + 7) // 8
+        upstream = len(embellished_terms) * (8 + key_bytes)
+        downstream = len(candidates) * (4 + key_bytes)
+
+        return self.cost_model.pr_report(
+            buckets_fetched=len(buckets),
+            blocks_read=blocks_read,
+            server_exponentiations=postings_total,
+            server_multiplications=max(0, postings_total - len(candidates)),
+            upstream_bytes=upstream,
+            downstream_bytes=downstream,
+            client_encryptions=len(embellished_terms),
+            client_decryptions=len(candidates),
+        )

@@ -1,0 +1,131 @@
+"""Bucket-quality metrics for the privacy evaluation (Section 5.1).
+
+Two quantities judge how plausible the decoy cover is:
+
+* **Intra-bucket specificity difference** -- the gap between the highest and
+  lowest specificity inside a bucket, averaged over all buckets.  Small is
+  good: a rare, revealing search term then attracts decoys that are equally
+  rare, so recurring high-specificity terms across a session do not stand out.
+
+* **Inter-bucket distance difference** -- assume (conservatively) that the
+  adversary undoes the random permutation and recovers which embellished-query
+  terms came from which pair of buckets.  For a genuine pair taken from slot
+  ``i`` of two buckets, every other slot ``j`` provides a decoy pair; the
+  metric is the absolute difference between the genuine pair's semantic
+  distance and each decoy pair's distance.  The smallest difference over the
+  decoy slots is the *closest cover*, the largest the *farthest cover*; both
+  are averaged over randomly sampled bucket pairs.  Small values mean related
+  genuine terms are covered by similarly related decoy pairs.
+
+The measurement protocol follows the paper: 1,000 random bucket pairs, the
+query slot drawn uniformly from ``1..BktSz``, terms paired slot-by-slot
+(same-slot terms are close in the sequence, hence semantically closer than
+cross-slot pairs).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.buckets import BucketOrganization
+from repro.lexicon.distance import SemanticDistanceCalculator
+
+__all__ = ["BucketQualityReport", "BucketQualityEvaluator"]
+
+
+@dataclass(frozen=True)
+class BucketQualityReport:
+    """The Section 5.1 metrics for one bucket organisation."""
+
+    specificity_difference: float
+    closest_cover: float
+    farthest_cover: float
+    sampled_pairs: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "specificity_difference": self.specificity_difference,
+            "closest_cover": self.closest_cover,
+            "farthest_cover": self.farthest_cover,
+            "sampled_pairs": float(self.sampled_pairs),
+        }
+
+
+class BucketQualityEvaluator:
+    """Evaluates a bucket organisation against the Section 5.1 metrics."""
+
+    def __init__(
+        self,
+        organization: BucketOrganization,
+        distance_calculator: SemanticDistanceCalculator,
+    ) -> None:
+        self.organization = organization
+        self.distance = distance_calculator
+
+    # -- intra-bucket specificity ------------------------------------------------
+    def average_specificity_difference(self) -> float:
+        """Mean over all buckets of (max - min) term specificity."""
+        diffs = [
+            self.organization.intra_bucket_specificity_difference(bucket_id)
+            for bucket_id in range(self.organization.num_buckets)
+        ]
+        if not diffs:
+            return 0.0
+        return sum(diffs) / len(diffs)
+
+    # -- inter-bucket distances ------------------------------------------------------
+    def _capped_distance(self, term_a: str, term_b: str) -> float:
+        """Term distance with unreachable pairs capped at the calculator's search radius."""
+        value = self.distance.term_distance(term_a, term_b)
+        if math.isinf(value):
+            return self.distance.max_distance
+        return value
+
+    def sample_distance_differences(
+        self, trials: int = 1000, rng: random.Random | None = None
+    ) -> tuple[float, float, int]:
+        """Average closest- and farthest-cover distance differences over random bucket pairs.
+
+        Returns ``(closest, farthest, pairs_used)``.  Bucket pairs that do not
+        have at least two common slots cannot provide any decoy pair and are
+        skipped (they can only arise from the undersized tail buckets).
+        """
+        rng = rng or random.Random()
+        buckets = self.organization.buckets
+        if len(buckets) < 2:
+            return 0.0, 0.0, 0
+        closest_total = 0.0
+        farthest_total = 0.0
+        used = 0
+        for _ in range(trials):
+            b1, b2 = rng.sample(range(len(buckets)), 2)
+            bucket_a, bucket_b = buckets[b1], buckets[b2]
+            common_slots = min(len(bucket_a), len(bucket_b))
+            if common_slots < 2:
+                continue
+            query_slot = rng.randrange(common_slots)
+            genuine_distance = self._capped_distance(bucket_a[query_slot], bucket_b[query_slot])
+            differences = [
+                abs(genuine_distance - self._capped_distance(bucket_a[slot], bucket_b[slot]))
+                for slot in range(common_slots)
+                if slot != query_slot
+            ]
+            closest_total += min(differences)
+            farthest_total += max(differences)
+            used += 1
+        if used == 0:
+            return 0.0, 0.0, 0
+        return closest_total / used, farthest_total / used, used
+
+    # -- combined report ----------------------------------------------------------------
+    def evaluate(self, trials: int = 1000, rng: random.Random | None = None) -> BucketQualityReport:
+        """Compute all Section 5.1 metrics in one pass."""
+        closest, farthest, used = self.sample_distance_differences(trials=trials, rng=rng)
+        return BucketQualityReport(
+            specificity_difference=self.average_specificity_difference(),
+            closest_cover=closest,
+            farthest_cover=farthest,
+            sampled_pairs=used,
+        )

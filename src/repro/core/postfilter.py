@@ -1,0 +1,73 @@
+"""Client-side post filtering (Algorithm 5 of the paper).
+
+The client decrypts the encrypted relevance score of every candidate document
+returned by the server, sorts by decreasing score, and keeps the top entries.
+Documents whose decrypted score is zero accumulated impacts only from decoy
+terms; they are candidates purely because they share an inverted list with
+some decoy, and are dropped before ranking (a zero score means "not relevant
+to the genuine query" in the similarity model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.server import EncryptedResult
+from repro.crypto.benaloh import BenalohPrivateKey
+from repro.textsearch.engine import SearchResult
+
+__all__ = ["PostFilterCounters", "post_filter"]
+
+
+@dataclass
+class PostFilterCounters:
+    """Client-side work performed while post filtering one result."""
+
+    decryptions: int = 0
+    candidates_received: int = 0
+    candidates_with_positive_score: int = 0
+
+
+def post_filter(
+    result: EncryptedResult,
+    private_key: BenalohPrivateKey,
+    k: int | None = None,
+    counters: PostFilterCounters | None = None,
+    drop_zero_scores: bool = True,
+) -> SearchResult:
+    """Algorithm 5: decrypt, rank and truncate the candidate result set.
+
+    Parameters
+    ----------
+    result:
+        The server's encrypted candidate set.
+    private_key:
+        The client's Benaloh private key.
+    k:
+        Number of top documents to return; ``None`` returns the full ranking.
+    counters:
+        Optional instrumentation sink (decryptions performed, candidate counts).
+    drop_zero_scores:
+        Remove documents whose genuine-term score is zero (matched decoys
+        only).  The paper's ranking semantics never surface such documents;
+        keeping them is only useful for debugging.
+    """
+    if k is not None and k <= 0:
+        raise ValueError("k must be positive when given")
+    counters = counters if counters is not None else PostFilterCounters()
+
+    scores: dict[int, int] = {}
+    for doc_id, ciphertext in result:
+        plaintext = private_key.decrypt(ciphertext)
+        counters.decryptions += 1
+        scores[doc_id] = plaintext
+    counters.candidates_received = len(scores)
+
+    if drop_zero_scores:
+        scores = {doc_id: score for doc_id, score in scores.items() if score > 0}
+    counters.candidates_with_positive_score = len(scores)
+
+    ranking = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    if k is not None:
+        ranking = ranking[:k]
+    return SearchResult(ranking=tuple((doc_id, float(score)) for doc_id, score in ranking))

@@ -1,0 +1,55 @@
+"""The "Random" baseline of Section 5.1.
+
+The paper judges the plausibility of its bucket-based decoys against the
+cover provided by the *same number* of random decoy terms.  The cleanest way
+to express that baseline inside the same machinery is a bucket organisation
+whose buckets are a uniformly random partition of the dictionary: every
+genuine term still brings ``BktSz - 1`` decoys, but they are arbitrary terms
+with no specificity or semantic-distance control.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.core.buckets import BucketOrganization
+
+__all__ = ["random_buckets"]
+
+
+def random_buckets(
+    terms: Sequence[str],
+    specificity: Mapping[str, int],
+    bucket_size: int,
+    rng: random.Random | None = None,
+) -> BucketOrganization:
+    """Partition ``terms`` into random buckets of ``bucket_size``.
+
+    Parameters
+    ----------
+    terms:
+        The dictionary (each term appears once).
+    specificity:
+        Specificity map, carried along so the quality metrics can be computed
+        exactly as for the Bucket organisation.
+    bucket_size:
+        Number of terms per bucket (the final bucket may be smaller).
+    rng:
+        Optional seeded generator for reproducible baselines.
+    """
+    if bucket_size < 1:
+        raise ValueError("bucket_size must be at least 1")
+    rng = rng or random.Random()
+    shuffled = list(terms)
+    rng.shuffle(shuffled)
+    buckets = tuple(
+        tuple(shuffled[start : start + bucket_size])
+        for start in range(0, len(shuffled), bucket_size)
+    )
+    return BucketOrganization(
+        buckets=buckets,
+        bucket_size=bucket_size,
+        segment_size=0,
+        specificity=dict(specificity),
+    )

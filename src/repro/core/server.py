@@ -1,0 +1,138 @@
+"""Search-engine-side private retrieval (Algorithm 4 of the paper).
+
+The server receives the embellished query -- terms plus encrypted selector
+bits -- and cannot tell genuine terms from decoys.  It therefore processes
+*every* term's inverted list: for each posting ``<d_j, p_ij>`` it multiplies
+the document's encrypted score accumulator by ``E(u_i)^{p_ij}``, which under
+the additive homomorphism adds ``u_i * p_ij`` to the underlying score.  Decoy
+terms have ``u_i = 0``, so they perturb only the ciphertext, never the score.
+
+The server is instrumented: it counts disk blocks fetched (bucket-co-located
+lists are fetched together, the I/O optimisation Section 4 prescribes),
+modular exponentiations and multiplications, and the size of the candidate
+result it returns.  Those counters feed the Section 5.2 cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.buckets import BucketOrganization
+from repro.core.embellish import EmbellishedQuery
+from repro.crypto.benaloh import BenalohPublicKey
+from repro.textsearch.inverted_index import InvertedIndex
+
+__all__ = ["EncryptedResult", "ServerCounters", "PrivateRetrievalServer"]
+
+
+@dataclass(frozen=True)
+class EncryptedResult:
+    """The candidate result set ``R``: document ids with encrypted relevance scores."""
+
+    encrypted_scores: dict[int, int]
+    modulus: int
+
+    def __len__(self) -> int:
+        return len(self.encrypted_scores)
+
+    def __iter__(self):
+        return iter(self.encrypted_scores.items())
+
+    def downstream_bytes(self, doc_id_bytes: int = 4) -> int:
+        """Size of the result on the wire: one document id + one ciphertext per candidate."""
+        ciphertext_bytes = (self.modulus.bit_length() + 7) // 8
+        return len(self.encrypted_scores) * (doc_id_bytes + ciphertext_bytes)
+
+
+@dataclass
+class ServerCounters:
+    """Operation counters accumulated while answering one query."""
+
+    blocks_read: int = 0
+    postings_processed: int = 0
+    modular_exponentiations: int = 0
+    modular_multiplications: int = 0
+    buckets_fetched: int = 0
+    terms_processed: int = 0
+
+    def reset(self) -> None:
+        self.blocks_read = 0
+        self.postings_processed = 0
+        self.modular_exponentiations = 0
+        self.modular_multiplications = 0
+        self.buckets_fetched = 0
+        self.terms_processed = 0
+
+
+@dataclass
+class PrivateRetrievalServer:
+    """The search engine running the PR scheme over a bucket-aware index.
+
+    Parameters
+    ----------
+    index:
+        The impact-ordered inverted index of the corpus.
+    organization:
+        The bucket organisation; used only for the I/O model (lists of a
+        bucket are stored in common disk blocks and fetched together), never
+        to tell genuine terms from decoys -- the server cannot do that.
+    public_key:
+        The client's Benaloh public key, needed to size ciphertexts for
+        instrumentation.  The server performs only public operations.
+    """
+
+    index: InvertedIndex
+    organization: BucketOrganization
+    public_key: BenalohPublicKey
+    counters: ServerCounters = field(default_factory=ServerCounters)
+
+    def process_query(self, query: EmbellishedQuery) -> EncryptedResult:
+        """Algorithm 4: accumulate encrypted relevance scores for every candidate document."""
+        self.counters.reset()
+        self._account_io(query)
+
+        modulus = self.public_key.n
+        accumulators: dict[int, int] = {}
+        for term, encrypted_selector in query:
+            self.counters.terms_processed += 1
+            for posting in self.index.postings(term):
+                self.counters.postings_processed += 1
+                # E(u_i)^{p_ij} -- one modular exponentiation per posting.
+                contribution = pow(encrypted_selector, posting.quantised_impact, modulus)
+                self.counters.modular_exponentiations += 1
+                if posting.doc_id in accumulators:
+                    accumulators[posting.doc_id] = (accumulators[posting.doc_id] * contribution) % modulus
+                    self.counters.modular_multiplications += 1
+                else:
+                    accumulators[posting.doc_id] = contribution
+        return EncryptedResult(encrypted_scores=accumulators, modulus=modulus)
+
+    # -- storage model -----------------------------------------------------------
+    def _account_io(self, query: EmbellishedQuery) -> None:
+        """Charge disk I/O for the buckets covering the query's terms.
+
+        All the inverted lists of one bucket live in common disk blocks
+        (Section 4), so the I/O cost of a bucket is the total size of its
+        lists rounded up to whole blocks, charged once no matter how many of
+        its terms appear in the query.  Terms outside the organisation (the
+        non-strict embellisher may emit them) are charged individually.
+        """
+        block_size = self.index.block_size
+        seen_buckets: set[int] = set()
+        loose_bytes = 0
+        for term in query.terms:
+            if term in self.organization:
+                bucket_id = self.organization.bucket_id_of(term)
+                if bucket_id in seen_buckets:
+                    continue
+                seen_buckets.add(bucket_id)
+                bucket_bytes = sum(
+                    self.index.list_size_bytes(bucket_term)
+                    for bucket_term in self.organization.buckets[bucket_id]
+                )
+                self.counters.blocks_read += max(1, -(-bucket_bytes // block_size))
+            else:
+                loose_bytes += self.index.list_size_bytes(term)
+        if loose_bytes:
+            self.counters.blocks_read += max(1, -(-loose_bytes // block_size))
+        self.counters.buckets_fetched = len(seen_buckets)

@@ -1,0 +1,36 @@
+"""Cryptographic primitives used by the private retrieval schemes.
+
+This subpackage provides pure-Python implementations of the primitives the
+paper relies on (Appendix A):
+
+* :mod:`repro.crypto.numbertheory` -- modular arithmetic helpers, primality
+  testing and prime generation.
+* :mod:`repro.crypto.benaloh` -- Benaloh's dense probabilistic (additively
+  homomorphic) encryption, used by the Private Retrieval (PR) scheme.
+* :mod:`repro.crypto.paillier` -- Paillier's cryptosystem, the alternative
+  additively homomorphic scheme mentioned in Appendix A.2.
+* :mod:`repro.crypto.quadratic` -- quadratic residue / non-residue machinery.
+* :mod:`repro.crypto.pir` -- the Kushilevitz-Ostrovsky single-database PIR
+  protocol used as the baseline retrieval method.
+
+All implementations accept a configurable key length.  Unit tests use small
+keys for speed; benchmarks use realistic key sizes.
+"""
+
+from repro.crypto.benaloh import BenalohKeyPair, BenalohPrivateKey, BenalohPublicKey
+from repro.crypto.paillier import PaillierKeyPair, PaillierPrivateKey, PaillierPublicKey
+from repro.crypto.pir import PIRClient, PIRDatabase, PIRServer
+from repro.crypto.quadratic import QRGroup
+
+__all__ = [
+    "BenalohKeyPair",
+    "BenalohPublicKey",
+    "BenalohPrivateKey",
+    "PaillierKeyPair",
+    "PaillierPublicKey",
+    "PaillierPrivateKey",
+    "QRGroup",
+    "PIRDatabase",
+    "PIRClient",
+    "PIRServer",
+]

@@ -1,0 +1,303 @@
+"""Benaloh dense probabilistic encryption (Appendix A.2 of the paper).
+
+The Private Retrieval (PR) scheme encrypts a selector bit ``u_j`` for every
+term in the embellished query: ``u_j = 1`` for genuine terms and ``0`` for
+decoys.  The search engine raises the ciphertext to the term's impact value
+and multiplies ciphertexts together, which -- thanks to the additive
+homomorphism -- accumulates ``sum(u_j * p_ij)`` underneath the encryption.
+
+Construction (following Benaloh 1994, as summarised in the paper):
+
+* choose block size ``r`` and primes ``p1, p2`` with ``r | (p1 - 1)``,
+  ``gcd(r, (p1 - 1) / r) == 1`` and ``gcd(r, p2 - 1) == 1``;
+* modulus ``n = p1 * p2``; pick ``g`` in ``Z*_n`` with
+  ``g^{phi/r} mod n != 1`` where ``phi = (p1 - 1) (p2 - 1)``;
+* ``E(m) = g^m * mu^r mod n`` for random ``mu`` in ``Z*_n``;
+* decryption tests, for each candidate ``i``, whether
+  ``(g^{-i} E(m))^{phi/r} == 1 mod n``; with ``r = 3^k`` an optimisation using
+  base-3 digits needs only ``k`` rounds, which we implement as
+  :meth:`BenalohPrivateKey.decrypt` when ``r`` is a power of a small prime.
+
+Messages live in ``Z_r``; the homomorphic sum therefore wraps modulo ``r``, so
+callers must choose ``r`` larger than the maximum possible relevance score.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.crypto.numbertheory import generate_prime_with_condition, modinv
+
+__all__ = [
+    "BenalohPublicKey",
+    "BenalohPrivateKey",
+    "BenalohKeyPair",
+    "generate_keypair",
+]
+
+
+@dataclass(frozen=True)
+class BenalohPublicKey:
+    """Public portion of a Benaloh key: modulus ``n``, generator ``g`` and block size ``r``."""
+
+    n: int
+    g: int
+    r: int
+
+    def encrypt(self, message: int, rng: random.Random | None = None) -> int:
+        """Encrypt ``message`` in ``Z_r`` as ``g^m * mu^r mod n``.
+
+        A fresh random ``mu`` makes the scheme probabilistic: encrypting the
+        same message twice yields different ciphertexts, so the search engine
+        cannot tell genuine selector bits (1) from decoy bits (0) by
+        ciphertext equality.
+        """
+        if not 0 <= message < self.r:
+            raise ValueError(f"message {message} outside Z_{self.r}")
+        rng = rng or random.Random()
+        mu = self._random_unit(rng)
+        return (pow(self.g, message, self.n) * pow(mu, self.r, self.n)) % self.n
+
+    def rerandomize(self, ciphertext: int, rng: random.Random | None = None) -> int:
+        """Multiply in an encryption of zero, producing a fresh ciphertext of the same plaintext."""
+        rng = rng or random.Random()
+        return (ciphertext * self.encrypt(0, rng)) % self.n
+
+    def add(self, ciphertext_a: int, ciphertext_b: int) -> int:
+        """Homomorphic addition: ``E(a) ⊗ E(b) = E(a + b mod r)``."""
+        return (ciphertext_a * ciphertext_b) % self.n
+
+    def add_many(self, ciphertexts) -> int:
+        """Homomorphic sum of an iterable of ciphertexts (identity is E(0)=1... times mu^r).
+
+        The multiplicative identity 1 is a valid (non-randomised) encryption
+        of zero, which is fine as an accumulator seed because the server never
+        returns it without at least one multiplication.
+        """
+        acc = 1
+        for ct in ciphertexts:
+            acc = (acc * ct) % self.n
+        return acc
+
+    def scalar_multiply(self, ciphertext: int, scalar: int) -> int:
+        """Homomorphic multiplication by a plaintext scalar: ``E(m)^s = E(m * s mod r)``.
+
+        This is exactly the operation the search engine performs in
+        Algorithm 4: ``E(u_i)^{p_ij}`` equals ``E(u_i * p_ij)``.
+        """
+        if scalar < 0:
+            raise ValueError("impact values must be non-negative integers")
+        return pow(ciphertext, scalar, self.n)
+
+    def _random_unit(self, rng: random.Random) -> int:
+        while True:
+            mu = rng.randrange(2, self.n)
+            if math.gcd(mu, self.n) == 1:
+                return mu
+
+
+@dataclass(frozen=True)
+class BenalohPrivateKey:
+    """Private portion of a Benaloh key (the factorisation of ``n``)."""
+
+    p1: int
+    p2: int
+    public: BenalohPublicKey
+
+    @property
+    def phi(self) -> int:
+        return (self.p1 - 1) * (self.p2 - 1)
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Recover the plaintext in ``Z_r``.
+
+        When ``r`` factors as a power of a small base ``b`` (the paper uses
+        ``r = 3^k``), we recover the message digit by digit, needing only
+        ``k * b`` modular exponentiations.  Otherwise we fall back to
+        baby-step/giant-step over the ``r`` candidates.
+        """
+        base = _small_power_base(self.public.r)
+        if base is not None:
+            return self._decrypt_digits(ciphertext, base)
+        return self._decrypt_bsgs(ciphertext)
+
+    # -- digit-wise decryption for r = b^k -------------------------------
+    def _decrypt_digits(self, ciphertext: int, base: int) -> int:
+        n, g, r = self.public.n, self.public.g, self.public.r
+        phi = self.phi
+        message = 0
+        b_power = 1  # base^level
+        remaining = ciphertext
+        while b_power < r:
+            exponent = phi // (b_power * base)
+            target = pow(remaining, exponent, n)
+            digit = None
+            for candidate in range(base):
+                test = pow(g, candidate * b_power * exponent, n)
+                if test == target:
+                    digit = candidate
+                    break
+            if digit is None:
+                raise ValueError("ciphertext is not a valid Benaloh encryption under this key")
+            if digit:
+                message += digit * b_power
+                remaining = (remaining * modinv(pow(g, digit * b_power, n), n)) % n
+            b_power *= base
+        return message
+
+    # -- generic baby-step giant-step fallback ----------------------------
+    def _decrypt_bsgs(self, ciphertext: int) -> int:
+        n, g, r = self.public.n, self.public.g, self.public.r
+        exponent = self.phi // r
+        # We need m such that (g^exponent)^m == ciphertext^exponent (mod n).
+        h = pow(g, exponent, n)
+        target = pow(ciphertext, exponent, n)
+        step = int(math.isqrt(r)) + 1
+        baby: dict[int, int] = {}
+        value = 1
+        for j in range(step):
+            baby.setdefault(value, j)
+            value = (value * h) % n
+        giant_factor = modinv(pow(h, step, n), n)
+        gamma = target
+        for i in range(step + 1):
+            if gamma in baby:
+                m = i * step + baby[gamma]
+                if m < r:
+                    return m
+            gamma = (gamma * giant_factor) % n
+        raise ValueError("ciphertext is not a valid Benaloh encryption under this key")
+
+
+@dataclass(frozen=True)
+class BenalohKeyPair:
+    """Bundles the public and private halves of a Benaloh key."""
+
+    public: BenalohPublicKey
+    private: BenalohPrivateKey
+
+    @property
+    def n(self) -> int:
+        return self.public.n
+
+    @property
+    def r(self) -> int:
+        return self.public.r
+
+
+def _small_power_base(r: int) -> int | None:
+    """Return ``b`` if ``r == b^k`` for a small base ``b`` (2..7), else ``None``."""
+    for base in (3, 2, 5, 7):
+        value = r
+        while value % base == 0:
+            value //= base
+        if value == 1:
+            return base
+    return None
+
+
+def generate_keypair(
+    key_bits: int = 256,
+    block_size: int = 3**8,
+    rng: random.Random | None = None,
+) -> BenalohKeyPair:
+    """Generate a Benaloh key pair.
+
+    Parameters
+    ----------
+    key_bits:
+        Total modulus size in bits (``KeyLen`` in the paper's notation).  Each
+        prime gets roughly half.  Tests use 96-160 bits; realistic deployments
+        would use 1024+.
+    block_size:
+        The plaintext space ``r``.  It must exceed the largest relevance score
+        a document can accumulate; ``3^8 = 6561`` comfortably covers the
+        discretised impact values used by the search engine.
+    rng:
+        Optional seeded random generator for reproducibility.
+    """
+    if key_bits < 32:
+        raise ValueError("key_bits must be at least 32")
+    if block_size < 2:
+        raise ValueError("block_size must be at least 2")
+    if block_size % 2 == 0:
+        # Every odd prime p2 has an even p2 - 1, so gcd(r, p2 - 1) = 1 is
+        # unsatisfiable for even r; Benaloh requires an odd block size
+        # (the paper uses r = 3^k).
+        raise ValueError("block_size must be odd (Benaloh requires gcd(r, p2 - 1) = 1)")
+    rng = rng or random.Random()
+    half_bits = key_bits // 2
+
+    def p1_condition(candidate: int) -> bool:
+        if (candidate - 1) % block_size != 0:
+            return False
+        return math.gcd(block_size, (candidate - 1) // block_size) == 1
+
+    def p2_condition(candidate: int) -> bool:
+        return math.gcd(block_size, candidate - 1) == 1
+
+    p1 = _generate_prime_multiple(half_bits, block_size, rng, p1_condition)
+    p2 = generate_prime_with_condition(half_bits, rng, p2_condition)
+    while p2 == p1:
+        p2 = generate_prime_with_condition(half_bits, rng, p2_condition)
+    n = p1 * p2
+    phi = (p1 - 1) * (p2 - 1)
+
+    # Pick g whose order has the full r-part.  The original paper's condition
+    # g^(phi/r) != 1 is not sufficient for composite r (Fousse et al., 2011):
+    # decryption becomes ambiguous when the order of g misses a prime-power
+    # factor of r.  Requiring g^(phi/q) != 1 for every prime q dividing r
+    # pins the q-part of ord(g) to the q-part of r and makes decryption
+    # unambiguous for every message in Z_r.
+    prime_factors = _prime_factors(block_size)
+    while True:
+        g = rng.randrange(2, n)
+        if math.gcd(g, n) != 1:
+            continue
+        if all(pow(g, phi // q, n) != 1 for q in prime_factors):
+            break
+
+    public = BenalohPublicKey(n=n, g=g, r=block_size)
+    private = BenalohPrivateKey(p1=p1, p2=p2, public=public)
+    return BenalohKeyPair(public=public, private=private)
+
+
+def _prime_factors(value: int) -> tuple[int, ...]:
+    """Distinct prime factors of a (small) integer, by trial division."""
+    factors = []
+    candidate = 2
+    remaining = value
+    while candidate * candidate <= remaining:
+        if remaining % candidate == 0:
+            factors.append(candidate)
+            while remaining % candidate == 0:
+                remaining //= candidate
+        candidate += 1
+    if remaining > 1:
+        factors.append(remaining)
+    return tuple(factors)
+
+
+def _generate_prime_multiple(bits: int, block_size: int, rng: random.Random, condition) -> int:
+    """Generate a prime of roughly ``bits`` bits of the form ``k * block_size + 1``.
+
+    Searching random integers for the strong divisibility condition that
+    Benaloh requires of ``p1`` is hopeless for large ``block_size``; instead we
+    construct candidates directly as ``k * r + 1``.
+    """
+    from repro.crypto.numbertheory import is_probable_prime
+
+    k_bits = max(2, bits - block_size.bit_length() + 1)
+    attempts = 0
+    while True:
+        attempts += 1
+        if attempts > 500_000:
+            raise RuntimeError("failed to generate a suitable Benaloh prime p1")
+        k = rng.getrandbits(k_bits) | (1 << (k_bits - 1))
+        candidate = k * block_size + 1
+        if not condition(candidate):
+            continue
+        if is_probable_prime(candidate, rng=rng):
+            return candidate

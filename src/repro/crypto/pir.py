@@ -1,0 +1,187 @@
+"""Kushilevitz-Ostrovsky single-database PIR (Appendix A.1).
+
+The alternate retrieval method in Section 4 treats every bucket as a private
+"database": a bit matrix whose columns are the (equal-length, padded) inverted
+lists of the bucket's terms and whose ``i``-th row holds the ``i``-th bit of
+every list.  To fetch the list of a genuine term without revealing which one,
+the client sends one group element per column -- QRs everywhere except a QNR
+at the wanted column -- and the server returns one group element per row.
+A row's product is a QR exactly when the wanted bit is 0.
+
+The classes below keep the client/server separation explicit so that the cost
+model can meter exactly what crosses the wire:
+
+* :class:`PIRDatabase` -- the padded bit-matrix view of a bucket.
+* :class:`PIRClient` -- builds queries and decodes answers (owns the secret).
+* :class:`PIRServer` -- evaluates a query against a database (sees only ``n``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.crypto.quadratic import QRGroup, generate_group
+
+__all__ = ["PIRDatabase", "PIRQuery", "PIRAnswer", "PIRClient", "PIRServer"]
+
+
+@dataclass(frozen=True)
+class PIRDatabase:
+    """A bit matrix of ``rows x cols`` that the server holds in plaintext.
+
+    ``bits[i][j]`` is the ``i``-th bit of column ``j``.  For the retrieval
+    scheme, column ``j`` is the serialised inverted list of the ``j``-th term
+    in the bucket, padded to the length of the longest list in that bucket
+    (the padding requirement the paper points out as a PIR overhead).
+    """
+
+    bits: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        widths = {len(row) for row in self.bits}
+        if len(widths) > 1:
+            raise ValueError("all rows of a PIR database must have equal width")
+        for row in self.bits:
+            for bit in row:
+                if bit not in (0, 1):
+                    raise ValueError("PIR databases hold bits only")
+
+    @property
+    def rows(self) -> int:
+        return len(self.bits)
+
+    @property
+    def cols(self) -> int:
+        return len(self.bits[0]) if self.bits else 0
+
+    @classmethod
+    def from_columns(cls, columns: Sequence[bytes]) -> "PIRDatabase":
+        """Build a database whose columns are byte strings, padded with zero bytes."""
+        if not columns:
+            raise ValueError("at least one column is required")
+        max_len = max(len(col) for col in columns)
+        padded = [col + b"\x00" * (max_len - len(col)) for col in columns]
+        rows = max_len * 8
+        bits: list[tuple[int, ...]] = []
+        for bit_index in range(rows):
+            byte_index, offset = divmod(bit_index, 8)
+            row = tuple(
+                (padded[c][byte_index] >> (7 - offset)) & 1 for c in range(len(columns))
+            )
+            bits.append(row)
+        return cls(bits=tuple(bits))
+
+    def column_bytes(self, col: int) -> bytes:
+        """Reassemble column ``col`` as bytes (used by tests as ground truth)."""
+        n_bytes = self.rows // 8
+        out = bytearray(n_bytes)
+        for bit_index in range(self.rows):
+            byte_index, offset = divmod(bit_index, 8)
+            out[byte_index] |= self.bits[bit_index][col] << (7 - offset)
+        return bytes(out)
+
+
+@dataclass(frozen=True)
+class PIRQuery:
+    """The client's query: the public modulus and one group element per column."""
+
+    n: int
+    elements: tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Upstream traffic in bytes (cost-model input)."""
+        element_bytes = (self.n.bit_length() + 7) // 8
+        return element_bytes * len(self.elements)
+
+
+@dataclass(frozen=True)
+class PIRAnswer:
+    """The server's answer: one group element per database row."""
+
+    n: int
+    elements: tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Downstream traffic in bytes (``KeyLen * max |L_i|`` in the paper)."""
+        element_bytes = (self.n.bit_length() + 7) // 8
+        return element_bytes * len(self.elements)
+
+
+@dataclass
+class PIRServer:
+    """Evaluates PIR queries.  Sees only the public modulus inside the query."""
+
+    database: PIRDatabase
+    multiplications: int = field(default=0, init=False)
+
+    def answer(self, query: PIRQuery) -> PIRAnswer:
+        """Compute ``gamma_i = prod_j v_ij`` for every row ``i``.
+
+        ``v_ij`` is ``q_j^2`` when the bit is 0 and ``q_j`` when the bit is 1.
+        The instrumentation counter :attr:`multiplications` feeds the cost
+        model for Figures 7(b) and 8(b).
+        """
+        if len(query.elements) != self.database.cols:
+            raise ValueError(
+                f"query has {len(query.elements)} elements but the database has "
+                f"{self.database.cols} columns"
+            )
+        n = query.n
+        squared = [pow(q, 2, n) for q in query.elements]
+        self.multiplications += len(query.elements)
+        answers = []
+        for row in self.database.bits:
+            gamma = 1
+            for j, bit in enumerate(row):
+                gamma = (gamma * (query.elements[j] if bit else squared[j])) % n
+                self.multiplications += 1
+            answers.append(gamma)
+        return PIRAnswer(n=n, elements=tuple(answers))
+
+
+@dataclass
+class PIRClient:
+    """Builds PIR queries and decodes answers.  Owns the group's factorisation."""
+
+    group: QRGroup
+    rng: random.Random = field(default_factory=random.Random)
+
+    @classmethod
+    def with_new_group(cls, key_bits: int = 256, rng: random.Random | None = None) -> "PIRClient":
+        rng = rng or random.Random()
+        return cls(group=generate_group(key_bits, rng), rng=rng)
+
+    def build_query(self, num_columns: int, wanted_column: int) -> PIRQuery:
+        """Build a query retrieving ``wanted_column`` out of ``num_columns``."""
+        if not 0 <= wanted_column < num_columns:
+            raise ValueError("wanted_column out of range")
+        elements = []
+        for col in range(num_columns):
+            if col == wanted_column:
+                elements.append(self.group.random_qnr(self.rng))
+            else:
+                elements.append(self.group.random_qr(self.rng))
+        return PIRQuery(n=self.group.n, elements=tuple(elements))
+
+    def decode_answer(self, answer: PIRAnswer) -> tuple[int, ...]:
+        """Decode the wanted column's bits: QR -> 0, QNR -> 1."""
+        return tuple(0 if self.group.is_quadratic_residue(g) else 1 for g in answer.elements)
+
+    def decode_answer_bytes(self, answer: PIRAnswer) -> bytes:
+        """Decode the wanted column as bytes (dropping any trailing partial byte)."""
+        bits = self.decode_answer(answer)
+        out = bytearray(len(bits) // 8)
+        for index, bit in enumerate(bits[: len(out) * 8]):
+            byte_index, offset = divmod(index, 8)
+            out[byte_index] |= bit << (7 - offset)
+        return bytes(out)
+
+    def retrieve(self, server: PIRServer, wanted_column: int) -> bytes:
+        """Convenience end-to-end retrieval of one column from ``server``."""
+        query = self.build_query(server.database.cols, wanted_column)
+        answer = server.answer(query)
+        return self.decode_answer_bytes(answer)

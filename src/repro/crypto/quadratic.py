@@ -1,0 +1,106 @@
+"""Quadratic residue machinery for the Kushilevitz-Ostrovsky PIR protocol.
+
+The KO'97 protocol (Appendix A.1) hides which inverted list the user wants by
+sending a vector of numbers that are all quadratic residues (QRs) modulo
+``n = p1 * p2`` except at the position of interest, which is a quadratic
+non-residue (QNR) with Jacobi symbol +1.  Deciding QR vs QNR without the
+factorisation of ``n`` is the quadratic residuosity assumption.
+
+:class:`QRGroup` wraps a composite modulus together with its factorisation and
+offers sampling and testing helpers.  The server only ever sees the modulus.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.crypto.numbertheory import generate_prime, jacobi_symbol
+
+__all__ = ["QRGroup", "generate_group"]
+
+
+@dataclass(frozen=True)
+class QRGroup:
+    """A Blum-like composite modulus with known factorisation.
+
+    Parameters
+    ----------
+    p1, p2:
+        The secret prime factors (held by the PIR client only).
+    """
+
+    p1: int
+    p2: int
+
+    @property
+    def n(self) -> int:
+        """The public modulus given to the server."""
+        return self.p1 * self.p2
+
+    # -- membership tests --------------------------------------------------
+    def is_quadratic_residue(self, value: int) -> bool:
+        """True iff ``value`` is a QR modulo ``n``.
+
+        Requires the factorisation: ``value`` is a QR mod ``n`` iff it is a QR
+        modulo both prime factors (Euler's criterion on each).
+        """
+        value %= self.n
+        if value == 0:
+            return False
+        if math.gcd(value, self.n) != 1:
+            return False
+        return (
+            pow(value, (self.p1 - 1) // 2, self.p1) == 1
+            and pow(value, (self.p2 - 1) // 2, self.p2) == 1
+        )
+
+    def jacobi(self, value: int) -> int:
+        """Jacobi symbol of ``value`` with respect to the public modulus."""
+        return jacobi_symbol(value, self.n)
+
+    # -- sampling -----------------------------------------------------------
+    def random_qr(self, rng: random.Random) -> int:
+        """Sample a uniformly random quadratic residue (as ``x^2 mod n``)."""
+        while True:
+            x = rng.randrange(2, self.n)
+            if math.gcd(x, self.n) == 1:
+                return pow(x, 2, self.n)
+
+    def random_qnr(self, rng: random.Random) -> int:
+        """Sample a quadratic non-residue with Jacobi symbol +1.
+
+        Such elements are indistinguishable from QRs without the
+        factorisation, which is exactly what the PIR query needs.
+        """
+        while True:
+            x = rng.randrange(2, self.n)
+            if math.gcd(x, self.n) != 1:
+                continue
+            if jacobi_symbol(x, self.n) == 1 and not self.is_quadratic_residue(x):
+                return x
+
+
+def generate_group(key_bits: int = 256, rng: random.Random | None = None) -> QRGroup:
+    """Generate a QR group with a ``key_bits``-bit modulus.
+
+    We use Blum primes (``p ≡ 3 mod 4``) which guarantees that -1 is a QNR
+    with Jacobi symbol +1 modulo ``n``, making QNR sampling trivial to verify.
+    """
+    if key_bits < 16:
+        raise ValueError("key_bits must be at least 16")
+    rng = rng or random.Random()
+    half = key_bits // 2
+
+    def blum_prime() -> int:
+        while True:
+            p = generate_prime(half, rng)
+            if p % 4 == 3:
+                return p
+
+    p1 = blum_prime()
+    p2 = blum_prime()
+    while p2 == p1:
+        p2 = blum_prime()
+    return QRGroup(p1=p1, p2=p2)

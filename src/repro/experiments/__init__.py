@@ -1,0 +1,28 @@
+"""Runnable reproductions of the paper's evaluation (Section 5 plus Figure 2).
+
+Each module exposes a ``run(...)`` function returning a small result object
+with a ``format_table()`` method that prints the same rows/series the paper
+plots:
+
+* :mod:`repro.experiments.figure2` -- distribution of term specificity.
+* :mod:`repro.experiments.figure5` -- effect of SegSz on bucket formation
+  (specificity difference and closest/farthest cover distance difference,
+  Bucket versus Random), BktSz = 4.
+* :mod:`repro.experiments.figure6` -- effect of BktSz with SegSz maximised.
+* :mod:`repro.experiments.figure7` -- PR versus PIR retrieval performance as
+  a function of BktSz (12-term queries): server I/O, server CPU, traffic,
+  user CPU.
+* :mod:`repro.experiments.figure8` -- the same four metrics as a function of
+  query size (BktSz = 8).
+* :mod:`repro.experiments.claim1` -- verification that the PR scheme returns
+  exactly the plaintext engine's ranking (Claim 1).
+* :mod:`repro.experiments.ablations` -- design-choice ablations called out in
+  DESIGN.md (segment modulation, specificity source, Benaloh vs Paillier).
+
+The shared fixtures (synthetic lexicon, corpus, index, bucket organisations)
+live in :mod:`repro.experiments.harness`.
+"""
+
+from repro.experiments.harness import ExperimentContext, SweepResult
+
+__all__ = ["ExperimentContext", "SweepResult"]

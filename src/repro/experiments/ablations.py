@@ -1,0 +1,204 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Three questions the paper raises but does not plot directly:
+
+* **Segment modulation** -- how much does the final bucket-formation
+  algorithm (Figure 4: segment split + specificity sort) improve intra-bucket
+  specificity over the "first try" (Figure 3: plain striding)?
+* **Specificity source** -- the paper chooses hypernym depth over document
+  frequency for corpus independence and cites their high correlation; the
+  ablation measures bucket quality under both definitions and their rank
+  correlation on the searchable dictionary.
+* **Benaloh versus Paillier** -- Appendix A.2 picks Benaloh for its shorter
+  ciphertexts; the ablation quantifies the per-query traffic difference.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.buckets import generate_buckets, simple_buckets
+from repro.core.metrics import BucketQualityEvaluator
+from repro.experiments.harness import ExperimentContext, SweepResult
+from repro.lexicon.specificity import document_frequency_specificity
+from repro.textsearch.evaluation import kendall_tau
+
+__all__ = [
+    "SegmentModulationAblation",
+    "SpecificitySourceAblation",
+    "CiphertextSizeAblation",
+    "run_segment_modulation",
+    "run_specificity_source",
+    "run_ciphertext_size",
+]
+
+
+@dataclass(frozen=True)
+class SegmentModulationAblation:
+    """Figure-3 versus Figure-4 bucket formation."""
+
+    sweep: SweepResult
+
+    def format_table(self) -> str:
+        return self.sweep.format_table()
+
+
+def run_segment_modulation(
+    context: ExperimentContext | None = None,
+    bucket_sizes: tuple[int, ...] = (4, 8, 16),
+    trials: int = 300,
+    seed: int = 11,
+) -> SegmentModulationAblation:
+    """Compare intra-bucket specificity spread with and without segment modulation."""
+    context = context or ExperimentContext()
+    sweep = SweepResult(
+        name="Ablation: segment modulation (intra-bucket specificity difference)",
+        parameter="BktSz",
+    )
+    sequence = context.dictionary_sequence
+    for bucket_size in bucket_sizes:
+        modulated = context.buckets(bucket_size, segment_size=None)
+        unmodulated = simple_buckets(sequence, context.specificity, bucket_size)
+        modulated_eval = BucketQualityEvaluator(modulated, context.distance_calculator)
+        unmodulated_eval = BucketQualityEvaluator(unmodulated, context.distance_calculator)
+        sweep.add_row(
+            bucket_size,
+            {
+                "figure4_final": modulated_eval.average_specificity_difference(),
+                "figure3_first_try": unmodulated_eval.average_specificity_difference(),
+            },
+        )
+    return SegmentModulationAblation(sweep=sweep)
+
+
+@dataclass(frozen=True)
+class SpecificitySourceAblation:
+    """Hypernym-depth versus document-frequency specificity."""
+
+    rank_correlation: float
+    sweep: SweepResult
+
+    def format_table(self) -> str:
+        return (
+            self.sweep.format_table()
+            + f"\nKendall tau between the two specificity rankings: {self.rank_correlation:.3f}"
+        )
+
+
+def run_specificity_source(
+    context: ExperimentContext | None = None,
+    bucket_size: int = 8,
+    seed: int = 17,
+) -> SpecificitySourceAblation:
+    """Bucket quality when specificity comes from document frequency instead of WordNet depth.
+
+    Both organisations are evaluated on the *hypernym* specificity scale so
+    the intra-bucket spreads are directly comparable; the question is how
+    well the corpus-dependent definition approximates the corpus-independent
+    one the paper prefers.
+    """
+    from repro.core.buckets import BucketOrganization
+
+    context = context or ExperimentContext()
+    index = context.index
+    searchable = context.searchable_sequence
+
+    hypernym_spec = {t: context.specificity[t] for t in searchable}
+    df_spec = document_frequency_specificity(
+        {t: index.document_frequency(t) for t in searchable}, index.stats.num_documents
+    )
+
+    hypernym_org = generate_buckets(searchable, hypernym_spec, bucket_size=bucket_size)
+    df_org = generate_buckets(searchable, df_spec, bucket_size=bucket_size)
+    df_org_on_hypernym_scale = BucketOrganization(
+        buckets=df_org.buckets,
+        bucket_size=df_org.bucket_size,
+        segment_size=df_org.segment_size,
+        specificity=hypernym_spec,
+    )
+
+    hypernym_eval = BucketQualityEvaluator(hypernym_org, context.distance_calculator)
+    df_eval = BucketQualityEvaluator(df_org_on_hypernym_scale, context.distance_calculator)
+
+    sweep = SweepResult(
+        name=f"Ablation: specificity source (BktSz={bucket_size}, hypernym-scale spread)",
+        parameter="setting",
+    )
+    sweep.add_row(0, {"intra_bucket_spread": hypernym_eval.average_specificity_difference()})
+    sweep.add_row(1, {"intra_bucket_spread": df_eval.average_specificity_difference()})
+
+    # Rank correlation between the two specificity definitions on a term sample.
+    sample = random.Random(seed).sample(searchable, k=min(300, len(searchable)))
+    tau = kendall_tau(
+        sorted(sample, key=lambda t: (hypernym_spec[t], t)),
+        sorted(sample, key=lambda t: (df_spec[t], t)),
+    )
+    return SpecificitySourceAblation(rank_correlation=tau, sweep=sweep)
+
+
+@dataclass(frozen=True)
+class CiphertextSizeAblation:
+    """Benaloh versus Paillier ciphertext and per-query traffic sizes."""
+
+    key_bits: int
+    benaloh_ciphertext_bytes: int
+    paillier_ciphertext_bytes: int
+    benaloh_downstream_kb: float
+    paillier_downstream_kb: float
+
+    def format_table(self) -> str:
+        return (
+            "== Ablation: Benaloh vs Paillier ciphertext size ==\n"
+            f"modulus size            : {self.key_bits} bits\n"
+            f"Benaloh ciphertext      : {self.benaloh_ciphertext_bytes} bytes\n"
+            f"Paillier ciphertext     : {self.paillier_ciphertext_bytes} bytes\n"
+            f"Benaloh result traffic  : {self.benaloh_downstream_kb:.2f} KB\n"
+            f"Paillier result traffic : {self.paillier_downstream_kb:.2f} KB"
+        )
+
+
+def run_ciphertext_size(
+    context: ExperimentContext | None = None,
+    bucket_size: int = 8,
+    query_size: int = 12,
+    key_bits: int = 768,
+    num_queries: int = 50,
+    seed: int = 23,
+) -> CiphertextSizeAblation:
+    """Quantify the Appendix-A.2 justification for choosing Benaloh over Paillier.
+
+    Both schemes return one ciphertext per candidate document; Benaloh's is
+    ``KeyLen`` bits, Paillier's ``2 * KeyLen`` bits, so Paillier doubles the
+    downstream traffic of the PR scheme for the same security parameter.
+    """
+    from repro.core.client import PrivateSearchSystem
+    from repro.core.workloads import QueryWorkloadGenerator
+
+    context = context or ExperimentContext()
+    index = context.index
+    organization = context.buckets(bucket_size, segment_size=None, searchable_only=True)
+
+    system = PrivateSearchSystem.__new__(PrivateSearchSystem)
+    system.index = index
+    system.organization = organization
+    system.key_bits = key_bits
+    from repro.core.costs import CostModel
+
+    system.cost_model = CostModel()
+    workload = QueryWorkloadGenerator(index, seed=seed)
+    downstream_candidates = []
+    for query in workload.random_queries(num_queries, query_size):
+        report = system.estimate_costs(query)
+        downstream_candidates.append(report.counts["client_decryptions"])
+    average_candidates = sum(downstream_candidates) / len(downstream_candidates)
+
+    benaloh_bytes = key_bits // 8
+    paillier_bytes = 2 * key_bits // 8
+    return CiphertextSizeAblation(
+        key_bits=key_bits,
+        benaloh_ciphertext_bytes=benaloh_bytes,
+        paillier_ciphertext_bytes=paillier_bytes,
+        benaloh_downstream_kb=average_candidates * (4 + benaloh_bytes) / 1024.0,
+        paillier_downstream_kb=average_candidates * (4 + paillier_bytes) / 1024.0,
+    )

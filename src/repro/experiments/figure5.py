@@ -1,0 +1,85 @@
+"""Figure 5: effect of SegSz on bucket formation (BktSz = 4).
+
+For segment sizes ``2^2 .. 2^14`` (capped at ``N / BktSz``) the experiment
+measures, for the Bucket organisation and the Random baseline:
+
+* (a) the average intra-bucket specificity difference, and
+* (b) the average closest-cover and farthest-cover distance differences over
+  1,000 sampled bucket pairs.
+
+Expected shape (from the paper): the Bucket specificity difference falls as
+SegSz grows and stays far below Random; the Bucket distance differences are
+small (closest cover about one hypernym hop) and largely insensitive to
+SegSz, again far below Random.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.metrics import BucketQualityEvaluator
+from repro.experiments.harness import ExperimentContext, SweepResult
+
+__all__ = ["Figure5Result", "run", "DEFAULT_SEGSZ_EXPONENTS"]
+
+DEFAULT_SEGSZ_EXPONENTS = (2, 4, 6, 8, 10, 12, 14)
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Both panels of Figure 5 as sweep tables."""
+
+    specificity: SweepResult
+    distance: SweepResult
+
+    def format_table(self) -> str:
+        return self.specificity.format_table() + "\n\n" + self.distance.format_table()
+
+
+def run(
+    context: ExperimentContext | None = None,
+    bucket_size: int = 4,
+    segsz_exponents: tuple[int, ...] = DEFAULT_SEGSZ_EXPONENTS,
+    trials: int = 1000,
+    seed: int = 99,
+) -> Figure5Result:
+    """Run the SegSz sweep and return both panels."""
+    context = context or ExperimentContext()
+    specificity_sweep = SweepResult(
+        name=f"Figure 5(a): specificity difference vs SegSz (BktSz={bucket_size})",
+        parameter="log2(SegSz)",
+    )
+    distance_sweep = SweepResult(
+        name=f"Figure 5(b): distance difference vs SegSz (BktSz={bucket_size})",
+        parameter="log2(SegSz)",
+    )
+
+    dictionary_size = len(context.dictionary_sequence)
+    max_segment = max(1, dictionary_size // bucket_size)
+    random_org = context.random_organization(bucket_size)
+    random_eval = BucketQualityEvaluator(random_org, context.distance_calculator)
+    random_report = random_eval.evaluate(trials=trials, rng=random.Random(seed))
+
+    for exponent in segsz_exponents:
+        segment_size = min(2**exponent, max_segment)
+        organization = context.buckets(bucket_size, segment_size)
+        evaluator = BucketQualityEvaluator(organization, context.distance_calculator)
+        report = evaluator.evaluate(trials=trials, rng=random.Random(seed + exponent))
+        specificity_sweep.add_row(
+            exponent,
+            {
+                "bucket": report.specificity_difference,
+                "random": random_report.specificity_difference,
+            },
+        )
+        distance_sweep.add_row(
+            exponent,
+            {
+                "bucket_closest": report.closest_cover,
+                "bucket_farthest": report.farthest_cover,
+                "random_closest": random_report.closest_cover,
+                "random_farthest": random_report.farthest_cover,
+            },
+        )
+    return Figure5Result(specificity=specificity_sweep, distance=distance_sweep)

@@ -1,0 +1,77 @@
+"""Figure 6: effect of BktSz on bucket formation (SegSz maximised to N / BktSz).
+
+Since Figure 5 shows that a larger segment size improves the specificity
+difference without hurting the distance differences, the paper maximises
+SegSz and sweeps the bucket size (2 to 24).  Expected shape: the Bucket
+specificity difference starts very low for small buckets and grows with the
+bucket size, while remaining clearly below Random; the distance differences
+remain well below Random throughout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.metrics import BucketQualityEvaluator
+from repro.experiments.harness import ExperimentContext, SweepResult
+
+__all__ = ["Figure6Result", "run", "DEFAULT_BUCKET_SIZES"]
+
+DEFAULT_BUCKET_SIZES = (2, 4, 8, 12, 16, 20, 24)
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Both panels of Figure 6 as sweep tables."""
+
+    specificity: SweepResult
+    distance: SweepResult
+
+    def format_table(self) -> str:
+        return self.specificity.format_table() + "\n\n" + self.distance.format_table()
+
+
+def run(
+    context: ExperimentContext | None = None,
+    bucket_sizes: tuple[int, ...] = DEFAULT_BUCKET_SIZES,
+    trials: int = 1000,
+    seed: int = 123,
+) -> Figure6Result:
+    """Run the BktSz sweep and return both panels."""
+    context = context or ExperimentContext()
+    specificity_sweep = SweepResult(
+        name="Figure 6(a): specificity difference vs BktSz (SegSz = N/BktSz)",
+        parameter="BktSz",
+    )
+    distance_sweep = SweepResult(
+        name="Figure 6(b): distance difference vs BktSz (SegSz = N/BktSz)",
+        parameter="BktSz",
+    )
+
+    for bucket_size in bucket_sizes:
+        organization = context.buckets(bucket_size, segment_size=None)
+        evaluator = BucketQualityEvaluator(organization, context.distance_calculator)
+        report = evaluator.evaluate(trials=trials, rng=random.Random(seed + bucket_size))
+
+        random_org = context.random_organization(bucket_size)
+        random_eval = BucketQualityEvaluator(random_org, context.distance_calculator)
+        random_report = random_eval.evaluate(trials=trials, rng=random.Random(seed + bucket_size + 1))
+
+        specificity_sweep.add_row(
+            bucket_size,
+            {
+                "bucket": report.specificity_difference,
+                "random": random_report.specificity_difference,
+            },
+        )
+        distance_sweep.add_row(
+            bucket_size,
+            {
+                "bucket_closest": report.closest_cover,
+                "bucket_farthest": report.farthest_cover,
+                "random_closest": random_report.closest_cover,
+                "random_farthest": random_report.farthest_cover,
+            },
+        )
+    return Figure6Result(specificity=specificity_sweep, distance=distance_sweep)

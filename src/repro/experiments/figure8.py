@@ -1,0 +1,57 @@
+"""Figure 8: retrieval performance of PR versus PIR as a function of query size.
+
+The paper fixes the bucket size at 8 and sweeps the number of genuine query
+terms from a handful up to 40 (long queries arise naturally from TREC-style
+topics and query expansion).  Expected shape: PIR's communication and user
+computation grow linearly with the query size -- one KO execution per genuine
+term -- whereas PR scales much more gracefully because its result is the
+union of the candidate documents of the queried buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.figure7 import DEFAULT_KEY_BITS, sweep_costs
+from repro.experiments.harness import ExperimentContext, SweepResult
+
+__all__ = ["Figure8Result", "run", "DEFAULT_QUERY_SIZES"]
+
+DEFAULT_QUERY_SIZES = (2, 4, 8, 12, 16, 24, 32, 40)
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """The four panels of Figure 8 as sweep tables."""
+
+    server_io: SweepResult
+    server_cpu: SweepResult
+    traffic: SweepResult
+    user_cpu: SweepResult
+
+    def format_table(self) -> str:
+        return "\n\n".join(
+            sweep.format_table()
+            for sweep in (self.server_io, self.server_cpu, self.traffic, self.user_cpu)
+        )
+
+
+def run(
+    context: ExperimentContext | None = None,
+    query_sizes: tuple[int, ...] = DEFAULT_QUERY_SIZES,
+    bucket_size: int = 8,
+    num_queries: int = 200,
+    key_bits: int = DEFAULT_KEY_BITS,
+    seed: int = 800,
+) -> Figure8Result:
+    """Run the query-size performance sweep (Figure 8)."""
+    context = context or ExperimentContext()
+    settings = [(float(q), bucket_size, q) for q in query_sizes]
+    server_io, server_cpu, traffic, user_cpu = sweep_costs(
+        context, "query size", settings, num_queries=num_queries, key_bits=key_bits, seed=seed
+    )
+    server_io.name = "Figure 8(a): " + server_io.name
+    server_cpu.name = "Figure 8(b): " + server_cpu.name
+    traffic.name = "Figure 8(c): " + traffic.name
+    user_cpu.name = "Figure 8(d): " + user_cpu.name
+    return Figure8Result(server_io=server_io, server_cpu=server_cpu, traffic=traffic, user_cpu=user_cpu)

@@ -1,0 +1,165 @@
+"""Shared experiment fixtures and reporting helpers.
+
+Building the synthetic lexicon, sequencing its dictionary, generating and
+indexing a corpus are the expensive, parameter-independent parts of every
+experiment; :class:`ExperimentContext` builds them once and caches the
+derived bucket organisations per ``(bucket_size, segment_size)``.
+
+:class:`SweepResult` is a tiny tabular container -- a list of rows keyed by
+the sweep parameter -- with a ``format_table()`` that prints the same series
+the paper's figures plot, so benchmark output can be compared to the paper at
+a glance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.buckets import BucketOrganization, generate_buckets
+from repro.core.random_buckets import random_buckets
+from repro.core.sequencing import concatenate_sequences, sequence_dictionary
+from repro.lexicon.builder import build_lexicon
+from repro.lexicon.distance import SemanticDistanceCalculator
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.specificity import hypernym_depth_specificity
+from repro.textsearch.inverted_index import InvertedIndex
+from repro.textsearch.synthetic import SyntheticCorpusGenerator
+
+__all__ = ["ExperimentContext", "SweepResult"]
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily built, cached fixtures shared by the experiments.
+
+    Parameters
+    ----------
+    num_synsets:
+        Size of the synthetic lexicon (the WordNet stand-in).
+    num_documents:
+        Size of the synthetic corpus (the WSJ stand-in).
+    seed:
+        Master seed; all derived artefacts are deterministic given it.
+    """
+
+    num_synsets: int = 4000
+    num_documents: int = 1500
+    seed: int = 2010
+    _lexicon: Lexicon | None = field(default=None, init=False, repr=False)
+    _sequence: list[str] | None = field(default=None, init=False, repr=False)
+    _specificity: dict[str, int] | None = field(default=None, init=False, repr=False)
+    _index: InvertedIndex | None = field(default=None, init=False, repr=False)
+    _searchable_sequence: list[str] | None = field(default=None, init=False, repr=False)
+    _distance: SemanticDistanceCalculator | None = field(default=None, init=False, repr=False)
+    _bucket_cache: dict[tuple[int, int | None, bool], BucketOrganization] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    # -- base fixtures -----------------------------------------------------------
+    @property
+    def lexicon(self) -> Lexicon:
+        if self._lexicon is None:
+            self._lexicon = build_lexicon(self.num_synsets, seed=self.seed)
+        return self._lexicon
+
+    @property
+    def dictionary_sequence(self) -> list[str]:
+        """The Algorithm-1 ordering of the full lexicon dictionary."""
+        if self._sequence is None:
+            self._sequence = concatenate_sequences(sequence_dictionary(self.lexicon))
+        return self._sequence
+
+    @property
+    def specificity(self) -> dict[str, int]:
+        if self._specificity is None:
+            self._specificity = hypernym_depth_specificity(self.lexicon)
+        return self._specificity
+
+    @property
+    def distance_calculator(self) -> SemanticDistanceCalculator:
+        if self._distance is None:
+            self._distance = SemanticDistanceCalculator(self.lexicon)
+        return self._distance
+
+    @property
+    def index(self) -> InvertedIndex:
+        if self._index is None:
+            corpus = SyntheticCorpusGenerator(
+                lexicon=self.lexicon,
+                num_documents=self.num_documents,
+                seed=self.seed + 1,
+            ).generate()
+            self._index = InvertedIndex.build(corpus)
+        return self._index
+
+    @property
+    def searchable_sequence(self) -> list[str]:
+        """The dictionary sequence restricted to terms that occur in the corpus."""
+        if self._searchable_sequence is None:
+            searchable = set(self.index.terms)
+            self._searchable_sequence = [t for t in self.dictionary_sequence if t in searchable]
+        return self._searchable_sequence
+
+    # -- bucket organisations ---------------------------------------------------------
+    def buckets(
+        self,
+        bucket_size: int,
+        segment_size: int | None = None,
+        searchable_only: bool = False,
+    ) -> BucketOrganization:
+        """The Algorithm-2 organisation for the requested parameters (cached)."""
+        key = (bucket_size, segment_size, searchable_only)
+        if key not in self._bucket_cache:
+            sequence = self.searchable_sequence if searchable_only else self.dictionary_sequence
+            self._bucket_cache[key] = generate_buckets(
+                sequence, self.specificity, bucket_size=bucket_size, segment_size=segment_size
+            )
+        return self._bucket_cache[key]
+
+    def random_organization(self, bucket_size: int, searchable_only: bool = False) -> BucketOrganization:
+        """The Random baseline with the same bucket size (fresh but seeded)."""
+        sequence = self.searchable_sequence if searchable_only else self.dictionary_sequence
+        return random_buckets(
+            sequence, self.specificity, bucket_size=bucket_size, rng=random.Random(self.seed + 7)
+        )
+
+
+@dataclass
+class SweepResult:
+    """A parameter sweep's output: one row of named values per parameter setting."""
+
+    name: str
+    parameter: str
+    rows: list[dict[str, float]] = field(default_factory=list)
+
+    def add_row(self, parameter_value: float, values: Mapping[str, float]) -> None:
+        row = {self.parameter: parameter_value}
+        row.update(values)
+        self.rows.append(row)
+
+    def series(self, column: str) -> list[float]:
+        """One named column across the sweep, in row order."""
+        return [row[column] for row in self.rows]
+
+    def column_names(self) -> Sequence[str]:
+        if not self.rows:
+            return [self.parameter]
+        return list(self.rows[0].keys())
+
+    def format_table(self, precision: int = 3) -> str:
+        """A fixed-width text table mirroring the paper's plotted series."""
+        columns = self.column_names()
+        header = "  ".join(f"{name:>18s}" for name in columns)
+        lines = [f"== {self.name} ==", header]
+        for row in self.rows:
+            cells = []
+            for name in columns:
+                value = row[name]
+                if isinstance(value, float) and not value.is_integer():
+                    cells.append(f"{value:>18.{precision}f}")
+                else:
+                    cells.append(f"{value:>18g}")
+            lines.append("  ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""WordNet-style lexical database substrate.
+
+The paper derives its decoy buckets from the WordNet noun database: synsets
+connected by hypernym/hyponym, antonym, derivational, meronym/holonym and
+domain-membership relations, with term specificity defined as the hypernym
+depth of a term's synset (Section 3.2).
+
+Real WordNet data is not shipped with this reproduction, so the subpackage
+provides both:
+
+* a faithful data model and graph API (:mod:`repro.lexicon.synset`,
+  :mod:`repro.lexicon.lexicon`) that can load real WordNet-style data via
+  :mod:`repro.lexicon.wordnet_io`, and
+* a synthetic generator (:mod:`repro.lexicon.builder`) calibrated so that the
+  hypernym-depth (specificity) distribution matches Figure 2 of the paper
+  (range 0-18, unimodal around 7, a single root synset).
+
+Specificity and weighted semantic distance (the two quantities the Section 5.1
+experiments measure) live in :mod:`repro.lexicon.specificity` and
+:mod:`repro.lexicon.distance`.
+"""
+
+from repro.lexicon.builder import SyntheticWordNetBuilder, build_lexicon
+from repro.lexicon.distance import SemanticDistanceCalculator, DistanceWeights
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.specificity import (
+    document_frequency_specificity,
+    hypernym_depth_specificity,
+    specificity_histogram,
+)
+from repro.lexicon.synset import RelationType, Synset
+
+__all__ = [
+    "Lexicon",
+    "Synset",
+    "RelationType",
+    "SyntheticWordNetBuilder",
+    "build_lexicon",
+    "SemanticDistanceCalculator",
+    "DistanceWeights",
+    "hypernym_depth_specificity",
+    "document_frequency_specificity",
+    "specificity_histogram",
+]

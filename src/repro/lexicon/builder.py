@@ -1,0 +1,356 @@
+"""Synthetic WordNet-like lexicon generator.
+
+The original experiments run over the real WordNet noun database (117,798
+nouns in 82,115 synsets, hypernym depth 0-18 with about one third of the
+terms at depth 7 -- Figure 2).  That data set is not redistributable with
+this reproduction, so :class:`SyntheticWordNetBuilder` grows a lexicon with
+the same *structural* properties, which is all the paper's algorithms consume:
+
+* a single generalisation root (``entity``) with a hypernym forest underneath,
+  whose depth distribution is calibrated to Figure 2;
+* roughly 1.4 lemmas per synset with a configurable degree of polysemy;
+* derivational, antonym, meronym/holonym and domain-membership edges sprinkled
+  with WordNet-like frequencies, connecting semantically nearby synsets.
+
+Everything is driven by a seeded :class:`random.Random`, so a given seed and
+size always produce the same lexicon -- experiments are exactly repeatable.
+
+Users with access to real WordNet-format data can bypass this module entirely
+and load their data via :mod:`repro.lexicon.wordnet_io`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.synset import RelationType, Synset
+
+__all__ = ["SyntheticWordNetBuilder", "build_lexicon", "merge_relation_source", "DEFAULT_DEPTH_PROFILE"]
+
+
+#: Fraction of synsets at each hypernym depth, calibrated by eye against the
+#: Figure 2 histogram (range 0-18, unimodal near 7).  Depths 0 and 1 are
+#: pinned to exact counts (1 root and a handful of top-level categories) by
+#: the builder rather than sampled from this table.
+DEFAULT_DEPTH_PROFILE: Mapping[int, float] = {
+    2: 0.008,
+    3: 0.020,
+    4: 0.055,
+    5: 0.110,
+    6: 0.190,
+    7: 0.280,
+    8: 0.130,
+    9: 0.080,
+    10: 0.050,
+    11: 0.030,
+    12: 0.018,
+    13: 0.010,
+    14: 0.007,
+    15: 0.005,
+    16: 0.003,
+    17: 0.002,
+    18: 0.002,
+}
+
+_ONSETS = (
+    "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gl", "h", "k", "l",
+    "m", "n", "p", "pl", "pr", "qu", "r", "s", "sc", "sp", "st", "t", "tr",
+    "v", "w", "z", "th", "ch", "sh",
+)
+_VOWELS = ("a", "e", "i", "o", "u", "ia", "ae", "ou", "ei")
+_CODAS = ("", "n", "m", "r", "s", "l", "x", "t", "th", "ck", "nd", "st", "ph")
+
+
+@dataclass
+class SyntheticWordNetBuilder:
+    """Generates a :class:`~repro.lexicon.lexicon.Lexicon` with WordNet-like structure.
+
+    Parameters
+    ----------
+    num_synsets:
+        Total number of synsets to generate.  The defaults in the experiments
+        use several thousand; the full WordNet scale (82k synsets) also works
+        but takes longer to build.
+    seed:
+        Seed for the internal random generator; identical parameters and seed
+        reproduce an identical lexicon.
+    mean_terms_per_synset:
+        Average number of lemmas per synset (WordNet nouns: about 1.43).
+    polysemy_rate:
+        Fraction of synsets that re-use a lemma from another synset, giving
+        the lexicon polysemous terms.
+    derivation_rate, antonym_rate, meronym_rate, domain_rate:
+        Probability that a non-root synset receives one edge of the given
+        type, in addition to its hypernym edge.
+    depth_profile:
+        Mapping from depth (>= 2) to the fraction of synsets at that depth.
+        Normalised internally; depths 0 and 1 are handled separately.
+    num_top_categories:
+        Number of depth-1 synsets hanging directly off the root.
+    """
+
+    num_synsets: int = 8000
+    seed: int = 2010
+    mean_terms_per_synset: float = 1.43
+    polysemy_rate: float = 0.08
+    derivation_rate: float = 0.15
+    antonym_rate: float = 0.05
+    meronym_rate: float = 0.18
+    domain_rate: float = 0.02
+    depth_profile: Mapping[int, float] = field(default_factory=lambda: dict(DEFAULT_DEPTH_PROFILE))
+    num_top_categories: int = 4
+
+    def build(self) -> Lexicon:
+        """Generate and return the lexicon."""
+        if self.num_synsets < self.num_top_categories + 1:
+            raise ValueError("num_synsets must exceed num_top_categories + 1")
+        rng = random.Random(self.seed)
+        lexicon = Lexicon()
+        used_words: set[str] = set()
+        synsets_by_depth: dict[int, list[str]] = {}
+        self._child_counts: dict[str, int] = {}
+
+        # Depth 0: the single root, mirroring WordNet's 'entity'.
+        root = lexicon.create_synset("n.00000000", ["entity"], gloss="the single root")
+        used_words.add("entity")
+        synsets_by_depth[0] = [root.synset_id]
+
+        # Depth 1: a handful of broad categories.
+        synsets_by_depth[1] = []
+        for index in range(self.num_top_categories):
+            synset = self._new_synset(lexicon, rng, used_words, index + 1)
+            lexicon.add_relation(synset.synset_id, RelationType.HYPERNYM, root.synset_id)
+            synsets_by_depth[1].append(synset.synset_id)
+
+        # Remaining synsets: allocate per depth according to the profile.
+        remaining = self.num_synsets - 1 - self.num_top_categories
+        depth_counts = self._allocate_depths(remaining)
+        next_index = self.num_top_categories + 1
+        for depth in sorted(depth_counts):
+            synsets_by_depth.setdefault(depth, [])
+            for _ in range(depth_counts[depth]):
+                synset = self._new_synset(lexicon, rng, used_words, next_index)
+                next_index += 1
+                parent_id = self._pick_parent(rng, synsets_by_depth, depth)
+                lexicon.add_relation(synset.synset_id, RelationType.HYPERNYM, parent_id)
+                synsets_by_depth[depth].append(synset.synset_id)
+
+        self._add_polysemy(lexicon, rng)
+        self._add_lateral_relations(lexicon, rng, synsets_by_depth)
+        return lexicon
+
+    # -- internal helpers -----------------------------------------------------
+    def _allocate_depths(self, total: int) -> dict[int, int]:
+        """Turn the fractional depth profile into integer synset counts."""
+        profile = {d: f for d, f in self.depth_profile.items() if d >= 2 and f > 0}
+        norm = sum(profile.values())
+        counts: dict[int, int] = {}
+        allocated = 0
+        for depth in sorted(profile):
+            count = int(round(total * profile[depth] / norm))
+            counts[depth] = count
+            allocated += count
+        # Fix rounding drift on the modal depth, and make sure every depth up
+        # to the deepest requested one has at least one synset so parents
+        # always exist.
+        modal_depth = max(profile, key=profile.get)
+        counts[modal_depth] += total - allocated
+        deepest = max(profile)
+        for depth in range(2, deepest + 1):
+            counts.setdefault(depth, 0)
+        running_short = 0
+        for depth in range(2, deepest + 1):
+            if counts[depth] == 0:
+                counts[depth] = 1
+                running_short += 1
+        counts[modal_depth] = max(1, counts[modal_depth] - running_short)
+        return counts
+
+    def _pick_parent(self, rng: random.Random, by_depth: dict[int, list[str]], depth: int) -> str:
+        """Pick a hypernym parent at ``depth - 1`` (falling back to the deepest level that exists).
+
+        Parents are chosen with preferential attachment (probability
+        proportional to one plus the number of children already attached):
+        real WordNet subtrees are highly unbalanced -- a few categories such
+        as organisms or artifacts dominate -- and that imbalance is what
+        gives pairwise semantic distances their variance (siblings under a
+        hub are 2 hops apart, terms in different major branches 15+).
+        """
+        parent_depth = depth - 1
+        while parent_depth > 0 and not by_depth.get(parent_depth):
+            parent_depth -= 1
+        candidates = by_depth.get(parent_depth) or by_depth[0]
+        weights = [1 + self._child_counts.get(candidate, 0) for candidate in candidates]
+        chosen = rng.choices(candidates, weights=weights, k=1)[0]
+        self._child_counts[chosen] = self._child_counts.get(chosen, 0) + 1
+        return chosen
+
+    def _new_synset(
+        self,
+        lexicon: Lexicon,
+        rng: random.Random,
+        used_words: set[str],
+        index: int,
+    ) -> Synset:
+        num_terms = 1
+        # Geometric-ish distribution with the requested mean (>= 1).
+        extra_prob = max(0.0, min(0.9, self.mean_terms_per_synset - 1.0))
+        while num_terms < 5 and rng.random() < extra_prob:
+            num_terms += 1
+        terms = [self._make_word(rng, used_words) for _ in range(num_terms)]
+        return lexicon.create_synset(f"n.{index:08d}", terms)
+
+    def _make_word(self, rng: random.Random, used_words: set[str]) -> str:
+        for _ in range(64):
+            syllables = rng.randint(2, 4)
+            word = "".join(
+                rng.choice(_ONSETS) + rng.choice(_VOWELS) + (rng.choice(_CODAS) if s == syllables - 1 else "")
+                for s in range(syllables)
+            )
+            if word not in used_words:
+                used_words.add(word)
+                return word
+        # Exhausted the pseudo-word space at this size: fall back to a counter suffix.
+        word = f"term{len(used_words):07d}"
+        used_words.add(word)
+        return word
+
+    def _add_polysemy(self, lexicon: Lexicon, rng: random.Random) -> None:
+        """Re-use existing lemmas in other synsets to create polysemous terms.
+
+        The root synset is excluded as a target so that, as in WordNet, only
+        the single 'entity' term has specificity 0 (Figure 2 shows exactly
+        one synset at depth 0).
+        """
+        synsets = [s for s in lexicon.synsets if s.hypernyms]
+        terms = [t for t in lexicon.terms if t != "entity"]
+        if len(synsets) < 2 or not terms:
+            return
+        num_polysemous = int(len(synsets) * self.polysemy_rate)
+        for _ in range(num_polysemous):
+            term = rng.choice(terms)
+            target = rng.choice(synsets)
+            if term not in target.terms:
+                lexicon.add_term_to_synset(target.synset_id, term)
+
+    def _add_lateral_relations(
+        self,
+        lexicon: Lexicon,
+        rng: random.Random,
+        by_depth: dict[int, list[str]],
+    ) -> None:
+        """Add derivational, antonym, meronym/holonym and domain edges.
+
+        Real WordNet's lateral relations are *topically local*: a noun's
+        antonyms, parts and derivations live in the same region of the
+        taxonomy.  The peers are therefore drawn from the synset's own tree
+        neighbourhood (siblings, then cousins) rather than uniformly at
+        random; this keeps the relation graph's clusters aligned with the
+        hypernym subtrees, which both Algorithm 1's sequencing and the
+        semantic-distance metric depend on.  Domain membership, which in
+        WordNet does jump across the taxonomy, is the only relation allowed
+        to pick a fully random target.
+        """
+        depth_of: dict[str, int] = {}
+        for depth, ids in by_depth.items():
+            for sid in ids:
+                depth_of[sid] = depth
+        all_ids = [sid for ids in by_depth.values() for sid in ids]
+
+        def hypernym_of(sid: str) -> str | None:
+            parents = lexicon.synset(sid).hypernyms
+            return parents[0] if parents else None
+
+        def tree_neighbourhood(sid: str, hops_up: int) -> list[str]:
+            """Descendant synsets of the ancestor ``hops_up`` levels above ``sid``."""
+            ancestor = sid
+            for _ in range(hops_up):
+                parent = hypernym_of(ancestor)
+                if parent is None:
+                    break
+                ancestor = parent
+            # Collect descendants down to the original depth (bounded walk).
+            frontier = [ancestor]
+            collected: list[str] = []
+            for _ in range(hops_up + 1):
+                next_frontier: list[str] = []
+                for node in frontier:
+                    next_frontier.extend(lexicon.synset(node).hyponyms)
+                collected.extend(next_frontier)
+                frontier = next_frontier
+                if len(collected) > 200:
+                    break
+            return [c for c in collected if c != sid]
+
+        def pick_local_peer(sid: str) -> str | None:
+            """A sibling if possible, otherwise a cousin, otherwise None."""
+            for hops_up in (1, 2, 3):
+                candidates = tree_neighbourhood(sid, hops_up)
+                if candidates:
+                    return rng.choice(candidates)
+            return None
+
+        for sid in all_ids:
+            if depth_of[sid] == 0:
+                continue
+            if rng.random() < self.derivation_rate:
+                peer = pick_local_peer(sid)
+                if peer:
+                    lexicon.add_relation(sid, RelationType.DERIVATION, peer)
+            if rng.random() < self.antonym_rate:
+                peer = pick_local_peer(sid)
+                if peer:
+                    lexicon.add_relation(sid, RelationType.ANTONYM, peer)
+            if rng.random() < self.meronym_rate:
+                peer = pick_local_peer(sid)
+                if peer:
+                    lexicon.add_relation(sid, RelationType.MERONYM, peer)
+            if rng.random() < self.domain_rate:
+                peer = rng.choice(all_ids)
+                if peer != sid:
+                    lexicon.add_relation(sid, RelationType.DOMAIN_TOPIC, peer)
+
+
+def build_lexicon(num_synsets: int = 8000, seed: int = 2010, **overrides) -> Lexicon:
+    """Convenience wrapper: build a synthetic lexicon with the given size and seed.
+
+    Any :class:`SyntheticWordNetBuilder` field can be overridden by keyword,
+    e.g. ``build_lexicon(2000, polysemy_rate=0.0)``.
+    """
+    return SyntheticWordNetBuilder(num_synsets=num_synsets, seed=seed, **overrides).build()
+
+
+def merge_relation_source(
+    lexicon: Lexicon,
+    extracted_relations: Sequence[tuple[str, str, float]],
+    min_strength: float = 0.5,
+    relation: RelationType = RelationType.DERIVATION,
+) -> int:
+    """Merge an external source of term relations into the lexicon (Appendix C).
+
+    ``extracted_relations`` is a sequence of ``(term_a, term_b, strength)``
+    triples, e.g. produced by relation extraction from a corpus or the Web.
+    Relations whose strength is below ``min_strength`` are dropped; the rest
+    are added as ``relation`` edges between the first synsets of the two terms.
+    Returns the number of edges added.  Terms unknown to the lexicon are
+    skipped -- the paper's merging procedure only strengthens the existing
+    dictionary, it does not grow it.
+    """
+    added = 0
+    for term_a, term_b, strength in extracted_relations:
+        if strength < min_strength:
+            continue
+        synsets_a = lexicon.synsets_of_term(term_a)
+        synsets_b = lexicon.synsets_of_term(term_b)
+        if not synsets_a or not synsets_b:
+            continue
+        source = synsets_a[0].synset_id
+        target = synsets_b[0].synset_id
+        if source == target:
+            continue
+        lexicon.add_relation(source, relation, target)
+        added += 1
+    return added

@@ -1,0 +1,104 @@
+"""Term specificity (Section 3.2).
+
+The paper represents the specificity of a term as a non-negative integer: the
+length of the shortest path from the term's synset to a root of its hypernym
+hierarchy.  The most general terms (root synsets such as *entity*) have
+specificity 0; on real WordNet the values range from 0 to 18 with roughly one
+third of the nouns at 7 (Figure 2).
+
+An alternative, corpus-dependent approximation uses document frequency; the
+paper notes the two are highly correlated and adopts the hypernym method for
+its corpus independence.  Both are provided here so the ablation benchmark can
+compare bucket quality under either definition.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, deque
+from typing import Mapping
+
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.synset import RelationType
+
+__all__ = [
+    "synset_depths",
+    "hypernym_depth_specificity",
+    "document_frequency_specificity",
+    "specificity_histogram",
+]
+
+
+def synset_depths(lexicon: Lexicon) -> dict[str, int]:
+    """Shortest hypernym-path length from every synset to a root.
+
+    Computed with a multi-source BFS from all root synsets following hyponym
+    edges downward, which is O(V + E) over the whole lexicon.  Synsets that
+    are unreachable from any root (possible in hand-built or corrupted data)
+    are assigned the depth of their shortest reachable hypernym ancestor plus
+    one, or 0 when fully disconnected, and reported consistently so callers
+    never see missing keys.
+    """
+    depths: dict[str, int] = {}
+    queue: deque[str] = deque()
+    for root in lexicon.roots():
+        depths[root.synset_id] = 0
+        queue.append(root.synset_id)
+    while queue:
+        current = queue.popleft()
+        current_depth = depths[current]
+        for child_id in lexicon.synset(current).hyponyms:
+            if child_id not in depths or depths[child_id] > current_depth + 1:
+                depths[child_id] = current_depth + 1
+                queue.append(child_id)
+    # Disconnected synsets (no hypernym path to any root): give them depth 0
+    # so downstream code always has a value, mirroring how isolated WordNet
+    # noun clusters behave.
+    for synset in lexicon.synsets:
+        depths.setdefault(synset.synset_id, 0)
+    return depths
+
+
+def hypernym_depth_specificity(lexicon: Lexicon) -> dict[str, int]:
+    """Specificity of every *term*: the minimum depth over its synsets.
+
+    Using the minimum matches the paper's "shortest path from the term's
+    synset to a root" reading for polysemous terms -- the most general sense
+    determines how revealing the term is.
+    """
+    depths = synset_depths(lexicon)
+    specificity: dict[str, int] = {}
+    for term in lexicon.terms:
+        synsets = lexicon.synsets_of_term(term)
+        specificity[term] = min(depths[s.synset_id] for s in synsets)
+    return specificity
+
+
+def document_frequency_specificity(
+    document_frequencies: Mapping[str, int],
+    num_documents: int,
+    max_level: int = 18,
+) -> dict[str, int]:
+    """Corpus-based specificity: rarer terms are more specific.
+
+    The raw signal is ``-log(df / N)``; we discretise it onto the same 0..18
+    integer scale as the hypernym method so the two are interchangeable inputs
+    to Algorithm 2.  Terms absent from the corpus get the maximum level.
+    """
+    if num_documents <= 0:
+        raise ValueError("num_documents must be positive")
+    specificity: dict[str, int] = {}
+    max_surprise = math.log(num_documents + 1.0)
+    for term, df in document_frequencies.items():
+        if df <= 0:
+            specificity[term] = max_level
+            continue
+        surprise = math.log((num_documents + 1.0) / df)
+        level = int(round(max_level * surprise / max_surprise))
+        specificity[term] = max(0, min(max_level, level))
+    return specificity
+
+
+def specificity_histogram(specificity: Mapping[str, int]) -> dict[int, int]:
+    """Histogram of specificity values -> term counts (Figure 2 of the paper)."""
+    return dict(sorted(Counter(specificity.values()).items()))

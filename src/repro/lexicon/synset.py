@@ -1,0 +1,136 @@
+"""Synset data model: terms, senses and the relations between them.
+
+Mirrors the slice of WordNet the paper uses (Section 3.2):
+
+* every *term* (lemma) belongs to one or more *synsets* (senses);
+* synsets are linked by hypernym/hyponym (generalisation/specialisation),
+  holonym/meronym (containment/part-of), antonym, derivational and
+  domain-membership relations.
+
+Relations are stored on the synset that *originates* them; the
+:class:`repro.lexicon.lexicon.Lexicon` container maintains the inverse links
+so that, e.g., adding a hypernym edge automatically records the corresponding
+hyponym edge on the target synset.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class RelationType(enum.Enum):
+    """The WordNet relation types used by the sequencing and distance code.
+
+    The member order is meaningful to Algorithm 1, which visits related
+    synsets "in order of closeness": derivational relations first, then
+    antonyms, hyponyms, hypernyms, meronyms and holonyms.  Domain membership
+    is deliberately skipped by the sequencing algorithm (the paper judges
+    those associations too indirect) but participates in semantic distance.
+    """
+
+    DERIVATION = "derivation"
+    ANTONYM = "antonym"
+    HYPONYM = "hyponym"
+    HYPERNYM = "hypernym"
+    MERONYM = "meronym"
+    HOLONYM = "holonym"
+    DOMAIN_TOPIC = "domain_topic"
+    DOMAIN_USAGE = "domain_usage"
+
+    @property
+    def inverse(self) -> "RelationType":
+        """The relation recorded on the target synset when this one is added."""
+        return _INVERSES[self]
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when the relation is its own inverse (antonym, derivation, domains)."""
+        return _INVERSES[self] is self
+
+
+_INVERSES: dict[RelationType, RelationType] = {
+    RelationType.DERIVATION: RelationType.DERIVATION,
+    RelationType.ANTONYM: RelationType.ANTONYM,
+    RelationType.HYPONYM: RelationType.HYPERNYM,
+    RelationType.HYPERNYM: RelationType.HYPONYM,
+    RelationType.MERONYM: RelationType.HOLONYM,
+    RelationType.HOLONYM: RelationType.MERONYM,
+    RelationType.DOMAIN_TOPIC: RelationType.DOMAIN_TOPIC,
+    RelationType.DOMAIN_USAGE: RelationType.DOMAIN_USAGE,
+}
+
+#: The order in which Algorithm 1 (line 18) visits a synset's neighbours.
+SEQUENCING_RELATION_ORDER: tuple[RelationType, ...] = (
+    RelationType.DERIVATION,
+    RelationType.ANTONYM,
+    RelationType.HYPONYM,
+    RelationType.HYPERNYM,
+    RelationType.MERONYM,
+    RelationType.HOLONYM,
+)
+
+
+@dataclass
+class Synset:
+    """One sense: an identifier, its member terms and its outgoing relations.
+
+    Parameters
+    ----------
+    synset_id:
+        A stable identifier, unique within a :class:`~repro.lexicon.lexicon.Lexicon`.
+    terms:
+        The lemmas sharing this sense, in insertion order.  A term may appear
+        in several synsets (polysemy), exactly as in WordNet.
+    gloss:
+        Optional human-readable definition; not used by the algorithms but
+        kept for fidelity with real WordNet data files.
+    """
+
+    synset_id: str
+    terms: list[str] = field(default_factory=list)
+    gloss: str = ""
+    relations: dict[RelationType, list[str]] = field(default_factory=dict)
+
+    def add_term(self, term: str) -> None:
+        """Add a lemma to this synset (idempotent)."""
+        if term not in self.terms:
+            self.terms.append(term)
+
+    def add_relation(self, relation: RelationType, target_synset_id: str) -> None:
+        """Record an outgoing relation edge (idempotent, self-loops rejected)."""
+        if target_synset_id == self.synset_id:
+            raise ValueError(f"synset {self.synset_id} cannot relate to itself")
+        targets = self.relations.setdefault(relation, [])
+        if target_synset_id not in targets:
+            targets.append(target_synset_id)
+
+    def related(self, relation: RelationType) -> tuple[str, ...]:
+        """Target synset ids for one relation type (empty tuple when none)."""
+        return tuple(self.relations.get(relation, ()))
+
+    def all_related(self) -> Iterator[tuple[RelationType, str]]:
+        """Iterate over every outgoing edge as ``(relation, target_id)`` pairs."""
+        for relation, targets in self.relations.items():
+            for target in targets:
+                yield relation, target
+
+    @property
+    def relation_count(self) -> int:
+        """Total number of outgoing edges; Algorithm 1 orders synsets by this."""
+        return sum(len(targets) for targets in self.relations.values())
+
+    @property
+    def hypernyms(self) -> tuple[str, ...]:
+        return self.related(RelationType.HYPERNYM)
+
+    @property
+    def hyponyms(self) -> tuple[str, ...]:
+        return self.related(RelationType.HYPONYM)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self.terms
+
+    def __len__(self) -> int:
+        return len(self.terms)

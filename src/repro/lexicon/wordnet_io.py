@@ -1,0 +1,128 @@
+"""Serialisation of lexicons, plus a loader for a simple WordNet-style format.
+
+Two interchange formats are supported:
+
+* **JSON** -- a direct dump of the synset graph, used to cache synthetic
+  lexicons between experiment runs (building an 80k-synset lexicon takes a
+  little while; loading it back is fast).
+* **Tabular ("wn-tsv")** -- a line-oriented format close to what one would
+  export from real WordNet: one ``S`` line per synset listing its lemmas, and
+  one ``R`` line per relation edge.  Users with a WordNet licence can convert
+  their data to this format and run every experiment on the genuine database.
+
+The format is intentionally trivial to generate::
+
+    S  n.00000001  entity
+    S  n.00000002  physical_entity
+    R  n.00000002  hypernym  n.00000001
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.synset import RelationType, Synset
+
+__all__ = ["lexicon_to_dict", "lexicon_from_dict", "save_json", "load_json", "save_tsv", "load_tsv"]
+
+
+def lexicon_to_dict(lexicon: Lexicon) -> dict:
+    """Convert a lexicon to a JSON-serialisable dictionary."""
+    return {
+        "format": "repro-lexicon",
+        "version": 1,
+        "synsets": [
+            {
+                "id": synset.synset_id,
+                "terms": list(synset.terms),
+                "gloss": synset.gloss,
+                "relations": {
+                    relation.value: list(targets)
+                    for relation, targets in synset.relations.items()
+                    if targets
+                },
+            }
+            for synset in lexicon.synsets
+        ],
+    }
+
+
+def lexicon_from_dict(data: dict) -> Lexicon:
+    """Rebuild a lexicon from :func:`lexicon_to_dict` output."""
+    if data.get("format") != "repro-lexicon":
+        raise ValueError("not a repro-lexicon document")
+    lexicon = Lexicon()
+    for entry in data["synsets"]:
+        lexicon.add_synset(
+            Synset(synset_id=entry["id"], terms=list(entry["terms"]), gloss=entry.get("gloss", ""))
+        )
+    for entry in data["synsets"]:
+        for relation_name, targets in entry.get("relations", {}).items():
+            relation = RelationType(relation_name)
+            synset = lexicon.synset(entry["id"])
+            for target in targets:
+                # Relations were stored on both endpoints at dump time, so we
+                # attach them directly (Lexicon.add_relation would be fine too
+                # but would do redundant inverse bookkeeping).
+                synset.add_relation(relation, target)
+    return lexicon
+
+
+def save_json(lexicon: Lexicon, path: str | Path) -> None:
+    """Write the lexicon to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(lexicon_to_dict(lexicon)), encoding="utf-8")
+
+
+def load_json(path: str | Path) -> Lexicon:
+    """Load a lexicon previously written by :func:`save_json`."""
+    return lexicon_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def save_tsv(lexicon: Lexicon, stream: TextIO) -> None:
+    """Write the lexicon in the tabular wn-tsv format (synsets first, then edges)."""
+    for synset in lexicon.synsets:
+        lemmas = "\t".join(term.replace(" ", "_") for term in synset.terms)
+        stream.write(f"S\t{synset.synset_id}\t{lemmas}\n")
+    for synset in lexicon.synsets:
+        for relation, target in synset.all_related():
+            stream.write(f"R\t{synset.synset_id}\t{relation.value}\t{target}\n")
+
+
+def load_tsv(stream: TextIO) -> Lexicon:
+    """Parse the tabular wn-tsv format into a lexicon.
+
+    ``S`` lines must precede the ``R`` lines that reference them.  Underscores
+    in lemmas are converted back to spaces (multi-word nouns such as
+    ``abu sayyaf`` round-trip correctly).
+    """
+    lexicon = Lexicon()
+    pending_relations: list[tuple[str, RelationType, str]] = []
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        kind = fields[0]
+        if kind == "S":
+            if len(fields) < 3:
+                raise ValueError(f"line {line_number}: synset line needs an id and at least one lemma")
+            synset_id = fields[1]
+            terms = [lemma.replace("_", " ") for lemma in fields[2:] if lemma]
+            lexicon.create_synset(synset_id, terms)
+        elif kind == "R":
+            if len(fields) != 4:
+                raise ValueError(f"line {line_number}: relation line needs source, type and target")
+            source, relation_name, target = fields[1], fields[2], fields[3]
+            try:
+                relation = RelationType(relation_name)
+            except ValueError as exc:
+                raise ValueError(f"line {line_number}: unknown relation {relation_name!r}") from exc
+            pending_relations.append((source, relation, target))
+        else:
+            raise ValueError(f"line {line_number}: unknown record type {kind!r}")
+    for source, relation, target in pending_relations:
+        lexicon.add_relation(source, relation, target)
+    return lexicon

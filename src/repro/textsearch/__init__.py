@@ -1,0 +1,42 @@
+"""Similarity text retrieval substrate (Appendix B of the paper).
+
+The private retrieval scheme sits on top of an ordinary similarity search
+engine with an impact-ordered inverted index.  This subpackage implements
+that engine from scratch:
+
+* :mod:`repro.textsearch.tokenizer` -- tokenisation and stopword removal
+  (no stemming, matching the paper's Lucene configuration).
+* :mod:`repro.textsearch.corpus` -- document and corpus containers.
+* :mod:`repro.textsearch.synthetic` -- a WSJ-scale synthetic corpus generator
+  over a lexicon vocabulary (topic mixtures, Zipfian term frequencies).
+* :mod:`repro.textsearch.scoring` -- the Equation-3 cosine weighting scheme
+  and Okapi BM25.
+* :mod:`repro.textsearch.inverted_index` -- the impact-ordered inverted index
+  of Figure 9, with impact discretisation and a block-layout model.
+* :mod:`repro.textsearch.engine` -- query evaluation (Figure 10) and the
+  Boolean model baseline.
+* :mod:`repro.textsearch.evaluation` -- precision/recall and rank-agreement
+  metrics used to verify Claim 1.
+"""
+
+from repro.textsearch.corpus import Corpus, Document
+from repro.textsearch.engine import BooleanSearchEngine, SearchEngine, SearchResult
+from repro.textsearch.inverted_index import InvertedIndex, Posting
+from repro.textsearch.scoring import BM25Scorer, CosineScorer
+from repro.textsearch.synthetic import SyntheticCorpusGenerator
+from repro.textsearch.tokenizer import Tokenizer, DEFAULT_STOPWORDS
+
+__all__ = [
+    "Document",
+    "Corpus",
+    "Tokenizer",
+    "DEFAULT_STOPWORDS",
+    "SyntheticCorpusGenerator",
+    "CosineScorer",
+    "BM25Scorer",
+    "InvertedIndex",
+    "Posting",
+    "SearchEngine",
+    "BooleanSearchEngine",
+    "SearchResult",
+]

@@ -1,0 +1,88 @@
+"""Document and corpus containers.
+
+A :class:`Document` is an identifier plus raw text (and, optionally, the topic
+labels the synthetic generator used to produce it -- handy as relevance ground
+truth in precision/recall experiments).  A :class:`Corpus` is an ordered
+collection of documents with convenience statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.textsearch.tokenizer import Tokenizer
+
+__all__ = ["Document", "Corpus"]
+
+
+@dataclass
+class Document:
+    """One document in the collection.
+
+    Parameters
+    ----------
+    doc_id:
+        A non-negative integer identifier, unique within its corpus (``d_j``
+        in the paper's notation).
+    text:
+        The raw document text.
+    topics:
+        Optional labels recording which topics the synthetic generator drew
+        the document's terms from; used as relevance judgements.
+    """
+
+    doc_id: int
+    text: str
+    topics: tuple[str, ...] = ()
+
+    def term_frequencies(self, tokenizer: Tokenizer | None = None) -> dict[str, int]:
+        """Token counts of this document under the given tokenizer."""
+        tokenizer = tokenizer or Tokenizer()
+        return tokenizer.term_frequencies(self.text)
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+
+class Corpus:
+    """An ordered collection of documents with id-based lookup."""
+
+    def __init__(self, documents: Iterable[Document] = ()) -> None:
+        self._documents: dict[int, Document] = {}
+        for document in documents:
+            self.add(document)
+
+    def add(self, document: Document) -> None:
+        """Add a document; duplicate ids are rejected."""
+        if document.doc_id in self._documents:
+            raise ValueError(f"duplicate document id {document.doc_id}")
+        self._documents[document.doc_id] = document
+
+    def document(self, doc_id: int) -> Document:
+        """Look up a document by id, raising ``KeyError`` when absent."""
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise KeyError(f"unknown document id {doc_id}") from None
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._documents
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    @property
+    def doc_ids(self) -> tuple[int, ...]:
+        return tuple(self._documents)
+
+    def total_text_bytes(self) -> int:
+        """Combined size of the raw document texts, in bytes (corpus size stat)."""
+        return sum(len(doc.text.encode("utf-8")) for doc in self._documents.values())
+
+    def documents_with_topic(self, topic: str) -> tuple[Document, ...]:
+        """All documents labelled with ``topic`` (relevance ground truth)."""
+        return tuple(doc for doc in self._documents.values() if topic in doc.topics)

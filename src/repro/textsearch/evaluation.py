@@ -1,0 +1,112 @@
+"""Retrieval-quality metrics.
+
+The paper's central quality claim (Claim 1) is that the private retrieval
+scheme "does not interfere with the relevance ranking of the search engine":
+precision-recall performance is exactly that of the underlying engine.  The
+functions here quantify that:
+
+* precision / recall / F1 at a cutoff, and average precision, against a
+  relevance ground-truth set (the synthetic corpus labels documents with the
+  topics they were generated from);
+* rank-agreement measures (Kendall's tau and exact prefix match) between two
+  rankings, used to verify that the PR scheme's ranking equals the plaintext
+  engine's ranking document for document.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "f1_at_k",
+    "average_precision",
+    "rankings_identical",
+    "kendall_tau",
+]
+
+
+def precision_at_k(ranked_doc_ids: Sequence[int], relevant: set[int], k: int) -> float:
+    """Fraction of the top ``k`` results that are relevant."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top = list(ranked_doc_ids)[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for doc_id in top if doc_id in relevant)
+    return hits / len(top)
+
+
+def recall_at_k(ranked_doc_ids: Sequence[int], relevant: set[int], k: int) -> float:
+    """Fraction of the relevant documents found in the top ``k`` results."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not relevant:
+        return 0.0
+    top = set(list(ranked_doc_ids)[:k])
+    return len(top & relevant) / len(relevant)
+
+
+def f1_at_k(ranked_doc_ids: Sequence[int], relevant: set[int], k: int) -> float:
+    """Harmonic mean of precision and recall at ``k``."""
+    p = precision_at_k(ranked_doc_ids, relevant, k)
+    r = recall_at_k(ranked_doc_ids, relevant, k)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def average_precision(ranked_doc_ids: Sequence[int], relevant: set[int]) -> float:
+    """Average of the precision values at each relevant hit (AP)."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for rank, doc_id in enumerate(ranked_doc_ids, start=1):
+        if doc_id in relevant:
+            hits += 1
+            precision_sum += hits / rank
+    if hits == 0:
+        return 0.0
+    return precision_sum / len(relevant)
+
+
+def rankings_identical(
+    ranking_a: Sequence[tuple[int, float]],
+    ranking_b: Sequence[tuple[int, float]],
+    score_tolerance: float = 1e-9,
+) -> bool:
+    """True when two rankings list the same documents, in the same order, with equal scores."""
+    if len(ranking_a) != len(ranking_b):
+        return False
+    for (doc_a, score_a), (doc_b, score_b) in zip(ranking_a, ranking_b):
+        if doc_a != doc_b:
+            return False
+        if abs(score_a - score_b) > score_tolerance:
+            return False
+    return True
+
+
+def kendall_tau(ranking_a: Sequence[int], ranking_b: Sequence[int]) -> float:
+    """Kendall's tau between two rankings of the same document set.
+
+    +1 means identical order, -1 fully reversed.  Documents present in only
+    one ranking are ignored (the comparison is over the common set).
+    """
+    common = [doc for doc in ranking_a if doc in set(ranking_b)]
+    if len(common) < 2:
+        return 1.0
+    position_b = {doc: index for index, doc in enumerate(ranking_b)}
+    concordant = 0
+    discordant = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            if position_b[common[i]] < position_b[common[j]]:
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    if total == 0:
+        return 1.0
+    return (concordant - discordant) / total

@@ -1,0 +1,205 @@
+"""Impact-ordered inverted index (Figure 9 of the paper).
+
+The index has two components:
+
+* a **dictionary** mapping each distinct term ``t`` to its document frequency
+  ``f_t`` and the head of its inverted list, and
+* one **inverted list** per term: a sequence of ``<d, p_{d,t}>`` impact pairs,
+  sorted by decreasing impact.
+
+Because the homomorphic accumulation in Algorithm 4 raises ciphertexts to the
+impact values, impacts must be non-negative integers; the index therefore
+stores both the raw floating-point impact and a discretised integer version
+(``quantise_levels`` buckets over the observed impact range), exactly the
+arrangement the paper adopts from Zobel & Moffat.
+
+The index also exposes a simple storage model -- posting size, list size in
+bytes, disk blocks of ``block_size`` bytes -- which the Section 5.2 cost model
+uses to estimate server I/O, and a serialisation of each list used as the PIR
+database columns.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.textsearch.corpus import Corpus
+from repro.textsearch.scoring import CorpusStatistics, CosineScorer, Scorer
+from repro.textsearch.tokenizer import Tokenizer
+
+__all__ = ["Posting", "InvertedIndex"]
+
+#: On-disk size of one posting: a 4-byte document id plus a 4-byte impact.
+POSTING_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One ``<d_j, p_ij>`` entry of an inverted list."""
+
+    doc_id: int
+    impact: float
+    quantised_impact: int
+
+    def pack(self) -> bytes:
+        """Serialise as 8 bytes (doc id + quantised impact), for the PIR columns."""
+        return struct.pack(">II", self.doc_id, self.quantised_impact)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Posting":
+        doc_id, quantised = struct.unpack(">II", data)
+        return cls(doc_id=doc_id, impact=float(quantised), quantised_impact=quantised)
+
+
+class InvertedIndex:
+    """Dictionary plus impact-ordered inverted lists over a corpus."""
+
+    def __init__(
+        self,
+        postings: Mapping[str, list[Posting]],
+        stats: CorpusStatistics,
+        quantise_levels: int,
+        block_size: int = 1024,
+    ) -> None:
+        self._postings = {term: list(entries) for term, entries in postings.items()}
+        self.stats = stats
+        self.quantise_levels = quantise_levels
+        self.block_size = block_size
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        corpus: Corpus,
+        tokenizer: Tokenizer | None = None,
+        scorer: Scorer | None = None,
+        quantise_levels: int = 255,
+        block_size: int = 1024,
+    ) -> "InvertedIndex":
+        """Index a corpus: tokenize, score, discretise and impact-order.
+
+        Parameters
+        ----------
+        quantise_levels:
+            Number of integer impact levels.  Impacts are linearly mapped from
+            ``(0, max_impact]`` onto ``1..quantise_levels``; zero impacts never
+            enter a list (the paper: if ``p_ij = 0`` the document is simply
+            absent from ``L_i``).
+        block_size:
+            Disk block size in bytes for the storage model (the paper's
+            experiment machine used 1 KB blocks).
+        """
+        tokenizer = tokenizer or Tokenizer()
+        scorer = scorer or CosineScorer()
+
+        term_frequencies: dict[int, dict[str, int]] = {}
+        document_frequencies: dict[str, int] = {}
+        total_length = 0
+        for document in corpus:
+            frequencies = tokenizer.term_frequencies(document.text)
+            term_frequencies[document.doc_id] = frequencies
+            total_length += sum(frequencies.values())
+            for term in frequencies:
+                document_frequencies[term] = document_frequencies.get(term, 0) + 1
+
+        num_documents = max(len(corpus), 1)
+        stats = CorpusStatistics(
+            num_documents=len(corpus),
+            document_frequencies=document_frequencies,
+            average_document_length=total_length / num_documents,
+        )
+
+        raw_lists: dict[str, list[tuple[int, float]]] = {}
+        max_impact = 0.0
+        for doc_id, frequencies in term_frequencies.items():
+            impacts = scorer.document_impacts(frequencies, stats)
+            for term, impact in impacts.items():
+                if impact <= 0.0:
+                    continue
+                raw_lists.setdefault(term, []).append((doc_id, impact))
+                max_impact = max(max_impact, impact)
+
+        postings: dict[str, list[Posting]] = {}
+        for term, entries in raw_lists.items():
+            term_postings = [
+                Posting(
+                    doc_id=doc_id,
+                    impact=impact,
+                    quantised_impact=cls._quantise(impact, max_impact, quantise_levels),
+                )
+                for doc_id, impact in entries
+            ]
+            term_postings.sort(key=lambda p: (-p.impact, p.doc_id))
+            postings[term] = term_postings
+
+        return cls(postings=postings, stats=stats, quantise_levels=quantise_levels, block_size=block_size)
+
+    @staticmethod
+    def _quantise(impact: float, max_impact: float, levels: int) -> int:
+        """Map a positive impact onto 1..levels (linear, ceiling at the top)."""
+        if max_impact <= 0.0:
+            return 1
+        level = int(round(impact / max_impact * levels))
+        return max(1, min(levels, level))
+
+    # -- dictionary access --------------------------------------------------------
+    @property
+    def terms(self) -> tuple[str, ...]:
+        """The dictionary ``T`` (terms that appear in at least one document)."""
+        return tuple(self._postings)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._postings)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    def postings(self, term: str) -> tuple[Posting, ...]:
+        """The impact-ordered inverted list ``L_i`` (empty for unknown terms)."""
+        return tuple(self._postings.get(term, ()))
+
+    def document_frequency(self, term: str) -> int:
+        """``f_t``: the number of documents containing ``term``."""
+        return len(self._postings.get(term, ()))
+
+    def iterate_lists(self, terms: Iterable[str]) -> Iterator[tuple[str, tuple[Posting, ...]]]:
+        """Yield ``(term, inverted list)`` for each requested term (skipping unknowns)."""
+        for term in terms:
+            if term in self._postings:
+                yield term, self.postings(term)
+
+    # -- storage model -------------------------------------------------------------
+    def list_size_bytes(self, term: str) -> int:
+        """Size of a term's inverted list on disk."""
+        return len(self._postings.get(term, ())) * POSTING_BYTES
+
+    def list_size_blocks(self, term: str) -> int:
+        """Number of ``block_size`` disk blocks the list occupies (at least 1 when non-empty)."""
+        size = self.list_size_bytes(term)
+        if size == 0:
+            return 0
+        return -(-size // self.block_size)
+
+    def total_size_bytes(self) -> int:
+        """Total index size (inverted lists only, dictionary excluded)."""
+        return sum(len(entries) * POSTING_BYTES for entries in self._postings.values())
+
+    def serialise_list(self, term: str) -> bytes:
+        """The inverted list as bytes -- one PIR database column per bucket term."""
+        return b"".join(posting.pack() for posting in self._postings.get(term, ()))
+
+    @staticmethod
+    def deserialise_list(data: bytes) -> tuple[Posting, ...]:
+        """Inverse of :meth:`serialise_list` (trailing zero padding is dropped)."""
+        postings = []
+        for offset in range(0, len(data) - len(data) % POSTING_BYTES, POSTING_BYTES):
+            chunk = data[offset : offset + POSTING_BYTES]
+            posting = Posting.unpack(chunk)
+            if posting.doc_id == 0 and posting.quantised_impact == 0 and offset > 0:
+                # Zero padding added by the PIR database layer.
+                continue
+            postings.append(posting)
+        return tuple(postings)

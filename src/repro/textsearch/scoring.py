@@ -1,0 +1,119 @@
+"""Similarity scoring functions (Appendix B.2).
+
+Two scorers are provided:
+
+* :class:`CosineScorer` -- the pivoted cosine formulation the paper gives as
+  Equation 3/4:
+
+  .. math::
+
+     w_t = \\ln(1 + N / f_t), \\qquad
+     w_{d,t} = 1 + \\ln(f_{d,t}), \\qquad
+     W_d = \\sqrt{\\sum_{t \\in d} w_{d,t}^2}
+
+  and the *impact* of term ``t`` in document ``d`` is
+  ``p_{d,t} = w_{d,t} * w_t / W_d``, so a query's score is simply the sum of
+  the impacts of its terms (Section 2.2).
+
+* :class:`BM25Scorer` -- Okapi BM25, which the paper cites as another
+  well-known scoring function its scheme applies to equally.  Including it
+  lets the Claim-1 tests show ranking preservation is scorer-agnostic.
+
+Both scorers expose the same interface: given a document's term frequencies
+and the corpus statistics, return the per-term impact values.  The inverted
+index consumes those impacts and discretises them (the footnote to
+Algorithm 4 requires integer impacts for the homomorphic exponentiation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Protocol
+
+__all__ = ["CorpusStatistics", "Scorer", "CosineScorer", "BM25Scorer"]
+
+
+@dataclass(frozen=True)
+class CorpusStatistics:
+    """Global statistics a scorer needs: N, document frequencies and lengths."""
+
+    num_documents: int
+    document_frequencies: Mapping[str, int]
+    average_document_length: float
+
+    def document_frequency(self, term: str) -> int:
+        return self.document_frequencies.get(term, 0)
+
+
+class Scorer(Protocol):
+    """Interface implemented by every scoring function."""
+
+    def document_impacts(
+        self, term_frequencies: Mapping[str, int], stats: CorpusStatistics
+    ) -> dict[str, float]:
+        """Impact value of every term of one document (``p_{d,t}``)."""
+        ...
+
+
+@dataclass(frozen=True)
+class CosineScorer:
+    """The Equation-3 cosine weighting scheme (the paper's default)."""
+
+    def document_impacts(
+        self, term_frequencies: Mapping[str, int], stats: CorpusStatistics
+    ) -> dict[str, float]:
+        if not term_frequencies:
+            return {}
+        doc_weights = {
+            term: 1.0 + math.log(freq) for term, freq in term_frequencies.items() if freq > 0
+        }
+        norm = math.sqrt(sum(weight * weight for weight in doc_weights.values()))
+        if norm == 0.0:
+            return {term: 0.0 for term in doc_weights}
+        impacts: dict[str, float] = {}
+        for term, doc_weight in doc_weights.items():
+            df = stats.document_frequency(term)
+            if df <= 0:
+                impacts[term] = 0.0
+                continue
+            term_weight = math.log(1.0 + stats.num_documents / df)
+            impacts[term] = doc_weight * term_weight / norm
+        return impacts
+
+
+@dataclass(frozen=True)
+class BM25Scorer:
+    """Okapi BM25 impacts with the usual parameterisation.
+
+    Parameters
+    ----------
+    k1:
+        Term-frequency saturation (1.2 is the classic Okapi value).
+    b:
+        Document-length normalisation strength.
+    """
+
+    k1: float = 1.2
+    b: float = 0.75
+
+    def document_impacts(
+        self, term_frequencies: Mapping[str, int], stats: CorpusStatistics
+    ) -> dict[str, float]:
+        if not term_frequencies:
+            return {}
+        doc_length = sum(term_frequencies.values())
+        avg_length = max(stats.average_document_length, 1e-9)
+        impacts: dict[str, float] = {}
+        for term, freq in term_frequencies.items():
+            if freq <= 0:
+                impacts[term] = 0.0
+                continue
+            df = stats.document_frequency(term)
+            if df <= 0:
+                impacts[term] = 0.0
+                continue
+            idf = math.log(1.0 + (stats.num_documents - df + 0.5) / (df + 0.5))
+            denominator = freq + self.k1 * (1.0 - self.b + self.b * doc_length / avg_length)
+            impacts[term] = idf * freq * (self.k1 + 1.0) / denominator
+        return impacts

@@ -1,0 +1,123 @@
+"""Unit tests for the related-work baselines (Section 2.1 comparisons)."""
+
+import random
+
+import pytest
+
+from repro.core.baselines import (
+    CanonicalQueryGroups,
+    GhostQueryGenerator,
+    pds_retrieval_loss,
+)
+from repro.core.workloads import QueryWorkloadGenerator
+from repro.lexicon.distance import SemanticDistanceCalculator
+
+
+@pytest.fixture()
+def ghosts(index):
+    return GhostQueryGenerator(dictionary=index.terms, rng=random.Random(5))
+
+
+@pytest.fixture(scope="module")
+def canonical(searchable_sequence):
+    return CanonicalQueryGroups(searchable_sequence, query_size=3, group_size=4)
+
+
+class TestGhostQueries:
+    def test_ghost_query_shape(self, ghosts):
+        query = ghosts.ghost_query(5)
+        assert len(query) == len(set(query)) == 5
+
+    def test_invalid_sizes_rejected(self, ghosts):
+        with pytest.raises(ValueError):
+            ghosts.ghost_query(0)
+        with pytest.raises(ValueError):
+            ghosts.cover_stream(("a",), -1)
+
+    def test_cover_stream_contains_genuine_query(self, ghosts, index):
+        genuine = tuple(index.terms[:3])
+        stream = ghosts.cover_stream(genuine, num_ghosts=4)
+        assert len(stream) == 5
+        assert genuine in stream
+
+    def test_coherence_of_single_term_is_one(self, ghosts, medium_lexicon):
+        distance = SemanticDistanceCalculator(medium_lexicon)
+        assert ghosts.coherence_of(("anything",), distance) == 1.0
+
+    def test_topical_queries_more_coherent_than_ghosts(self, ghosts, searchable_sequence, medium_lexicon):
+        """The paper's critique of TrackMeNot: ghost term combinations are not meaningful."""
+        distance = SemanticDistanceCalculator(medium_lexicon)
+        # Topically coherent queries: consecutive terms of the Algorithm-1
+        # sequence (which clusters related terms).
+        topical = [tuple(searchable_sequence[start : start + 3]) for start in (0, 40, 80, 120, 160)]
+        ghost_queries = [ghosts.ghost_query(3) for _ in range(5)]
+        topical_coherence = sum(ghosts.coherence_of(q, distance) for q in topical) / 5
+        ghost_coherence = sum(ghosts.coherence_of(q, distance) for q in ghost_queries) / 5
+        assert topical_coherence > ghost_coherence
+
+    def test_classifier_often_picks_the_genuine_topical_query(
+        self, ghosts, searchable_sequence, medium_lexicon
+    ):
+        distance = SemanticDistanceCalculator(medium_lexicon)
+        hits = 0
+        starts = (0, 30, 60, 90, 120)
+        for start in starts:
+            genuine = tuple(searchable_sequence[start : start + 3])
+            stream = ghosts.cover_stream(genuine, num_ghosts=3)
+            if ghosts.classify_stream(stream, distance) == genuine:
+                hits += 1
+        assert hits >= len(starts) // 2  # the filtering attack works more often than chance
+
+    def test_classify_empty_stream_rejected(self, ghosts, medium_lexicon):
+        with pytest.raises(ValueError):
+            ghosts.classify_stream([], SemanticDistanceCalculator(medium_lexicon))
+
+
+class TestCanonicalQueryGroups:
+    def test_every_canonical_query_has_requested_size(self, canonical):
+        assert all(len(q) == 3 for q in canonical.canonical_queries)
+
+    def test_groups_partition_canonical_queries(self, canonical):
+        flattened = sorted(i for group in canonical.groups for i in group)
+        assert flattened == list(range(len(canonical.canonical_queries)))
+
+    def test_substitution_returns_group_members(self, canonical, searchable_sequence):
+        user_query = tuple(searchable_sequence[:3])
+        result = canonical.substitute(user_query)
+        assert result.surrogate in canonical.canonical_queries
+        assert len(result.cover_queries) <= canonical.group_size - 1
+        assert result.surrogate not in result.cover_queries
+
+    def test_exact_canonical_query_is_its_own_surrogate(self, canonical):
+        target = canonical.canonical_queries[5]
+        assert canonical.substitute(target).surrogate == target
+
+    def test_unknown_terms_fall_back(self, canonical):
+        result = canonical.substitute(("totally", "unknown", "terms"))
+        assert result.surrogate == canonical.canonical_queries[0]
+
+    def test_invalid_parameters_rejected(self, searchable_sequence):
+        with pytest.raises(ValueError):
+            CanonicalQueryGroups(searchable_sequence, query_size=0)
+        with pytest.raises(ValueError):
+            CanonicalQueryGroups(searchable_sequence[:3], query_size=4, group_size=4)
+
+
+class TestPdsRetrievalLoss:
+    def test_loss_is_zero_for_canonical_queries_themselves(self, index, canonical):
+        queries = canonical.canonical_queries[:5]
+        assert pds_retrieval_loss(index, canonical, queries, k=10) == pytest.approx(0.0)
+
+    def test_loss_is_positive_for_arbitrary_queries(self, index, canonical):
+        """The paper's point: substituting the query degrades precision-recall,
+        whereas the PR scheme's ranking is exactly the plaintext engine's."""
+        workload = QueryWorkloadGenerator(index, seed=33)
+        queries = workload.random_queries(8, 4)
+        loss = pds_retrieval_loss(index, canonical, queries, k=10)
+        assert 0.0 < loss <= 1.0
+
+    def test_invalid_arguments_rejected(self, index, canonical):
+        with pytest.raises(ValueError):
+            pds_retrieval_loss(index, canonical, [], k=10)
+        with pytest.raises(ValueError):
+            pds_retrieval_loss(index, canonical, [("a",)], k=0)

@@ -1,0 +1,155 @@
+"""Unit tests for Algorithm 2 (bucket formation) and BucketOrganization."""
+
+import pytest
+
+from repro.core.buckets import BucketOrganization, generate_buckets, simple_buckets
+
+
+@pytest.fixture()
+def toy_sequence():
+    """20 terms with specificity equal to their index modulo 5."""
+    terms = [f"term{i:02d}" for i in range(20)]
+    specificity = {term: i % 5 for i, term in enumerate(terms)}
+    return terms, specificity
+
+
+class TestGenerateBuckets:
+    def test_every_term_in_exactly_one_bucket(self, toy_sequence):
+        terms, specificity = toy_sequence
+        organization = generate_buckets(terms, specificity, bucket_size=4, segment_size=5)
+        seen = [term for bucket in organization.buckets for term in bucket]
+        assert sorted(seen) == sorted(terms)
+        assert organization.num_terms == len(terms)
+
+    def test_bucket_sizes(self, toy_sequence):
+        terms, specificity = toy_sequence
+        organization = generate_buckets(terms, specificity, bucket_size=4, segment_size=5)
+        assert all(len(bucket) == 4 for bucket in organization.buckets)
+        assert organization.num_buckets == 5
+
+    def test_default_segment_size_is_maximal(self, toy_sequence):
+        terms, specificity = toy_sequence
+        organization = generate_buckets(terms, specificity, bucket_size=4)
+        assert organization.segment_size == 5
+
+    def test_indivisible_dictionary_keeps_every_term(self, dictionary_sequence, specificity):
+        organization = generate_buckets(dictionary_sequence, specificity, bucket_size=7)
+        assert organization.num_terms == len(dictionary_sequence)
+        sizes = {len(bucket) for bucket in organization.buckets}
+        assert max(sizes) == 7
+        assert min(sizes) >= 6
+
+    def test_bucket_members_spread_across_the_sequence(self, toy_sequence):
+        """Terms sharing a bucket must come from far-apart parts of the sequence."""
+        terms, specificity = toy_sequence
+        organization = generate_buckets(terms, specificity, bucket_size=4, segment_size=5)
+        position = {term: i for i, term in enumerate(terms)}
+        for bucket in organization.buckets:
+            positions = sorted(position[t] for t in bucket)
+            gaps = [b - a for a, b in zip(positions, positions[1:])]
+            assert min(gaps) >= 3  # at least a segment apart
+
+    def test_specificity_sorted_within_segments(self, dictionary_sequence, specificity):
+        """With maximal SegSz, early buckets get more specific terms than late ones."""
+        organization = generate_buckets(dictionary_sequence, specificity, bucket_size=4)
+        num = organization.num_buckets
+        early = organization.buckets[: num // 10]
+        late = organization.buckets[-num // 10 :]
+        early_avg = sum(specificity[t] for b in early for t in b) / sum(len(b) for b in early)
+        late_avg = sum(specificity[t] for b in late for t in b) / sum(len(b) for b in late)
+        assert early_avg > late_avg
+
+    def test_larger_segments_reduce_specificity_spread(self, dictionary_sequence, specificity):
+        small = generate_buckets(dictionary_sequence, specificity, bucket_size=4, segment_size=4)
+        large = generate_buckets(dictionary_sequence, specificity, bucket_size=4, segment_size=None)
+
+        def average_spread(org):
+            return sum(
+                org.intra_bucket_specificity_difference(b) for b in range(org.num_buckets)
+            ) / org.num_buckets
+
+        assert average_spread(large) < average_spread(small)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            generate_buckets([], {}, bucket_size=2)
+
+    def test_oversized_bucket_rejected(self, toy_sequence):
+        terms, specificity = toy_sequence
+        with pytest.raises(ValueError):
+            generate_buckets(terms, specificity, bucket_size=15)
+
+    def test_invalid_segment_size_rejected(self, toy_sequence):
+        terms, specificity = toy_sequence
+        with pytest.raises(ValueError):
+            generate_buckets(terms, specificity, bucket_size=4, segment_size=0)
+
+    def test_deterministic(self, toy_sequence):
+        terms, specificity = toy_sequence
+        a = generate_buckets(terms, specificity, bucket_size=4, segment_size=5)
+        b = generate_buckets(terms, specificity, bucket_size=4, segment_size=5)
+        assert a.buckets == b.buckets
+
+
+class TestSimpleBuckets:
+    def test_figure3_striding(self, toy_sequence):
+        terms, specificity = toy_sequence
+        organization = simple_buckets(terms, specificity, bucket_size=2)
+        # Bucket i holds terms at positions i and #Bkts + i.
+        assert organization.buckets[0] == ("term00", "term10")
+        assert organization.buckets[3] == ("term03", "term13")
+        assert organization.num_terms == 20
+
+    def test_bucket_size_one(self, toy_sequence):
+        terms, specificity = toy_sequence
+        organization = simple_buckets(terms, specificity, bucket_size=1)
+        assert organization.num_buckets == 20
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            simple_buckets([], {}, bucket_size=2)
+
+
+class TestBucketOrganization:
+    def test_lookup_api(self, toy_sequence):
+        terms, specificity = toy_sequence
+        organization = generate_buckets(terms, specificity, bucket_size=4, segment_size=5)
+        term = terms[3]
+        bucket = organization.bucket_of(term)
+        assert term in bucket
+        assert organization.decoys_for(term) == tuple(t for t in bucket if t != term)
+        assert organization.slot_of(term) == bucket.index(term)
+        assert term in organization
+        assert "missing" not in organization
+
+    def test_unknown_term_raises(self, toy_sequence):
+        terms, specificity = toy_sequence
+        organization = generate_buckets(terms, specificity, bucket_size=4, segment_size=5)
+        with pytest.raises(KeyError):
+            organization.bucket_of("missing")
+
+    def test_duplicate_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            BucketOrganization(
+                buckets=(("a", "b"), ("b", "c")),
+                bucket_size=2,
+                segment_size=1,
+                specificity={},
+            )
+
+    def test_buckets_for_query_deduplicates(self, toy_sequence):
+        terms, specificity = toy_sequence
+        organization = generate_buckets(terms, specificity, bucket_size=4, segment_size=5)
+        bucket = organization.buckets[0]
+        covered = organization.buckets_for_query([bucket[0], bucket[1], "missing"])
+        assert list(covered.values()) == [bucket]
+
+    def test_specificity_difference_per_bucket(self):
+        organization = BucketOrganization(
+            buckets=(("a", "b"), ("c", "d")),
+            bucket_size=2,
+            segment_size=1,
+            specificity={"a": 3, "b": 9, "c": 5, "d": 5},
+        )
+        assert organization.intra_bucket_specificity_difference(0) == 6
+        assert organization.intra_bucket_specificity_difference(1) == 0

@@ -1,0 +1,97 @@
+"""Unit tests for the Section 5.1 bucket-quality metrics."""
+
+import random
+
+import pytest
+
+from repro.core.buckets import BucketOrganization
+from repro.core.metrics import BucketQualityEvaluator
+from repro.core.random_buckets import random_buckets
+from repro.lexicon.distance import SemanticDistanceCalculator
+
+
+@pytest.fixture(scope="module")
+def evaluator(full_organization, medium_lexicon):
+    return BucketQualityEvaluator(full_organization, SemanticDistanceCalculator(medium_lexicon))
+
+
+class TestSpecificityDifference:
+    def test_average_is_nonnegative(self, evaluator):
+        assert evaluator.average_specificity_difference() >= 0.0
+
+    def test_manual_organisation(self, medium_lexicon):
+        terms = medium_lexicon.terms[:4]
+        organization = BucketOrganization(
+            buckets=((terms[0], terms[1]), (terms[2], terms[3])),
+            bucket_size=2,
+            segment_size=1,
+            specificity={terms[0]: 2, terms[1]: 9, terms[2]: 5, terms[3]: 5},
+        )
+        evaluator = BucketQualityEvaluator(
+            organization, SemanticDistanceCalculator(medium_lexicon)
+        )
+        assert evaluator.average_specificity_difference() == pytest.approx((7 + 0) / 2)
+
+    def test_bucket_beats_random_baseline(self, full_organization, dictionary_sequence, specificity, medium_lexicon):
+        calculator = SemanticDistanceCalculator(medium_lexicon)
+        bucket_eval = BucketQualityEvaluator(full_organization, calculator)
+        random_eval = BucketQualityEvaluator(
+            random_buckets(dictionary_sequence, specificity, bucket_size=4, rng=random.Random(3)),
+            calculator,
+        )
+        assert (
+            bucket_eval.average_specificity_difference()
+            < random_eval.average_specificity_difference()
+        )
+
+
+class TestDistanceDifferences:
+    def test_sampling_returns_finite_values(self, evaluator):
+        closest, farthest, used = evaluator.sample_distance_differences(
+            trials=50, rng=random.Random(1)
+        )
+        assert used > 0
+        assert 0.0 <= closest <= farthest
+
+    def test_reproducible_under_seed(self, evaluator):
+        a = evaluator.sample_distance_differences(trials=40, rng=random.Random(5))
+        b = evaluator.sample_distance_differences(trials=40, rng=random.Random(5))
+        assert a == b
+
+    def test_single_bucket_organisation_yields_zero(self, medium_lexicon):
+        terms = medium_lexicon.terms[:3]
+        organization = BucketOrganization(
+            buckets=((terms[0], terms[1], terms[2]),),
+            bucket_size=3,
+            segment_size=1,
+            specificity={t: 1 for t in terms},
+        )
+        evaluator = BucketQualityEvaluator(organization, SemanticDistanceCalculator(medium_lexicon))
+        assert evaluator.sample_distance_differences(trials=10) == (0.0, 0.0, 0)
+
+    def test_unknown_terms_capped_not_crashing(self, medium_lexicon):
+        organization = BucketOrganization(
+            buckets=(("ghost-a", "ghost-b"), ("ghost-c", "ghost-d")),
+            bucket_size=2,
+            segment_size=1,
+            specificity={},
+        )
+        calculator = SemanticDistanceCalculator(medium_lexicon)
+        evaluator = BucketQualityEvaluator(organization, calculator)
+        closest, farthest, used = evaluator.sample_distance_differences(trials=5, rng=random.Random(1))
+        assert used == 5
+        assert closest == farthest == 0.0  # every distance capped at the same ceiling
+
+
+class TestEvaluate:
+    def test_report_fields(self, evaluator):
+        report = evaluator.evaluate(trials=30, rng=random.Random(2))
+        as_dict = report.as_dict()
+        assert set(as_dict) == {
+            "specificity_difference",
+            "closest_cover",
+            "farthest_cover",
+            "sampled_pairs",
+        }
+        assert report.sampled_pairs == 30
+        assert report.closest_cover <= report.farthest_cover

@@ -1,0 +1,99 @@
+"""Unit tests for the PIR-based alternate retrieval method."""
+
+import random
+
+import pytest
+
+from repro.core.pir_retrieval import PIRRetrievalSystem
+from repro.textsearch.engine import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def pir_system(index, organization):
+    return PIRRetrievalSystem(
+        index=index, organization=organization, key_bits=96, rng=random.Random(77)
+    )
+
+
+class TestSearch:
+    def test_ranking_matches_plaintext_engine(self, pir_system, index, organization):
+        genuine = [organization.buckets[0][0], organization.buckets[5][1]]
+        result, report = pir_system.search(genuine, k=None)
+        plain = SearchEngine(index).rank_all(genuine)
+        assert result.doc_ids == plain.doc_ids
+        assert report.scheme == "PIR"
+
+    def test_one_pir_execution_per_genuine_term(self, pir_system, organization):
+        genuine = [organization.buckets[1][0], organization.buckets[2][0], organization.buckets[3][0]]
+        _, report = pir_system.search(genuine, k=5)
+        assert report.counts["buckets_fetched"] == 3
+
+    def test_same_bucket_terms_need_separate_executions(self, pir_system, organization):
+        """The paper: KO can retrieve only one list per execution."""
+        bucket = organization.buckets[0]
+        _, report = pir_system.search([bucket[0], bucket[1]], k=5)
+        assert report.counts["buckets_fetched"] == 2
+
+    def test_traffic_scales_with_key_and_list_length(self, pir_system, index, organization):
+        genuine = [organization.buckets[0][0]]
+        _, report = pir_system.search(genuine, k=5)
+        bucket = organization.bucket_of(genuine[0])
+        max_list_bytes = max(max(index.list_size_bytes(t), 8) for t in bucket)
+        element_bytes = (96 + 7) // 8
+        assert report.counts["downstream_bytes"] == max_list_bytes * 8 * element_bytes
+
+    def test_unbucketed_terms_skipped(self, pir_system, index, organization):
+        unbucketed = [t for t in index.terms if t not in organization]
+        if not unbucketed:
+            pytest.skip("every searchable term is bucketed in this fixture")
+        with pytest.raises(ValueError):
+            pir_system.search([unbucketed[0]])
+
+    def test_empty_query_rejected(self, pir_system):
+        with pytest.raises(ValueError):
+            pir_system.search(["not-a-real-term"])
+
+
+class TestEstimate:
+    def test_estimate_matches_real_counts(self, pir_system, organization):
+        genuine = [organization.buckets[4][0], organization.buckets[8][1]]
+        _, real_report = pir_system.search(genuine, k=None)
+        estimate = pir_system.estimate_costs(genuine)
+        for key in (
+            "buckets_fetched",
+            "server_multiplications",
+            "upstream_bytes",
+            "downstream_bytes",
+            "client_group_elements",
+            "client_residuosity_tests",
+        ):
+            assert estimate.counts[key] == real_report.counts[key], key
+
+    def test_estimate_grows_linearly_with_query_size(self, pir_system, organization):
+        one = pir_system.estimate_costs([organization.buckets[0][0]])
+        three = pir_system.estimate_costs(
+            [organization.buckets[0][0], organization.buckets[1][0], organization.buckets[2][0]]
+        )
+        assert three.counts["client_group_elements"] == pytest.approx(
+            3 * one.counts["client_group_elements"], rel=0.5
+        )
+        assert three.traffic_kbytes > 2 * one.traffic_kbytes
+
+    def test_estimate_rejects_unknown_terms(self, pir_system):
+        with pytest.raises(ValueError):
+            pir_system.estimate_costs(["zzz-unknown"])
+
+
+class TestBucketDatabase:
+    def test_database_cached(self, pir_system, organization):
+        db_first = pir_system.server.bucket_database(0)
+        db_second = pir_system.server.bucket_database(0)
+        assert db_first is db_second
+
+    def test_database_columns_match_bucket_size(self, pir_system, organization):
+        db = pir_system.server.bucket_database(0)
+        assert db.cols == len(organization.buckets[0])
+
+    def test_blocks_accounting(self, pir_system, organization, index):
+        blocks = pir_system.server.bucket_blocks(0)
+        assert blocks >= 1

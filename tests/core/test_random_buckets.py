@@ -1,0 +1,50 @@
+"""Unit tests for the Random decoy baseline."""
+
+import random
+
+import pytest
+
+from repro.core.random_buckets import random_buckets
+
+
+class TestRandomBuckets:
+    def test_partition_covers_all_terms(self, dictionary_sequence, specificity):
+        organization = random_buckets(dictionary_sequence, specificity, bucket_size=5, rng=random.Random(1))
+        seen = [t for bucket in organization.buckets for t in bucket]
+        assert sorted(seen) == sorted(dictionary_sequence)
+
+    def test_bucket_sizes(self, dictionary_sequence, specificity):
+        organization = random_buckets(dictionary_sequence, specificity, bucket_size=5, rng=random.Random(1))
+        sizes = [len(b) for b in organization.buckets]
+        assert all(size == 5 for size in sizes[:-1])
+        assert 1 <= sizes[-1] <= 5
+
+    def test_seeded_reproducibility(self, dictionary_sequence, specificity):
+        a = random_buckets(dictionary_sequence, specificity, bucket_size=4, rng=random.Random(3))
+        b = random_buckets(dictionary_sequence, specificity, bucket_size=4, rng=random.Random(3))
+        assert a.buckets == b.buckets
+
+    def test_different_seeds_differ(self, dictionary_sequence, specificity):
+        a = random_buckets(dictionary_sequence, specificity, bucket_size=4, rng=random.Random(3))
+        b = random_buckets(dictionary_sequence, specificity, bucket_size=4, rng=random.Random(4))
+        assert a.buckets != b.buckets
+
+    def test_invalid_bucket_size(self, dictionary_sequence, specificity):
+        with pytest.raises(ValueError):
+            random_buckets(dictionary_sequence, specificity, bucket_size=0)
+
+    def test_random_buckets_have_wider_specificity_spread(
+        self, dictionary_sequence, specificity
+    ):
+        """The Section 5.1 premise: random decoys do not match the genuine term's specificity."""
+        from repro.core.buckets import generate_buckets
+
+        bucket_org = generate_buckets(dictionary_sequence, specificity, bucket_size=4)
+        random_org = random_buckets(dictionary_sequence, specificity, bucket_size=4, rng=random.Random(5))
+
+        def spread(org):
+            return sum(
+                org.intra_bucket_specificity_difference(b) for b in range(org.num_buckets)
+            ) / org.num_buckets
+
+        assert spread(bucket_org) < spread(random_org)

@@ -1,0 +1,131 @@
+"""Unit tests for the Section 3.1 privacy-risk model."""
+
+import random
+
+import pytest
+
+from repro.core.buckets import BucketOrganization
+from repro.core.risk import PrivacyRiskModel
+from repro.lexicon.distance import SemanticDistanceCalculator
+
+
+@pytest.fixture(scope="module")
+def risk_model(full_organization, medium_lexicon):
+    return PrivacyRiskModel(
+        organization=full_organization,
+        distance_calculator=SemanticDistanceCalculator(medium_lexicon),
+    )
+
+
+@pytest.fixture(scope="module")
+def sample_query(full_organization):
+    return (full_organization.buckets[0][0], full_organization.buckets[1][0])
+
+
+class TestSimilarity:
+    def test_term_similarity_bounds(self, risk_model, medium_lexicon):
+        terms = medium_lexicon.terms
+        value = risk_model.term_similarity(terms[1], terms[50])
+        assert 0.0 < value <= 1.0
+        assert risk_model.term_similarity(terms[1], terms[1]) == 1.0
+
+    def test_query_similarity_identity(self, risk_model, sample_query):
+        assert risk_model.query_similarity(sample_query, sample_query) == pytest.approx(1.0)
+
+    def test_query_similarity_symmetry(self, risk_model, full_organization):
+        query_a = (full_organization.buckets[0][0], full_organization.buckets[1][0])
+        query_b = (full_organization.buckets[2][0], full_organization.buckets[3][0])
+        assert risk_model.query_similarity(query_a, query_b) == pytest.approx(
+            risk_model.query_similarity(query_b, query_a)
+        )
+
+    def test_empty_query_similarity_is_zero(self, risk_model, sample_query):
+        assert risk_model.query_similarity((), sample_query) == 0.0
+
+    def test_sequence_similarity_requires_equal_length(self, risk_model, sample_query):
+        with pytest.raises(ValueError):
+            risk_model.sequence_similarity((sample_query,), (sample_query, sample_query))
+
+
+class TestCandidateSpace:
+    def test_candidate_queries_enumerate_bucket_product(self, risk_model, full_organization):
+        query = (full_organization.buckets[0][0], full_organization.buckets[1][0])
+        candidates = risk_model.candidate_queries(query)
+        expected = len(full_organization.buckets[0]) * len(full_organization.buckets[1])
+        assert len(candidates) == expected
+        assert query in candidates
+
+    def test_candidate_space_size(self, risk_model, full_organization):
+        query = (full_organization.buckets[0][0],)
+        assert risk_model.candidate_space_size([query, query]) == len(full_organization.buckets[0]) ** 2
+
+
+class TestRisk:
+    def test_exact_risk_below_unprotected(self, risk_model, sample_query):
+        protected = risk_model.exact_risk([sample_query])
+        unprotected = risk_model.risk_of_unprotected_query([sample_query])
+        assert 0.0 < protected < unprotected
+        assert unprotected == pytest.approx(1.0)
+
+    def test_exact_risk_enumeration_limit(self, risk_model, full_organization):
+        long_query = tuple(bucket[0] for bucket in full_organization.buckets[:12])
+        with pytest.raises(ValueError):
+            risk_model.exact_risk([long_query], limit=1000)
+
+    def test_monte_carlo_close_to_exact(self, risk_model, sample_query):
+        exact = risk_model.exact_risk([sample_query])
+        estimate = risk_model.estimate_risk([sample_query], samples=800, rng=random.Random(4))
+        assert estimate == pytest.approx(exact, rel=0.35)
+
+    def test_non_uniform_prior_shifts_risk(self, full_organization, medium_lexicon, sample_query):
+        calculator = SemanticDistanceCalculator(medium_lexicon)
+        genuine = (sample_query,)
+
+        def oracle_prior(candidate):
+            # An adversary certain of the genuine sequence.
+            return 1.0 if candidate == genuine else 1e-9
+
+        oracle_model = PrivacyRiskModel(
+            organization=full_organization, distance_calculator=calculator, prior=oracle_prior
+        )
+        uniform_model = PrivacyRiskModel(
+            organization=full_organization, distance_calculator=calculator
+        )
+        assert oracle_model.exact_risk(genuine) > uniform_model.exact_risk(genuine)
+
+    def test_coherence_prior_prefers_tight_queries(self, medium_lexicon, full_organization):
+        """The plausibility-aware adversary believes coherent candidates more."""
+        calculator = SemanticDistanceCalculator(medium_lexicon)
+        prior = PrivacyRiskModel.coherence_prior(calculator)
+        synset = next(s for s in medium_lexicon.synsets if len(s.terms) >= 2)
+        coherent_query = tuple(synset.terms[:2])
+        scattered_query = (medium_lexicon.terms[1], medium_lexicon.terms[-2])
+        coherent_belief = prior((coherent_query,))
+        scattered_belief = prior((scattered_query,))
+        assert coherent_belief > 0.0
+        assert coherent_belief >= scattered_belief
+
+    def test_coherence_prior_changes_risk(self, full_organization, medium_lexicon, sample_query):
+        calculator = SemanticDistanceCalculator(medium_lexicon)
+        uniform = PrivacyRiskModel(full_organization, calculator)
+        aware = PrivacyRiskModel(
+            full_organization,
+            calculator,
+            prior=PrivacyRiskModel.coherence_prior(calculator),
+        )
+        aware_risk = aware.exact_risk([sample_query])
+        uniform_risk = uniform.exact_risk([sample_query])
+        assert 0.0 < aware_risk <= 1.0
+        assert 0.0 < uniform_risk <= 1.0
+
+    def test_larger_buckets_lower_risk(self, medium_lexicon, dictionary_sequence, specificity):
+        """More decoys per genuine term should reduce the adversary's expected similarity."""
+        from repro.core.buckets import generate_buckets
+
+        calculator = SemanticDistanceCalculator(medium_lexicon)
+        small_org = generate_buckets(dictionary_sequence, specificity, bucket_size=2)
+        large_org = generate_buckets(dictionary_sequence, specificity, bucket_size=8)
+        term = dictionary_sequence[0]
+        small_risk = PrivacyRiskModel(small_org, calculator).exact_risk([(term,)])
+        large_risk = PrivacyRiskModel(large_org, calculator).exact_risk([(term,)])
+        assert large_risk < small_risk

@@ -1,0 +1,105 @@
+"""Unit tests for Algorithm 1 (dictionary sequencing)."""
+
+import pytest
+
+from repro.core.sequencing import SequenceBuilder, concatenate_sequences, sequence_dictionary
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.synset import RelationType, Synset
+
+
+@pytest.fixture()
+def related_lexicon():
+    """Two related clusters plus one isolated synset."""
+    lexicon = Lexicon()
+    lexicon.create_synset("root", ["entity"])
+    lexicon.create_synset("cancer", ["sarcoma", "osteosarcoma"])
+    lexicon.create_synset("treatment", ["therapy", "radiotherapy"])
+    lexicon.create_synset("plant", ["amaranthaceae"])
+    lexicon.create_synset("isolated", ["moustille"])
+    lexicon.add_relation("cancer", RelationType.HYPERNYM, "root")
+    lexicon.add_relation("treatment", RelationType.HYPERNYM, "root")
+    lexicon.add_relation("plant", RelationType.HYPERNYM, "root")
+    lexicon.add_relation("cancer", RelationType.DERIVATION, "treatment")
+    return lexicon
+
+
+class TestSequenceDictionary:
+    def test_every_term_appears_exactly_once(self, medium_lexicon):
+        sequences = sequence_dictionary(medium_lexicon)
+        flattened = concatenate_sequences(sequences)
+        assert len(flattened) == medium_lexicon.num_terms
+        assert len(set(flattened)) == len(flattened)
+        assert set(flattened) == set(medium_lexicon.terms)
+
+    def test_connected_lexicon_yields_single_sequence(self, medium_lexicon):
+        # All synthetic synsets ultimately generalise to 'entity', exactly as
+        # the paper reports for WordNet nouns.
+        sequences = sequence_dictionary(medium_lexicon)
+        assert len(sequences) == 1
+
+    def test_related_terms_cluster_near_each_other(self, related_lexicon):
+        sequence = concatenate_sequences(sequence_dictionary(related_lexicon))
+        positions = {term: sequence.index(term) for term in sequence}
+        # Terms of the same synset must be adjacent or near-adjacent.
+        assert abs(positions["sarcoma"] - positions["osteosarcoma"]) <= 2
+        # Derivationally related synsets should be at least as close as unrelated ones
+        # (in this tiny lexicon everything is only a few positions apart).
+        cancer_to_treatment = abs(positions["sarcoma"] - positions["therapy"])
+        cancer_to_isolated = abs(positions["sarcoma"] - positions["moustille"])
+        assert cancer_to_treatment <= cancer_to_isolated
+        assert cancer_to_treatment <= 4
+
+    def test_deterministic(self, medium_lexicon):
+        first = sequence_dictionary(medium_lexicon)
+        second = sequence_dictionary(medium_lexicon)
+        assert first == second
+
+    def test_disconnected_synsets_form_their_own_sequences(self):
+        lexicon = Lexicon()
+        lexicon.create_synset("a", ["alpha"])
+        lexicon.create_synset("b", ["beta"])
+        sequences = sequence_dictionary(lexicon)
+        assert sorted(len(s) for s in sequences) == [1, 1]
+
+    def test_empty_lexicon(self):
+        assert sequence_dictionary(Lexicon()) == []
+
+
+class TestSequenceBuilder:
+    def test_new_sequence_for_unseen_terms(self):
+        builder = SequenceBuilder()
+        builder.process_synset(Synset(synset_id="s1", terms=["a", "b"]))
+        assert builder.sequences == [["a", "b"]]
+        assert builder.processed_terms == {"a", "b"}
+
+    def test_joins_existing_sequence(self):
+        builder = SequenceBuilder()
+        builder.process_synset(Synset(synset_id="s1", terms=["a", "b"]))
+        builder.process_synset(Synset(synset_id="s2", terms=["b", "c"]))
+        assert builder.sequences == [["a", "b", "c"]]
+
+    def test_concatenates_multiple_sequences(self):
+        builder = SequenceBuilder()
+        builder.process_synset(Synset(synset_id="s1", terms=["a"]))
+        builder.process_synset(Synset(synset_id="s2", terms=["b"]))
+        builder.process_synset(Synset(synset_id="s3", terms=["a", "b", "c"]))
+        assert len(builder.sequences) == 1
+        assert set(builder.sequences[0]) == {"a", "b", "c"}
+
+    def test_redirects_survive_chained_concatenations(self):
+        builder = SequenceBuilder()
+        for name in ("a", "b", "c", "d"):
+            builder.process_synset(Synset(synset_id=name, terms=[name]))
+        builder.process_synset(Synset(synset_id="ab", terms=["a", "b"]))
+        builder.process_synset(Synset(synset_id="cd", terms=["c", "d"]))
+        builder.process_synset(Synset(synset_id="all", terms=["a", "c", "e"]))
+        assert len(builder.sequences) == 1
+        assert set(builder.sequences[0]) == {"a", "b", "c", "d", "e"}
+
+
+class TestConcatenate:
+    def test_concatenation_preserves_order(self):
+        assert concatenate_sequences([["a", "b"], ["c"]]) == ["a", "b", "c"]
+
+    def test_empty_input(self):
+        assert concatenate_sequences([]) == []

@@ -1,0 +1,97 @@
+"""Unit tests for the server-side PR processing (Algorithm 4)."""
+
+import random
+
+import pytest
+
+from repro.core.embellish import QueryEmbellisher
+from repro.core.server import PrivateRetrievalServer
+from repro.textsearch.engine import SearchEngine
+
+
+@pytest.fixture()
+def pr_setup(index, organization, benaloh_keypair):
+    embellisher = QueryEmbellisher(
+        organization=organization, keypair=benaloh_keypair, rng=random.Random(3)
+    )
+    server = PrivateRetrievalServer(
+        index=index, organization=organization, public_key=benaloh_keypair.public
+    )
+    return embellisher, server
+
+
+class TestProcessQuery:
+    def test_scores_match_plaintext_engine(self, pr_setup, index, organization, benaloh_keypair):
+        embellisher, server = pr_setup
+        genuine = [organization.buckets[0][0], organization.buckets[3][1]]
+        query = embellisher.embellish(genuine)
+        result = server.process_query(query)
+        plain = SearchEngine(index).score_all(genuine)
+        decrypted = {
+            doc_id: benaloh_keypair.private.decrypt(ciphertext)
+            for doc_id, ciphertext in result
+            if benaloh_keypair.private.decrypt(ciphertext) > 0
+        }
+        assert decrypted == {doc_id: int(score) for doc_id, score in plain.items()}
+
+    def test_candidates_cover_decoy_lists_too(self, pr_setup, index, organization):
+        """The server cannot skip decoys, so every embellished term's documents are candidates."""
+        embellisher, server = pr_setup
+        genuine = [organization.buckets[0][0]]
+        query = embellisher.embellish(genuine)
+        result = server.process_query(query)
+        expected_candidates = set()
+        for term in query.terms:
+            expected_candidates.update(p.doc_id for p in index.postings(term))
+        assert set(result.encrypted_scores) == expected_candidates
+
+    def test_counters_track_work(self, pr_setup, index, organization):
+        embellisher, server = pr_setup
+        genuine = [organization.buckets[1][0]]
+        query = embellisher.embellish(genuine)
+        server.process_query(query)
+        total_postings = sum(len(index.postings(t)) for t in query.terms)
+        assert server.counters.postings_processed == total_postings
+        assert server.counters.modular_exponentiations == total_postings
+        assert server.counters.terms_processed == len(query.terms)
+        assert server.counters.buckets_fetched == 1
+        assert server.counters.blocks_read >= 1
+
+    def test_counters_reset_between_queries(self, pr_setup, organization):
+        embellisher, server = pr_setup
+        query = embellisher.embellish([organization.buckets[0][0]])
+        server.process_query(query)
+        first = server.counters.postings_processed
+        server.process_query(query)
+        assert server.counters.postings_processed == first
+
+    def test_io_charged_once_per_bucket(self, pr_setup, organization, index):
+        embellisher, server = pr_setup
+        bucket = organization.buckets[0]
+        # Two genuine terms in the same bucket: the bucket is fetched once.
+        query = embellisher.embellish([bucket[0], bucket[1]])
+        server.process_query(query)
+        assert server.counters.buckets_fetched == 1
+
+    def test_result_downstream_size(self, pr_setup, organization, benaloh_keypair):
+        embellisher, server = pr_setup
+        query = embellisher.embellish([organization.buckets[2][0]])
+        result = server.process_query(query)
+        ciphertext_bytes = (benaloh_keypair.n.bit_length() + 7) // 8
+        assert result.downstream_bytes() == len(result.encrypted_scores) * (4 + ciphertext_bytes)
+
+    def test_unbucketed_terms_charged_as_loose_io(self, index, organization, benaloh_keypair):
+        # Build a query containing a term the organisation does not know.
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(5)
+        )
+        unbucketed = [t for t in index.terms if t not in organization]
+        if not unbucketed:
+            pytest.skip("every searchable term is bucketed in this fixture")
+        server = PrivateRetrievalServer(
+            index=index, organization=organization, public_key=benaloh_keypair.public
+        )
+        query = embellisher.embellish([unbucketed[0]])
+        server.process_query(query)
+        assert server.counters.buckets_fetched == 0
+        assert server.counters.blocks_read >= 1

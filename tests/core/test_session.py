@@ -1,0 +1,100 @@
+"""Unit tests for search-session modelling and the recurring-term attack."""
+
+import random
+
+import pytest
+
+from repro.core.session import QuerySession, recurring_term_candidates, session_intersection
+
+
+class TestQuerySession:
+    def test_empty_session_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySession(queries=())
+
+    def test_recurring_terms(self):
+        session = QuerySession(
+            queries=(("osteosarcoma", "symptoms"), ("osteosarcoma", "therapy"), ("wine", "yeast"))
+        )
+        assert session.recurring_terms == ("osteosarcoma",)
+        assert len(session) == 3
+
+    def test_topical_generator_reuses_focus_terms(self, rng):
+        session = QuerySession.topical(
+            focus_terms=["osteosarcoma"],
+            other_terms=["water", "soaked", "tissues", "yeast", "dry"],
+            num_queries=4,
+            terms_per_query=3,
+            rng=rng,
+        )
+        assert len(session) == 4
+        for query in session:
+            assert "osteosarcoma" in query
+            assert len(query) == 3
+
+    def test_topical_generator_validates_sizes(self, rng):
+        with pytest.raises(ValueError):
+            QuerySession.topical(
+                focus_terms=["a", "b", "c"], other_terms=["d"], num_queries=2, terms_per_query=2, rng=rng
+            )
+
+
+class TestSessionIntersection:
+    def test_without_buckets_intersection_reveals_focus_term(self, organization):
+        """The attack the paper describes: recurring terms survive intersection."""
+        focus = organization.buckets[0][0]
+        fillers = [organization.buckets[i][0] for i in range(1, 5)]
+        plain_queries = [
+            {focus, fillers[0], fillers[1]},
+            {focus, fillers[2], fillers[3]},
+        ]
+        assert set.intersection(*plain_queries) == {focus}
+
+    def test_with_buckets_intersection_contains_whole_bucket(self, organization):
+        focus = organization.buckets[0][0]
+        session = QuerySession(
+            queries=(
+                (focus, organization.buckets[1][0]),
+                (focus, organization.buckets[2][0]),
+            )
+        )
+        intersection = session_intersection(session, organization)
+        assert set(organization.bucket_of(focus)) <= intersection
+
+    def test_intersection_excludes_non_recurring_buckets(self, organization):
+        focus = organization.buckets[0][0]
+        session = QuerySession(
+            queries=(
+                (focus, organization.buckets[1][0]),
+                (focus, organization.buckets[2][0]),
+            )
+        )
+        intersection = session_intersection(session, organization)
+        assert not set(organization.bucket_of(organization.buckets[1][0])) <= intersection
+
+    def test_unbucketed_terms_pass_through(self, organization):
+        session = QuerySession(queries=(("mystery-term",), ("mystery-term",)))
+        assert session_intersection(session, organization) == {"mystery-term"}
+
+
+class TestRecurringCandidates:
+    def test_candidates_have_comparable_specificity(self, organization, specificity):
+        """The defence: the recurring genuine term hides among equally specific bucket mates."""
+        focus = max(organization.buckets[0], key=lambda t: specificity.get(t, 0))
+        session = QuerySession(
+            queries=((focus, organization.buckets[1][0]), (focus, organization.buckets[2][0]))
+        )
+        candidates = recurring_term_candidates(session, organization, specificity)
+        assert focus in candidates
+        assert len(candidates) >= len(organization.bucket_of(focus))
+        focus_spec = specificity.get(focus, 0)
+        bucket_specs = [candidates[t] for t in organization.bucket_of(focus)]
+        assert max(bucket_specs) - min(bucket_specs) <= max(6, focus_spec)
+
+    def test_min_specificity_filter(self, organization, specificity):
+        focus = organization.buckets[0][0]
+        session = QuerySession(queries=((focus,), (focus,)))
+        all_candidates = recurring_term_candidates(session, organization, specificity, min_specificity=0)
+        high_only = recurring_term_candidates(session, organization, specificity, min_specificity=50)
+        assert len(high_only) <= len(all_candidates)
+        assert high_only == {}

@@ -1,0 +1,84 @@
+"""Unit tests for the query workload generators."""
+
+import pytest
+
+from repro.core.workloads import QueryWorkloadGenerator
+
+
+@pytest.fixture()
+def workload(index):
+    return QueryWorkloadGenerator(index, seed=5)
+
+
+class TestRandomQueries:
+    def test_query_size_and_uniqueness(self, workload):
+        query = workload.random_query(12)
+        assert len(query) == 12
+        assert len(set(query)) == 12
+
+    def test_terms_come_from_dictionary(self, workload, index):
+        query = workload.random_query(8)
+        assert all(term in index for term in query)
+
+    def test_batch_generation(self, workload):
+        queries = workload.random_queries(20, 6)
+        assert len(queries) == 20
+        assert all(len(q) == 6 for q in queries)
+
+    def test_invalid_size_rejected(self, workload):
+        with pytest.raises(ValueError):
+            workload.random_query(0)
+
+    def test_reproducibility(self, index):
+        a = QueryWorkloadGenerator(index, seed=9).random_queries(5, 4)
+        b = QueryWorkloadGenerator(index, seed=9).random_queries(5, 4)
+        assert a == b
+
+    def test_oversized_request_clamped(self, workload, index):
+        query = workload.random_query(10 ** 6)
+        assert len(query) == len(index.terms)
+
+
+class TestTopicalQueries:
+    def test_terms_are_dictionary_neighbours(self, workload, index):
+        query = workload.topical_query(5, window=30)
+        positions = sorted(index.terms.index(t) for t in query)
+        assert positions[-1] - positions[0] <= 30
+
+    def test_expanded_query_is_long_and_duplicate_free(self, workload):
+        query = workload.expanded_query(base_size=6, expansion_terms=10)
+        assert len(query) == len(set(query))
+        assert len(query) >= 6
+
+    def test_invalid_topical_size_rejected(self, workload):
+        with pytest.raises(ValueError):
+            workload.topical_query(0)
+
+
+class TestSessions:
+    def test_session_shape(self, workload):
+        session = workload.session(num_queries=4, terms_per_query=5, num_focus_terms=2)
+        assert len(session) == 4
+        assert all(len(q) == 5 for q in session)
+
+    def test_focus_terms_recur(self, workload):
+        session = workload.session(num_queries=3, terms_per_query=4, num_focus_terms=1)
+        assert len(session.recurring_terms) >= 1
+
+    def test_focus_terms_have_min_document_frequency(self, workload, index):
+        session = workload.session(num_queries=2, terms_per_query=3, num_focus_terms=1, min_focus_df=3)
+        focus_candidates = set(session.queries[0]) & set(session.queries[1])
+        assert any(index.document_frequency(t) >= 3 for t in focus_candidates)
+
+
+class TestDictionary:
+    def test_dictionary_matches_index(self, workload, index):
+        assert set(workload.dictionary) == set(index.terms)
+
+    def test_empty_index_rejected(self):
+        from repro.textsearch.corpus import Corpus
+        from repro.textsearch.inverted_index import InvertedIndex
+
+        empty_index = InvertedIndex.build(Corpus())
+        with pytest.raises(ValueError):
+            QueryWorkloadGenerator(empty_index)

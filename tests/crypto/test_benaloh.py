@@ -1,0 +1,119 @@
+"""Unit tests for the Benaloh cryptosystem (the PR scheme's workhorse)."""
+
+import math
+import random
+
+import pytest
+
+from repro.crypto.benaloh import generate_keypair
+
+
+class TestKeyGeneration:
+    def test_key_structure(self, benaloh_keypair):
+        kp = benaloh_keypair
+        assert kp.n == kp.private.p1 * kp.private.p2
+        assert kp.r == kp.public.r
+        # Benaloh's divisibility constraints on the primes.
+        assert (kp.private.p1 - 1) % kp.r == 0
+        assert math.gcd(kp.r, (kp.private.p1 - 1) // kp.r) == 1
+        assert math.gcd(kp.r, kp.private.p2 - 1) == 1
+
+    def test_generator_has_full_r_part(self, benaloh_keypair):
+        # The Fousse et al. fix: g^(phi/q) != 1 for every prime q | r.
+        kp = benaloh_keypair
+        phi = kp.private.phi
+        assert pow(kp.public.g, phi // 3, kp.n) != 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(key_bits=8)
+        with pytest.raises(ValueError):
+            generate_keypair(block_size=1)
+
+    def test_different_seeds_give_different_keys(self):
+        a = generate_keypair(key_bits=96, block_size=9, rng=random.Random(1))
+        b = generate_keypair(key_bits=96, block_size=9, rng=random.Random(2))
+        assert a.n != b.n
+
+    def test_same_seed_is_deterministic(self):
+        a = generate_keypair(key_bits=96, block_size=9, rng=random.Random(5))
+        b = generate_keypair(key_bits=96, block_size=9, rng=random.Random(5))
+        assert a.n == b.n and a.public.g == b.public.g
+
+
+class TestEncryptionDecryption:
+    def test_roundtrip_small_messages(self, benaloh_keypair, rng):
+        for message in (0, 1, 2, 3, 10, 100, 728):
+            ciphertext = benaloh_keypair.public.encrypt(message, rng)
+            assert benaloh_keypair.private.decrypt(ciphertext) == message
+
+    def test_probabilistic_encryption(self, benaloh_keypair, rng):
+        a = benaloh_keypair.public.encrypt(5, rng)
+        b = benaloh_keypair.public.encrypt(5, rng)
+        assert a != b
+        assert benaloh_keypair.private.decrypt(a) == benaloh_keypair.private.decrypt(b) == 5
+
+    def test_message_out_of_range_rejected(self, benaloh_keypair, rng):
+        with pytest.raises(ValueError):
+            benaloh_keypair.public.encrypt(benaloh_keypair.r, rng)
+        with pytest.raises(ValueError):
+            benaloh_keypair.public.encrypt(-1, rng)
+
+    def test_rerandomisation_preserves_plaintext(self, benaloh_keypair, rng):
+        original = benaloh_keypair.public.encrypt(42, rng)
+        rerandomised = benaloh_keypair.public.rerandomize(original, rng)
+        assert rerandomised != original
+        assert benaloh_keypair.private.decrypt(rerandomised) == 42
+
+    def test_non_power_block_size_uses_bsgs(self, rng):
+        # r = 15 is not a power of a small base, forcing the BSGS fallback.
+        kp = generate_keypair(key_bits=96, block_size=15, rng=rng)
+        for message in range(15):
+            assert kp.private.decrypt(kp.public.encrypt(message, rng)) == message
+
+    def test_even_block_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_keypair(key_bits=96, block_size=10, rng=rng)
+
+
+class TestHomomorphism:
+    def test_addition(self, benaloh_keypair, rng):
+        pub, priv = benaloh_keypair.public, benaloh_keypair.private
+        c = pub.add(pub.encrypt(100, rng), pub.encrypt(200, rng))
+        assert priv.decrypt(c) == 300
+
+    def test_addition_wraps_modulo_r(self, benaloh_keypair, rng):
+        pub, priv = benaloh_keypair.public, benaloh_keypair.private
+        r = benaloh_keypair.r
+        c = pub.add(pub.encrypt(r - 1, rng), pub.encrypt(5, rng))
+        assert priv.decrypt(c) == (r - 1 + 5) % r
+
+    def test_scalar_multiplication(self, benaloh_keypair, rng):
+        pub, priv = benaloh_keypair.public, benaloh_keypair.private
+        c = pub.scalar_multiply(pub.encrypt(7, rng), 13)
+        assert priv.decrypt(c) == 91
+
+    def test_scalar_multiplication_of_zero_stays_zero(self, benaloh_keypair, rng):
+        # The crucial PR-scheme property: decoys (selector 0) never perturb the score.
+        pub, priv = benaloh_keypair.public, benaloh_keypair.private
+        c = pub.scalar_multiply(pub.encrypt(0, rng), 255)
+        assert priv.decrypt(c) == 0
+
+    def test_negative_scalar_rejected(self, benaloh_keypair, rng):
+        with pytest.raises(ValueError):
+            benaloh_keypair.public.scalar_multiply(benaloh_keypair.public.encrypt(1, rng), -2)
+
+    def test_add_many(self, benaloh_keypair, rng):
+        pub, priv = benaloh_keypair.public, benaloh_keypair.private
+        ciphertexts = [pub.encrypt(value, rng) for value in (1, 2, 3, 4, 5)]
+        assert priv.decrypt(pub.add_many(ciphertexts)) == 15
+
+    def test_score_accumulation_pattern(self, benaloh_keypair, rng):
+        # Simulate Algorithm 4 on one document: sum of u_i * p_ij.
+        pub, priv = benaloh_keypair.public, benaloh_keypair.private
+        selectors = [1, 0, 1, 0, 0]
+        impacts = [12, 50, 30, 77, 5]
+        accumulator = 1
+        for selector, impact in zip(selectors, impacts):
+            accumulator = pub.add(accumulator, pub.scalar_multiply(pub.encrypt(selector, rng), impact))
+        assert priv.decrypt(accumulator) == 12 + 30

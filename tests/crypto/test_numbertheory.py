@@ -1,0 +1,156 @@
+"""Unit tests for the number-theory helpers."""
+
+import math
+import random
+
+import pytest
+
+from repro.crypto.numbertheory import (
+    bit_length_of,
+    bytes_to_int,
+    crt_pair,
+    egcd,
+    generate_prime,
+    generate_prime_with_condition,
+    int_to_bytes,
+    is_probable_prime,
+    jacobi_symbol,
+    modinv,
+)
+
+
+class TestEgcd:
+    def test_gcd_of_coprimes_is_one(self):
+        g, x, y = egcd(35, 64)
+        assert g == 1
+        assert 35 * x + 64 * y == 1
+
+    def test_gcd_with_common_factor(self):
+        g, x, y = egcd(48, 36)
+        assert g == 12
+        assert 48 * x + 36 * y == 12
+
+    def test_gcd_with_zero(self):
+        g, x, _ = egcd(17, 0)
+        assert g == 17
+        assert x == 1
+
+
+class TestModinv:
+    def test_inverse_roundtrip(self):
+        inverse = modinv(7, 31)
+        assert (7 * inverse) % 31 == 1
+
+    def test_inverse_of_large_values(self):
+        modulus = 2**61 - 1  # prime
+        value = 123456789123
+        assert (value * modinv(value, modulus)) % modulus == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+
+class TestPrimality:
+    def test_small_primes_detected(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites_rejected(self):
+        for c in (0, 1, 4, 6, 9, 15, 91, 561, 7917):
+            assert not is_probable_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic Fermat pseudoprimes that Miller-Rabin must still reject.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(carmichael)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2**127 - 1)
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2**61 - 1) * (2**31 - 1))
+
+
+class TestPrimeGeneration:
+    def test_generated_prime_has_requested_bits(self, rng):
+        prime = generate_prime(48, rng)
+        assert prime.bit_length() == 48
+        assert is_probable_prime(prime)
+
+    def test_generated_prime_is_odd(self, rng):
+        assert generate_prime(32, rng) % 2 == 1
+
+    def test_prime_with_condition(self, rng):
+        prime = generate_prime_with_condition(24, rng, lambda p: p % 4 == 3)
+        assert is_probable_prime(prime)
+        assert prime % 4 == 3
+
+    def test_too_few_bits_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_prime(1, rng)
+
+
+class TestJacobi:
+    def test_quadratic_residues_have_symbol_one(self):
+        p = 23  # prime: Jacobi == Legendre
+        residues = {pow(x, 2, p) for x in range(1, p)}
+        for r in residues:
+            assert jacobi_symbol(r, p) == 1
+
+    def test_non_residues_have_symbol_minus_one(self):
+        p = 23
+        residues = {pow(x, 2, p) for x in range(1, p)}
+        for value in range(1, p):
+            if value not in residues:
+                assert jacobi_symbol(value, p) == -1
+
+    def test_multiple_of_modulus_gives_zero(self):
+        assert jacobi_symbol(45, 15) == 0
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            jacobi_symbol(3, 10)
+
+    def test_composite_modulus_multiplicativity(self):
+        n = 7 * 11
+        for a in (2, 3, 5, 13):
+            assert jacobi_symbol(a, n) == jacobi_symbol(a, 7) * jacobi_symbol(a, 11)
+
+
+class TestCrt:
+    def test_two_congruences(self):
+        x = crt_pair([2, 3], [5, 7])
+        assert x % 5 == 2
+        assert x % 7 == 3
+
+    def test_three_congruences(self):
+        x = crt_pair([1, 2, 3], [3, 5, 7])
+        assert x % 3 == 1
+        assert x % 5 == 2
+        assert x % 7 == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            crt_pair([1, 2], [3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            crt_pair([], [])
+
+
+class TestByteCodecs:
+    def test_roundtrip(self):
+        for value in (0, 1, 255, 256, 2**64, 2**200 + 12345):
+            assert bytes_to_int(int_to_bytes(value)) == value
+
+    def test_fixed_length_padding(self):
+        assert int_to_bytes(1, length=4) == b"\x00\x00\x00\x01"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)
+
+    def test_bit_length_of_zero_is_one(self):
+        assert bit_length_of(0) == 1
+        assert bit_length_of(255) == 8

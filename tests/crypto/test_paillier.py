@@ -1,0 +1,53 @@
+"""Unit tests for the Paillier cryptosystem (Appendix A.2 alternative)."""
+
+import random
+
+import pytest
+
+from repro.crypto.paillier import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(key_bits=128, rng=random.Random(7))
+
+
+class TestPaillier:
+    def test_roundtrip(self, keypair, rng):
+        for message in (0, 1, 17, 100000, keypair.n - 1):
+            assert keypair.private.decrypt(keypair.public.encrypt(message, rng)) == message
+
+    def test_probabilistic(self, keypair, rng):
+        assert keypair.public.encrypt(3, rng) != keypair.public.encrypt(3, rng)
+
+    def test_out_of_range_rejected(self, keypair, rng):
+        with pytest.raises(ValueError):
+            keypair.public.encrypt(keypair.n, rng)
+        with pytest.raises(ValueError):
+            keypair.public.encrypt(-5, rng)
+
+    def test_homomorphic_addition(self, keypair, rng):
+        pub, priv = keypair.public, keypair.private
+        c = pub.add(pub.encrypt(1234, rng), pub.encrypt(8766, rng))
+        assert priv.decrypt(c) == 10000
+
+    def test_scalar_multiplication(self, keypair, rng):
+        pub, priv = keypair.public, keypair.private
+        assert priv.decrypt(pub.scalar_multiply(pub.encrypt(21, rng), 2)) == 42
+
+    def test_negative_scalar_rejected(self, keypair, rng):
+        with pytest.raises(ValueError):
+            keypair.public.scalar_multiply(keypair.public.encrypt(1, rng), -1)
+
+    def test_ciphertext_is_twice_modulus_size(self, keypair):
+        # The reason the paper prefers Benaloh: Paillier ciphertexts live mod n^2.
+        assert keypair.public.ciphertext_bytes() >= 2 * ((keypair.n.bit_length() + 7) // 8) - 1
+
+    def test_small_keys_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(key_bits=8)
+
+    def test_determinism_under_seed(self):
+        a = generate_keypair(key_bits=96, rng=random.Random(3))
+        b = generate_keypair(key_bits=96, rng=random.Random(3))
+        assert a.n == b.n

@@ -1,0 +1,85 @@
+"""Unit tests for the Kushilevitz-Ostrovsky PIR protocol."""
+
+import random
+
+import pytest
+
+from repro.crypto.pir import PIRClient, PIRDatabase, PIRServer
+
+
+@pytest.fixture(scope="module")
+def client():
+    return PIRClient.with_new_group(key_bits=96, rng=random.Random(41))
+
+
+class TestPIRDatabase:
+    def test_from_columns_pads_to_longest(self):
+        db = PIRDatabase.from_columns([b"ab", b"abcd", b"a"])
+        assert db.cols == 3
+        assert db.rows == 4 * 8
+        assert db.column_bytes(1) == b"abcd"
+        assert db.column_bytes(0) == b"ab\x00\x00"
+
+    def test_rows_hold_bits_only(self):
+        with pytest.raises(ValueError):
+            PIRDatabase(bits=((0, 2),))
+
+    def test_unequal_rows_rejected(self):
+        with pytest.raises(ValueError):
+            PIRDatabase(bits=((0, 1), (1,)))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            PIRDatabase.from_columns([])
+
+    def test_column_roundtrip(self):
+        payloads = [bytes([i, i + 1, i + 2]) for i in range(5)]
+        db = PIRDatabase.from_columns(payloads)
+        for col, payload in enumerate(payloads):
+            assert db.column_bytes(col) == payload
+
+
+class TestPIRProtocol:
+    def test_retrieves_each_column_correctly(self, client):
+        payloads = [b"inverted-list-0", b"list-1", b"the-third-list!!"]
+        db = PIRDatabase.from_columns(payloads)
+        max_len = max(len(p) for p in payloads)
+        for wanted in range(len(payloads)):
+            server = PIRServer(db)
+            recovered = client.retrieve(server, wanted)
+            assert recovered == payloads[wanted] + b"\x00" * (max_len - len(payloads[wanted]))
+
+    def test_query_size_matches_columns(self, client):
+        query = client.build_query(num_columns=6, wanted_column=2)
+        assert len(query.elements) == 6
+        assert query.size_bytes == 6 * ((query.n.bit_length() + 7) // 8)
+
+    def test_answer_size_matches_rows(self, client):
+        db = PIRDatabase.from_columns([b"abcd", b"efgh"])
+        server = PIRServer(db)
+        answer = server.answer(client.build_query(2, 0))
+        assert len(answer.elements) == db.rows
+        assert answer.size_bytes == db.rows * ((answer.n.bit_length() + 7) // 8)
+
+    def test_out_of_range_column_rejected(self, client):
+        with pytest.raises(ValueError):
+            client.build_query(num_columns=3, wanted_column=3)
+
+    def test_mismatched_query_rejected(self, client):
+        db = PIRDatabase.from_columns([b"ab", b"cd", b"ef"])
+        server = PIRServer(db)
+        with pytest.raises(ValueError):
+            server.answer(client.build_query(num_columns=2, wanted_column=0))
+
+    def test_server_counts_multiplications(self, client):
+        db = PIRDatabase.from_columns([b"ab", b"cd"])
+        server = PIRServer(db)
+        server.answer(client.build_query(2, 1))
+        # One squaring per column plus one multiplication per (row, column).
+        assert server.multiplications == db.cols + db.rows * db.cols
+
+    def test_query_reveals_nothing_obvious(self, client):
+        """The query elements must all have Jacobi symbol +1 (indistinguishable)."""
+        query = client.build_query(num_columns=5, wanted_column=3)
+        for element in query.elements:
+            assert client.group.jacobi(element) == 1

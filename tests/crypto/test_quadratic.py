@@ -1,0 +1,60 @@
+"""Unit tests for the quadratic-residue group used by KO PIR."""
+
+import random
+
+import pytest
+
+from repro.crypto.quadratic import generate_group
+
+
+@pytest.fixture(scope="module")
+def group():
+    return generate_group(key_bits=96, rng=random.Random(5))
+
+
+class TestQRGroup:
+    def test_modulus_is_product_of_blum_primes(self, group):
+        assert group.n == group.p1 * group.p2
+        assert group.p1 % 4 == 3
+        assert group.p2 % 4 == 3
+
+    def test_random_qr_is_residue(self, group, rng):
+        for _ in range(20):
+            assert group.is_quadratic_residue(group.random_qr(rng))
+
+    def test_random_qnr_is_not_residue_but_has_jacobi_one(self, group, rng):
+        for _ in range(20):
+            qnr = group.random_qnr(rng)
+            assert not group.is_quadratic_residue(qnr)
+            assert group.jacobi(qnr) == 1
+
+    def test_squares_are_residues(self, group, rng):
+        x = rng.randrange(2, group.n)
+        assert group.is_quadratic_residue(pow(x, 2, group.n))
+
+    def test_zero_and_multiples_not_residues(self, group):
+        assert not group.is_quadratic_residue(0)
+        assert not group.is_quadratic_residue(group.p1)
+
+    def test_qr_times_qr_is_qr(self, group, rng):
+        a, b = group.random_qr(rng), group.random_qr(rng)
+        assert group.is_quadratic_residue((a * b) % group.n)
+
+    def test_qr_times_qnr_is_qnr(self, group, rng):
+        qr, qnr = group.random_qr(rng), group.random_qnr(rng)
+        assert not group.is_quadratic_residue((qr * qnr) % group.n)
+
+    def test_qnr_times_qnr_is_qr(self, group, rng):
+        a, b = group.random_qnr(rng), group.random_qnr(rng)
+        assert group.is_quadratic_residue((a * b) % group.n)
+
+    def test_small_keys_rejected(self):
+        with pytest.raises(ValueError):
+            generate_group(key_bits=8)
+
+
+class TestDeterminism:
+    def test_same_seed_same_group(self):
+        a = generate_group(key_bits=64, rng=random.Random(1))
+        b = generate_group(key_bits=64, rng=random.Random(1))
+        assert a.n == b.n

@@ -1,0 +1,44 @@
+"""Tests for the design-choice ablation experiments."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.harness import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(num_synsets=600, num_documents=150, seed=42)
+
+
+class TestSegmentModulation:
+    def test_final_algorithm_beats_first_try(self, context):
+        result = ablations.run_segment_modulation(context, bucket_sizes=(4, 8), trials=40)
+        for row in result.sweep.rows:
+            assert row["figure4_final"] < row["figure3_first_try"]
+
+    def test_table_renders(self, context):
+        result = ablations.run_segment_modulation(context, bucket_sizes=(4,), trials=20)
+        assert "segment modulation" in result.format_table()
+
+
+class TestSpecificitySource:
+    def test_runs_and_reports_correlation(self, context):
+        result = ablations.run_specificity_source(context, bucket_size=8)
+        assert -1.0 <= result.rank_correlation <= 1.0
+        assert len(result.sweep.rows) == 2
+        assert "Kendall tau" in result.format_table()
+
+    def test_hypernym_definition_gives_tighter_buckets_on_its_own_scale(self, context):
+        result = ablations.run_specificity_source(context, bucket_size=8)
+        hypernym_spread = result.sweep.rows[0]["intra_bucket_spread"]
+        df_spread = result.sweep.rows[1]["intra_bucket_spread"]
+        assert hypernym_spread <= df_spread
+
+
+class TestCiphertextSize:
+    def test_paillier_doubles_downstream_traffic(self, context):
+        result = ablations.run_ciphertext_size(context, num_queries=10)
+        assert result.paillier_ciphertext_bytes == 2 * result.benaloh_ciphertext_bytes
+        assert result.paillier_downstream_kb > 1.8 * result.benaloh_downstream_kb
+        assert "Benaloh" in result.format_table()

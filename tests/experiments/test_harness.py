@@ -1,0 +1,63 @@
+"""Unit tests for the shared experiment harness."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentContext, SweepResult
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(num_synsets=400, num_documents=120, seed=77)
+
+
+class TestExperimentContext:
+    def test_lexicon_and_sequence_sizes_agree(self, context):
+        assert len(context.dictionary_sequence) == context.lexicon.num_terms
+
+    def test_specificity_covers_dictionary(self, context):
+        assert set(context.specificity) == set(context.lexicon.terms)
+
+    def test_index_is_built_over_lexicon_vocabulary(self, context):
+        assert context.index.num_terms > 0
+        assert set(context.index.terms) <= set(context.lexicon.terms)
+
+    def test_searchable_sequence_subset_of_dictionary(self, context):
+        searchable = context.searchable_sequence
+        assert set(searchable) == set(context.index.terms) & set(context.dictionary_sequence)
+
+    def test_bucket_cache_reuses_objects(self, context):
+        first = context.buckets(4, None)
+        second = context.buckets(4, None)
+        assert first is second
+        different = context.buckets(8, None)
+        assert different is not first
+
+    def test_random_organization_same_terms(self, context):
+        org = context.random_organization(4)
+        assert org.num_terms == len(context.dictionary_sequence)
+
+    def test_lazy_fields_are_cached(self, context):
+        assert context.lexicon is context.lexicon
+        assert context.index is context.index
+
+
+class TestSweepResult:
+    def test_rows_and_series(self):
+        sweep = SweepResult(name="demo", parameter="x")
+        sweep.add_row(1, {"a": 10.0, "b": 0.5})
+        sweep.add_row(2, {"a": 20.0, "b": 0.25})
+        assert sweep.series("a") == [10.0, 20.0]
+        assert sweep.series("x") == [1, 2]
+        assert sweep.column_names() == ["x", "a", "b"]
+
+    def test_format_table_contains_headers_and_values(self):
+        sweep = SweepResult(name="demo", parameter="x")
+        sweep.add_row(1, {"metric": 3.14159})
+        table = sweep.format_table(precision=2)
+        assert "== demo ==" in table
+        assert "metric" in table
+        assert "3.14" in table
+
+    def test_empty_sweep_formats(self):
+        sweep = SweepResult(name="empty", parameter="x")
+        assert "empty" in sweep.format_table()

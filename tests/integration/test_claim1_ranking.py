@@ -1,0 +1,106 @@
+"""Integration test for Claim 1: PR preserves the engine's relevance ranking.
+
+This is the paper's central quality claim, exercised here with the *real*
+cryptography end to end (Algorithm 3 -> 4 -> 5) over random, topical and
+session workloads, with both scoring functions.
+"""
+
+import random
+
+import pytest
+
+from repro.core.buckets import generate_buckets
+from repro.core.client import PrivateSearchSystem
+from repro.core.workloads import QueryWorkloadGenerator
+from repro.textsearch.engine import SearchEngine
+from repro.textsearch.evaluation import (
+    average_precision,
+    precision_at_k,
+    rankings_identical,
+    recall_at_k,
+)
+from repro.textsearch.inverted_index import InvertedIndex
+from repro.textsearch.scoring import BM25Scorer
+
+
+@pytest.fixture(scope="module")
+def system(index, organization):
+    return PrivateSearchSystem(
+        index=index, organization=organization, key_bits=128, block_size=3**7, rng=random.Random(1)
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(index):
+    return QueryWorkloadGenerator(index, seed=123)
+
+
+class TestRankingPreservation:
+    def test_random_queries(self, system, index, workload):
+        engine = SearchEngine(index)
+        for query in workload.random_queries(5, 3):
+            private_ranking, _ = system.search(query, k=None)
+            plain_ranking = engine.rank_all(query)
+            assert rankings_identical(private_ranking.ranking, plain_ranking.ranking)
+
+    def test_topical_queries(self, system, index, workload):
+        engine = SearchEngine(index)
+        for _ in range(3):
+            query = workload.topical_query(4)
+            private_ranking, _ = system.search(query, k=None)
+            assert rankings_identical(private_ranking.ranking, engine.rank_all(query).ranking)
+
+    def test_session_queries_share_decoys(self, system, index, organization, workload):
+        session = workload.session(num_queries=3, terms_per_query=3, num_focus_terms=1)
+        engine = SearchEngine(index)
+        embellished_term_sets = []
+        for query in session:
+            private_ranking, _ = system.search(query, k=None)
+            assert rankings_identical(private_ranking.ranking, engine.rank_all(query).ranking)
+            embellished = system.client.formulate(query)
+            embellished_term_sets.append(set(embellished.terms))
+        recurring = set.intersection(*embellished_term_sets)
+        focus = session.recurring_terms[0]
+        if focus in organization:
+            assert set(organization.bucket_of(focus)) <= recurring
+
+    def test_precision_recall_equal_to_plain_engine(self, system, index, corpus, workload):
+        """Claim 1 corollary: precision-recall is untouched by the privacy layer."""
+        engine = SearchEngine(index)
+        query = workload.topical_query(4)
+        relevant = {
+            document.doc_id
+            for document in corpus
+            if any(term in document.term_frequencies() for term in query)
+        }
+        private_ranking, _ = system.search(query, k=20)
+        plain_ranking = engine.top_k(query, k=20)
+        assert precision_at_k(private_ranking.doc_ids, relevant, 10) == precision_at_k(
+            plain_ranking.doc_ids, relevant, 10
+        )
+        assert recall_at_k(private_ranking.doc_ids, relevant, 20) == recall_at_k(
+            plain_ranking.doc_ids, relevant, 20
+        )
+        assert average_precision(private_ranking.doc_ids, relevant) == pytest.approx(
+            average_precision(plain_ranking.doc_ids, relevant)
+        )
+
+
+class TestScorerAgnosticism:
+    def test_claim_holds_under_bm25(self, corpus, searchable_sequence, specificity):
+        """Appendix B: the scheme applies to any impact-based scorer, including Okapi."""
+        bm25_index = InvertedIndex.build(corpus, scorer=BM25Scorer())
+        searchable = [t for t in searchable_sequence if t in bm25_index]
+        organization = generate_buckets(searchable, specificity, bucket_size=4)
+        system = PrivateSearchSystem(
+            index=bm25_index,
+            organization=organization,
+            key_bits=128,
+            block_size=3**7,
+            rng=random.Random(9),
+        )
+        engine = SearchEngine(bm25_index)
+        workload = QueryWorkloadGenerator(bm25_index, seed=3)
+        for query in workload.random_queries(3, 3):
+            private_ranking, _ = system.search(query, k=None)
+            assert rankings_identical(private_ranking.ranking, engine.rank_all(query).ranking)

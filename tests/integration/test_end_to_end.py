@@ -1,0 +1,97 @@
+"""End-to-end integration tests over the public package API."""
+
+import random
+
+import pytest
+
+from repro import (
+    build_bucket_organization,
+    build_private_search_system,
+)
+from repro.core.pir_retrieval import PIRRetrievalSystem
+from repro.core.session import session_intersection
+from repro.core.workloads import QueryWorkloadGenerator
+from repro.textsearch.engine import SearchEngine
+from repro.textsearch.evaluation import rankings_identical
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return build_private_search_system(
+        num_synsets=700, num_documents=180, bucket_size=4, key_bits=128, seed=5
+    )
+
+
+class TestBuildHelpers:
+    def test_build_private_search_system_wires_everything(self, deployment):
+        system, index, lexicon = deployment
+        assert system.index is index
+        assert system.organization.num_terms == len(index.terms)
+        assert lexicon.num_terms >= index.num_terms
+
+    def test_build_bucket_organization_over_full_lexicon(self, deployment):
+        _, _, lexicon = deployment
+        organization = build_bucket_organization(lexicon, bucket_size=6)
+        assert organization.num_terms == lexicon.num_terms
+        assert organization.bucket_size == 6
+
+
+class TestPrivateSearchFlow:
+    def test_search_returns_ranking_and_costs(self, deployment):
+        system, index, _ = deployment
+        workload = QueryWorkloadGenerator(index, seed=11)
+        query = workload.random_query(4)
+        ranking, costs = system.search(query, k=10)
+        assert len(ranking) <= 10
+        assert costs.scheme == "PR"
+        assert costs.traffic_kbytes > 0
+
+    def test_pr_and_pir_and_plain_engine_agree(self, deployment):
+        system, index, _ = deployment
+        workload = QueryWorkloadGenerator(index, seed=13)
+        query = workload.random_query(3)
+        plain = SearchEngine(index).rank_all(query)
+        pr_ranking, _ = system.search(query, k=None)
+        pir_system = PIRRetrievalSystem(
+            index=index, organization=system.organization, key_bits=96, rng=random.Random(2)
+        )
+        pir_ranking, _ = pir_system.search(query, k=None)
+        assert rankings_identical(pr_ranking.ranking, plain.ranking)
+        assert pir_ranking.doc_ids == plain.doc_ids
+
+    def test_server_never_sees_plaintext_selectors(self, deployment):
+        """The embellished query contains ciphertexts only, and every bucket term is present."""
+        system, index, _ = deployment
+        organization = system.organization
+        genuine = [organization.buckets[0][0]]
+        query = system.client.formulate(genuine)
+        assert set(query.terms) == set(organization.buckets[0])
+        for ciphertext in query.encrypted_selectors:
+            assert ciphertext not in (0, 1)  # never the raw selector bit
+            assert 1 < ciphertext < system.client.keypair.n
+
+    def test_session_decoys_recur_with_focus_term(self, deployment):
+        system, index, _ = deployment
+        workload = QueryWorkloadGenerator(index, seed=17)
+        session = workload.session(num_queries=3, terms_per_query=3, num_focus_terms=1)
+        intersection = session_intersection(session, system.organization)
+        focus = session.recurring_terms[0]
+        if focus in system.organization:
+            assert set(system.organization.bucket_of(focus)) <= intersection
+            assert len(intersection) >= len(system.organization.bucket_of(focus))
+
+
+class TestCostEstimation:
+    def test_estimates_track_bucket_size(self):
+        small_system, index, _ = build_private_search_system(
+            num_synsets=500, num_documents=120, bucket_size=2, key_bits=128, seed=8
+        )
+        large_system, _, _ = build_private_search_system(
+            num_synsets=500, num_documents=120, bucket_size=8, key_bits=128, seed=8
+        )
+        workload = QueryWorkloadGenerator(index, seed=21)
+        query = workload.random_query(4)
+        small_report = small_system.estimate_costs(query)
+        large_report = large_system.estimate_costs(query)
+        assert large_report.counts["client_encryptions"] > small_report.counts["client_encryptions"]
+        assert large_report.server_cpu_ms >= small_report.server_cpu_ms

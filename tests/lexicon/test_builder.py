@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic WordNet builder (Figure 2 calibration)."""
+
+import pytest
+
+from repro.lexicon.builder import (
+    DEFAULT_DEPTH_PROFILE,
+    SyntheticWordNetBuilder,
+    build_lexicon,
+    merge_relation_source,
+)
+from repro.lexicon.specificity import hypernym_depth_specificity, specificity_histogram
+from repro.lexicon.synset import RelationType
+
+
+class TestStructure:
+    def test_single_root_named_entity(self, small_lexicon):
+        roots = small_lexicon.roots()
+        assert len(roots) == 1
+        assert "entity" in roots[0].terms
+
+    def test_requested_synset_count(self, small_lexicon):
+        assert small_lexicon.num_synsets == 300
+
+    def test_terms_exceed_synsets(self, small_lexicon):
+        # Mean lemmas per synset is > 1, so there must be more terms than synsets.
+        assert small_lexicon.num_terms > small_lexicon.num_synsets
+
+    def test_every_non_root_synset_has_a_hypernym(self, small_lexicon):
+        for synset in small_lexicon.synsets:
+            if synset.synset_id == small_lexicon.roots()[0].synset_id:
+                continue
+            assert synset.hypernyms, f"{synset.synset_id} has no hypernym"
+
+    def test_consistency(self, medium_lexicon):
+        assert medium_lexicon.validate() == []
+
+    def test_too_small_request_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticWordNetBuilder(num_synsets=3, num_top_categories=4).build()
+
+
+class TestDeterminism:
+    def test_same_seed_same_lexicon(self):
+        a = build_lexicon(150, seed=5)
+        b = build_lexicon(150, seed=5)
+        assert a.terms == b.terms
+        assert [s.synset_id for s in a.synsets] == [s.synset_id for s in b.synsets]
+
+    def test_different_seed_different_vocabulary(self):
+        a = build_lexicon(150, seed=5)
+        b = build_lexicon(150, seed=6)
+        assert a.terms != b.terms
+
+
+class TestFigure2Calibration:
+    def test_specificity_range_matches_paper(self, medium_lexicon):
+        histogram = specificity_histogram(hypernym_depth_specificity(medium_lexicon))
+        assert min(histogram) == 0
+        assert max(histogram) <= 18
+
+    def test_mode_near_seven(self, medium_lexicon):
+        histogram = specificity_histogram(hypernym_depth_specificity(medium_lexicon))
+        mode = max(histogram, key=histogram.get)
+        assert 6 <= mode <= 8
+
+    def test_single_root_at_specificity_zero(self, medium_lexicon):
+        histogram = specificity_histogram(hypernym_depth_specificity(medium_lexicon))
+        assert histogram[0] == 1
+
+    def test_profile_fractions_are_positive(self):
+        assert all(f > 0 for f in DEFAULT_DEPTH_PROFILE.values())
+        assert max(DEFAULT_DEPTH_PROFILE, key=DEFAULT_DEPTH_PROFILE.get) == 7
+
+
+class TestLateralRelations:
+    def test_lateral_relation_types_present(self, medium_lexicon):
+        present = set()
+        for synset in medium_lexicon.synsets:
+            present.update(relation for relation, _ in synset.all_related())
+        assert RelationType.DERIVATION in present
+        assert RelationType.MERONYM in present
+        assert RelationType.ANTONYM in present
+
+    def test_rates_can_be_disabled(self):
+        lexicon = build_lexicon(
+            120,
+            seed=9,
+            derivation_rate=0.0,
+            antonym_rate=0.0,
+            meronym_rate=0.0,
+            domain_rate=0.0,
+            polysemy_rate=0.0,
+        )
+        for synset in lexicon.synsets:
+            relations = {relation for relation, _ in synset.all_related()}
+            assert relations <= {RelationType.HYPERNYM, RelationType.HYPONYM}
+
+
+class TestMergeRelations:
+    def test_merge_adds_edges_above_threshold(self, rng):
+        lexicon = build_lexicon(100, seed=2)
+        terms = lexicon.terms
+        extracted = [
+            (terms[1], terms[2], 0.9),
+            (terms[3], terms[4], 0.2),  # below threshold, dropped
+            ("unknown-term", terms[5], 0.9),  # unknown term, skipped
+        ]
+        added = merge_relation_source(lexicon, extracted, min_strength=0.5)
+        assert added == 1
+        assert lexicon.validate() == []
+
+    def test_merge_skips_same_synset_pairs(self):
+        lexicon = build_lexicon(100, seed=2)
+        synset = next(s for s in lexicon.synsets if len(s.terms) >= 2)
+        pair = (synset.terms[0], synset.terms[1], 1.0)
+        assert merge_relation_source(lexicon, [pair]) == 0

@@ -1,0 +1,110 @@
+"""Unit tests for the weighted semantic distance (Section 5.1 metric)."""
+
+import math
+
+import pytest
+
+from repro.lexicon.distance import DistanceWeights, SemanticDistanceCalculator
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.synset import RelationType
+
+
+@pytest.fixture()
+def weighted_lexicon():
+    """A small graph exercising every relation weight.
+
+    root -- hypernym chain -- a -- b; b antonym c; b meronym d; a domain e.
+    """
+    lexicon = Lexicon()
+    for synset_id in ("root", "a", "b", "c", "d", "e"):
+        lexicon.create_synset(synset_id, [f"term {synset_id}"])
+    lexicon.add_relation("a", RelationType.HYPERNYM, "root")
+    lexicon.add_relation("b", RelationType.HYPERNYM, "a")
+    lexicon.add_relation("b", RelationType.ANTONYM, "c")
+    lexicon.add_relation("b", RelationType.MERONYM, "d")
+    lexicon.add_relation("a", RelationType.DOMAIN_TOPIC, "e")
+    return lexicon
+
+
+class TestWeights:
+    def test_paper_default_weights(self):
+        weights = DistanceWeights()
+        assert weights.weight_of(RelationType.HYPERNYM) == 1.0
+        assert weights.weight_of(RelationType.HYPONYM) == 1.0
+        assert weights.weight_of(RelationType.ANTONYM) == 0.5
+        assert weights.weight_of(RelationType.MERONYM) == 2.0
+        assert weights.weight_of(RelationType.HOLONYM) == 2.0
+        assert weights.weight_of(RelationType.DOMAIN_TOPIC) == 3.0
+
+    def test_custom_weights_respected(self, weighted_lexicon):
+        calculator = SemanticDistanceCalculator(
+            weighted_lexicon, weights=DistanceWeights(antonym=5.0)
+        )
+        assert calculator.synset_distance("b", "c") == 5.0
+
+
+class TestSynsetDistance:
+    def test_identity_is_zero(self, weighted_lexicon):
+        calculator = SemanticDistanceCalculator(weighted_lexicon)
+        assert calculator.synset_distance("b", "b") == 0.0
+
+    def test_hypernym_hop_costs_one(self, weighted_lexicon):
+        calculator = SemanticDistanceCalculator(weighted_lexicon)
+        assert calculator.synset_distance("b", "a") == 1.0
+        assert calculator.synset_distance("a", "b") == 1.0  # symmetric graph
+
+    def test_weighted_paths(self, weighted_lexicon):
+        calculator = SemanticDistanceCalculator(weighted_lexicon)
+        assert calculator.synset_distance("b", "root") == 2.0
+        assert calculator.synset_distance("c", "a") == 1.5  # antonym 0.5 + hypernym 1
+        assert calculator.synset_distance("d", "b") == 2.0  # holonym back-edge
+        assert calculator.synset_distance("e", "b") == 4.0  # domain 3 + hyponym 1
+
+    def test_cutoff_yields_infinity(self, weighted_lexicon):
+        calculator = SemanticDistanceCalculator(weighted_lexicon, max_distance=1.0)
+        assert math.isinf(calculator.synset_distance("e", "b"))
+
+
+class TestTermDistance:
+    def test_same_term_is_zero(self, weighted_lexicon):
+        calculator = SemanticDistanceCalculator(weighted_lexicon)
+        assert calculator.term_distance("term a", "term a") == 0.0
+
+    def test_unknown_term_is_infinite(self, weighted_lexicon):
+        calculator = SemanticDistanceCalculator(weighted_lexicon)
+        assert math.isinf(calculator.term_distance("term a", "no such term"))
+
+    def test_polysemy_takes_closest_sense(self):
+        lexicon = Lexicon()
+        lexicon.create_synset("x", ["shared"])
+        lexicon.create_synset("y", ["other"])
+        lexicon.create_synset("z", ["shared", "other2"])
+        lexicon.add_relation("x", RelationType.HYPERNYM, "y")
+        lexicon.add_relation("z", RelationType.ANTONYM, "y")
+        calculator = SemanticDistanceCalculator(lexicon)
+        # 'shared' has senses x (1 hop from y) and z (0.5 hop from y); min wins.
+        assert calculator.term_distance("shared", "other") == 0.5
+
+    def test_symmetry_on_generated_lexicon(self, small_lexicon):
+        calculator = SemanticDistanceCalculator(small_lexicon)
+        terms = small_lexicon.terms
+        pairs = [(terms[i], terms[-i - 1]) for i in range(1, 6)]
+        for a, b in pairs:
+            assert calculator.term_distance(a, b) == pytest.approx(calculator.term_distance(b, a))
+
+
+class TestCaching:
+    def test_cache_grows_and_clears(self, small_lexicon):
+        calculator = SemanticDistanceCalculator(small_lexicon)
+        terms = small_lexicon.terms
+        calculator.term_distance(terms[1], terms[2])
+        assert calculator.cache_size >= 1
+        calculator.clear_cache()
+        assert calculator.cache_size == 0
+
+    def test_cached_result_is_stable(self, small_lexicon):
+        calculator = SemanticDistanceCalculator(small_lexicon)
+        terms = small_lexicon.terms
+        first = calculator.term_distance(terms[3], terms[10])
+        second = calculator.term_distance(terms[3], terms[10])
+        assert first == second

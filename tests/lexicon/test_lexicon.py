@@ -1,0 +1,93 @@
+"""Unit tests for the Lexicon container."""
+
+import pytest
+
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.synset import RelationType, Synset
+
+
+@pytest.fixture()
+def tiny_lexicon():
+    """entity <- animal <- {dog, cat}, with dog/cat antonym-ish link."""
+    lexicon = Lexicon()
+    lexicon.create_synset("root", ["entity"])
+    lexicon.create_synset("animal", ["animal", "beast"])
+    lexicon.create_synset("dog", ["dog", "domestic dog"])
+    lexicon.create_synset("cat", ["cat"])
+    lexicon.add_relation("animal", RelationType.HYPERNYM, "root")
+    lexicon.add_relation("dog", RelationType.HYPERNYM, "animal")
+    lexicon.add_relation("cat", RelationType.HYPERNYM, "animal")
+    lexicon.add_relation("dog", RelationType.ANTONYM, "cat")
+    return lexicon
+
+
+class TestConstruction:
+    def test_counts(self, tiny_lexicon):
+        assert tiny_lexicon.num_synsets == 4
+        assert tiny_lexicon.num_terms == 6
+        assert len(tiny_lexicon) == 6
+
+    def test_duplicate_synset_rejected(self, tiny_lexicon):
+        with pytest.raises(ValueError):
+            tiny_lexicon.create_synset("dog", ["hound"])
+
+    def test_unknown_synset_lookup_raises(self, tiny_lexicon):
+        with pytest.raises(KeyError):
+            tiny_lexicon.synset("no-such-synset")
+
+    def test_polysemy_via_add_term(self, tiny_lexicon):
+        tiny_lexicon.add_term_to_synset("cat", "beast")
+        synsets = tiny_lexicon.synsets_of_term("beast")
+        assert {s.synset_id for s in synsets} == {"animal", "cat"}
+
+
+class TestRelations:
+    def test_inverse_edges_maintained(self, tiny_lexicon):
+        assert "dog" in tiny_lexicon.synset("animal").hyponyms
+        assert "cat" in tiny_lexicon.synset("animal").hyponyms
+        assert tiny_lexicon.synset("cat").related(RelationType.ANTONYM) == ("dog",)
+
+    def test_roots(self, tiny_lexicon):
+        assert [s.synset_id for s in tiny_lexicon.roots()] == ["root"]
+
+    def test_neighbours(self, tiny_lexicon):
+        neighbours = dict()
+        for relation, target in tiny_lexicon.neighbours("dog"):
+            neighbours.setdefault(relation, []).append(target)
+        assert neighbours[RelationType.HYPERNYM] == ["animal"]
+        assert neighbours[RelationType.ANTONYM] == ["cat"]
+
+    def test_validate_clean_lexicon(self, tiny_lexicon):
+        assert tiny_lexicon.validate() == []
+
+    def test_validate_detects_missing_inverse(self, tiny_lexicon):
+        # Break the invariant behind the container's back.
+        tiny_lexicon.synset("dog").add_relation(RelationType.MERONYM, "root")
+        problems = tiny_lexicon.validate()
+        assert any("inverse edge missing" in p for p in problems)
+
+
+class TestRestriction:
+    def test_restricted_to_terms_drops_vocabulary_only(self, tiny_lexicon):
+        restricted = tiny_lexicon.restricted_to_terms(["dog", "cat", "entity"])
+        assert restricted.has_term("dog")
+        assert not restricted.has_term("animal")
+        # Graph structure is preserved so distances still route through 'animal'.
+        assert restricted.synset("animal").hyponyms == ("dog", "cat")
+        assert restricted.num_synsets == tiny_lexicon.num_synsets
+
+    def test_restriction_keeps_validation_clean(self, tiny_lexicon):
+        restricted = tiny_lexicon.restricted_to_terms(["dog"])
+        assert restricted.validate() == []
+
+
+class TestBuilderIntegration:
+    def test_generated_lexicon_is_consistent(self, small_lexicon):
+        assert small_lexicon.validate() == []
+
+    def test_every_term_is_indexed(self, small_lexicon):
+        for term in small_lexicon.terms[:100]:
+            assert small_lexicon.synsets_of_term(term)
+
+    def test_iteration_yields_synsets(self, small_lexicon):
+        assert len(list(iter(small_lexicon))) == small_lexicon.num_synsets

@@ -1,0 +1,86 @@
+"""Unit tests for the specificity computations (Section 3.2)."""
+
+import pytest
+
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.specificity import (
+    document_frequency_specificity,
+    hypernym_depth_specificity,
+    specificity_histogram,
+    synset_depths,
+)
+from repro.lexicon.synset import RelationType
+
+
+@pytest.fixture()
+def chain_lexicon():
+    """entity <- organism <- animal <- dog, plus a polysemous 'mutt' at two depths."""
+    lexicon = Lexicon()
+    lexicon.create_synset("root", ["entity"])
+    lexicon.create_synset("organism", ["organism"])
+    lexicon.create_synset("animal", ["animal", "mutt"])
+    lexicon.create_synset("dog", ["dog", "mutt"])
+    lexicon.add_relation("organism", RelationType.HYPERNYM, "root")
+    lexicon.add_relation("animal", RelationType.HYPERNYM, "organism")
+    lexicon.add_relation("dog", RelationType.HYPERNYM, "animal")
+    return lexicon
+
+
+class TestSynsetDepths:
+    def test_chain_depths(self, chain_lexicon):
+        depths = synset_depths(chain_lexicon)
+        assert depths == {"root": 0, "organism": 1, "animal": 2, "dog": 3}
+
+    def test_shortest_path_wins_with_multiple_hypernyms(self, chain_lexicon):
+        # Give 'dog' a second, shorter generalisation path.
+        chain_lexicon.add_relation("dog", RelationType.HYPERNYM, "root")
+        assert synset_depths(chain_lexicon)["dog"] == 1
+
+    def test_disconnected_synset_defaults_to_zero(self):
+        lexicon = Lexicon()
+        lexicon.create_synset("root", ["entity"])
+        lexicon.create_synset("island", ["island term"])
+        depths = synset_depths(lexicon)
+        assert depths["island"] == 0
+
+
+class TestTermSpecificity:
+    def test_term_specificity_is_min_over_senses(self, chain_lexicon):
+        specificity = hypernym_depth_specificity(chain_lexicon)
+        assert specificity["dog"] == 3
+        assert specificity["mutt"] == 2  # most general sense wins
+
+    def test_every_term_gets_a_value(self, small_lexicon):
+        specificity = hypernym_depth_specificity(small_lexicon)
+        assert set(specificity) == set(small_lexicon.terms)
+        assert all(value >= 0 for value in specificity.values())
+
+
+class TestDocumentFrequencySpecificity:
+    def test_rarer_terms_are_more_specific(self):
+        spec = document_frequency_specificity({"common": 900, "rare": 2}, num_documents=1000)
+        assert spec["rare"] > spec["common"]
+
+    def test_absent_terms_get_max_level(self):
+        spec = document_frequency_specificity({"ghost": 0}, num_documents=100, max_level=18)
+        assert spec["ghost"] == 18
+
+    def test_values_bounded(self):
+        frequencies = {f"t{i}": i + 1 for i in range(50)}
+        spec = document_frequency_specificity(frequencies, num_documents=50)
+        assert all(0 <= value <= 18 for value in spec.values())
+
+    def test_zero_documents_rejected(self):
+        with pytest.raises(ValueError):
+            document_frequency_specificity({"a": 1}, num_documents=0)
+
+
+class TestHistogram:
+    def test_histogram_counts(self):
+        histogram = specificity_histogram({"a": 1, "b": 1, "c": 7})
+        assert histogram == {1: 2, 7: 1}
+
+    def test_histogram_is_sorted(self, specificity):
+        histogram = specificity_histogram(specificity)
+        assert list(histogram) == sorted(histogram)
+        assert sum(histogram.values()) == len(specificity)

@@ -1,0 +1,71 @@
+"""Unit tests for the synset data model."""
+
+import pytest
+
+from repro.lexicon.synset import SEQUENCING_RELATION_ORDER, RelationType, Synset
+
+
+class TestRelationType:
+    def test_hypernym_hyponym_are_inverses(self):
+        assert RelationType.HYPERNYM.inverse is RelationType.HYPONYM
+        assert RelationType.HYPONYM.inverse is RelationType.HYPERNYM
+
+    def test_meronym_holonym_are_inverses(self):
+        assert RelationType.MERONYM.inverse is RelationType.HOLONYM
+        assert RelationType.HOLONYM.inverse is RelationType.MERONYM
+
+    def test_symmetric_relations(self):
+        for relation in (RelationType.ANTONYM, RelationType.DERIVATION, RelationType.DOMAIN_TOPIC):
+            assert relation.is_symmetric
+            assert relation.inverse is relation
+
+    def test_asymmetric_relations(self):
+        assert not RelationType.HYPERNYM.is_symmetric
+        assert not RelationType.MERONYM.is_symmetric
+
+    def test_sequencing_order_matches_algorithm1(self):
+        # Line 18 of Algorithm 1: derivational, antonyms, hyponyms, hypernyms,
+        # meronyms, holonyms -- and no domain relations.
+        assert SEQUENCING_RELATION_ORDER == (
+            RelationType.DERIVATION,
+            RelationType.ANTONYM,
+            RelationType.HYPONYM,
+            RelationType.HYPERNYM,
+            RelationType.MERONYM,
+            RelationType.HOLONYM,
+        )
+        assert RelationType.DOMAIN_TOPIC not in SEQUENCING_RELATION_ORDER
+        assert RelationType.DOMAIN_USAGE not in SEQUENCING_RELATION_ORDER
+
+
+class TestSynset:
+    def test_add_term_is_idempotent(self):
+        synset = Synset(synset_id="s1", terms=["privacy"])
+        synset.add_term("privacy")
+        synset.add_term("seclusion")
+        assert synset.terms == ["privacy", "seclusion"]
+        assert "privacy" in synset
+        assert len(synset) == 2
+
+    def test_add_relation_and_lookup(self):
+        synset = Synset(synset_id="s1", terms=["a"])
+        synset.add_relation(RelationType.HYPERNYM, "s2")
+        synset.add_relation(RelationType.HYPERNYM, "s2")  # idempotent
+        synset.add_relation(RelationType.ANTONYM, "s3")
+        assert synset.related(RelationType.HYPERNYM) == ("s2",)
+        assert synset.hypernyms == ("s2",)
+        assert set(synset.all_related()) == {
+            (RelationType.HYPERNYM, "s2"),
+            (RelationType.ANTONYM, "s3"),
+        }
+        assert synset.relation_count == 2
+
+    def test_self_relation_rejected(self):
+        synset = Synset(synset_id="s1", terms=["a"])
+        with pytest.raises(ValueError):
+            synset.add_relation(RelationType.ANTONYM, "s1")
+
+    def test_missing_relation_returns_empty(self):
+        synset = Synset(synset_id="s1", terms=["a"])
+        assert synset.related(RelationType.MERONYM) == ()
+        assert synset.hyponyms == ()

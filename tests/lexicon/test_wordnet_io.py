@@ -1,0 +1,89 @@
+"""Unit tests for lexicon serialisation (JSON and wn-tsv)."""
+
+import io
+
+import pytest
+
+from repro.lexicon.builder import build_lexicon
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.specificity import hypernym_depth_specificity
+from repro.lexicon.synset import RelationType
+from repro.lexicon.wordnet_io import (
+    lexicon_from_dict,
+    lexicon_to_dict,
+    load_json,
+    load_tsv,
+    save_json,
+    save_tsv,
+)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_structure(self, small_lexicon, tmp_path):
+        path = tmp_path / "lexicon.json"
+        save_json(small_lexicon, path)
+        loaded = load_json(path)
+        assert loaded.num_synsets == small_lexicon.num_synsets
+        assert loaded.num_terms == small_lexicon.num_terms
+        assert loaded.validate() == []
+
+    def test_roundtrip_preserves_specificity(self, small_lexicon, tmp_path):
+        path = tmp_path / "lexicon.json"
+        save_json(small_lexicon, path)
+        loaded = load_json(path)
+        assert hypernym_depth_specificity(loaded) == hypernym_depth_specificity(small_lexicon)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            lexicon_from_dict({"format": "something-else", "synsets": []})
+
+    def test_dict_contains_relations(self, small_lexicon):
+        data = lexicon_to_dict(small_lexicon)
+        assert data["format"] == "repro-lexicon"
+        assert any(entry["relations"] for entry in data["synsets"])
+
+
+class TestTsvRoundTrip:
+    def test_roundtrip(self):
+        lexicon = build_lexicon(80, seed=3)
+        buffer = io.StringIO()
+        save_tsv(lexicon, buffer)
+        buffer.seek(0)
+        loaded = load_tsv(buffer)
+        assert loaded.num_synsets == lexicon.num_synsets
+        assert set(loaded.terms) == set(lexicon.terms)
+        assert loaded.validate() == []
+
+    def test_multiword_lemmas_roundtrip(self):
+        lexicon = Lexicon()
+        lexicon.create_synset("s1", ["abu sayyaf"])
+        lexicon.create_synset("s2", ["terrorism"])
+        lexicon.add_relation("s1", RelationType.DOMAIN_TOPIC, "s2")
+        buffer = io.StringIO()
+        save_tsv(lexicon, buffer)
+        buffer.seek(0)
+        loaded = load_tsv(buffer)
+        assert loaded.has_term("abu sayyaf")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\nS\ts1\tentity\nS\ts2\tobject\nR\ts2\thypernym\ts1\n"
+        loaded = load_tsv(io.StringIO(text))
+        assert loaded.num_synsets == 2
+        assert loaded.synset("s2").hypernyms == ("s1",)
+
+    def test_malformed_synset_line_rejected(self):
+        with pytest.raises(ValueError):
+            load_tsv(io.StringIO("S\tonly-an-id\n"))
+
+    def test_malformed_relation_line_rejected(self):
+        with pytest.raises(ValueError):
+            load_tsv(io.StringIO("S\ts1\tentity\nR\ts1\thypernym\n"))
+
+    def test_unknown_relation_rejected(self):
+        text = "S\ts1\tentity\nS\ts2\tobject\nR\ts2\tbogus\ts1\n"
+        with pytest.raises(ValueError):
+            load_tsv(io.StringIO(text))
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(ValueError):
+            load_tsv(io.StringIO("X\twhat\n"))

@@ -1,0 +1,79 @@
+"""Property-based tests for sequencing and bucket formation invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.buckets import generate_buckets, simple_buckets
+from repro.core.random_buckets import random_buckets
+
+
+def _make_terms(count):
+    return [f"w{i:04d}" for i in range(count)]
+
+
+terms_strategy = st.integers(min_value=2, max_value=400).map(_make_terms)
+specificity_strategy = st.integers(min_value=0, max_value=18)
+
+
+class TestGenerateBucketsInvariants:
+    @given(
+        terms=terms_strategy,
+        bucket_size=st.integers(min_value=1, max_value=12),
+        segment_exponent=st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, terms, bucket_size, segment_exponent, seed):
+        """Every term lands in exactly one bucket, nothing invented, nothing lost."""
+        if bucket_size > max(1, len(terms) // 2):
+            bucket_size = max(1, len(terms) // 2)
+        rng = random.Random(seed)
+        specificity = {t: rng.randint(0, 18) for t in terms}
+        segment_size = None if segment_exponent is None else 2**segment_exponent
+        organization = generate_buckets(terms, specificity, bucket_size, segment_size)
+
+        flattened = [t for bucket in organization.buckets for t in bucket]
+        assert sorted(flattened) == sorted(terms)
+        assert all(1 <= len(bucket) <= bucket_size for bucket in organization.buckets)
+        # Lookup consistency.
+        sample = rng.sample(terms, k=min(10, len(terms)))
+        for term in sample:
+            assert term in organization.bucket_of(term)
+            assert term not in organization.decoys_for(term)
+
+    @given(
+        terms=terms_strategy,
+        bucket_size=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_full_buckets_dominate(self, terms, bucket_size, seed):
+        """At most a small tail of buckets may be undersized (padding artefacts)."""
+        if bucket_size > max(1, len(terms) // 2):
+            bucket_size = max(1, len(terms) // 2)
+        rng = random.Random(seed)
+        specificity = {t: rng.randint(0, 18) for t in terms}
+        organization = generate_buckets(terms, specificity, bucket_size)
+        undersized = sum(1 for bucket in organization.buckets if len(bucket) < bucket_size)
+        # With the default (maximal) segment size the padding is below one
+        # slot per segment, so at most bucket_size buckets can be undersized.
+        assert undersized <= bucket_size
+
+
+class TestOtherOrganisations:
+    @given(
+        terms=terms_strategy,
+        bucket_size=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_simple_and_random_buckets_partition(self, terms, bucket_size, seed):
+        rng = random.Random(seed)
+        specificity = {t: rng.randint(0, 18) for t in terms}
+        for organization in (
+            simple_buckets(terms, specificity, bucket_size),
+            random_buckets(terms, specificity, bucket_size, rng=rng),
+        ):
+            flattened = [t for bucket in organization.buckets for t in bucket]
+            assert sorted(flattened) == sorted(terms)

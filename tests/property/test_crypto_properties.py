@@ -1,0 +1,102 @@
+"""Property-based tests for the cryptographic primitives (hypothesis)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.benaloh import generate_keypair as benaloh_keypair
+from repro.crypto.numbertheory import crt_pair, is_probable_prime, jacobi_symbol, modinv
+from repro.crypto.paillier import generate_keypair as paillier_keypair
+from repro.crypto.pir import PIRClient, PIRDatabase, PIRServer
+
+# Module-level fixed keys: hypothesis re-runs the test body many times, and
+# key generation is the expensive part we do not want inside @given.
+BENALOH = benaloh_keypair(key_bits=128, block_size=3**6, rng=random.Random(101))
+PAILLIER = paillier_keypair(key_bits=128, rng=random.Random(102))
+PIR_CLIENT = PIRClient.with_new_group(key_bits=64, rng=random.Random(103))
+
+
+class TestNumberTheoryProperties:
+    @given(a=st.integers(min_value=1, max_value=10**9), p=st.sampled_from([101, 997, 65537]))
+    def test_modinv_is_an_inverse(self, a, p):
+        if a % p == 0:
+            return
+        assert (a * modinv(a, p)) % p == 1
+
+    @given(a=st.integers(min_value=1, max_value=10**6), b=st.integers(min_value=1, max_value=10**6))
+    def test_jacobi_is_multiplicative_in_numerator(self, a, b):
+        n = 3 * 7 * 11
+        assert jacobi_symbol(a * b, n) == jacobi_symbol(a, n) * jacobi_symbol(b, n)
+
+    @given(
+        r1=st.integers(min_value=0, max_value=100),
+        r2=st.integers(min_value=0, max_value=100),
+    )
+    def test_crt_solves_both_congruences(self, r1, r2):
+        m1, m2 = 101, 103
+        x = crt_pair([r1 % m1, r2 % m2], [m1, m2])
+        assert x % m1 == r1 % m1
+        assert x % m2 == r2 % m2
+
+    @given(n=st.integers(min_value=2, max_value=5000))
+    def test_primality_agrees_with_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+        assert is_probable_prime(n) == by_trial
+
+
+class TestBenalohProperties:
+    @given(m=st.integers(min_value=0, max_value=3**6 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, m):
+        rng = random.Random(m)
+        assert BENALOH.private.decrypt(BENALOH.public.encrypt(m, rng)) == m
+
+    @given(
+        m1=st.integers(min_value=0, max_value=3**6 - 1),
+        m2=st.integers(min_value=0, max_value=3**6 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_additive_homomorphism(self, m1, m2):
+        rng = random.Random(m1 * 1000 + m2)
+        pub, priv = BENALOH.public, BENALOH.private
+        c = pub.add(pub.encrypt(m1, rng), pub.encrypt(m2, rng))
+        assert priv.decrypt(c) == (m1 + m2) % BENALOH.r
+
+    @given(
+        m=st.integers(min_value=0, max_value=3**6 - 1),
+        scalar=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_homomorphism(self, m, scalar):
+        rng = random.Random(m * 7 + scalar)
+        pub, priv = BENALOH.public, BENALOH.private
+        assert priv.decrypt(pub.scalar_multiply(pub.encrypt(m, rng), scalar)) == (m * scalar) % BENALOH.r
+
+
+class TestPaillierProperties:
+    @given(
+        m1=st.integers(min_value=0, max_value=2**40),
+        m2=st.integers(min_value=0, max_value=2**40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_additive_homomorphism(self, m1, m2):
+        rng = random.Random(m1 ^ m2)
+        pub, priv = PAILLIER.public, PAILLIER.private
+        c = pub.add(pub.encrypt(m1, rng), pub.encrypt(m2, rng))
+        assert priv.decrypt(c) == (m1 + m2) % PAILLIER.n
+
+
+class TestPIRProperties:
+    @given(
+        columns=st.lists(st.binary(min_size=1, max_size=6), min_size=2, max_size=5),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_column_of_any_database_is_retrievable(self, columns, data):
+        wanted = data.draw(st.integers(min_value=0, max_value=len(columns) - 1))
+        database = PIRDatabase.from_columns(columns)
+        server = PIRServer(database)
+        recovered = PIR_CLIENT.retrieve(server, wanted)
+        padded = columns[wanted] + b"\x00" * (max(len(c) for c in columns) - len(columns[wanted]))
+        assert recovered == padded

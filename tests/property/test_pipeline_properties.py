@@ -1,0 +1,64 @@
+"""Property-based tests for the end-to-end PR pipeline invariant (Claim 1).
+
+The single most important invariant of the whole system: for *any* choice of
+genuine terms, the decrypted, ranked result of the private pipeline equals
+the plaintext engine's ranking.  Hypothesis drives the choice of query terms
+and query sizes over the session-scoped fixtures.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.client import PrivateSearchSystem
+from repro.core.embellish import QueryEmbellisher
+from repro.core.session import QuerySession, session_intersection
+from repro.textsearch.engine import SearchEngine
+from repro.textsearch.evaluation import rankings_identical
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def system(index, organization):
+    return PrivateSearchSystem(
+        index=index, organization=organization, key_bits=128, block_size=3**7, rng=random.Random(55)
+    )
+
+
+class TestClaim1Property:
+    @given(data=st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_ranking_preserved_for_arbitrary_queries(self, system, index, data):
+        terms = list(index.terms)
+        query = data.draw(st.lists(st.sampled_from(terms), min_size=1, max_size=4, unique=True))
+        private_ranking, _ = system.search(query, k=None)
+        plain_ranking = SearchEngine(index).rank_all(query)
+        assert rankings_identical(private_ranking.ranking, plain_ranking.ranking)
+
+    @given(data=st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_selector_bits_always_encode_membership(self, organization, benaloh_keypair, data):
+        bucketed_terms = [t for bucket in organization.buckets for t in bucket]
+        query_terms = data.draw(
+            st.lists(st.sampled_from(bucketed_terms), min_size=1, max_size=5, unique=True)
+        )
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(data.draw(st.integers(0, 999)))
+        )
+        query = embellisher.embellish(query_terms)
+        genuine = set(query_terms)
+        for term, ciphertext in query:
+            assert benaloh_keypair.private.decrypt(ciphertext) == (1 if term in genuine else 0)
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_recurring_terms_always_bring_recurring_decoys(self, organization, data):
+        bucketed_terms = [t for bucket in organization.buckets for t in bucket]
+        focus = data.draw(st.sampled_from(bucketed_terms))
+        others = data.draw(
+            st.lists(st.sampled_from(bucketed_terms), min_size=1, max_size=3, unique=True)
+        )
+        session = QuerySession(queries=tuple((focus, other) for other in others))
+        intersection = session_intersection(session, organization)
+        assert set(organization.bucket_of(focus)) <= intersection

@@ -1,0 +1,51 @@
+"""Unit tests for Document and Corpus containers."""
+
+import pytest
+
+from repro.textsearch.corpus import Corpus, Document
+
+
+class TestDocument:
+    def test_term_frequencies(self):
+        document = Document(doc_id=1, text="water soaked tissues water")
+        assert document.term_frequencies() == {"water": 2, "soaked": 1, "tissues": 1}
+
+    def test_length_is_text_length(self):
+        assert len(Document(doc_id=1, text="abcd")) == 4
+
+
+class TestCorpus:
+    def test_add_and_lookup(self):
+        corpus = Corpus([Document(doc_id=0, text="alpha"), Document(doc_id=1, text="beta")])
+        assert len(corpus) == 2
+        assert corpus.document(1).text == "beta"
+        assert 0 in corpus and 5 not in corpus
+        assert corpus.doc_ids == (0, 1)
+
+    def test_duplicate_id_rejected(self):
+        corpus = Corpus([Document(doc_id=0, text="alpha")])
+        with pytest.raises(ValueError):
+            corpus.add(Document(doc_id=0, text="again"))
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            Corpus().document(3)
+
+    def test_total_text_bytes(self):
+        corpus = Corpus([Document(doc_id=0, text="ab"), Document(doc_id=1, text="cde")])
+        assert corpus.total_text_bytes() == 5
+
+    def test_documents_with_topic(self):
+        corpus = Corpus(
+            [
+                Document(doc_id=0, text="x", topics=("cancer",)),
+                Document(doc_id=1, text="y", topics=("wine", "cancer")),
+                Document(doc_id=2, text="z", topics=("diving",)),
+            ]
+        )
+        assert {d.doc_id for d in corpus.documents_with_topic("cancer")} == {0, 1}
+        assert corpus.documents_with_topic("nothing") == ()
+
+    def test_iteration_order(self):
+        corpus = Corpus([Document(doc_id=i, text=str(i)) for i in range(5)])
+        assert [d.doc_id for d in corpus] == list(range(5))

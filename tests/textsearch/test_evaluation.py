@@ -1,0 +1,93 @@
+"""Unit tests for the retrieval-quality metrics."""
+
+import pytest
+
+from repro.textsearch.evaluation import (
+    average_precision,
+    f1_at_k,
+    kendall_tau,
+    precision_at_k,
+    rankings_identical,
+    recall_at_k,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect_precision(self):
+        assert precision_at_k([1, 2, 3], relevant={1, 2, 3}, k=3) == 1.0
+
+    def test_half_precision(self):
+        assert precision_at_k([1, 9, 2, 8], relevant={1, 2}, k=4) == 0.5
+
+    def test_recall(self):
+        assert recall_at_k([1, 9, 2, 8], relevant={1, 2, 3, 4}, k=4) == 0.5
+
+    def test_recall_with_no_relevant_documents(self):
+        assert recall_at_k([1, 2], relevant=set(), k=2) == 0.0
+
+    def test_empty_ranking(self):
+        assert precision_at_k([], relevant={1}, k=5) == 0.0
+
+    def test_f1_harmonic_mean(self):
+        p = precision_at_k([1, 9], {1, 2}, 2)
+        r = recall_at_k([1, 9], {1, 2}, 2)
+        assert f1_at_k([1, 9], {1, 2}, 2) == pytest.approx(2 * p * r / (p + r))
+
+    def test_f1_zero_when_nothing_found(self):
+        assert f1_at_k([9, 8], {1, 2}, 2) == 0.0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], {1}, 0)
+        with pytest.raises(ValueError):
+            recall_at_k([1], {1}, -1)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([1, 2, 3], {1, 2, 3}) == 1.0
+
+    def test_relevant_late_in_ranking(self):
+        assert average_precision([9, 8, 1], {1}) == pytest.approx(1 / 3)
+
+    def test_no_relevant_found(self):
+        assert average_precision([9, 8], {1}) == 0.0
+
+    def test_empty_relevant_set(self):
+        assert average_precision([1, 2], set()) == 0.0
+
+
+class TestRankingComparison:
+    def test_identical_rankings(self):
+        a = [(1, 3.0), (2, 2.0)]
+        assert rankings_identical(a, list(a))
+
+    def test_different_order_detected(self):
+        assert not rankings_identical([(1, 3.0), (2, 2.0)], [(2, 2.0), (1, 3.0)])
+
+    def test_different_scores_detected(self):
+        assert not rankings_identical([(1, 3.0)], [(1, 4.0)])
+
+    def test_score_tolerance(self):
+        assert rankings_identical([(1, 3.0)], [(1, 3.0 + 1e-12)])
+
+    def test_different_lengths_detected(self):
+        assert not rankings_identical([(1, 3.0)], [(1, 3.0), (2, 1.0)])
+
+
+class TestKendallTau:
+    def test_identical_order(self):
+        assert kendall_tau([1, 2, 3, 4], [1, 2, 3, 4]) == 1.0
+
+    def test_reversed_order(self):
+        assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == -1.0
+
+    def test_partial_agreement(self):
+        tau = kendall_tau([1, 2, 3], [1, 3, 2])
+        assert 0.0 < tau < 1.0
+
+    def test_disjoint_rankings(self):
+        assert kendall_tau([1, 2], [3, 4]) == 1.0
+
+    def test_single_common_element(self):
+        assert kendall_tau([1, 2], [2, 9]) == 1.0

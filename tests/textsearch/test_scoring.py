@@ -1,0 +1,85 @@
+"""Unit tests for the scoring functions (Equation 3 cosine and Okapi BM25)."""
+
+import math
+
+import pytest
+
+from repro.textsearch.scoring import BM25Scorer, CorpusStatistics, CosineScorer
+
+
+@pytest.fixture()
+def stats():
+    return CorpusStatistics(
+        num_documents=100,
+        document_frequencies={"rare": 2, "common": 80, "medium": 20},
+        average_document_length=50.0,
+    )
+
+
+class TestCosineScorer:
+    def test_impacts_match_equation_three(self, stats):
+        scorer = CosineScorer()
+        frequencies = {"rare": 3, "common": 3}
+        impacts = scorer.document_impacts(frequencies, stats)
+        w_dt = 1.0 + math.log(3)
+        norm = math.sqrt(2 * w_dt**2)
+        assert impacts["rare"] == pytest.approx(w_dt * math.log(1 + 100 / 2) / norm)
+        assert impacts["common"] == pytest.approx(w_dt * math.log(1 + 100 / 80) / norm)
+
+    def test_rare_terms_have_higher_impact(self, stats):
+        impacts = CosineScorer().document_impacts({"rare": 2, "common": 2}, stats)
+        assert impacts["rare"] > impacts["common"]
+
+    def test_repeated_terms_have_higher_weight_but_sublinear(self, stats):
+        single = CosineScorer().document_impacts({"medium": 1, "rare": 1}, stats)["medium"]
+        many = CosineScorer().document_impacts({"medium": 10, "rare": 1}, stats)["medium"]
+        assert many > single
+        assert many < 10 * single
+
+    def test_unknown_term_gets_zero(self, stats):
+        impacts = CosineScorer().document_impacts({"unseen": 1}, stats)
+        assert impacts["unseen"] == 0.0
+
+    def test_empty_document(self, stats):
+        assert CosineScorer().document_impacts({}, stats) == {}
+
+    def test_longer_documents_are_normalised_down(self, stats):
+        short = CosineScorer().document_impacts({"rare": 1}, stats)["rare"]
+        long_doc = {"rare": 1, **{f"filler{i}": 1 for i in range(20)}}
+        # Filler terms are out-of-corpus (zero impact) but still inflate W_d.
+        long_impact = CosineScorer().document_impacts(long_doc, stats)["rare"]
+        assert long_impact < short
+
+
+class TestBM25Scorer:
+    def test_rare_terms_have_higher_impact(self, stats):
+        impacts = BM25Scorer().document_impacts({"rare": 2, "common": 2}, stats)
+        assert impacts["rare"] > impacts["common"]
+
+    def test_term_frequency_saturates(self, stats):
+        one = BM25Scorer().document_impacts({"medium": 1}, stats)["medium"]
+        ten = BM25Scorer().document_impacts({"medium": 10}, stats)["medium"]
+        hundred = BM25Scorer().document_impacts({"medium": 100}, stats)["medium"]
+        assert one < ten < hundred
+        assert (hundred - ten) < (ten - one)
+
+    def test_document_length_normalisation(self, stats):
+        short = BM25Scorer().document_impacts({"medium": 2}, stats)["medium"]
+        long_doc = {"medium": 2, **{f"pad{i}": 5 for i in range(30)}}
+        long_impact = BM25Scorer().document_impacts(long_doc, stats)["medium"]
+        assert long_impact < short
+
+    def test_b_zero_disables_length_normalisation(self, stats):
+        scorer = BM25Scorer(b=0.0)
+        short = scorer.document_impacts({"medium": 2}, stats)["medium"]
+        long_doc = {"medium": 2, **{f"pad{i}": 5 for i in range(30)}}
+        assert scorer.document_impacts(long_doc, stats)["medium"] == pytest.approx(short)
+
+    def test_unknown_term_gets_zero(self, stats):
+        assert BM25Scorer().document_impacts({"unseen": 3}, stats)["unseen"] == 0.0
+
+
+class TestCorpusStatistics:
+    def test_document_frequency_lookup(self, stats):
+        assert stats.document_frequency("rare") == 2
+        assert stats.document_frequency("never-seen") == 0

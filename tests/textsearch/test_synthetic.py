@@ -1,0 +1,75 @@
+"""Unit tests for the synthetic (WSJ stand-in) corpus generator."""
+
+import pytest
+
+from repro.textsearch.synthetic import SyntheticCorpusGenerator
+from repro.textsearch.tokenizer import Tokenizer
+
+
+class TestGeneration:
+    def test_document_count(self, corpus):
+        assert len(corpus) == 200
+
+    def test_documents_have_topics(self, corpus):
+        for document in corpus:
+            assert document.topics
+            assert all(topic.startswith("topic-") for topic in document.topics)
+
+    def test_vocabulary_comes_from_lexicon(self, corpus, medium_lexicon):
+        tokenizer = Tokenizer()
+        lexicon_terms = set(medium_lexicon.terms)
+        sample = list(corpus)[:20]
+        for document in sample:
+            for token in tokenizer.tokenize(document.text):
+                assert token in lexicon_terms
+
+    def test_determinism(self, medium_lexicon):
+        a = SyntheticCorpusGenerator(lexicon=medium_lexicon, num_documents=30, seed=5).generate()
+        b = SyntheticCorpusGenerator(lexicon=medium_lexicon, num_documents=30, seed=5).generate()
+        assert [d.text for d in a] == [d.text for d in b]
+
+    def test_different_seeds_differ(self, medium_lexicon):
+        a = SyntheticCorpusGenerator(lexicon=medium_lexicon, num_documents=30, seed=5).generate()
+        b = SyntheticCorpusGenerator(lexicon=medium_lexicon, num_documents=30, seed=6).generate()
+        assert [d.text for d in a] != [d.text for d in b]
+
+    def test_zipfian_skew_in_document_frequencies(self, index):
+        # A few terms should appear in many documents, most in very few.
+        frequencies = sorted(
+            (index.document_frequency(t) for t in index.terms), reverse=True
+        )
+        top_decile = frequencies[: max(1, len(frequencies) // 10)]
+        bottom_half = frequencies[len(frequencies) // 2 :]
+        assert sum(top_decile) / len(top_decile) > 5 * sum(bottom_half) / len(bottom_half)
+
+    def test_too_many_topics_rejected(self, small_lexicon):
+        generator = SyntheticCorpusGenerator(
+            lexicon=small_lexicon, num_documents=5, num_topics=10_000
+        )
+        with pytest.raises(ValueError):
+            generator.generate()
+
+    def test_topical_documents_share_vocabulary(self, medium_lexicon):
+        """Two documents of the same topic overlap more than documents of different topics."""
+        corpus = SyntheticCorpusGenerator(
+            lexicon=medium_lexicon,
+            num_documents=60,
+            topics_per_document=1,
+            background_fraction=0.05,
+            seed=8,
+        ).generate()
+        tokenizer = Tokenizer()
+        by_topic: dict[str, list[set[str]]] = {}
+        for document in corpus:
+            by_topic.setdefault(document.topics[0], []).append(set(tokenizer.tokenize(document.text)))
+        topics = [t for t, docs in by_topic.items() if len(docs) >= 2]
+        same = cross = 0.0
+        same_n = cross_n = 0
+        for i, topic in enumerate(topics[:6]):
+            docs = by_topic[topic]
+            same += len(docs[0] & docs[1]) / max(1, len(docs[0] | docs[1]))
+            same_n += 1
+            other = by_topic[topics[(i + 1) % len(topics)]][0]
+            cross += len(docs[0] & other) / max(1, len(docs[0] | other))
+            cross_n += 1
+        assert same / same_n > cross / cross_n

@@ -1,0 +1,60 @@
+"""Unit tests for tokenisation and stopword removal."""
+
+from repro.textsearch.tokenizer import DEFAULT_STOPWORDS, Tokenizer
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        tokens = Tokenizer().tokenize("Accelerated Radiation THERAPY")
+        assert tokens == ["accelerated", "radiation", "therapy"]
+
+    def test_stopwords_removed(self):
+        tokens = Tokenizer().tokenize("the cat and the dog")
+        assert "the" not in tokens and "and" not in tokens
+        assert tokens == ["cat", "dog"]
+
+    def test_short_tokens_removed(self):
+        tokens = Tokenizer().tokenize("a b cd efg")
+        assert tokens == ["cd", "efg"]
+
+    def test_punctuation_is_a_separator(self):
+        tokens = Tokenizer().tokenize("osteosarcoma, symptoms; therapy.")
+        assert tokens == ["osteosarcoma", "symptoms", "therapy"]
+
+    def test_numbers_kept(self):
+        assert "1992" in Tokenizer().tokenize("articles from 1992")
+
+    def test_no_stemming(self):
+        # The paper's pipeline performs stopword removal but not stemming.
+        tokens = Tokenizer().tokenize("keeps keeper keeping")
+        assert tokens == ["keeps", "keeper", "keeping"]
+
+    def test_phrase_tokens_preserved(self):
+        tokens = Tokenizer().tokenize("attack by abu_sayyaf group")
+        assert "abu sayyaf" in tokens
+
+    def test_phrase_handling_can_be_disabled(self):
+        tokens = Tokenizer(keep_phrases=False).tokenize("abu_sayyaf group")
+        assert "abu sayyaf" not in tokens
+        assert "abu" in tokens and "sayyaf" in tokens
+
+    def test_custom_stopwords(self):
+        tokenizer = Tokenizer(stopwords=frozenset({"radiation"}))
+        assert tokenizer.tokenize("radiation therapy") == ["therapy"]
+
+    def test_empty_text(self):
+        assert Tokenizer().tokenize("") == []
+
+
+class TestFrequencies:
+    def test_term_frequencies_count_repeats(self):
+        frequencies = Tokenizer().term_frequencies("dog dog cat")
+        assert frequencies == {"dog": 2, "cat": 1}
+
+    def test_vocabulary_union(self):
+        vocab = Tokenizer().vocabulary(["dog cat", "cat mouse"])
+        assert vocab == {"dog", "cat", "mouse"}
+
+    def test_default_stopword_list_contains_classics(self):
+        for word in ("the", "a", "of", "and"):
+            assert word in DEFAULT_STOPWORDS
