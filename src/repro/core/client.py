@@ -20,7 +20,7 @@ from repro.core.buckets import BucketOrganization
 from repro.core.costs import CostModel, CostReport
 from repro.core.embellish import EmbellishedQuery, QueryEmbellisher
 from repro.core.postfilter import PostFilterCounters, post_filter
-from repro.core.server import EncryptedResult, PrivateRetrievalServer
+from repro.core.server import EncryptedResult, PrivateRetrievalServer, power_table_strategy
 from repro.crypto.benaloh import BenalohKeyPair, generate_keypair
 from repro.textsearch.engine import SearchResult
 from repro.textsearch.inverted_index import InvertedIndex
@@ -43,6 +43,7 @@ class PrivateSearchClient:
     block_size: int = DEFAULT_BLOCK_SIZE
     rng: random.Random = field(default_factory=random.Random)
     keypair: BenalohKeyPair | None = None
+    naive: bool = False
     embellisher: QueryEmbellisher = field(init=False)
     postfilter_counters: PostFilterCounters = field(init=False)
 
@@ -52,7 +53,10 @@ class PrivateSearchClient:
                 key_bits=self.key_bits, block_size=self.block_size, rng=self.rng
             )
         self.embellisher = QueryEmbellisher(
-            organization=self.organization, keypair=self.keypair, rng=self.rng
+            organization=self.organization,
+            keypair=self.keypair,
+            rng=self.rng,
+            naive=self.naive,
         )
         self.postfilter_counters = PostFilterCounters()
 
@@ -82,6 +86,10 @@ class PrivateSearchSystem:
     block_size: int = DEFAULT_BLOCK_SIZE
     cost_model: CostModel = field(default_factory=CostModel)
     rng: random.Random = field(default_factory=random.Random)
+    #: True runs the naive reference paths on both sides (one exponentiation
+    #: per posting, one full encryption per selector); False (the default)
+    #: runs the power-table server and zero-pool embellisher.
+    naive: bool = False
     client: PrivateSearchClient = field(init=False)
     server: PrivateRetrievalServer = field(init=False)
 
@@ -91,11 +99,13 @@ class PrivateSearchSystem:
             key_bits=self.key_bits,
             block_size=self.block_size,
             rng=self.rng,
+            naive=self.naive,
         )
         self.server = PrivateRetrievalServer(
             index=self.index,
             organization=self.organization,
             public_key=self.client.keypair.public,
+            naive=self.naive,
         )
 
     # -- real execution -------------------------------------------------------------
@@ -114,14 +124,19 @@ class PrivateSearchSystem:
         ranking = self.client.post_filter(encrypted_result, k=k)
 
         counters = self.server.counters
+        embellisher = self.client.embellisher
+        pooled = 0 if embellisher.pool is None else embellisher.encryptions_performed
         report = self.cost_model.pr_report(
             buckets_fetched=counters.buckets_fetched,
             blocks_read=counters.blocks_read,
             server_exponentiations=counters.modular_exponentiations,
             server_multiplications=counters.modular_multiplications,
+            server_table_multiplications=counters.table_multiplications,
             upstream_bytes=query.upstream_bytes(self.key_bits),
             downstream_bytes=encrypted_result.downstream_bytes(),
-            client_encryptions=self.client.embellisher.encryptions_performed,
+            client_encryptions=embellisher.encryptions_performed,
+            client_pooled_encryptions=pooled,
+            client_pool_multiplications=embellisher.pool_multiplications,
             client_decryptions=self.client.postfilter_counters.decryptions,
         )
         return ranking, report
@@ -131,9 +146,11 @@ class PrivateSearchSystem:
         """Operation counts of :meth:`search` without performing the cryptography.
 
         The counts are exact: the embellished query is determined by the
-        bucket organisation alone, and every posting of every embellished term
-        costs the server one exponentiation (plus one multiplication when the
-        document was already a candidate).
+        bucket organisation alone, and the server-side op mix (per-posting
+        exponentiations on the naive path; the power-table ladder /
+        per-distinct-impact split on the fast path) is a deterministic
+        function of each embellished term's quantised-impact list, which the
+        estimator replays without touching a ciphertext.
         """
         genuine = [t for t in dict.fromkeys(genuine_terms)]
         buckets = self.organization.buckets_for_query(genuine)
@@ -153,24 +170,48 @@ class PrivateSearchSystem:
         if loose_bytes:
             blocks_read += max(1, -(-loose_bytes // self.index.block_size))
 
+        naive = self.naive
         candidates: set[int] = set()
         postings_total = 0
+        exponentiations = 0
+        table_multiplications = 0
         for term in embellished_terms:
-            for posting in self.index.postings(term):
-                postings_total += 1
-                candidates.add(posting.doc_id)
+            doc_ids, impacts = self.index.columns(term)
+            if not len(doc_ids):
+                continue
+            postings_total += len(doc_ids)
+            candidates.update(doc_ids)
+            if naive:
+                exponentiations += len(doc_ids)
+            else:
+                distinct = sorted(set(impacts))
+                _, cost = power_table_strategy(distinct, distinct[-1])
+                table_multiplications += cost
 
         key_bytes = (self.key_bits + 7) // 8
         upstream = len(embellished_terms) * (8 + key_bytes)
         downstream = len(candidates) * (4 + key_bytes)
 
+        # Client side: naive pays a full encryption per selector; the fast
+        # path serves every selector from the one-time zero stock -- free for
+        # decoys, one g^1 multiplication per genuine term (stocking happens
+        # off the query path and is metered on the pool itself).
+        if naive:
+            pooled = pool_multiplications = 0
+        else:
+            pooled = len(embellished_terms)
+            pool_multiplications = len(genuine)
+
         return self.cost_model.pr_report(
             buckets_fetched=len(buckets),
             blocks_read=blocks_read,
-            server_exponentiations=postings_total,
+            server_exponentiations=exponentiations,
             server_multiplications=max(0, postings_total - len(candidates)),
+            server_table_multiplications=table_multiplications,
             upstream_bytes=upstream,
             downstream_bytes=downstream,
             client_encryptions=len(embellished_terms),
+            client_pooled_encryptions=pooled,
+            client_pool_multiplications=pool_multiplications,
             client_decryptions=len(candidates),
         )

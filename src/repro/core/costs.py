@@ -132,16 +132,33 @@ class CostModel:
         downstream_bytes: int,
         client_encryptions: int,
         client_decryptions: int,
+        server_table_multiplications: int = 0,
+        client_pooled_encryptions: int = 0,
+        client_pool_multiplications: int = 0,
     ) -> CostReport:
-        """Assemble the Section 5.2 metrics for one PR query."""
+        """Assemble the Section 5.2 metrics for one PR query.
+
+        The fast execution layer changes the op mix rather than the totals of
+        work accomplished: ``server_table_multiplications`` counts the
+        power-table ladder multiplications that replace per-posting
+        exponentiations, and ``client_pooled_encryptions`` says how many of
+        the ``client_encryptions`` selector ciphertexts came from the zero
+        pool at ``client_pool_multiplications`` total multiplications instead
+        of two exponentiations each.  The defaults (all zero) describe the
+        naive reference paths.
+        """
         server_cpu = (
             server_exponentiations * self.server_modexp_ms
-            + server_multiplications * self.server_modmul_ms
+            + (server_multiplications + server_table_multiplications) * self.server_modmul_ms
         )
-        # One Benaloh encryption is two modular exponentiations (g^m and mu^r)
-        # plus a multiplication; one decryption uses the digit-wise procedure.
+        # One full Benaloh encryption is two modular exponentiations (g^m and
+        # mu^r) plus a multiplication; a pooled selector costs only its share
+        # of client_pool_multiplications.  One decryption uses the digit-wise
+        # procedure.
+        full_encryptions = client_encryptions - client_pooled_encryptions
         user_cpu = (
-            client_encryptions * (2 * self.user_modexp_ms + self.user_modmul_ms)
+            full_encryptions * (2 * self.user_modexp_ms + self.user_modmul_ms)
+            + client_pool_multiplications * self.user_modmul_ms
             + client_decryptions * self.benaloh_decrypt_exponentiations * self.user_modexp_ms
         )
         return CostReport(
@@ -155,9 +172,12 @@ class CostModel:
                 "blocks_read": blocks_read,
                 "server_exponentiations": server_exponentiations,
                 "server_multiplications": server_multiplications,
+                "server_table_multiplications": server_table_multiplications,
                 "upstream_bytes": upstream_bytes,
                 "downstream_bytes": downstream_bytes,
                 "client_encryptions": client_encryptions,
+                "client_pooled_encryptions": client_pooled_encryptions,
+                "client_pool_multiplications": client_pool_multiplications,
                 "client_decryptions": client_decryptions,
             },
         )
@@ -174,14 +194,20 @@ class CostModel:
         client_group_elements: int,
         client_residuosity_tests: int,
         client_score_operations: int,
+        server_inversions: int = 0,
     ) -> CostReport:
         """Assemble the Section 5.2 metrics for one PIR query.
 
         ``client_score_operations`` covers the plaintext score accumulation
         the user must perform locally after reconstructing the inverted lists
         (PIR moves the whole ranking computation to the user).
+        ``server_inversions`` counts the per-column modular inversions of the
+        packed fast path (charged like an exponentiation: extended gcd work).
         """
-        server_cpu = server_multiplications * self.server_modmul_ms
+        server_cpu = (
+            server_multiplications * self.server_modmul_ms
+            + server_inversions * self.server_modexp_ms
+        )
         # Generating one query element is one squaring (QR) or a constant
         # number of multiplications (QNR); testing residuosity of one answer
         # element is one Euler-criterion exponentiation per prime factor.
@@ -200,6 +226,7 @@ class CostModel:
                 "buckets_fetched": buckets_fetched,
                 "blocks_read": blocks_read,
                 "server_multiplications": server_multiplications,
+                "server_inversions": server_inversions,
                 "upstream_bytes": upstream_bytes,
                 "downstream_bytes": downstream_bytes,
                 "client_group_elements": client_group_elements,

@@ -7,6 +7,19 @@ probabilistic, the server cannot distinguish the two.  Finally the
 ``<term, ciphertext>`` pairs are permuted randomly, so the logical grouping of
 the embellished query into buckets (and in particular which terms arrived
 together) is not betrayed by the transmission order.
+
+Two selector-encryption paths exist:
+
+* the **naive reference path** (``naive=True``) performs one full Benaloh
+  encryption (two modular exponentiations) per selector, and
+* the **fast path** (the default) serves selectors from a
+  :class:`~repro.crypto.benaloh.ZeroEncryptionPool`, a precomputed one-time
+  stock of encryptions of zero: a decoy selector is a stock entry served
+  as-is and a genuine selector adds one multiplication by the precomputed
+  ``g^1``, so the query-time critical path performs no exponentiations
+  (restocking runs off-path, as idle-time precomputation would in a deployed
+  client).  Served ciphertexts are independent fresh encryptions, so the
+  distribution the server sees is identical to the naive path's.
 """
 
 from __future__ import annotations
@@ -15,9 +28,18 @@ import random
 from dataclasses import dataclass, field
 
 from repro.core.buckets import BucketOrganization
-from repro.crypto.benaloh import BenalohKeyPair, BenalohPublicKey, generate_keypair
+from repro.crypto.benaloh import (
+    BenalohKeyPair,
+    BenalohPublicKey,
+    ZeroEncryptionPool,
+    generate_keypair,
+)
 
 __all__ = ["EmbellishedQuery", "QueryEmbellisher"]
+
+#: Initial stock of the fast path's zero pool (full encryptions, precomputed
+#: off the query path and replenished in batches of the same size).
+DEFAULT_POOL_SIZE = 64
 
 
 @dataclass(frozen=True)
@@ -69,23 +91,43 @@ class QueryEmbellisher:
         client has to do for out-of-dictionary terms -- and reported in
         :attr:`last_unbucketed_terms` so callers can surface the reduced
         protection.
+    naive:
+        When True, every selector is a full Benaloh encryption (the reference
+        path).  When False (the default) selectors come from the one-time
+        zero stock at zero or one query-time multiplication each.
+    pool_size:
+        Initial stock (and replenishment batch) of the fast path's zero pool.
     """
 
     organization: BucketOrganization
     keypair: BenalohKeyPair | None = None
     rng: random.Random = field(default_factory=random.Random)
     strict: bool = False
+    naive: bool = False
+    pool_size: int = DEFAULT_POOL_SIZE
     last_unbucketed_terms: tuple[str, ...] = field(default=(), init=False)
-    #: Instrumentation: number of Benaloh encryptions performed by the last call.
+    #: Instrumentation: number of selector ciphertexts produced by the last call.
     encryptions_performed: int = field(default=0, init=False)
+    #: Instrumentation: fast-path modular multiplications spent on the last call.
+    pool_multiplications: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.keypair is None:
             self.keypair = generate_keypair(rng=self.rng)
+        self._pool: ZeroEncryptionPool | None = None
+        if not self.naive:
+            self._pool = ZeroEncryptionPool(
+                self.keypair.public, rng=self.rng, size=self.pool_size
+            )
 
     @property
     def public_key(self) -> BenalohPublicKey:
         return self.keypair.public
+
+    @property
+    def pool(self) -> ZeroEncryptionPool | None:
+        """The fast path's zero pool (``None`` on the naive path)."""
+        return self._pool
 
     def embellish(self, genuine_terms) -> EmbellishedQuery:
         """Build the embellished query for a set of genuine search terms.
@@ -107,6 +149,7 @@ class QueryEmbellisher:
 
         entries: list[tuple[str, int]] = []
         self.encryptions_performed = 0
+        pool_muls_before = self._pool.multiplications if self._pool is not None else 0
         seen_buckets: set[int] = set()
         for term in genuine:
             if term not in self.organization:
@@ -120,6 +163,10 @@ class QueryEmbellisher:
                 selector = 1 if bucket_term in genuine_set else 0
                 entries.append((bucket_term, self._encrypt(selector)))
 
+        self.pool_multiplications = (
+            self._pool.multiplications - pool_muls_before if self._pool is not None else 0
+        )
+
         # Final permutation: deter the server from recovering the logical
         # grouping of the query terms into buckets from their order.
         self.rng.shuffle(entries)
@@ -128,4 +175,6 @@ class QueryEmbellisher:
 
     def _encrypt(self, selector: int) -> int:
         self.encryptions_performed += 1
+        if self._pool is not None:
+            return self._pool.encrypt_selector(selector)
         return self.keypair.public.encrypt(selector, self.rng)

@@ -41,13 +41,18 @@ class PIRRetrievalServer:
 
     index: InvertedIndex
     organization: BucketOrganization
+    #: True evaluates queries with the per-cell reference algorithm; False
+    #: (the default) uses the packed set-bit path (identical answers).
+    naive: bool = False
     _databases: dict[int, PIRDatabase] = field(default_factory=dict, init=False)
     multiplications: int = field(default=0, init=False)
+    inversions: int = field(default=0, init=False)
     blocks_read: int = field(default=0, init=False)
     buckets_fetched: int = field(default=0, init=False)
 
     def reset_counters(self) -> None:
         self.multiplications = 0
+        self.inversions = 0
         self.blocks_read = 0
         self.buckets_fetched = 0
 
@@ -72,9 +77,10 @@ class PIRRetrievalServer:
         database = self.bucket_database(bucket_id)
         self.blocks_read += self.bucket_blocks(bucket_id)
         self.buckets_fetched += 1
-        server = PIRServer(database)
+        server = PIRServer(database, naive=self.naive)
         answer = server.answer(query)
         self.multiplications += server.multiplications
+        self.inversions += server.inversions
         return answer
 
 
@@ -137,11 +143,15 @@ class PIRRetrievalSystem:
     key_bits: int = 256
     cost_model: CostModel = field(default_factory=CostModel)
     rng: random.Random = field(default_factory=random.Random)
+    #: True evaluates answers with the per-cell reference algorithm.
+    naive: bool = False
     server: PIRRetrievalServer = field(init=False)
     client: PIRRetrievalClient = field(init=False)
 
     def __post_init__(self) -> None:
-        self.server = PIRRetrievalServer(index=self.index, organization=self.organization)
+        self.server = PIRRetrievalServer(
+            index=self.index, organization=self.organization, naive=self.naive
+        )
         self.client = PIRRetrievalClient(
             organization=self.organization, key_bits=self.key_bits, rng=self.rng
         )
@@ -175,6 +185,7 @@ class PIRRetrievalSystem:
             buckets_fetched=self.server.buckets_fetched,
             blocks_read=self.server.blocks_read,
             server_multiplications=self.server.multiplications,
+            server_inversions=self.server.inversions,
             upstream_bytes=upstream,
             downstream_bytes=downstream,
             client_group_elements=self.client.group_elements_generated,
@@ -191,7 +202,10 @@ class PIRRetrievalSystem:
         (8 bits per byte of the longest padded list):
 
         * upstream ``c`` group elements, downstream ``r`` group elements;
-        * server ``c`` squarings plus ``r * c`` multiplications;
+        * naive server: ``c`` squarings plus ``r * c`` multiplications;
+        * packed server (the default): ``2c`` multiplications (squarings and
+          the base product), ``c`` inversions, plus one multiplication per
+          *set bit* of the bucket's serialised lists -- padding is free;
         * client ``c`` generated elements and ``r`` residuosity tests, plus
           one score accumulation per decoded posting.
         """
@@ -203,6 +217,7 @@ class PIRRetrievalSystem:
         buckets_fetched = 0
         blocks_read = 0
         multiplications = 0
+        inversions = 0
         upstream = 0
         downstream = 0
         group_elements = 0
@@ -219,7 +234,15 @@ class PIRRetrievalSystem:
 
             buckets_fetched += 1
             blocks_read += max(1, -(-(max_list_bytes * columns) // self.index.block_size))
-            multiplications += columns + rows * columns
+            if self.naive:
+                multiplications += columns + rows * columns
+            else:
+                set_bits = sum(
+                    int.from_bytes(self.index.serialise_list(t), "big").bit_count()
+                    for t in bucket
+                )
+                multiplications += 2 * columns + set_bits
+                inversions += columns
             upstream += columns * element_bytes
             downstream += rows * element_bytes
             group_elements += columns
@@ -230,6 +253,7 @@ class PIRRetrievalSystem:
             buckets_fetched=buckets_fetched,
             blocks_read=blocks_read,
             server_multiplications=multiplications,
+            server_inversions=inversions,
             upstream_bytes=upstream,
             downstream_bytes=downstream,
             client_group_elements=group_elements,

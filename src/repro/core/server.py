@@ -7,10 +7,25 @@ the document's encrypted score accumulator by ``E(u_i)^{p_ij}``, which under
 the additive homomorphism adds ``u_i * p_ij`` to the underlying score.  Decoy
 terms have ``u_i = 0``, so they perturb only the ciphertext, never the score.
 
+Two accumulation paths exist:
+
+* the **naive reference path** (``naive=True``) pays one modular
+  exponentiation per posting, exactly as Algorithm 4 is written;
+* the **power-table fast path** (the default) exploits that impacts are
+  quantised to at most ``quantise_levels`` (<= 255) values and that
+  impact-ordered lists therefore contain few *distinct* impacts.  Per query
+  term it precomputes ``E(u_i)^p`` for exactly the distinct impacts in that
+  term's list -- either by an incremental multiplication ladder up to the
+  largest impact (``p_max - 1`` multiplications) or by one small
+  exponentiation per distinct impact, whichever is cheaper -- after which
+  every posting costs a table lookup plus one accumulator multiplication.
+  The resulting ciphertexts are bit-identical to the naive path's.
+
 The server is instrumented: it counts disk blocks fetched (bucket-co-located
 lists are fetched together, the I/O optimisation Section 4 prescribes),
-modular exponentiations and multiplications, and the size of the candidate
-result it returns.  Those counters feed the Section 5.2 cost model.
+modular exponentiations, table and accumulator multiplications, and the size
+of the candidate result it returns.  Those counters feed the Section 5.2 cost
+model, and the analytic estimators reproduce them exactly.
 """
 
 from __future__ import annotations
@@ -22,7 +37,37 @@ from repro.core.embellish import EmbellishedQuery
 from repro.crypto.benaloh import BenalohPublicKey
 from repro.textsearch.inverted_index import InvertedIndex
 
-__all__ = ["EncryptedResult", "ServerCounters", "PrivateRetrievalServer"]
+__all__ = [
+    "EncryptedResult",
+    "ServerCounters",
+    "PrivateRetrievalServer",
+    "power_table_strategy",
+]
+
+
+def power_table_strategy(distinct_impacts, max_impact: int) -> tuple[str, int]:
+    """Pick the cheaper table-build strategy and its multiplication count.
+
+    ``"ladder"`` multiplies ``E(u)`` into itself ``max_impact - 1`` times and
+    reads every distinct power off the way up -- best when the distinct
+    impacts densely cover ``1..max_impact``.  ``"binary"`` squares its way to
+    ``E(u)^(2^k)`` and assembles each distinct power from its set bits -- best
+    when the distinct impacts are sparse in a wide range.  Both use only
+    modular multiplications, and both are deterministic functions of the
+    list's distinct quantised impacts, so the analytic cost estimator replays
+    the choice (and the exact count) without touching a ciphertext.
+    """
+    # E(u)^0 = 1 costs nothing; only positive impacts need table work.
+    # (Indexes built by InvertedIndex.build never contain zero impacts, but
+    # hand-built postings may.)
+    positive = [p for p in distinct_impacts if p]
+    if not positive:
+        return "ladder", 0
+    ladder = max(0, max_impact - 1)
+    binary = (max_impact.bit_length() - 1) + sum(p.bit_count() - 1 for p in positive)
+    if ladder <= binary:
+        return "ladder", ladder
+    return "binary", binary
 
 
 @dataclass(frozen=True)
@@ -52,6 +97,7 @@ class ServerCounters:
     postings_processed: int = 0
     modular_exponentiations: int = 0
     modular_multiplications: int = 0
+    table_multiplications: int = 0
     buckets_fetched: int = 0
     terms_processed: int = 0
 
@@ -60,6 +106,7 @@ class ServerCounters:
         self.postings_processed = 0
         self.modular_exponentiations = 0
         self.modular_multiplications = 0
+        self.table_multiplications = 0
         self.buckets_fetched = 0
         self.terms_processed = 0
 
@@ -79,32 +126,119 @@ class PrivateRetrievalServer:
     public_key:
         The client's Benaloh public key, needed to size ciphertexts for
         instrumentation.  The server performs only public operations.
+    naive:
+        When True, run the literal Algorithm 4 (one exponentiation per
+        posting).  When False (the default), use the power-table fast path;
+        the returned ciphertexts are identical either way.
     """
 
     index: InvertedIndex
     organization: BucketOrganization
     public_key: BenalohPublicKey
+    naive: bool = False
     counters: ServerCounters = field(default_factory=ServerCounters)
 
     def process_query(self, query: EmbellishedQuery) -> EncryptedResult:
         """Algorithm 4: accumulate encrypted relevance scores for every candidate document."""
         self.counters.reset()
         self._account_io(query)
+        if self.naive:
+            return self._process_naive(query)
+        return self._process_power_table(query)
 
+    # -- naive reference path ----------------------------------------------------
+    def _process_naive(self, query: EmbellishedQuery) -> EncryptedResult:
         modulus = self.public_key.n
+        counters = self.counters
         accumulators: dict[int, int] = {}
         for term, encrypted_selector in query:
-            self.counters.terms_processed += 1
+            counters.terms_processed += 1
             for posting in self.index.postings(term):
-                self.counters.postings_processed += 1
+                counters.postings_processed += 1
                 # E(u_i)^{p_ij} -- one modular exponentiation per posting.
                 contribution = pow(encrypted_selector, posting.quantised_impact, modulus)
-                self.counters.modular_exponentiations += 1
+                counters.modular_exponentiations += 1
                 if posting.doc_id in accumulators:
                     accumulators[posting.doc_id] = (accumulators[posting.doc_id] * contribution) % modulus
-                    self.counters.modular_multiplications += 1
+                    counters.modular_multiplications += 1
                 else:
                     accumulators[posting.doc_id] = contribution
+        return EncryptedResult(encrypted_scores=accumulators, modulus=modulus)
+
+    # -- power-table fast path ----------------------------------------------------
+    def _powers_for_term(self, selector: int, impacts, modulus: int) -> dict[int, int]:
+        """``{p: E(u)^p}`` for the distinct impacts of one (impact-ordered) list."""
+        counters = self.counters
+        distinct = sorted(set(impacts))
+
+        table: dict[int, int] = {}
+        if distinct[0] == 0:
+            # E(u)^0 = 1, matching pow(selector, 0, modulus) on the naive path.
+            table[0] = 1
+            distinct = distinct[1:]
+            if not distinct:
+                return table
+        max_impact = distinct[-1]
+        strategy, _ = power_table_strategy(distinct, max_impact)
+        if strategy == "ladder":
+            # Incremental ladder: E(u)^1 is the selector itself, every further
+            # power is one multiplication; read the needed powers off the way.
+            wanted = set(distinct)
+            power = selector
+            if 1 in wanted:
+                table[1] = power
+            for exponent in range(2, max_impact + 1):
+                power = (power * selector) % modulus
+                counters.table_multiplications += 1
+                if exponent in wanted:
+                    table[exponent] = power
+        else:
+            # Sparse impacts: square up to E(u)^(2^k), then assemble each
+            # distinct power from its set bits (popcount - 1 multiplications).
+            squarings = [selector]
+            for _ in range(max_impact.bit_length() - 1):
+                squarings.append(squarings[-1] * squarings[-1] % modulus)
+                counters.table_multiplications += 1
+            for exponent in distinct:
+                power = None
+                remaining = exponent
+                level = 0
+                while remaining:
+                    if remaining & 1:
+                        if power is None:
+                            power = squarings[level]
+                        else:
+                            power = power * squarings[level] % modulus
+                            counters.table_multiplications += 1
+                    remaining >>= 1
+                    level += 1
+                table[exponent] = power
+        return table
+
+    def _process_power_table(self, query: EmbellishedQuery) -> EncryptedResult:
+        modulus = self.public_key.n
+        counters = self.counters
+        accumulators: dict[int, int] = {}
+        accumulator_get = accumulators.get
+        for term, encrypted_selector in query:
+            counters.terms_processed += 1
+            doc_ids, impacts = self.index.columns(term)
+            if not len(doc_ids):
+                continue
+            table = self._powers_for_term(encrypted_selector, impacts, modulus)
+            counters.postings_processed += len(doc_ids)
+            # One table lookup + at most one accumulator multiplication per
+            # posting; the multiplication count is recovered from the number
+            # of first-time candidates instead of a per-posting increment.
+            new_candidates = -len(accumulators)
+            for doc_id, impact in zip(doc_ids, impacts):
+                existing = accumulator_get(doc_id)
+                if existing is None:
+                    accumulators[doc_id] = table[impact]
+                else:
+                    accumulators[doc_id] = existing * table[impact] % modulus
+            new_candidates += len(accumulators)
+            counters.modular_multiplications += len(doc_ids) - new_candidates
         return EncryptedResult(encrypted_scores=accumulators, modulus=modulus)
 
     # -- storage model -----------------------------------------------------------

@@ -57,6 +57,28 @@ class QueryWorkloadGenerator:
         """``count`` independent random queries of the same size."""
         return [self.random_query(query_size) for _ in range(count)]
 
+    def frequency_weighted_query(self, query_size: int) -> tuple[str, ...]:
+        """A query of distinct terms drawn proportionally to document frequency.
+
+        Real query logs are dominated by common words, so the server spends
+        its time on the longest inverted lists; this workload exercises that
+        regime (uniform sampling over the dictionary almost always picks rare
+        terms).  Sampling is with replacement followed by de-duplication, so
+        the draw stays Zipf-like while the query remains a term set.
+        """
+        if query_size < 1:
+            raise ValueError("query_size must be at least 1")
+        weights = getattr(self, "_df_weights", None)
+        if weights is None:
+            weights = [self.index.document_frequency(t) or 1 for t in self._terms]
+            self._df_weights = weights
+        size = min(query_size, len(self._terms))
+        chosen: dict[str, None] = {}
+        while len(chosen) < size:
+            for term in self.rng.choices(self._terms, weights=weights, k=size - len(chosen)):
+                chosen.setdefault(term, None)
+        return tuple(chosen)
+
     # -- topical queries (semantically related terms) -----------------------------------
     def topical_query(self, query_size: int, window: int = 30) -> tuple[str, ...]:
         """A query of terms drawn from a contiguous dictionary window.

@@ -17,7 +17,12 @@ All implementations accept a configurable key length.  Unit tests use small
 keys for speed; benchmarks use realistic key sizes.
 """
 
-from repro.crypto.benaloh import BenalohKeyPair, BenalohPrivateKey, BenalohPublicKey
+from repro.crypto.benaloh import (
+    BenalohKeyPair,
+    BenalohPrivateKey,
+    BenalohPublicKey,
+    ZeroEncryptionPool,
+)
 from repro.crypto.paillier import PaillierKeyPair, PaillierPrivateKey, PaillierPublicKey
 from repro.crypto.pir import PIRClient, PIRDatabase, PIRServer
 from repro.crypto.quadratic import QRGroup
@@ -26,6 +31,7 @@ __all__ = [
     "BenalohKeyPair",
     "BenalohPublicKey",
     "BenalohPrivateKey",
+    "ZeroEncryptionPool",
     "PaillierKeyPair",
     "PaillierPublicKey",
     "PaillierPrivateKey",

@@ -34,8 +34,15 @@ __all__ = [
     "BenalohPublicKey",
     "BenalohPrivateKey",
     "BenalohKeyPair",
+    "ZeroEncryptionPool",
     "generate_keypair",
 ]
+
+#: Shared fallback generator for callers that do not thread their own rng.
+#: A single module-level instance keeps the stream stateful across calls
+#: instead of constructing (and expensively seeding) a fresh ``Random()``
+#: per encryption.
+_DEFAULT_RNG = random.Random()
 
 
 @dataclass(frozen=True)
@@ -56,13 +63,13 @@ class BenalohPublicKey:
         """
         if not 0 <= message < self.r:
             raise ValueError(f"message {message} outside Z_{self.r}")
-        rng = rng or random.Random()
+        rng = rng if rng is not None else _DEFAULT_RNG
         mu = self._random_unit(rng)
         return (pow(self.g, message, self.n) * pow(mu, self.r, self.n)) % self.n
 
     def rerandomize(self, ciphertext: int, rng: random.Random | None = None) -> int:
         """Multiply in an encryption of zero, producing a fresh ciphertext of the same plaintext."""
-        rng = rng or random.Random()
+        rng = rng if rng is not None else _DEFAULT_RNG
         return (ciphertext * self.encrypt(0, rng)) % self.n
 
     def add(self, ciphertext_a: int, ciphertext_b: int) -> int:
@@ -96,6 +103,92 @@ class BenalohPublicKey:
             mu = rng.randrange(2, self.n)
             if math.gcd(mu, self.n) == 1:
                 return mu
+
+
+class ZeroEncryptionPool:
+    """Precomputed stock of one-time encryptions of zero (fast embellishment).
+
+    A Benaloh encryption of zero is ``mu^r mod n``.  The pool precomputes a
+    stock of them (``size`` full encryptions up front, replenished in batches
+    when exhausted) and serves each one **exactly once**, so the query-time
+    critical path pays *zero* modular exponentiations: a decoy selector is a
+    stock entry served as-is, a genuine selector costs one multiplication by
+    the precomputed ``g^1 mod n``.  Because every served ciphertext is an
+    independent fresh encryption, the served distribution is *identical* to
+    the naive per-selector encryption path -- there is no privacy trade-off.
+
+    Why one-time use matters: any scheme that serves *products* of a small
+    reusable seed set (the tempting "multiply two pool entries per draw"
+    rerandomisation walk) emits ciphertexts with detectable multiplicative
+    relations -- the subgroup of r-th powers is commutative, so products of
+    served values collide with other served values, and a server that records
+    the embellished queries can classify selector bits by testing such
+    relations.  A one-time stock is the construction that keeps pool serving
+    cheap without leaking anything; the exponentiations still happen, but in
+    :meth:`replenish`, off the query's critical path (idle-time precomputation
+    in a deployed client), and are metered separately in
+    :attr:`seed_encryptions`.
+    """
+
+    def __init__(
+        self,
+        public: BenalohPublicKey,
+        rng: random.Random | None = None,
+        size: int = 64,
+    ) -> None:
+        if size < 2:
+            raise ValueError("a zero pool needs at least two stock entries")
+        self.public = public
+        self._rng = rng if rng is not None else _DEFAULT_RNG
+        self._g1 = public.g % public.n  # g^1 mod n, precomputed once
+        self._batch = size
+        #: Full Benaloh encryptions performed while (re)stocking -- the
+        #: amortised, off-critical-path cost of the pool.
+        self.seed_encryptions = 0
+        #: Modular multiplications performed while serving (g^1 applications
+        #: and rerandomisations); the query-time cost.
+        self.multiplications = 0
+        self._pool: list[int] = []
+        self.replenish(size)
+
+    @property
+    def size(self) -> int:
+        """Stock currently available (shrinks as selectors are served)."""
+        return len(self._pool)
+
+    def replenish(self, count: int | None = None) -> None:
+        """Add ``count`` fresh one-time encryptions of zero to the stock.
+
+        A deployed client runs this during idle time; here it also runs
+        automatically when the stock is exhausted mid-query.
+        """
+        count = count if count is not None else self._batch
+        encrypt = self.public.encrypt
+        rng = self._rng
+        self._pool.extend(encrypt(0, rng) for _ in range(count))
+        self.seed_encryptions += count
+
+    def draw(self) -> int:
+        """A fresh encryption of zero, served once and discarded: zero
+        multiplications at query time (replenishment is metered separately)."""
+        if not self._pool:
+            self.replenish()
+        return self._pool.pop()
+
+    def encrypt_selector(self, selector: int) -> int:
+        """Encrypt a selector bit: zero muls for a decoy (0), one for a genuine term (1)."""
+        if selector == 0:
+            return self.draw()
+        if selector == 1:
+            self.multiplications += 1
+            return (self._g1 * self.draw()) % self.public.n
+        raise ValueError("selector bits are 0 or 1")
+
+    def rerandomize(self, ciphertext: int) -> int:
+        """Fresh ciphertext of the same plaintext for one query-time
+        multiplication (consuming one stock entry)."""
+        self.multiplications += 1
+        return (ciphertext * self.draw()) % self.public.n
 
 
 @dataclass(frozen=True)
@@ -227,7 +320,7 @@ def generate_keypair(
         # unsatisfiable for even r; Benaloh requires an odd block size
         # (the paper uses r = 3^k).
         raise ValueError("block_size must be odd (Benaloh requires gcd(r, p2 - 1) = 1)")
-    rng = rng or random.Random()
+    rng = rng if rng is not None else _DEFAULT_RNG
     half_bits = key_bits // 2
 
     def p1_condition(candidate: int) -> bool:

@@ -28,6 +28,10 @@ __all__ = [
     "generate_keypair",
 ]
 
+#: Shared fallback generator -- one stateful stream instead of a freshly
+#: seeded ``Random()`` per call (see the same pattern in ``benaloh.py``).
+_DEFAULT_RNG = random.Random()
+
 
 @dataclass(frozen=True)
 class PaillierPublicKey:
@@ -47,7 +51,7 @@ class PaillierPublicKey:
         """Encrypt ``message`` in ``Z_n``."""
         if not 0 <= message < self.n:
             raise ValueError(f"message {message} outside Z_{self.n}")
-        rng = rng or random.Random()
+        rng = rng if rng is not None else _DEFAULT_RNG
         while True:
             mu = rng.randrange(2, self.n)
             if math.gcd(mu, self.n) == 1:
@@ -111,7 +115,7 @@ def generate_keypair(key_bits: int = 256, rng: random.Random | None = None) -> P
     """Generate a Paillier key pair with a ``key_bits``-bit modulus."""
     if key_bits < 16:
         raise ValueError("key_bits must be at least 16")
-    rng = rng or random.Random()
+    rng = rng if rng is not None else _DEFAULT_RNG
     half = key_bits // 2
     while True:
         p = generate_prime(half, rng)

@@ -183,6 +183,9 @@ def run_ciphertext_size(
     system.index = index
     system.organization = organization
     system.key_bits = key_bits
+    # Like the figures, this ablation reproduces the paper's cost model, so
+    # it estimates over the reference algorithms, not the fast layer.
+    system.naive = True
     from repro.core.costs import CostModel
 
     system.cost_model = CostModel()

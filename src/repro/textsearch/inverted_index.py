@@ -13,6 +13,14 @@ stores both the raw floating-point impact and a discretised integer version
 (``quantise_levels`` buckets over the observed impact range), exactly the
 arrangement the paper adopts from Zobel & Moffat.
 
+Storage layout: each inverted list is held **columnar** -- parallel
+``array('I')`` document-id / quantised-impact arrays plus an ``array('d')``
+of raw impacts -- so index construction, hot-path iteration (the server's
+homomorphic accumulation reads :meth:`InvertedIndex.columns` directly) and
+:meth:`InvertedIndex.serialise_list` avoid building a Python object per
+posting.  :class:`Posting` remains the public row view: :meth:`postings`
+materialises (and caches) a tuple of lazy views for code that wants objects.
+
 The index also exposes a simple storage model -- posting size, list size in
 bytes, disk blocks of ``block_size`` bytes -- which the Section 5.2 cost model
 uses to estimate server I/O, and a serialisation of each list used as the PIR
@@ -22,6 +30,8 @@ database columns.
 from __future__ import annotations
 
 import struct
+import sys
+from array import array
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
@@ -53,6 +63,52 @@ class Posting:
         return cls(doc_id=doc_id, impact=float(quantised), quantised_impact=quantised)
 
 
+class _PostingList:
+    """Columnar storage of one inverted list: parallel impact-ordered arrays."""
+
+    __slots__ = ("doc_ids", "impacts", "quants", "_view")
+
+    def __init__(self, doc_ids: array, impacts: array, quants: array) -> None:
+        self.doc_ids = doc_ids
+        self.impacts = impacts
+        self.quants = quants
+        self._view: tuple[Posting, ...] | None = None
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    def view(self) -> tuple[Posting, ...]:
+        """Materialise the row view lazily; cached because lists are immutable."""
+        if self._view is None:
+            self._view = tuple(
+                Posting(doc_id=d, impact=i, quantised_impact=q)
+                for d, i, q in zip(self.doc_ids, self.impacts, self.quants)
+            )
+        return self._view
+
+    @classmethod
+    def from_postings(cls, postings: Iterable[Posting]) -> "_PostingList":
+        entries = list(postings)
+        return cls(
+            doc_ids=array("I", (p.doc_id for p in entries)),
+            impacts=array("d", (p.impact for p in entries)),
+            quants=array("I", (p.quantised_impact for p in entries)),
+        )
+
+    def serialise(self) -> bytes:
+        """The list as big-endian ``<doc_id, quantised_impact>`` pairs, O(n) array ops."""
+        if array("I").itemsize != 4:  # exotic platform: fall back to struct
+            return b"".join(
+                struct.pack(">II", d, q) for d, q in zip(self.doc_ids, self.quants)
+            )
+        interleaved = array("I", bytes(len(self.doc_ids) * 2 * 4))
+        interleaved[0::2] = self.doc_ids
+        interleaved[1::2] = self.quants
+        if sys.byteorder == "little":
+            interleaved.byteswap()
+        return interleaved.tobytes()
+
+
 class InvertedIndex:
     """Dictionary plus impact-ordered inverted lists over a corpus."""
 
@@ -63,7 +119,10 @@ class InvertedIndex:
         quantise_levels: int,
         block_size: int = 1024,
     ) -> None:
-        self._postings = {term: list(entries) for term, entries in postings.items()}
+        self._lists = {
+            term: entries if isinstance(entries, _PostingList) else _PostingList.from_postings(entries)
+            for term, entries in postings.items()
+        }
         self.stats = stats
         self.quantise_levels = quantise_levels
         self.block_size = block_size
@@ -121,20 +180,20 @@ class InvertedIndex:
                 raw_lists.setdefault(term, []).append((doc_id, impact))
                 max_impact = max(max_impact, impact)
 
-        postings: dict[str, list[Posting]] = {}
+        # Build the columnar lists directly -- no intermediate Posting objects.
+        lists: dict[str, _PostingList] = {}
         for term, entries in raw_lists.items():
-            term_postings = [
-                Posting(
-                    doc_id=doc_id,
-                    impact=impact,
-                    quantised_impact=cls._quantise(impact, max_impact, quantise_levels),
-                )
-                for doc_id, impact in entries
-            ]
-            term_postings.sort(key=lambda p: (-p.impact, p.doc_id))
-            postings[term] = term_postings
+            entries.sort(key=lambda e: (-e[1], e[0]))
+            lists[term] = _PostingList(
+                doc_ids=array("I", (doc_id for doc_id, _ in entries)),
+                impacts=array("d", (impact for _, impact in entries)),
+                quants=array(
+                    "I",
+                    (cls._quantise(impact, max_impact, quantise_levels) for _, impact in entries),
+                ),
+            )
 
-        return cls(postings=postings, stats=stats, quantise_levels=quantise_levels, block_size=block_size)
+        return cls(postings=lists, stats=stats, quantise_levels=quantise_levels, block_size=block_size)
 
     @staticmethod
     def _quantise(impact: float, max_impact: float, levels: int) -> int:
@@ -148,33 +207,48 @@ class InvertedIndex:
     @property
     def terms(self) -> tuple[str, ...]:
         """The dictionary ``T`` (terms that appear in at least one document)."""
-        return tuple(self._postings)
+        return tuple(self._lists)
 
     @property
     def num_terms(self) -> int:
-        return len(self._postings)
+        return len(self._lists)
 
     def __contains__(self, term: str) -> bool:
-        return term in self._postings
+        return term in self._lists
 
     def postings(self, term: str) -> tuple[Posting, ...]:
         """The impact-ordered inverted list ``L_i`` (empty for unknown terms)."""
-        return tuple(self._postings.get(term, ()))
+        entries = self._lists.get(term)
+        if entries is None:
+            return ()
+        return entries.view()
+
+    def columns(self, term: str) -> tuple[array, array]:
+        """The list's parallel ``(doc_ids, quantised_impacts)`` arrays (hot path).
+
+        Both arrays are the index's own storage: callers must not mutate them.
+        Unknown terms yield a pair of empty arrays.
+        """
+        entries = self._lists.get(term)
+        if entries is None:
+            return array("I"), array("I")
+        return entries.doc_ids, entries.quants
 
     def document_frequency(self, term: str) -> int:
         """``f_t``: the number of documents containing ``term``."""
-        return len(self._postings.get(term, ()))
+        entries = self._lists.get(term)
+        return len(entries) if entries is not None else 0
 
     def iterate_lists(self, terms: Iterable[str]) -> Iterator[tuple[str, tuple[Posting, ...]]]:
         """Yield ``(term, inverted list)`` for each requested term (skipping unknowns)."""
         for term in terms:
-            if term in self._postings:
+            if term in self._lists:
                 yield term, self.postings(term)
 
     # -- storage model -------------------------------------------------------------
     def list_size_bytes(self, term: str) -> int:
         """Size of a term's inverted list on disk."""
-        return len(self._postings.get(term, ())) * POSTING_BYTES
+        return self.document_frequency(term) * POSTING_BYTES
 
     def list_size_blocks(self, term: str) -> int:
         """Number of ``block_size`` disk blocks the list occupies (at least 1 when non-empty)."""
@@ -185,11 +259,14 @@ class InvertedIndex:
 
     def total_size_bytes(self) -> int:
         """Total index size (inverted lists only, dictionary excluded)."""
-        return sum(len(entries) * POSTING_BYTES for entries in self._postings.values())
+        return sum(len(entries) * POSTING_BYTES for entries in self._lists.values())
 
     def serialise_list(self, term: str) -> bytes:
         """The inverted list as bytes -- one PIR database column per bucket term."""
-        return b"".join(posting.pack() for posting in self._postings.get(term, ()))
+        entries = self._lists.get(term)
+        if entries is None or not len(entries):
+            return b""
+        return entries.serialise()
 
     @staticmethod
     def deserialise_list(data: bytes) -> tuple[Posting, ...]:

@@ -86,6 +86,40 @@ class TestEstimateCosts:
         ):
             assert estimate.counts[key] == real_report.counts[key], key
 
+    def test_estimate_matches_real_counters_naive_mode(self, index, organization):
+        naive_system = PrivateSearchSystem(
+            index=index,
+            organization=organization,
+            key_bits=128,
+            block_size=3**7,
+            rng=random.Random(29),
+            naive=True,
+        )
+        genuine = [organization.buckets[3][0], organization.buckets[6][2]]
+        _, real_report = naive_system.search(genuine, k=None)
+        estimate = naive_system.estimate_costs(genuine)
+        for key in (
+            "server_exponentiations",
+            "server_table_multiplications",
+            "server_multiplications",
+            "client_encryptions",
+            "client_pooled_encryptions",
+            "client_pool_multiplications",
+        ):
+            assert estimate.counts[key] == real_report.counts[key], key
+
+    def test_estimate_pool_multiplications_match_real_run(self, system, organization):
+        genuine = [organization.buckets[2][0], organization.buckets[8][1]]
+        _, real_report = system.search(genuine, k=None)
+        estimate = system.estimate_costs(genuine)
+        for key in (
+            "server_table_multiplications",
+            "server_multiplications",
+            "client_pooled_encryptions",
+            "client_pool_multiplications",
+        ):
+            assert estimate.counts[key] == real_report.counts[key], key
+
     def test_estimate_without_keypair_setup(self, index, organization):
         """The estimator must work on a bare system (no crypto initialisation)."""
         from repro.core.costs import CostModel

@@ -45,17 +45,93 @@ class TestProcessQuery:
             expected_candidates.update(p.doc_id for p in index.postings(term))
         assert set(result.encrypted_scores) == expected_candidates
 
-    def test_counters_track_work(self, pr_setup, index, organization):
-        embellisher, server = pr_setup
+    def test_counters_track_work_naive(self, index, organization, benaloh_keypair):
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(3)
+        )
+        server = PrivateRetrievalServer(
+            index=index, organization=organization, public_key=benaloh_keypair.public, naive=True
+        )
         genuine = [organization.buckets[1][0]]
         query = embellisher.embellish(genuine)
         server.process_query(query)
         total_postings = sum(len(index.postings(t)) for t in query.terms)
         assert server.counters.postings_processed == total_postings
         assert server.counters.modular_exponentiations == total_postings
+        assert server.counters.table_multiplications == 0
         assert server.counters.terms_processed == len(query.terms)
         assert server.counters.buckets_fetched == 1
         assert server.counters.blocks_read >= 1
+
+    def test_counters_track_work_power_table(self, pr_setup, index, organization):
+        from repro.core.server import power_table_strategy
+
+        embellisher, server = pr_setup
+        genuine = [organization.buckets[1][0]]
+        query = embellisher.embellish(genuine)
+        server.process_query(query)
+        expected_table_muls = 0
+        total_postings = 0
+        for term in query.terms:
+            impacts = [p.quantised_impact for p in index.postings(term)]
+            if not impacts:
+                continue
+            total_postings += len(impacts)
+            distinct = sorted(set(impacts))
+            expected_table_muls += power_table_strategy(distinct, distinct[-1])[1]
+        assert server.counters.postings_processed == total_postings
+        # The fast path never exponentiates: the whole table is built by
+        # ladder or square-and-multiply multiplications.
+        assert server.counters.modular_exponentiations == 0
+        assert server.counters.table_multiplications == expected_table_muls
+        assert server.counters.terms_processed == len(query.terms)
+        assert server.counters.buckets_fetched == 1
+
+    def test_power_table_handles_zero_impacts(self, benaloh_keypair):
+        """Hand-built postings may carry quantised impact 0 (E(u)^0 = 1)."""
+        from repro.core.buckets import BucketOrganization
+        from repro.core.embellish import EmbellishedQuery
+        from repro.textsearch.inverted_index import InvertedIndex, Posting
+        from repro.textsearch.scoring import CorpusStatistics
+
+        postings = {
+            "zeroish": [
+                Posting(doc_id=1, impact=3.0, quantised_impact=3),
+                Posting(doc_id=2, impact=0.0, quantised_impact=0),
+            ]
+        }
+        stats = CorpusStatistics(
+            num_documents=2, document_frequencies={"zeroish": 2}, average_document_length=1.0
+        )
+        index = InvertedIndex(postings=postings, stats=stats, quantise_levels=255)
+        organization = BucketOrganization(
+            buckets=(("zeroish",),), bucket_size=1, segment_size=0, specificity={"zeroish": 1}
+        )
+        query = EmbellishedQuery(
+            terms=("zeroish",),
+            encrypted_selectors=(benaloh_keypair.public.encrypt(1, random.Random(1)),),
+        )
+        kwargs = dict(index=index, organization=organization, public_key=benaloh_keypair.public)
+        fast = PrivateRetrievalServer(**kwargs).process_query(query)
+        naive = PrivateRetrievalServer(naive=True, **kwargs).process_query(query)
+        assert fast.encrypted_scores == naive.encrypted_scores
+        assert benaloh_keypair.private.decrypt(fast.encrypted_scores[2]) == 0
+
+    def test_power_table_matches_naive_ciphertexts(self, index, organization, benaloh_keypair):
+        """The fast path must produce bit-identical encrypted accumulators."""
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(11)
+        )
+        query = embellisher.embellish(
+            [organization.buckets[0][0], organization.buckets[2][1]]
+        )
+        fast = PrivateRetrievalServer(
+            index=index, organization=organization, public_key=benaloh_keypair.public
+        ).process_query(query)
+        naive = PrivateRetrievalServer(
+            index=index, organization=organization, public_key=benaloh_keypair.public, naive=True
+        ).process_query(query)
+        assert fast.encrypted_scores == naive.encrypted_scores
 
     def test_counters_reset_between_queries(self, pr_setup, organization):
         embellisher, server = pr_setup

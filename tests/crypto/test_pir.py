@@ -71,12 +71,31 @@ class TestPIRProtocol:
         with pytest.raises(ValueError):
             server.answer(client.build_query(num_columns=2, wanted_column=0))
 
-    def test_server_counts_multiplications(self, client):
+    def test_naive_server_counts_multiplications(self, client):
         db = PIRDatabase.from_columns([b"ab", b"cd"])
-        server = PIRServer(db)
+        server = PIRServer(db, naive=True)
         server.answer(client.build_query(2, 1))
         # One squaring per column plus one multiplication per (row, column).
         assert server.multiplications == db.cols + db.rows * db.cols
+        assert server.inversions == 0
+
+    def test_packed_server_counts_multiplications(self, client):
+        db = PIRDatabase.from_columns([b"ab", b"cd"])
+        server = PIRServer(db)
+        server.answer(client.build_query(2, 1))
+        # Squarings and base product (2 per column) plus one multiplication
+        # per set bit; one inversion per column (ratio_j = q_j^-1).
+        set_bits = sum(mask.bit_count() for mask in db.row_masks)
+        assert server.multiplications == 2 * db.cols + set_bits
+        assert server.inversions == db.cols
+
+    def test_packed_answer_matches_naive_bit_for_bit(self, client):
+        payloads = [b"inverted-list-0", b"list-1", b"the-third-list!!", b"x"]
+        db = PIRDatabase.from_columns(payloads)
+        query = client.build_query(db.cols, 2)
+        fast = PIRServer(db).answer(query)
+        naive = PIRServer(db, naive=True).answer(query)
+        assert fast.elements == naive.elements
 
     def test_query_reveals_nothing_obvious(self, client):
         """The query elements must all have Jacobi symbol +1 (indistinguishable)."""

@@ -1,0 +1,184 @@
+"""Property-based equivalence tests: fast execution paths vs naive references.
+
+Every optimisation added by the fast execution layer keeps its naive
+counterpart as a correctness oracle.  These tests drive arbitrary inputs
+through both and assert equivalence:
+
+* the power-table server produces ciphertexts *bit-identical* to the naive
+  per-posting-exponentiation server, hence identical decrypted rankings;
+* zero-pool selector ciphertexts decrypt to exactly the membership bit, are
+  pairwise distinct within a query (no ciphertext-equality leak across
+  terms), and stay fresh across queries;
+* the packed PIR database reconstructs columns identically to the tuple
+  bit-matrix reference, and the packed answer path matches the per-cell
+  reference answer bit for bit.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.embellish import QueryEmbellisher
+from repro.core.server import PrivateRetrievalServer
+from repro.crypto.benaloh import ZeroEncryptionPool, generate_keypair
+from repro.crypto.pir import PIRClient, PIRDatabase, PIRServer
+
+BENALOH = generate_keypair(key_bits=128, block_size=3**6, rng=random.Random(401))
+PIR_CLIENT = PIRClient.with_new_group(key_bits=64, rng=random.Random(402))
+
+
+class TestPowerTableEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_fast_server_ciphertexts_equal_naive(
+        self, index, organization, benaloh_keypair, data
+    ):
+        bucketed = [t for bucket in organization.buckets for t in bucket if t in index]
+        query_terms = data.draw(
+            st.lists(st.sampled_from(bucketed), min_size=1, max_size=3, unique=True)
+        )
+        embellisher = QueryEmbellisher(
+            organization=organization,
+            keypair=benaloh_keypair,
+            rng=random.Random(data.draw(st.integers(0, 999))),
+        )
+        query = embellisher.embellish(query_terms)
+        kwargs = dict(
+            index=index, organization=organization, public_key=benaloh_keypair.public
+        )
+        fast = PrivateRetrievalServer(**kwargs).process_query(query)
+        naive = PrivateRetrievalServer(naive=True, **kwargs).process_query(query)
+        assert fast.encrypted_scores == naive.encrypted_scores
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_fast_server_decrypts_to_plaintext_scores(
+        self, index, organization, benaloh_keypair, data
+    ):
+        from repro.textsearch.engine import SearchEngine
+
+        bucketed = [t for bucket in organization.buckets for t in bucket if t in index]
+        query_terms = data.draw(
+            st.lists(st.sampled_from(bucketed), min_size=1, max_size=2, unique=True)
+        )
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(7)
+        )
+        query = embellisher.embellish(query_terms)
+        result = PrivateRetrievalServer(
+            index=index, organization=organization, public_key=benaloh_keypair.public
+        ).process_query(query)
+        plain = SearchEngine(index).score_all(query_terms)
+        decrypted = {
+            doc_id: benaloh_keypair.private.decrypt(ct) for doc_id, ct in result
+        }
+        positive = {doc_id: score for doc_id, score in decrypted.items() if score > 0}
+        assert positive == {doc_id: int(score) for doc_id, score in plain.items()}
+
+
+class TestZeroPoolProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_draws_decrypt_to_zero_and_are_distinct(self, seed):
+        pool = ZeroEncryptionPool(BENALOH.public, rng=random.Random(seed), size=8)
+        draws = [pool.draw() for _ in range(24)]
+        assert all(BENALOH.private.decrypt(c) == 0 for c in draws)
+        assert len(set(draws)) == len(draws)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_served_values_disjoint_from_pool_and_pairwise_products(self, seed):
+        """The break of a store-what-you-serve pool: served selectors must
+        never be pool state, and never the product of two earlier serves."""
+        pool = ZeroEncryptionPool(BENALOH.public, rng=random.Random(seed), size=8)
+        n = BENALOH.public.n
+        draws = [pool.draw() for _ in range(40)]
+        assert not set(draws) & set(pool._pool)
+        pair_products: set[int] = set()
+        previous: list[int] = []
+        for value in draws:
+            assert value not in pair_products
+            for prior in previous:
+                pair_products.add(prior * value % n)
+            pair_products.add(value * value % n)
+            previous.append(value)
+
+    @given(seed=st.integers(0, 10_000), bit=st.integers(0, 1))
+    @settings(max_examples=20, deadline=None)
+    def test_selector_encryption_roundtrip(self, seed, bit):
+        pool = ZeroEncryptionPool(BENALOH.public, rng=random.Random(seed), size=4)
+        assert BENALOH.private.decrypt(pool.encrypt_selector(bit)) == bit
+
+    @given(message=st.integers(0, 3**6 - 1), seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_rerandomize_preserves_plaintext_and_changes_ciphertext(self, message, seed):
+        rng = random.Random(seed)
+        pool = ZeroEncryptionPool(BENALOH.public, rng=rng, size=4)
+        ciphertext = BENALOH.public.encrypt(message, rng)
+        fresh = pool.rerandomize(ciphertext)
+        assert fresh != ciphertext
+        assert BENALOH.private.decrypt(fresh) == message
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_pooled_selectors_never_collide_across_terms(
+        self, organization, benaloh_keypair, data
+    ):
+        bucketed = [t for bucket in organization.buckets for t in bucket]
+        query_terms = data.draw(
+            st.lists(st.sampled_from(bucketed), min_size=1, max_size=4, unique=True)
+        )
+        embellisher = QueryEmbellisher(
+            organization=organization,
+            keypair=benaloh_keypair,
+            rng=random.Random(data.draw(st.integers(0, 999))),
+        )
+        first = embellisher.embellish(query_terms)
+        second = embellisher.embellish(query_terms)
+        # Distinct within a query: ciphertext equality must not link terms.
+        assert len(set(first.encrypted_selectors)) == len(first)
+        # Fresh across queries: re-issuing the query re-randomises everything.
+        assert not set(first.encrypted_selectors) & set(second.encrypted_selectors)
+        genuine = set(query_terms)
+        for term, ciphertext in first:
+            assert benaloh_keypair.private.decrypt(ciphertext) == (term in genuine)
+
+
+class TestPackedPIREquivalence:
+    @staticmethod
+    def _reference_bits(columns):
+        """The seed implementation's tuple-of-tuples bit matrix."""
+        max_len = max(len(col) for col in columns)
+        padded = [col + b"\x00" * (max_len - len(col)) for col in columns]
+        bits = []
+        for bit_index in range(max_len * 8):
+            byte_index, offset = divmod(bit_index, 8)
+            bits.append(
+                tuple((padded[c][byte_index] >> (7 - offset)) & 1 for c in range(len(columns)))
+            )
+        return tuple(bits)
+
+    @given(columns=st.lists(st.binary(min_size=1, max_size=8), min_size=2, max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_packed_matrix_matches_reference(self, columns):
+        packed = PIRDatabase.from_columns(columns)
+        reference = self._reference_bits(columns)
+        assert packed.bits == reference
+        assert PIRDatabase(bits=reference).row_masks == packed.row_masks
+        max_len = max(len(col) for col in columns)
+        for c, column in enumerate(columns):
+            assert packed.column_bytes(c) == column + b"\x00" * (max_len - len(column))
+
+    @given(columns=st.lists(st.binary(min_size=1, max_size=6), min_size=2, max_size=4), data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_packed_answer_matches_reference_bit_for_bit(self, columns, data):
+        wanted = data.draw(st.integers(min_value=0, max_value=len(columns) - 1))
+        database = PIRDatabase.from_columns(columns)
+        query = PIR_CLIENT.build_query(database.cols, wanted)
+        fast = PIRServer(database).answer(query)
+        naive = PIRServer(database, naive=True).answer(query)
+        assert fast.elements == naive.elements
+        recovered = PIR_CLIENT.decode_answer_bytes(fast)
+        max_len = max(len(col) for col in columns)
+        assert recovered == columns[wanted] + b"\x00" * (max_len - len(columns[wanted]))
