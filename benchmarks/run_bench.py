@@ -9,19 +9,32 @@ implementations --
 * KO PIR answer generation (packed row masks vs per-cell scan),
 * inverted-index construction (columnar arrays vs per-posting objects),
 
+plus two batch/parallel series introduced with the parallel execution
+subsystem:
+
+* batched accumulation throughput at 1, 2 and 4 worker processes
+  (``Server.process_batch``), and
+* session embellishment off one pre-stocked zero pool vs per-query naive
+  encryption (the batch API's client-side amortisation),
+
 -- and writes a ``BENCH_fastpath.json`` summary next to the other benchmark
 results so the performance trajectory is tracked from PR to PR:
 
     python benchmarks/run_bench.py [--key-bits 768] [--repeats 5] [--check]
 
-``--check`` exits non-zero unless the accumulation speedup is >= 5x and the
-embellishment speedup is >= 3x (the fast-path acceptance thresholds).
+``--check`` exits non-zero unless the accumulation speedup is >= 5x, the
+embellishment speedup is >= 3x, and -- on machines with >= 4 CPUs -- the
+batched accumulation throughput at 4 workers is >= 2x sequential.  The
+parallel gate scales with the hardware (process parallelism cannot beat
+sequential on a single-core box, so there the series is recorded but not
+gated); CI runs on 4-vCPU runners, where the 2x bar is enforced.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -111,6 +124,88 @@ def bench_embellishment(context, keypair, repeats):
         lambda: fast_embellisher.embellish(query),
         repeats,
     )
+
+
+def bench_parallel_batch(context, keypair, repeats, batch_size=48, terms=6, workers=(1, 2, 4)):
+    """Batched accumulation throughput across worker-process counts.
+
+    One series point per parallelism level, timing ``Server.process_batch``
+    over the same batch of frequency-weighted queries (process-pool start-up
+    included -- that is the cost the knob actually pays, which is also why
+    the batch must be heavy: many queries over the longest lists, so the
+    per-worker cryptographic work dominates the fork/pickle overhead).
+    Results are asserted bit-identical to the sequential fast path before
+    timing.
+    """
+    organization = context.buckets(8, None, searchable_only=True)
+    embellisher = QueryEmbellisher(
+        organization=organization, keypair=keypair, rng=random.Random(6)
+    )
+    generator = QueryWorkloadGenerator(context.index, seed=7)
+    queries = [
+        embellisher.embellish(generator.frequency_weighted_query(terms))
+        for _ in range(batch_size)
+    ]
+    server = PrivateRetrievalServer(
+        index=context.index, organization=organization, public_key=keypair.public
+    )
+    baseline = server.process_batch(queries, parallelism=1)
+    series_ms: dict[str, float] = {}
+    for n in workers:
+        parallel_results = server.process_batch(queries, parallelism=n)
+        assert [r.encrypted_scores for r in parallel_results] == [
+            r.encrypted_scores for r in baseline
+        ], f"parallel batch diverged at {n} workers!"
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            server.process_batch(queries, parallelism=n)
+            samples.append((time.perf_counter() - start) * 1000.0)
+        series_ms[str(n)] = min(samples)
+    return {
+        "batch_size": batch_size,
+        "cpu_count": os.cpu_count() or 1,
+        "series_ms": series_ms,
+        "throughput_qps": {
+            n: round(batch_size / (ms / 1000.0), 2) for n, ms in series_ms.items()
+        },
+        "speedup_at_4": round(series_ms["1"] / series_ms["4"], 2) if "4" in series_ms else None,
+    }
+
+
+def bench_session_embellishment(context, keypair, repeats, num_queries=6):
+    """The batch API's client-side amortisation: one pre-stocked zero pool
+    serving a whole session vs per-query naive encryption."""
+    from repro.core.session import QuerySession
+
+    organization = context.buckets(8, None, searchable_only=True)
+    generator = QueryWorkloadGenerator(context.index, seed=9)
+    session = QuerySession(
+        queries=tuple(tuple(generator.random_query(6)) for _ in range(num_queries))
+    )
+    naive_embellisher = QueryEmbellisher(
+        organization=organization, keypair=keypair, rng=random.Random(1), naive=True
+    )
+    fast_embellisher = QueryEmbellisher(
+        organization=organization, keypair=keypair, rng=random.Random(1)
+    )
+    budget = session.selector_budget(organization)
+    # Idle-time precomputation: stock the whole run's draws up front so the
+    # timed phase is pure query-path work, as deployed clients experience it.
+    fast_embellisher.prestock((repeats + 2) * budget)
+
+    def naive_session():
+        for query in session:
+            naive_embellisher.embellish(list(query))
+
+    def fast_session():
+        for query in session:
+            fast_embellisher.embellish(list(query))
+
+    times = timed_pair(naive_session, fast_session, repeats)
+    times["num_queries"] = num_queries
+    times["selector_budget"] = budget
+    return times
 
 
 def bench_pir_answer(repeats):
@@ -205,6 +300,7 @@ def main() -> int:
     benches = {
         "homomorphic_accumulation": bench_accumulation(context, keypair, args.repeats),
         "query_embellishment": bench_embellishment(context, keypair, args.repeats),
+        "session_embellishment": bench_session_embellishment(context, keypair, args.repeats),
         "pir_answer": bench_pir_answer(args.repeats),
         "index_build": bench_index_build(context, args.repeats),
     }
@@ -218,7 +314,28 @@ def main() -> int:
             "fast_ms": round(times["fast"], 4),
             "speedup": round(speedup, 2),
         }
+        results[name].update(
+            {k: v for k, v in times.items() if k not in ("naive", "fast")}
+        )
         print(f"{name:<28} {times['naive']:>10.3f} {times['fast']:>10.3f} {speedup:>7.1f}x")
+
+    parallel_batch = bench_parallel_batch(context, keypair, args.repeats)
+    # Record gate eligibility in the artifact itself, so a green run on a
+    # too-small machine can never masquerade as having met the 2x bar.
+    cpus = parallel_batch["cpu_count"]
+    parallel_batch["parallel_gate"] = (
+        "enforced when --check (>= 4 CPUs)"
+        if cpus >= 4
+        else f"not enforceable: {cpus} CPU(s), need 4"
+    )
+    results["parallel_batch_accumulation"] = parallel_batch
+    print(f"\nbatched accumulation ({parallel_batch['batch_size']} queries, "
+          f"{parallel_batch['cpu_count']} CPUs):")
+    for n, ms in parallel_batch["series_ms"].items():
+        qps = parallel_batch["throughput_qps"][n]
+        print(f"  parallelism={n:<3} {ms:>10.3f} ms  {qps:>8.2f} q/s")
+    if parallel_batch["speedup_at_4"] is not None:
+        print(f"  speedup at 4 workers: {parallel_batch['speedup_at_4']:.2f}x")
 
     summary = {
         "benchmark": "fastpath",
@@ -241,10 +358,32 @@ def main() -> int:
             failures.append("homomorphic accumulation speedup < 5x")
         if results["query_embellishment"]["speedup"] < 3.0:
             failures.append("query embellishment speedup < 3x")
+        if results["session_embellishment"]["speedup"] < 3.0:
+            failures.append("session embellishment speedup < 3x")
+        speedup_at_4 = parallel_batch["speedup_at_4"]
+        if cpus >= 4:
+            # Process parallelism cannot beat sequential without cores to run
+            # on; the throughput bar is enforced only where the hardware can
+            # meet it (CI runners have 4 vCPUs).
+            if speedup_at_4 is None or speedup_at_4 < 2.0:
+                failures.append(
+                    f"batched accumulation at 4 workers < 2x sequential ({speedup_at_4}x)"
+                )
+        else:
+            # Never skip silently: the log states that the headline parallel
+            # criterion was not exercised on this box (the artifact records
+            # the same in parallel_gate).
+            print(
+                f"WARNING: 4-worker >=2x throughput gate SKIPPED -- this machine has "
+                f"{cpus} CPU(s); the gate is enforced on >=4-CPU runners (CI)."
+            )
         if failures:
             print("CHECK FAILED: " + "; ".join(failures))
             return 1
-        print("CHECK PASSED: accumulation >= 5x, embellishment >= 3x")
+        gates = "accumulation >= 5x, embellishment >= 3x, session >= 3x"
+        if cpus >= 4:
+            gates += f", 4-worker throughput >= 2x ({speedup_at_4}x)"
+        print(f"CHECK PASSED: {gates}")
     return 0
 
 

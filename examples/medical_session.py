@@ -24,7 +24,7 @@ import random
 from repro import build_private_search_system
 from repro.core.random_buckets import random_buckets
 from repro.core.risk import PrivacyRiskModel
-from repro.core.session import QuerySession, recurring_term_candidates, session_intersection
+from repro.core.session import QuerySession, session_intersection
 from repro.lexicon.distance import SemanticDistanceCalculator
 from repro.lexicon.specificity import hypernym_depth_specificity
 
@@ -62,14 +62,12 @@ def main() -> None:
         print(f"  query {i} ({len(embellished)} terms): {list(embellished.terms)}")
 
     intersection = session_intersection(session, organization)
-    candidates = recurring_term_candidates(session, organization, specificity)
     print(f"\nIntersecting the embellished queries leaves {len(intersection)} recurring terms:")
     for term in sorted(intersection, key=lambda t: -specificity.get(t, 0)):
         marker = "  <-- genuine" if term == focus else ""
         print(f"  {term:30s} specificity {specificity.get(term, 0):2d}{marker}")
     print("Every recurring decoy is as specific as the genuine term, so the "
           "adversary cannot tell which topic the user is after.")
-    del candidates
 
     # Section 3.1 risk numbers for one query of the session, under two
     # adversaries: a naive one with a uniform prior over the candidate
@@ -93,7 +91,7 @@ def main() -> None:
     print(f"  {'bucket decoys':16s} {risk(organization):20.3f} {risk(organization, coherence_prior):20.3f}")
 
     ranking, costs = system.search(query, k=5)
-    print(f"\nTop-5 documents for query 1 (ranking identical to a non-private engine):")
+    print("\nTop-5 documents for query 1 (ranking identical to a non-private engine):")
     for doc_id, score in ranking:
         print(f"  doc {doc_id:5d}   score {score:6.0f}")
     print(f"Query cost: {costs.traffic_kbytes:.1f} KB traffic, "

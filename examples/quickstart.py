@@ -45,7 +45,7 @@ def main() -> None:
         print(f"  doc {doc_id:5d}   score {score:8.0f}")
 
     plain = SearchEngine(index).top_k(genuine_terms, k=10)
-    print(f"\nMatches the plaintext engine's ranking exactly: "
+    print("\nMatches the plaintext engine's ranking exactly: "
           f"{rankings_identical(ranking.ranking, plain.ranking)}")
 
     print("\nPer-query cost report (calibrated cost model):")

@@ -21,6 +21,7 @@ from repro.core.costs import CostModel, CostReport
 from repro.core.embellish import EmbellishedQuery, QueryEmbellisher
 from repro.core.postfilter import PostFilterCounters, post_filter
 from repro.core.server import EncryptedResult, PrivateRetrievalServer, power_table_strategy
+from repro.core.session import QuerySession
 from repro.crypto.benaloh import BenalohKeyPair, generate_keypair
 from repro.textsearch.engine import SearchResult
 from repro.textsearch.inverted_index import InvertedIndex
@@ -75,6 +76,42 @@ class PrivateSearchClient:
         """Largest genuine-term count whose scores cannot overflow the plaintext space."""
         return max(1, (self.block_size - 1) // max(1, quantise_levels))
 
+    # -- batch / session API --------------------------------------------------------
+    def embellish_session(self, session: QuerySession) -> list[EmbellishedQuery]:
+        """Embellish every query of a session off one pre-stocked zero pool.
+
+        The pool is replenished *once*, up front, with exactly the session's
+        selector budget, so no query of the batch triggers a mid-query refill
+        (the exponentiation burst stays off the query path -- the amortisation
+        the batch API exists for).  One-time stock entries are still served
+        exactly once each, so sharing the pool across the session's queries
+        (and across whatever workers process them) leaks nothing: every
+        served ciphertext remains an independent fresh encryption.
+        """
+        self.embellisher.prestock(session.selector_budget(self.organization))
+        return [self.formulate(list(query)) for query in session]
+
+    def run_session(
+        self,
+        session: QuerySession,
+        server: PrivateRetrievalServer,
+        k: int | None = 20,
+        parallelism: int | None = None,
+    ) -> list[SearchResult]:
+        """Embellish, batch-submit and post-filter a whole session's queries."""
+        max_genuine = self.max_supported_query_size(server.index.quantise_levels)
+        for query in session:
+            if len(dict.fromkeys(query)) > max_genuine:
+                raise ValueError(
+                    f"{len(dict.fromkeys(query))} genuine terms could overflow the "
+                    f"Benaloh plaintext space (at most {max_genuine} supported with "
+                    f"block_size={self.block_size}); regenerate the client keypair "
+                    "with a larger block_size"
+                )
+        queries = self.embellish_session(session)
+        results = server.process_batch(queries, parallelism=parallelism)
+        return [self.post_filter(result, k=k) for result in results]
+
 
 @dataclass
 class PrivateSearchSystem:
@@ -90,6 +127,9 @@ class PrivateSearchSystem:
     #: per posting, one full encryption per selector); False (the default)
     #: runs the power-table server and zero-pool embellisher.
     naive: bool = False
+    #: Worker processes for the server's sharded/batched accumulation
+    #: (1 = sequential; the naive oracle ignores this and stays in-process).
+    parallelism: int = 1
     client: PrivateSearchClient = field(init=False)
     server: PrivateRetrievalServer = field(init=False)
 
@@ -106,6 +146,7 @@ class PrivateSearchSystem:
             organization=self.organization,
             public_key=self.client.keypair.public,
             naive=self.naive,
+            parallelism=self.parallelism,
         )
 
     # -- real execution -------------------------------------------------------------
@@ -138,8 +179,73 @@ class PrivateSearchSystem:
             client_pooled_encryptions=pooled,
             client_pool_multiplications=embellisher.pool_multiplications,
             client_decryptions=self.client.postfilter_counters.decryptions,
+            server_merge_multiplications=counters.merge_multiplications,
+            shards_executed=counters.shards_executed,
         )
         return ranking, report
+
+    # -- batch / session execution ---------------------------------------------------
+    def run_session(
+        self,
+        session: QuerySession,
+        k: int | None = 20,
+        parallelism: int | None = None,
+    ) -> list[tuple[SearchResult, CostReport]]:
+        """Run a whole session as one batch, returning per-query rankings and reports.
+
+        The client side amortises across the batch (one zero-pool stocking
+        for all queries); the server side answers the batch through one
+        worker pool (``parallelism`` overrides the system knob for this call).
+        Rankings are identical to issuing each query through :meth:`search`
+        -- the batch changes scheduling and amortisation, never results.
+        """
+        max_genuine = self.client.max_supported_query_size(self.index.quantise_levels)
+        genuine_queries = [list(dict.fromkeys(query)) for query in session]
+        for genuine in genuine_queries:
+            if len(genuine) > max_genuine:
+                raise ValueError(
+                    f"{len(genuine)} genuine terms could overflow the Benaloh plaintext "
+                    f"space (at most {max_genuine} supported with block_size={self.block_size}); "
+                    "regenerate the client keypair with a larger block_size"
+                )
+
+        embellisher = self.client.embellisher
+        embellisher.prestock(session.selector_budget(self.organization))
+        queries: list[EmbellishedQuery] = []
+        client_costs: list[tuple[int, int, int]] = []
+        for genuine in genuine_queries:
+            query = self.client.formulate(genuine)
+            pooled = 0 if embellisher.pool is None else embellisher.encryptions_performed
+            client_costs.append(
+                (embellisher.encryptions_performed, pooled, embellisher.pool_multiplications)
+            )
+            queries.append(query)
+
+        encrypted_results = self.server.process_batch(queries, parallelism=parallelism)
+
+        outputs: list[tuple[SearchResult, CostReport]] = []
+        per_query_counters = self.server.last_batch_counters
+        for query, result, counters, (encryptions, pooled, pool_muls) in zip(
+            queries, encrypted_results, per_query_counters, client_costs
+        ):
+            ranking = self.client.post_filter(result, k=k)
+            report = self.cost_model.pr_report(
+                buckets_fetched=counters.buckets_fetched,
+                blocks_read=counters.blocks_read,
+                server_exponentiations=counters.modular_exponentiations,
+                server_multiplications=counters.modular_multiplications,
+                server_table_multiplications=counters.table_multiplications,
+                upstream_bytes=query.upstream_bytes(self.key_bits),
+                downstream_bytes=result.downstream_bytes(),
+                client_encryptions=encryptions,
+                client_pooled_encryptions=pooled,
+                client_pool_multiplications=pool_muls,
+                client_decryptions=self.client.postfilter_counters.decryptions,
+                server_merge_multiplications=counters.merge_multiplications,
+                shards_executed=counters.shards_executed,
+            )
+            outputs.append((ranking, report))
+        return outputs
 
     # -- analytic estimation -----------------------------------------------------------
     def estimate_costs(self, genuine_terms: Sequence[str]) -> CostReport:

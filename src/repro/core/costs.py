@@ -135,6 +135,8 @@ class CostModel:
         server_table_multiplications: int = 0,
         client_pooled_encryptions: int = 0,
         client_pool_multiplications: int = 0,
+        server_merge_multiplications: int = 0,
+        shards_executed: int = 0,
     ) -> CostReport:
         """Assemble the Section 5.2 metrics for one PR query.
 
@@ -144,8 +146,12 @@ class CostModel:
         exponentiations, and ``client_pooled_encryptions`` says how many of
         the ``client_encryptions`` selector ciphertexts came from the zero
         pool at ``client_pool_multiplications`` total multiplications instead
-        of two exponentiations each.  The defaults (all zero) describe the
-        naive reference paths.
+        of two exponentiations each.  Sharded execution never changes the
+        totals either: ``server_merge_multiplications`` (already included in
+        ``server_multiplications``) and ``shards_executed`` only attribute
+        where the work ran, so wall-clock scales with workers while the
+        modelled CPU milliseconds stay put.  The defaults (all zero) describe
+        the naive reference paths.
         """
         server_cpu = (
             server_exponentiations * self.server_modexp_ms
@@ -179,6 +185,8 @@ class CostModel:
                 "client_pooled_encryptions": client_pooled_encryptions,
                 "client_pool_multiplications": client_pool_multiplications,
                 "client_decryptions": client_decryptions,
+                "server_merge_multiplications": server_merge_multiplications,
+                "shards_executed": shards_executed,
             },
         )
 

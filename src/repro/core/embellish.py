@@ -129,6 +129,21 @@ class QueryEmbellisher:
         """The fast path's zero pool (``None`` on the naive path)."""
         return self._pool
 
+    def prestock(self, selectors: int) -> int:
+        """Ensure the zero pool can serve ``selectors`` draws without refilling.
+
+        This is the batch/session amortisation: one replenishment call before
+        a session keeps every mid-query refill (an exponentiation burst) off
+        the query path.  Returns the number of fresh stock entries created
+        (0 on the naive path or when the pool is already deep enough).
+        """
+        if self._pool is None:
+            return 0
+        needed = max(0, selectors - self._pool.size)
+        if needed:
+            self._pool.replenish(needed)
+        return needed
+
     def embellish(self, genuine_terms) -> EmbellishedQuery:
         """Build the embellished query for a set of genuine search terms.
 

@@ -1,0 +1,373 @@
+"""Parallel execution subsystem: sharded and batched homomorphic accumulation.
+
+The server side of the PR scheme is embarrassingly parallel: each embellished
+term's inverted list accumulates into the encrypted scores independently, and
+partial accumulators merge by modular multiplication (the Benaloh homomorphism
+is a product in ``Z*_n``, which is commutative and associative, so any
+grouping of a document's contributions yields the bit-identical ciphertext).
+
+This module holds everything that crosses a process boundary:
+
+* the **accumulation kernel** (:func:`accumulate_terms`), the single
+  implementation of the power-table fast path executed by the sequential
+  server, by every shard worker, and by every batch worker -- so "parallel
+  equals sequential" reduces to "modular multiplication is associative";
+* **shard partitioning** (:func:`partition_payload`), a greedy
+  longest-list-first balance of the query's term lists over ``parallelism``
+  shards;
+* **merging** (:func:`merge_shard_results`), one modular multiplication per
+  document that appears in more than one shard.  Within-shard plus merge
+  multiplications always total exactly the sequential fast path's count
+  (``postings - distinct candidates``), so the cost model is unchanged by
+  parallelism -- only the op *placement* moves;
+* the **worker entry points** (:func:`_shard_task`), which re-seed the
+  module-level fallback generators of the crypto layer from an explicit
+  per-task seed before touching any payload.  A forked worker otherwise
+  inherits a byte-for-byte copy of the parent's generator state, so every
+  worker would replay the *same* "random" stream -- harmless for the
+  deterministic accumulation kernel, but a trap for any future worker code
+  path that falls back to the shared generators.  Explicit seeding makes
+  sharded runs reproducible under both ``fork`` and ``spawn`` start methods.
+
+Process pools are only worth their startup cost when the per-query
+cryptographic work dominates (realistic key sizes, long inverted lists);
+``parallelism=1`` is the default everywhere and runs the kernel in-process,
+bit-identical to the pre-parallel fast path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto import numbertheory
+
+__all__ = [
+    "ShardCounts",
+    "TermPayload",
+    "power_table_strategy",
+    "build_power_table",
+    "accumulate_terms",
+    "partition_payload",
+    "merge_shard_results",
+    "derive_worker_seed",
+    "run_sharded",
+    "run_query_batch",
+    "shard_executor",
+]
+
+#: Per-term work unit shipped to workers: ``(encrypted_selector, doc_ids,
+#: quantised_impacts)``.  The arrays are the index's own columnar storage
+#: (``array('I')``), which pickles compactly.
+TermPayload = tuple[int, array, array]
+
+#: Default base seed for worker re-seeding; callers override it per run for
+#: independent streams, and :func:`derive_worker_seed` stretches it per shard.
+DEFAULT_WORKER_SEED = 0x20100A
+
+
+def power_table_strategy(distinct_impacts, max_impact: int) -> tuple[str, int]:
+    """Pick the cheaper power-table build strategy and its multiplication count.
+
+    ``"ladder"`` multiplies ``E(u)`` into itself ``max_impact - 1`` times and
+    reads every distinct power off the way up -- best when the distinct
+    impacts densely cover ``1..max_impact``.  ``"binary"`` squares its way to
+    ``E(u)^(2^k)`` and assembles each distinct power from its set bits -- best
+    when the distinct impacts are sparse in a wide range.  Both use only
+    modular multiplications, and both are deterministic functions of the
+    list's distinct quantised impacts, so the analytic cost estimator replays
+    the choice (and the exact count) without touching a ciphertext.
+    """
+    # E(u)^0 = 1 costs nothing; only positive impacts need table work.
+    # (Indexes built by InvertedIndex.build never contain zero impacts, but
+    # hand-built postings may.)
+    positive = [p for p in distinct_impacts if p]
+    if not positive:
+        return "ladder", 0
+    ladder = max(0, max_impact - 1)
+    binary = (max_impact.bit_length() - 1) + sum(p.bit_count() - 1 for p in positive)
+    if ladder <= binary:
+        return "ladder", ladder
+    return "binary", binary
+
+
+@dataclass
+class ShardCounts:
+    """Operation counts produced by one run of the accumulation kernel."""
+
+    postings: int = 0
+    table_multiplications: int = 0
+    accumulator_multiplications: int = 0
+
+    def add(self, other: "ShardCounts") -> None:
+        self.postings += other.postings
+        self.table_multiplications += other.table_multiplications
+        self.accumulator_multiplications += other.accumulator_multiplications
+
+
+def build_power_table(selector: int, impacts, modulus: int) -> tuple[dict[int, int], int]:
+    """``({p: E(u)^p}, multiplications)`` for one list's distinct impacts."""
+    multiplications = 0
+    distinct = sorted(set(impacts))
+
+    table: dict[int, int] = {}
+    if distinct[0] == 0:
+        # E(u)^0 = 1, matching pow(selector, 0, modulus) on the naive path.
+        table[0] = 1
+        distinct = distinct[1:]
+        if not distinct:
+            return table, multiplications
+    max_impact = distinct[-1]
+    strategy, _ = power_table_strategy(distinct, max_impact)
+    if strategy == "ladder":
+        # Incremental ladder: E(u)^1 is the selector itself, every further
+        # power is one multiplication; read the needed powers off the way.
+        wanted = set(distinct)
+        power = selector
+        if 1 in wanted:
+            table[1] = power
+        for exponent in range(2, max_impact + 1):
+            power = (power * selector) % modulus
+            multiplications += 1
+            if exponent in wanted:
+                table[exponent] = power
+    else:
+        # Sparse impacts: square up to E(u)^(2^k), then assemble each
+        # distinct power from its set bits (popcount - 1 multiplications).
+        squarings = [selector]
+        for _ in range(max_impact.bit_length() - 1):
+            squarings.append(squarings[-1] * squarings[-1] % modulus)
+            multiplications += 1
+        for exponent in distinct:
+            power = None
+            remaining = exponent
+            level = 0
+            while remaining:
+                if remaining & 1:
+                    if power is None:
+                        power = squarings[level]
+                    else:
+                        power = power * squarings[level] % modulus
+                        multiplications += 1
+                remaining >>= 1
+                level += 1
+            table[exponent] = power
+    return table, multiplications
+
+
+def accumulate_terms(
+    payload: Sequence[TermPayload], modulus: int
+) -> tuple[dict[int, int], ShardCounts]:
+    """The power-table accumulation kernel over a sequence of term payloads.
+
+    This is the one implementation behind the sequential fast path, every
+    shard worker and every batch worker.  Returns the per-document encrypted
+    accumulators and the exact operation counts.  When the optional ``gmpy2``
+    backend is active the big-integer arithmetic runs on ``mpz`` values; the
+    results are converted back to plain ``int`` so callers (and equivalence
+    tests) see identical objects either way.
+    """
+    counts = ShardCounts()
+    accumulators: dict[int, int] = {}
+    accumulator_get = accumulators.get
+    wrapped = numbertheory.get_backend() != "python"
+    if wrapped:
+        wrap = numbertheory.backend_int
+        modulus = wrap(modulus)
+    for selector, doc_ids, impacts in payload:
+        if not len(doc_ids):
+            continue
+        if wrapped:
+            selector = wrap(selector)
+        table, table_mults = build_power_table(selector, impacts, modulus)
+        counts.table_multiplications += table_mults
+        counts.postings += len(doc_ids)
+        # One table lookup + at most one accumulator multiplication per
+        # posting; the multiplication count is recovered from the number
+        # of first-time candidates instead of a per-posting increment.
+        new_candidates = -len(accumulators)
+        for doc_id, impact in zip(doc_ids, impacts):
+            existing = accumulator_get(doc_id)
+            if existing is None:
+                accumulators[doc_id] = table[impact]
+            else:
+                accumulators[doc_id] = existing * table[impact] % modulus
+        new_candidates += len(accumulators)
+        counts.accumulator_multiplications += len(doc_ids) - new_candidates
+    if wrapped:
+        accumulators = {doc_id: int(value) for doc_id, value in accumulators.items()}
+    return accumulators, counts
+
+
+def partition_payload(
+    payload: Sequence[TermPayload], shards: int
+) -> list[list[TermPayload]]:
+    """Balance term payloads over ``shards`` shards, greedily by list length.
+
+    Terms are assigned longest-list-first to the currently lightest shard
+    (LPT scheduling), which keeps the per-shard posting counts within one
+    list length of each other.  Empty shards are dropped, so the result may
+    contain fewer than ``shards`` entries for narrow queries.
+    """
+    if shards <= 1 or len(payload) <= 1:
+        return [list(payload)] if payload else []
+    order = sorted(range(len(payload)), key=lambda i: len(payload[i][1]), reverse=True)
+    buckets: list[list[TermPayload]] = [[] for _ in range(min(shards, len(payload)))]
+    loads = [0] * len(buckets)
+    for i in order:
+        lightest = loads.index(min(loads))
+        buckets[lightest].append(payload[i])
+        loads[lightest] += len(payload[i][1])
+    return [bucket for bucket in buckets if bucket]
+
+
+def merge_shard_results(
+    partials: Sequence[dict[int, int]], modulus: int
+) -> tuple[dict[int, int], int]:
+    """Merge per-shard accumulators by modular multiplication.
+
+    A document that accumulated contributions in ``k`` shards costs ``k - 1``
+    merge multiplications; summed with the within-shard multiplications this
+    is exactly the sequential count (``postings - distinct candidates``), so
+    sharding relocates work without creating or destroying any.
+    """
+    merged: dict[int, int] = {}
+    merge_multiplications = 0
+    for partial in partials:
+        for doc_id, value in partial.items():
+            existing = merged.get(doc_id)
+            if existing is None:
+                merged[doc_id] = value
+            else:
+                merged[doc_id] = existing * value % modulus
+                merge_multiplications += 1
+    return merged, merge_multiplications
+
+
+def derive_worker_seed(base_seed: int, task_index: int) -> int:
+    """A stable, well-separated per-task seed for worker RNG re-seeding.
+
+    Hash-derived rather than ``base_seed + task_index`` so that nearby base
+    seeds do not produce overlapping per-task streams.  Deterministic across
+    platforms and Python versions (SHA-256, not ``hash()``).
+    """
+    digest = hashlib.sha256(f"{base_seed}:{task_index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def reseed_worker(seed: int) -> None:
+    """Explicitly re-seed every module-level fallback generator in a worker.
+
+    Forked workers inherit copies of the parent's generator state; spawned
+    workers start from OS entropy.  Either way the streams are not
+    reproducible run-to-run, so each task seeds them from its own derived
+    seed before doing any work.
+    """
+    from repro.crypto import benaloh, paillier
+
+    benaloh.reseed_default_rng(seed)
+    paillier.reseed_default_rng(seed)
+
+
+def _shard_task(
+    task: tuple[Sequence[TermPayload], int, int, str],
+) -> tuple[dict[int, int], ShardCounts]:
+    """Worker entry point: re-seed, sync the backend, run the kernel.
+
+    Only ever executed inside a worker process -- the in-process fallbacks
+    below call :func:`accumulate_terms` directly, because re-seeding the
+    *caller's* module-level generators to a derivable seed would make every
+    subsequent fallback encryption in the parent predictable.  The active
+    big-integer backend is carried in the task because a ``spawn``-started
+    worker re-imports :mod:`repro.crypto.numbertheory` with the default
+    backend (``fork`` inherits it); without the sync, gmpy2 acceleration
+    would silently drop to pure python on spawn platforms.
+    """
+    payload, modulus, seed, backend = task
+    reseed_worker(seed)
+    if numbertheory.get_backend() != backend:
+        numbertheory.set_backend(backend)
+    return accumulate_terms(payload, modulus)
+
+
+def shard_executor(parallelism: int) -> Executor:
+    """A process pool sized for ``parallelism`` shard/batch workers."""
+    return ProcessPoolExecutor(max_workers=parallelism)
+
+
+def run_sharded(
+    payload: Sequence[TermPayload],
+    modulus: int,
+    parallelism: int,
+    base_seed: int = DEFAULT_WORKER_SEED,
+    executor: Executor | None = None,
+) -> tuple[dict[int, int], ShardCounts, int, int]:
+    """Shard one query's payload over worker processes and merge the partials.
+
+    Returns ``(accumulators, counts, merge_multiplications, shards)``.  With
+    ``parallelism <= 1`` (or a single-term query, which cannot shard) the
+    kernel runs in-process and the result is the sequential fast path's,
+    merge-free.
+    """
+    shards = partition_payload(payload, parallelism)
+    if len(shards) <= 1 or parallelism <= 1:
+        accumulators, counts = accumulate_terms(payload, modulus)
+        return accumulators, counts, 0, max(1, len(shards))
+    backend = numbertheory.get_backend()
+    tasks = [
+        (shard, modulus, derive_worker_seed(base_seed, index), backend)
+        for index, shard in enumerate(shards)
+    ]
+    own_executor = executor is None
+    if own_executor:
+        executor = shard_executor(min(parallelism, len(shards)))
+    try:
+        partials = list(executor.map(_shard_task, tasks))
+    finally:
+        if own_executor:
+            executor.shutdown()
+    counts = ShardCounts()
+    for _, shard_counts in partials:
+        counts.add(shard_counts)
+    merged, merge_multiplications = merge_shard_results(
+        [accumulators for accumulators, _ in partials], modulus
+    )
+    return merged, counts, merge_multiplications, len(shards)
+
+
+def run_query_batch(
+    payloads: Sequence[Sequence[TermPayload]],
+    modulus: int,
+    parallelism: int,
+    base_seed: int = DEFAULT_WORKER_SEED,
+    executor: Executor | None = None,
+) -> list[tuple[dict[int, int], ShardCounts]]:
+    """Accumulate a batch of queries, one worker task per query.
+
+    Inter-query parallelism needs no merge step at all (each query's
+    accumulators are complete), so for batches it beats intra-query sharding:
+    the only overhead over sequential is payload pickling.  With
+    ``parallelism <= 1`` the batch runs in-process, in order, through the
+    same kernel.
+    """
+    if parallelism <= 1 or len(payloads) <= 1:
+        # In-process: run the kernel directly.  _shard_task would re-seed the
+        # caller's module-level crypto generators to a derivable seed, which
+        # must never happen outside a worker process.
+        return [accumulate_terms(payload, modulus) for payload in payloads]
+    backend = numbertheory.get_backend()
+    tasks = [
+        (payload, modulus, derive_worker_seed(base_seed, index), backend)
+        for index, payload in enumerate(payloads)
+    ]
+    own_executor = executor is None
+    if own_executor:
+        executor = shard_executor(min(parallelism, len(payloads)))
+    try:
+        return list(executor.map(_shard_task, tasks))
+    finally:
+        if own_executor:
+            executor.shutdown()

@@ -10,7 +10,7 @@ to the genuine query" in the similarity model).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.server import EncryptedResult
 from repro.crypto.benaloh import BenalohPrivateKey

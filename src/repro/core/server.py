@@ -7,7 +7,7 @@ the document's encrypted score accumulator by ``E(u_i)^{p_ij}``, which under
 the additive homomorphism adds ``u_i * p_ij`` to the underlying score.  Decoy
 terms have ``u_i = 0``, so they perturb only the ciphertext, never the score.
 
-Two accumulation paths exist:
+Three accumulation paths exist:
 
 * the **naive reference path** (``naive=True``) pays one modular
   exponentiation per posting, exactly as Algorithm 4 is written;
@@ -15,25 +15,37 @@ Two accumulation paths exist:
   quantised to at most ``quantise_levels`` (<= 255) values and that
   impact-ordered lists therefore contain few *distinct* impacts.  Per query
   term it precomputes ``E(u_i)^p`` for exactly the distinct impacts in that
-  term's list -- either by an incremental multiplication ladder up to the
-  largest impact (``p_max - 1`` multiplications) or by one small
-  exponentiation per distinct impact, whichever is cheaper -- after which
-  every posting costs a table lookup plus one accumulator multiplication.
-  The resulting ciphertexts are bit-identical to the naive path's.
+  term's list, after which every posting costs a table lookup plus one
+  accumulator multiplication.  The resulting ciphertexts are bit-identical
+  to the naive path's.  The kernel lives in :mod:`repro.core.parallel` so
+  the sequential server and every worker process run the same code;
+* the **sharded path** (``parallelism > 1``) partitions the query's term
+  lists over worker processes -- each term accumulates independently -- and
+  merges the partial accumulators by modular multiplication, which is
+  associative, so the merged ciphertexts are again bit-identical.
+
+:meth:`PrivateRetrievalServer.process_batch` executes a whole session's
+queries through one worker pool (one task per query; no merge step needed),
+which is the server half of the batch/session API.
 
 The server is instrumented: it counts disk blocks fetched (bucket-co-located
 lists are fetched together, the I/O optimisation Section 4 prescribes),
-modular exponentiations, table and accumulator multiplications, and the size
-of the candidate result it returns.  Those counters feed the Section 5.2 cost
-model, and the analytic estimators reproduce them exactly.
+modular exponentiations, table / accumulator / merge multiplications, shard
+and batch fan-out, and the size of the candidate result it returns.  Those
+counters feed the Section 5.2 cost model, and the analytic estimators
+reproduce them exactly; sharding and batching never change the totals, only
+where the multiplications happen.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Sequence
 
+from repro.core import parallel
 from repro.core.buckets import BucketOrganization
 from repro.core.embellish import EmbellishedQuery
+from repro.core.parallel import power_table_strategy
 from repro.crypto.benaloh import BenalohPublicKey
 from repro.textsearch.inverted_index import InvertedIndex
 
@@ -43,31 +55,6 @@ __all__ = [
     "PrivateRetrievalServer",
     "power_table_strategy",
 ]
-
-
-def power_table_strategy(distinct_impacts, max_impact: int) -> tuple[str, int]:
-    """Pick the cheaper table-build strategy and its multiplication count.
-
-    ``"ladder"`` multiplies ``E(u)`` into itself ``max_impact - 1`` times and
-    reads every distinct power off the way up -- best when the distinct
-    impacts densely cover ``1..max_impact``.  ``"binary"`` squares its way to
-    ``E(u)^(2^k)`` and assembles each distinct power from its set bits -- best
-    when the distinct impacts are sparse in a wide range.  Both use only
-    modular multiplications, and both are deterministic functions of the
-    list's distinct quantised impacts, so the analytic cost estimator replays
-    the choice (and the exact count) without touching a ciphertext.
-    """
-    # E(u)^0 = 1 costs nothing; only positive impacts need table work.
-    # (Indexes built by InvertedIndex.build never contain zero impacts, but
-    # hand-built postings may.)
-    positive = [p for p in distinct_impacts if p]
-    if not positive:
-        return "ladder", 0
-    ladder = max(0, max_impact - 1)
-    binary = (max_impact.bit_length() - 1) + sum(p.bit_count() - 1 for p in positive)
-    if ladder <= binary:
-        return "ladder", ladder
-    return "binary", binary
 
 
 @dataclass(frozen=True)
@@ -91,7 +78,7 @@ class EncryptedResult:
 
 @dataclass
 class ServerCounters:
-    """Operation counters accumulated while answering one query."""
+    """Operation counters accumulated while answering one query (or one batch)."""
 
     blocks_read: int = 0
     postings_processed: int = 0
@@ -100,15 +87,27 @@ class ServerCounters:
     table_multiplications: int = 0
     buckets_fetched: int = 0
     terms_processed: int = 0
+    #: Shards executed for this query (1 on the sequential path).
+    shards_executed: int = 0
+    #: Modular multiplications spent merging partial shard accumulators.
+    #: Already included in :attr:`modular_multiplications` -- within-shard
+    #: plus merge multiplications always equal the sequential count, so this
+    #: only attributes where they happened.
+    merge_multiplications: int = 0
+    #: Queries answered into these counters (1 for process_query; the batch
+    #: size for process_batch).
+    queries_processed: int = 0
 
     def reset(self) -> None:
-        self.blocks_read = 0
-        self.postings_processed = 0
-        self.modular_exponentiations = 0
-        self.modular_multiplications = 0
-        self.table_multiplications = 0
-        self.buckets_fetched = 0
-        self.terms_processed = 0
+        for counter in fields(self):
+            setattr(self, counter.name, 0)
+
+    def add(self, other: "ServerCounters") -> None:
+        """Accumulate another counter set (used to aggregate a batch)."""
+        for counter in fields(self):
+            setattr(
+                self, counter.name, getattr(self, counter.name) + getattr(other, counter.name)
+            )
 
 
 @dataclass
@@ -129,27 +128,106 @@ class PrivateRetrievalServer:
     naive:
         When True, run the literal Algorithm 4 (one exponentiation per
         posting).  When False (the default), use the power-table fast path;
-        the returned ciphertexts are identical either way.
+        the returned ciphertexts are identical either way.  The naive oracle
+        always runs sequentially in-process regardless of ``parallelism``.
+    parallelism:
+        Number of worker processes for sharded accumulation (1 = sequential,
+        the default).  Worth its process-pool startup cost only when the
+        per-query cryptographic work dominates (realistic key sizes, long
+        lists); correctness never depends on it.
+    worker_base_seed:
+        Base seed from which each worker task derives its explicit RNG seed
+        (see :func:`repro.core.parallel.derive_worker_seed`), keeping sharded
+        runs reproducible instead of inheriting forked generator state.
     """
 
     index: InvertedIndex
     organization: BucketOrganization
     public_key: BenalohPublicKey
     naive: bool = False
+    parallelism: int = 1
+    worker_base_seed: int = parallel.DEFAULT_WORKER_SEED
     counters: ServerCounters = field(default_factory=ServerCounters)
+    #: Per-query counter snapshots of the most recent :meth:`process_batch`.
+    last_batch_counters: list[ServerCounters] = field(default_factory=list)
 
     def process_query(self, query: EmbellishedQuery) -> EncryptedResult:
         """Algorithm 4: accumulate encrypted relevance scores for every candidate document."""
         self.counters.reset()
-        self._account_io(query)
+        result = self._answer_into(query, self.counters)
+        return result
+
+    def process_batch(
+        self,
+        queries: Sequence[EmbellishedQuery],
+        parallelism: int | None = None,
+    ) -> list[EncryptedResult]:
+        """Answer a batch of queries, sharing one worker pool across all of them.
+
+        Batches parallelise *across* queries (one worker task per query), so
+        no merge step exists and each result is computed exactly as the
+        sequential fast path computes it -- bit-identical by construction.
+        ``parallelism`` overrides the server's knob for this batch only.
+        Aggregate counters land in :attr:`counters`; per-query snapshots in
+        :attr:`last_batch_counters`.
+        """
+        workers = self.parallelism if parallelism is None else parallelism
+        self.counters.reset()
+        self.last_batch_counters = []
+        results: list[EncryptedResult] = []
+        if self.naive or workers <= 1 or len(queries) <= 1:
+            for query in queries:
+                per_query = ServerCounters()
+                results.append(self._answer_into(query, per_query, sharded=False))
+                self.last_batch_counters.append(per_query)
+                self.counters.add(per_query)
+            return results
+
+        modulus = self.public_key.n
+        payloads = []
+        for query in queries:
+            per_query = ServerCounters()
+            per_query.queries_processed = 1
+            per_query.terms_processed = len(query)
+            self._account_io(query, per_query)
+            self.last_batch_counters.append(per_query)
+            payloads.append(self._payload(query))
+        batch = parallel.run_query_batch(
+            payloads, modulus, workers, base_seed=self.worker_base_seed
+        )
+        for per_query, (accumulators, counts) in zip(self.last_batch_counters, batch):
+            per_query.postings_processed = counts.postings
+            per_query.table_multiplications = counts.table_multiplications
+            per_query.modular_multiplications = counts.accumulator_multiplications
+            per_query.shards_executed = 1
+            self.counters.add(per_query)
+            results.append(EncryptedResult(encrypted_scores=accumulators, modulus=modulus))
+        return results
+
+    # -- dispatch ----------------------------------------------------------------
+    def _answer_into(
+        self, query: EmbellishedQuery, counters: ServerCounters, sharded: bool = True
+    ) -> EncryptedResult:
+        counters.queries_processed += 1
+        self._account_io(query, counters)
         if self.naive:
-            return self._process_naive(query)
-        return self._process_power_table(query)
+            return self._process_naive(query, counters)
+        if sharded and self.parallelism > 1:
+            return self._process_sharded(query, counters)
+        return self._process_power_table(query, counters)
+
+    def _payload(self, query: EmbellishedQuery) -> list[parallel.TermPayload]:
+        """The per-term work units of one query, in query order."""
+        columns = self.index.columns
+        return [
+            (selector, *columns(term)) for term, selector in query
+        ]
 
     # -- naive reference path ----------------------------------------------------
-    def _process_naive(self, query: EmbellishedQuery) -> EncryptedResult:
+    def _process_naive(
+        self, query: EmbellishedQuery, counters: ServerCounters
+    ) -> EncryptedResult:
         modulus = self.public_key.n
-        counters = self.counters
         accumulators: dict[int, int] = {}
         for term, encrypted_selector in query:
             counters.terms_processed += 1
@@ -165,84 +243,43 @@ class PrivateRetrievalServer:
                     accumulators[posting.doc_id] = contribution
         return EncryptedResult(encrypted_scores=accumulators, modulus=modulus)
 
-    # -- power-table fast path ----------------------------------------------------
-    def _powers_for_term(self, selector: int, impacts, modulus: int) -> dict[int, int]:
-        """``{p: E(u)^p}`` for the distinct impacts of one (impact-ordered) list."""
-        counters = self.counters
-        distinct = sorted(set(impacts))
-
-        table: dict[int, int] = {}
-        if distinct[0] == 0:
-            # E(u)^0 = 1, matching pow(selector, 0, modulus) on the naive path.
-            table[0] = 1
-            distinct = distinct[1:]
-            if not distinct:
-                return table
-        max_impact = distinct[-1]
-        strategy, _ = power_table_strategy(distinct, max_impact)
-        if strategy == "ladder":
-            # Incremental ladder: E(u)^1 is the selector itself, every further
-            # power is one multiplication; read the needed powers off the way.
-            wanted = set(distinct)
-            power = selector
-            if 1 in wanted:
-                table[1] = power
-            for exponent in range(2, max_impact + 1):
-                power = (power * selector) % modulus
-                counters.table_multiplications += 1
-                if exponent in wanted:
-                    table[exponent] = power
-        else:
-            # Sparse impacts: square up to E(u)^(2^k), then assemble each
-            # distinct power from its set bits (popcount - 1 multiplications).
-            squarings = [selector]
-            for _ in range(max_impact.bit_length() - 1):
-                squarings.append(squarings[-1] * squarings[-1] % modulus)
-                counters.table_multiplications += 1
-            for exponent in distinct:
-                power = None
-                remaining = exponent
-                level = 0
-                while remaining:
-                    if remaining & 1:
-                        if power is None:
-                            power = squarings[level]
-                        else:
-                            power = power * squarings[level] % modulus
-                            counters.table_multiplications += 1
-                    remaining >>= 1
-                    level += 1
-                table[exponent] = power
-        return table
-
-    def _process_power_table(self, query: EmbellishedQuery) -> EncryptedResult:
+    # -- power-table fast path (sequential) ---------------------------------------
+    def _process_power_table(
+        self, query: EmbellishedQuery, counters: ServerCounters
+    ) -> EncryptedResult:
         modulus = self.public_key.n
-        counters = self.counters
-        accumulators: dict[int, int] = {}
-        accumulator_get = accumulators.get
-        for term, encrypted_selector in query:
-            counters.terms_processed += 1
-            doc_ids, impacts = self.index.columns(term)
-            if not len(doc_ids):
-                continue
-            table = self._powers_for_term(encrypted_selector, impacts, modulus)
-            counters.postings_processed += len(doc_ids)
-            # One table lookup + at most one accumulator multiplication per
-            # posting; the multiplication count is recovered from the number
-            # of first-time candidates instead of a per-posting increment.
-            new_candidates = -len(accumulators)
-            for doc_id, impact in zip(doc_ids, impacts):
-                existing = accumulator_get(doc_id)
-                if existing is None:
-                    accumulators[doc_id] = table[impact]
-                else:
-                    accumulators[doc_id] = existing * table[impact] % modulus
-            new_candidates += len(accumulators)
-            counters.modular_multiplications += len(doc_ids) - new_candidates
+        payload = self._payload(query)
+        counters.terms_processed += len(payload)
+        accumulators, counts = parallel.accumulate_terms(payload, modulus)
+        counters.postings_processed += counts.postings
+        counters.table_multiplications += counts.table_multiplications
+        counters.modular_multiplications += counts.accumulator_multiplications
+        counters.shards_executed += 1
+        return EncryptedResult(encrypted_scores=accumulators, modulus=modulus)
+
+    # -- sharded fast path ---------------------------------------------------------
+    def _process_sharded(
+        self, query: EmbellishedQuery, counters: ServerCounters
+    ) -> EncryptedResult:
+        modulus = self.public_key.n
+        payload = self._payload(query)
+        counters.terms_processed += len(payload)
+        accumulators, counts, merge_multiplications, shards = parallel.run_sharded(
+            payload, modulus, self.parallelism, base_seed=self.worker_base_seed
+        )
+        counters.postings_processed += counts.postings
+        counters.table_multiplications += counts.table_multiplications
+        # Within-shard plus merge multiplications total exactly the sequential
+        # fast path's count; merge_multiplications records the attribution.
+        counters.modular_multiplications += (
+            counts.accumulator_multiplications + merge_multiplications
+        )
+        counters.merge_multiplications += merge_multiplications
+        counters.shards_executed += shards
         return EncryptedResult(encrypted_scores=accumulators, modulus=modulus)
 
     # -- storage model -----------------------------------------------------------
-    def _account_io(self, query: EmbellishedQuery) -> None:
+    def _account_io(self, query: EmbellishedQuery, counters: ServerCounters) -> None:
         """Charge disk I/O for the buckets covering the query's terms.
 
         All the inverted lists of one bucket live in common disk blocks
@@ -264,9 +301,9 @@ class PrivateRetrievalServer:
                     self.index.list_size_bytes(bucket_term)
                     for bucket_term in self.organization.buckets[bucket_id]
                 )
-                self.counters.blocks_read += max(1, -(-bucket_bytes // block_size))
+                counters.blocks_read += max(1, -(-bucket_bytes // block_size))
             else:
                 loose_bytes += self.index.list_size_bytes(term)
         if loose_bytes:
-            self.counters.blocks_read += max(1, -(-loose_bytes // block_size))
-        self.counters.buckets_fetched = len(seen_buckets)
+            counters.blocks_read += max(1, -(-loose_bytes // block_size))
+        counters.buckets_fetched += len(seen_buckets)

@@ -16,7 +16,7 @@ how many equally plausible high-specificity candidates survive.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.core.buckets import BucketOrganization
@@ -48,6 +48,30 @@ class QuerySession:
             for term in set(query):
                 seen[term] = seen.get(term, 0) + 1
         return tuple(term for term, count in seen.items() if count > 1)
+
+    def selector_budget(self, organization: BucketOrganization) -> int:
+        """Number of selector ciphertexts embellishing the whole session takes.
+
+        Mirrors :meth:`repro.core.embellish.QueryEmbellisher.embellish`
+        exactly: per query, each genuine term's bucket contributes one
+        selector per bucket term (a bucket shared by two genuine terms is
+        counted once), and out-of-dictionary terms contribute one selector
+        each.  The batch API uses this to pre-stock the zero-encryption pool
+        in one amortised replenishment instead of refilling mid-session.
+        """
+        total = 0
+        for query in self.queries:
+            seen_buckets: set[int] = set()
+            for term in dict.fromkeys(query):
+                if term not in organization:
+                    total += 1
+                    continue
+                bucket_id = organization.bucket_id_of(term)
+                if bucket_id in seen_buckets:
+                    continue
+                seen_buckets.add(bucket_id)
+                total += len(organization.buckets[bucket_id])
+        return total
 
     @classmethod
     def topical(

@@ -28,7 +28,7 @@ import math
 import random
 from dataclasses import dataclass
 
-from repro.crypto.numbertheory import generate_prime_with_condition, modinv
+from repro.crypto.numbertheory import generate_prime_with_condition, modexp, modinv, modmul
 
 __all__ = [
     "BenalohPublicKey",
@@ -36,6 +36,7 @@ __all__ = [
     "BenalohKeyPair",
     "ZeroEncryptionPool",
     "generate_keypair",
+    "reseed_default_rng",
 ]
 
 #: Shared fallback generator for callers that do not thread their own rng.
@@ -43,6 +44,18 @@ __all__ = [
 #: instead of constructing (and expensively seeding) a fresh ``Random()``
 #: per encryption.
 _DEFAULT_RNG = random.Random()
+
+
+def reseed_default_rng(seed: int) -> None:
+    """Explicitly re-seed the module-level fallback generator.
+
+    Worker processes call this with a per-task derived seed before doing any
+    work: a forked child otherwise inherits a byte-for-byte copy of the
+    parent's generator state (every worker replaying the same "random"
+    stream), and a spawned child starts from OS entropy (not reproducible).
+    See :func:`repro.core.parallel.reseed_worker`.
+    """
+    _DEFAULT_RNG.seed(seed)
 
 
 @dataclass(frozen=True)
@@ -65,7 +78,9 @@ class BenalohPublicKey:
             raise ValueError(f"message {message} outside Z_{self.r}")
         rng = rng if rng is not None else _DEFAULT_RNG
         mu = self._random_unit(rng)
-        return (pow(self.g, message, self.n) * pow(mu, self.r, self.n)) % self.n
+        # modexp/modmul dispatch to the optional gmpy2 backend when enabled;
+        # under the default pure-python backend they are pow / (a*b) % n.
+        return modmul(modexp(self.g, message, self.n), modexp(mu, self.r, self.n), self.n)
 
     def rerandomize(self, ciphertext: int, rng: random.Random | None = None) -> int:
         """Multiply in an encryption of zero, producing a fresh ciphertext of the same plaintext."""
@@ -96,7 +111,7 @@ class BenalohPublicKey:
         """
         if scalar < 0:
             raise ValueError("impact values must be non-negative integers")
-        return pow(ciphertext, scalar, self.n)
+        return modexp(ciphertext, scalar, self.n)
 
     def _random_unit(self, rng: random.Random) -> int:
         while True:

@@ -15,6 +15,13 @@ import random
 from typing import Iterable, Sequence
 
 __all__ = [
+    "HAVE_GMPY2",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "backend_int",
+    "modmul",
+    "modexp",
     "egcd",
     "modinv",
     "is_probable_prime",
@@ -26,6 +33,82 @@ __all__ = [
     "bytes_to_int",
     "bit_length_of",
 ]
+
+# -- optional C-accelerated big-integer backend ------------------------------------
+#
+# ``gmpy2`` (GMP bindings) speeds up the modular arithmetic that dominates the
+# hot paths by several times at realistic key sizes.  It is strictly optional:
+# availability is auto-detected here, but pure Python stays the *default and
+# the correctness oracle* -- the backend only switches on an explicit
+# :func:`set_backend` call, so a plain install never silently changes which
+# code computes the published numbers.
+
+try:  # pragma: no cover - exercised only where gmpy2 is installed
+    import gmpy2 as _gmpy2
+
+    HAVE_GMPY2 = True
+except ImportError:  # pragma: no cover - the baked-in toolchain has no gmpy2
+    _gmpy2 = None
+    HAVE_GMPY2 = False
+
+_BACKEND = "python"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends usable on this install (``"python"`` always; ``"gmpy2"`` if importable)."""
+    return ("python", "gmpy2") if HAVE_GMPY2 else ("python",)
+
+
+def get_backend() -> str:
+    """The active big-integer backend name."""
+    return _BACKEND
+
+
+def set_backend(name: str) -> str:
+    """Select the big-integer backend; returns the previously active one.
+
+    ``"python"`` is always accepted.  ``"gmpy2"`` raises :class:`RuntimeError`
+    when the module is not importable, so callers fail loudly instead of
+    silently benchmarking the wrong arithmetic.
+    """
+    global _BACKEND
+    if name not in ("python", "gmpy2"):
+        raise ValueError(f"unknown backend {name!r}; choose from {available_backends()}")
+    if name == "gmpy2" and not HAVE_GMPY2:
+        raise RuntimeError(
+            "the gmpy2 backend was requested but gmpy2 is not installed; "
+            "install the optional extra (pip install 'repro-pangdx10[fast]')"
+        )
+    previous = _BACKEND
+    _BACKEND = name
+    return previous
+
+
+def backend_int(value: int):
+    """Convert ``value`` to the active backend's integer type.
+
+    Arithmetic operators on the returned values dispatch to GMP when the
+    gmpy2 backend is active, so hot loops written with plain ``*`` and ``%``
+    accelerate without branching per operation.  Under the python backend
+    this is the identity.
+    """
+    if _BACKEND == "gmpy2":
+        return _gmpy2.mpz(value)
+    return value
+
+
+def modmul(a: int, b: int, modulus: int) -> int:
+    """``(a * b) % modulus`` on the active backend, returned as a plain int."""
+    if _BACKEND == "gmpy2":
+        return int(_gmpy2.mpz(a) * b % modulus)
+    return (a * b) % modulus
+
+
+def modexp(base: int, exponent: int, modulus: int) -> int:
+    """``pow(base, exponent, modulus)`` on the active backend, as a plain int."""
+    if _BACKEND == "gmpy2":
+        return int(_gmpy2.powmod(base, exponent, modulus))
+    return pow(base, exponent, modulus)
 
 # Small primes used for cheap trial division before Miller-Rabin.
 _SMALL_PRIMES: Sequence[int] = (

@@ -26,11 +26,18 @@ __all__ = [
     "PaillierPrivateKey",
     "PaillierKeyPair",
     "generate_keypair",
+    "reseed_default_rng",
 ]
 
 #: Shared fallback generator -- one stateful stream instead of a freshly
 #: seeded ``Random()`` per call (see the same pattern in ``benaloh.py``).
 _DEFAULT_RNG = random.Random()
+
+
+def reseed_default_rng(seed: int) -> None:
+    """Explicitly re-seed the module-level fallback generator (worker hygiene;
+    see :func:`repro.crypto.benaloh.reseed_default_rng`)."""
+    _DEFAULT_RNG.seed(seed)
 
 
 @dataclass(frozen=True)

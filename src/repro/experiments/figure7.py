@@ -17,7 +17,6 @@ only sublinear in BktSz; PR's user CPU 23-60% lower.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.core.client import PrivateSearchSystem

@@ -19,7 +19,6 @@ from collections import Counter, deque
 from typing import Mapping
 
 from repro.lexicon.lexicon import Lexicon
-from repro.lexicon.synset import RelationType
 
 __all__ = [
     "synset_depths",

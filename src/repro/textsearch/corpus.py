@@ -8,7 +8,7 @@ collection of documents with convenience statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.textsearch.tokenizer import Tokenizer

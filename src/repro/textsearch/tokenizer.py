@@ -9,7 +9,7 @@ English stopword list and very short tokens.  No stemming is applied.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 __all__ = ["Tokenizer", "DEFAULT_STOPWORDS"]

@@ -70,6 +70,66 @@ class TestSearch:
             tight.search(too_many, k=5)
 
 
+class TestRunSession:
+    def test_session_rankings_match_single_query_search(self, system, index, organization):
+        from repro.core.session import QuerySession
+
+        session = QuerySession(
+            queries=(
+                (organization.buckets[4][0], organization.buckets[9][1]),
+                (organization.buckets[4][0], organization.buckets[2][0]),
+                (organization.buckets[1][0],),
+            )
+        )
+        batch = system.run_session(session, k=None)
+        assert len(batch) == len(session)
+        for (ranking, report), genuine in zip(batch, session):
+            plain_ranking = SearchEngine(index).rank_all(list(genuine))
+            assert rankings_identical(ranking.ranking, plain_ranking.ranking)
+            assert report.scheme == "PR"
+            assert report.counts["client_encryptions"] > 0
+
+    def test_session_prestocks_pool_once(self, index, organization):
+        from repro.core.session import QuerySession
+
+        system = PrivateSearchSystem(
+            index=index,
+            organization=organization,
+            key_bits=128,
+            block_size=3**7,
+            rng=random.Random(37),
+        )
+        session = QuerySession(
+            queries=((organization.buckets[0][0],), (organization.buckets[3][0],))
+        )
+        pool = system.client.embellisher.pool
+        system.run_session(session, k=5)
+        stocked = pool.seed_encryptions
+        # A second identical session over a now-stocked pool refills at most
+        # the budget delta, never mid-query.
+        system.client.embellisher.prestock(session.selector_budget(organization))
+        before = pool.seed_encryptions
+        system.run_session(session, k=5)
+        assert pool.seed_encryptions == max(before, stocked)
+
+    def test_overflowing_session_query_rejected(self, index, organization):
+        from repro.core.session import QuerySession
+
+        tight = PrivateSearchSystem(
+            index=index,
+            organization=organization,
+            key_bits=128,
+            block_size=3**5,
+            rng=random.Random(5),
+        )
+        session = QuerySession(queries=(tuple(index.terms[:2]),))
+        with pytest.raises(ValueError):
+            tight.run_session(session, k=5)
+        # The client-level entry point enforces the same plaintext-space guard.
+        with pytest.raises(ValueError):
+            tight.client.run_session(session, tight.server, k=5)
+
+
 class TestEstimateCosts:
     def test_estimate_matches_real_counters(self, system, organization):
         genuine = [organization.buckets[3][0], organization.buckets[6][2]]

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.core.embellish import EmbellishedQuery, QueryEmbellisher
-from repro.crypto.benaloh import generate_keypair
 
 
 @pytest.fixture()

@@ -1,0 +1,187 @@
+"""Unit tests for the parallel execution subsystem (sharding, merging, seeding)."""
+
+import random
+from array import array
+
+import pytest
+
+from repro.core import parallel
+from repro.core.embellish import QueryEmbellisher
+from repro.core.server import PrivateRetrievalServer
+from repro.crypto import benaloh
+
+
+def _payload(entries):
+    """Build term payloads from ``[(selector, [(doc, impact), ...]), ...]``."""
+    return [
+        (
+            selector,
+            array("I", [doc for doc, _ in postings]),
+            array("I", [impact for _, impact in postings]),
+        )
+        for selector, postings in entries
+    ]
+
+
+class TestPartitionPayload:
+    def test_single_shard_passthrough(self):
+        payload = _payload([(3, [(1, 2)]), (5, [(2, 4)])])
+        assert parallel.partition_payload(payload, 1) == [payload]
+
+    def test_empty_payload_yields_no_shards(self):
+        assert parallel.partition_payload([], 4) == []
+
+    def test_never_more_shards_than_terms(self):
+        payload = _payload([(3, [(1, 2)]), (5, [(2, 4)])])
+        shards = parallel.partition_payload(payload, 8)
+        assert len(shards) == 2
+
+    def test_partition_preserves_every_term_exactly_once(self):
+        rng = random.Random(5)
+        payload = _payload(
+            [
+                (i, [(rng.randrange(50), rng.randrange(1, 9)) for _ in range(rng.randrange(1, 20))])
+                for i in range(13)
+            ]
+        )
+        shards = parallel.partition_payload(payload, 4)
+        flattened = [term for shard in shards for term in shard]
+        assert sorted(t[0] for t in flattened) == sorted(t[0] for t in payload)
+
+    def test_greedy_balance_within_one_longest_list(self):
+        payload = _payload(
+            [(i, [(d, 1) for d in range(length)]) for i, length in enumerate([30, 20, 12, 9, 7, 3])]
+        )
+        shards = parallel.partition_payload(payload, 3)
+        loads = [sum(len(t[1]) for t in shard) for shard in shards]
+        longest = max(len(t[1]) for t in payload)
+        assert max(loads) - min(loads) <= longest
+
+
+class TestMergeShardResults:
+    def test_merge_counts_one_multiplication_per_extra_appearance(self):
+        modulus = 1009 * 1013
+        partials = [{1: 7, 2: 11}, {1: 13, 3: 17}, {1: 19}]
+        merged, merge_muls = parallel.merge_shard_results(partials, modulus)
+        assert merged[1] == 7 * 13 * 19 % modulus
+        assert merged[2] == 11 and merged[3] == 17
+        assert merge_muls == 2  # document 1 appeared in three shards
+
+    def test_merge_is_order_insensitive(self):
+        modulus = 10007
+        partials = [{1: 123, 2: 55}, {1: 456}, {2: 77, 3: 9}]
+        forward, _ = parallel.merge_shard_results(partials, modulus)
+        backward, _ = parallel.merge_shard_results(list(reversed(partials)), modulus)
+        assert forward == backward
+
+
+class TestWorkerSeeding:
+    def test_derived_seeds_are_deterministic_and_distinct(self):
+        seeds = [parallel.derive_worker_seed(42, i) for i in range(32)]
+        assert seeds == [parallel.derive_worker_seed(42, i) for i in range(32)]
+        assert len(set(seeds)) == len(seeds)
+        assert parallel.derive_worker_seed(42, 0) != parallel.derive_worker_seed(43, 0)
+
+    def test_reseed_worker_resets_module_level_generators(self):
+        parallel.reseed_worker(777)
+        first = benaloh._DEFAULT_RNG.random()
+        parallel.reseed_worker(777)
+        assert benaloh._DEFAULT_RNG.random() == first
+
+    def test_reseed_default_rng_makes_fallback_encryptions_reproducible(self, benaloh_keypair):
+        public = benaloh_keypair.public
+        benaloh.reseed_default_rng(123)
+        first = [public.encrypt(0) for _ in range(3)]
+        benaloh.reseed_default_rng(123)
+        assert [public.encrypt(0) for _ in range(3)] == first
+
+    def test_in_process_fallbacks_never_reseed_the_callers_generators(self):
+        """Re-seeding to a derivable seed is worker-only hygiene; doing it in
+        the parent would make subsequent fallback encryptions predictable."""
+        modulus = 1009 * 1013
+        payload = _payload([(17, [(1, 2), (2, 1)])])
+        benaloh._DEFAULT_RNG.seed(987654321)
+        expected = benaloh._DEFAULT_RNG.getstate()
+        parallel.run_sharded(payload, modulus, 1)
+        parallel.run_query_batch([payload, payload], modulus, 1)
+        parallel.run_query_batch([payload], modulus, 8)  # single payload: in-process
+        assert benaloh._DEFAULT_RNG.getstate() == expected
+
+
+class TestAccumulationKernel:
+    def test_kernel_counts_match_manual_expectation(self):
+        modulus = 1009 * 1013
+        # Two terms over overlapping documents; impacts {1,2} and {3}.
+        payload = _payload([(17, [(1, 2), (2, 1)]), (23, [(1, 3), (3, 3)])])
+        accumulators, counts = parallel.accumulate_terms(payload, modulus)
+        assert counts.postings == 4
+        # 4 postings, 3 distinct candidates -> 1 accumulator multiplication.
+        assert counts.accumulator_multiplications == 1
+        assert accumulators[1] == pow(17, 2, modulus) * pow(23, 3, modulus) % modulus
+        assert accumulators[2] == pow(17, 1, modulus)
+        assert accumulators[3] == pow(23, 3, modulus)
+
+    def test_kernel_skips_empty_lists(self):
+        accumulators, counts = parallel.accumulate_terms(
+            [(9, array("I"), array("I"))], 10007
+        )
+        assert accumulators == {} and counts.postings == 0
+
+    def test_run_sharded_inline_equals_kernel(self):
+        modulus = 1009 * 1013
+        payload = _payload(
+            [(3 + i, [(d, 1 + (d + i) % 5) for d in range(i, i + 9)]) for i in range(5)]
+        )
+        direct, direct_counts = parallel.accumulate_terms(payload, modulus)
+        merged, counts, merge_muls, shards = parallel.run_sharded(payload, modulus, 1)
+        assert merged == direct and merge_muls == 0 and shards == 1
+        assert counts.accumulator_multiplications == direct_counts.accumulator_multiplications
+
+
+class TestShardedServer:
+    """Real multiprocess execution: workers are actual forked/spawned processes."""
+
+    @pytest.fixture(scope="class")
+    def query(self, index, organization, benaloh_keypair):
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(31)
+        )
+        bucketed = [t for bucket in organization.buckets for t in bucket if t in index]
+        return embellisher.embellish(bucketed[:3])
+
+    def test_two_worker_processes_match_sequential_bit_for_bit(
+        self, index, organization, benaloh_keypair, query
+    ):
+        kwargs = dict(index=index, organization=organization, public_key=benaloh_keypair.public)
+        sequential = PrivateRetrievalServer(**kwargs)
+        sharded = PrivateRetrievalServer(parallelism=2, **kwargs)
+        assert (
+            sharded.process_query(query).encrypted_scores
+            == sequential.process_query(query).encrypted_scores
+        )
+        seq, par = sequential.counters, sharded.counters
+        assert par.shards_executed == 2
+        # Sharding moves multiplications, it never creates or destroys them.
+        assert par.modular_multiplications == seq.modular_multiplications
+        assert par.postings_processed == seq.postings_processed
+        assert par.table_multiplications == seq.table_multiplications
+
+    def test_process_batch_with_workers_matches_sequential_batch(
+        self, index, organization, benaloh_keypair, query
+    ):
+        kwargs = dict(index=index, organization=organization, public_key=benaloh_keypair.public)
+        queries = [query, query]
+        sequential = PrivateRetrievalServer(**kwargs).process_batch(queries)
+        parallel_server = PrivateRetrievalServer(**kwargs)
+        parallel_results = parallel_server.process_batch(queries, parallelism=2)
+        assert [r.encrypted_scores for r in parallel_results] == [
+            r.encrypted_scores for r in sequential
+        ]
+        assert parallel_server.counters.queries_processed == 2
+        assert len(parallel_server.last_batch_counters) == 2
+
+    def test_sharded_runs_are_reproducible(self, index, organization, benaloh_keypair, query):
+        kwargs = dict(index=index, organization=organization, public_key=benaloh_keypair.public)
+        first = PrivateRetrievalServer(parallelism=2, **kwargs).process_query(query)
+        second = PrivateRetrievalServer(parallelism=2, **kwargs).process_query(query)
+        assert first.encrypted_scores == second.encrypted_scores

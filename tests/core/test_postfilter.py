@@ -1,6 +1,5 @@
 """Unit tests for client-side post filtering (Algorithm 5)."""
 
-import random
 
 import pytest
 

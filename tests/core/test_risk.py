@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.core.buckets import BucketOrganization
 from repro.core.risk import PrivacyRiskModel
 from repro.lexicon.distance import SemanticDistanceCalculator
 

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.core.embellish import QueryEmbellisher
 from repro.core.session import QuerySession, recurring_term_candidates, session_intersection
 
 
@@ -98,3 +99,87 @@ class TestRecurringCandidates:
         high_only = recurring_term_candidates(session, organization, specificity, min_specificity=50)
         assert len(high_only) <= len(all_candidates)
         assert high_only == {}
+
+
+class TestSelectorBudget:
+    def test_budget_counts_whole_buckets_once_per_query(self, organization):
+        bucket = organization.buckets[0]
+        session = QuerySession(queries=((bucket[0], bucket[1]), (bucket[0],)))
+        # Both queries drag the same bucket; two genuine terms sharing it in
+        # query 1 still cost the bucket only once.
+        assert session.selector_budget(organization) == 2 * len(bucket)
+
+    def test_budget_charges_unbucketed_terms_individually(self, organization):
+        session = QuerySession(queries=(("mystery-term", organization.buckets[0][0]),))
+        assert session.selector_budget(organization) == 1 + len(organization.buckets[0])
+
+    def test_budget_matches_actual_selectors_served(
+        self, organization, benaloh_keypair
+    ):
+        focus = organization.buckets[2][0]
+        session = QuerySession(
+            queries=(
+                (focus, organization.buckets[4][0]),
+                (focus, organization.buckets[5][1]),
+                (focus,),
+            )
+        )
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(8)
+        )
+        queries = [embellisher.embellish(list(q)) for q in session]
+        assert session.selector_budget(organization) == sum(len(q) for q in queries)
+
+
+class TestBatchBucketReuse:
+    """The batch API must uphold the session defence: recurring genuine terms
+    drag the *identical* bucket into every query of the batch, so the
+    adversary's intersection still contains the full set of decoys."""
+
+    def test_recurring_term_reuses_identical_bucket_across_batch(
+        self, organization, benaloh_keypair
+    ):
+        focus = organization.buckets[3][0]
+        session = QuerySession(
+            queries=(
+                (focus, organization.buckets[6][0]),
+                (focus, organization.buckets[7][0]),
+                (focus, organization.buckets[8][0]),
+            )
+        )
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(21)
+        )
+        embellisher.prestock(session.selector_budget(organization))
+        queries = [embellisher.embellish(list(q)) for q in session]
+        focus_bucket = set(organization.bucket_of(focus))
+        for query in queries:
+            assert focus_bucket <= set(query.terms)
+
+    def test_session_intersection_matches_embellished_batch_intersection(
+        self, organization, benaloh_keypair
+    ):
+        """The analytic adversary view (session_intersection) is exactly the
+        intersection of what the batch API actually transmits."""
+        focus = organization.buckets[3][0]
+        session = QuerySession(
+            queries=((focus, organization.buckets[6][0]), (focus, organization.buckets[7][1]))
+        )
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(22)
+        )
+        embellisher.prestock(session.selector_budget(organization))
+        transmitted = [set(embellisher.embellish(list(q)).terms) for q in session]
+        assert set.intersection(*transmitted) == session_intersection(session, organization)
+
+    def test_recurring_candidates_survive_batch_execution(
+        self, organization, specificity, benaloh_keypair
+    ):
+        focus = max(organization.buckets[3], key=lambda t: specificity.get(t, 0))
+        session = QuerySession(
+            queries=((focus, organization.buckets[6][0]), (focus, organization.buckets[7][0]))
+        )
+        candidates = recurring_term_candidates(session, organization, specificity)
+        # The genuine recurring term hides among at least its bucket mates.
+        assert focus in candidates
+        assert len(candidates) >= len(organization.bucket_of(focus))

@@ -1,7 +1,5 @@
 """Unit tests for the number-theory helpers."""
 
-import math
-import random
 
 import pytest
 

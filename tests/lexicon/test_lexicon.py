@@ -3,7 +3,7 @@
 import pytest
 
 from repro.lexicon.lexicon import Lexicon
-from repro.lexicon.synset import RelationType, Synset
+from repro.lexicon.synset import RelationType
 
 
 @pytest.fixture()

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.benaloh import generate_keypair as benaloh_keypair

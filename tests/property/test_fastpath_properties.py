@@ -16,7 +16,6 @@ through both and assert equivalence:
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.embellish import QueryEmbellisher
