@@ -13,9 +13,12 @@ plus two batch/parallel series introduced with the parallel execution
 subsystem:
 
 * batched accumulation throughput at 1, 2 and 4 worker processes
-  (``Server.process_batch``), and
+  (``Server.process_batch``),
 * session embellishment off one pre-stocked zero pool vs per-query naive
-  encryption (the batch API's client-side amortisation),
+  encryption (the batch API's client-side amortisation), and
+* persistent-pool amortisation: repeated sharded ``process_query`` calls
+  through one resident ``ExecutionEngine`` pool vs forking a fresh pool per
+  call (the pre-engine behaviour),
 
 -- and writes a ``BENCH_fastpath.json`` summary next to the other benchmark
 results so the performance trajectory is tracked from PR to PR:
@@ -23,8 +26,9 @@ results so the performance trajectory is tracked from PR to PR:
     python benchmarks/run_bench.py [--key-bits 768] [--repeats 5] [--check]
 
 ``--check`` exits non-zero unless the accumulation speedup is >= 5x, the
-embellishment speedup is >= 3x, and -- on machines with >= 4 CPUs -- the
-batched accumulation throughput at 4 workers is >= 2x sequential.  The
+embellishment speedup is >= 3x, the resident-pool amortisation is >= 1.5x
+over per-call pool forking, and -- on machines with >= 4 CPUs -- the batched
+accumulation throughput at 4 workers is >= 2x sequential.  The
 parallel gate scales with the hardware (process parallelism cannot beat
 sequential on a single-core box, so there the series is recorded but not
 gated); CI runs on 4-vCPU runners, where the 2x bar is enforced.
@@ -130,10 +134,14 @@ def bench_parallel_batch(context, keypair, repeats, batch_size=48, terms=6, work
     """Batched accumulation throughput across worker-process counts.
 
     One series point per parallelism level, timing ``Server.process_batch``
-    over the same batch of frequency-weighted queries (process-pool start-up
-    included -- that is the cost the knob actually pays, which is also why
-    the batch must be heavy: many queries over the longest lists, so the
-    per-worker cryptographic work dominates the fork/pickle overhead).
+    over the same batch of frequency-weighted queries.  Since the server
+    answers every batch through its resident ExecutionEngine, the timed
+    repeats run against a *warm* pool (the first call at each level starts
+    or resizes it; the minimum-of-samples statistic then reflects steady
+    state) -- this series measures resident-pool batch throughput, and the
+    separate ``persistent_pool_amortisation`` series measures what the warm
+    pool saves over per-call forking.  The batch is heavy (many queries over
+    the longest lists) so per-worker cryptographic work dominates pickling.
     Results are asserted bit-identical to the sequential fast path before
     timing.
     """
@@ -162,6 +170,7 @@ def bench_parallel_batch(context, keypair, repeats, batch_size=48, terms=6, work
             server.process_batch(queries, parallelism=n)
             samples.append((time.perf_counter() - start) * 1000.0)
         series_ms[str(n)] = min(samples)
+    server.close()
     return {
         "batch_size": batch_size,
         "cpu_count": os.cpu_count() or 1,
@@ -171,6 +180,62 @@ def bench_parallel_batch(context, keypair, repeats, batch_size=48, terms=6, work
         },
         "speedup_at_4": round(series_ms["1"] / series_ms["4"], 2) if "4" in series_ms else None,
     }
+
+
+def bench_persistent_pool(context, keypair, repeats, num_queries=6, terms=6, workers=2):
+    """Resident-pool vs cold-fork sharded ``process_query`` on repeated queries.
+
+    The cold side answers each query through a fresh server whose engine is
+    created (one pool fork) and shut down per call -- the pre-engine
+    behaviour, where pool start-up sat on every sharded query's critical
+    path.  The resident side answers the same queries through one server
+    whose ExecutionEngine keeps a single warm pool across all of them, so
+    per-query cost collapses to dispatch plus the modular arithmetic.  The
+    two sides are asserted bit-identical (and identical to the sequential
+    fast path) before timing.
+    """
+    organization = context.buckets(8, None, searchable_only=True)
+    embellisher = QueryEmbellisher(
+        organization=organization, keypair=keypair, rng=random.Random(12)
+    )
+    generator = QueryWorkloadGenerator(context.index, seed=13)
+    queries = [
+        embellisher.embellish(generator.frequency_weighted_query(terms))
+        for _ in range(num_queries)
+    ]
+    kwargs = dict(
+        index=context.index, organization=organization, public_key=keypair.public
+    )
+    sequential = [
+        PrivateRetrievalServer(**kwargs).process_query(q).encrypted_scores
+        for q in queries
+    ]
+    resident = PrivateRetrievalServer(parallelism=workers, **kwargs)
+    # Correctness check doubles as pool warm-up: the resident engine forks its
+    # one pool here, before the timed phase (cold servers fork per call).
+    assert [
+        resident.process_query(q).encrypted_scores for q in queries
+    ] == sequential, "resident-pool path diverged!"
+
+    def cold_calls():
+        for query in queries:
+            server = PrivateRetrievalServer(parallelism=workers, **kwargs)
+            try:
+                server.process_query(query)
+            finally:
+                server.close()
+
+    def resident_calls():
+        for query in queries:
+            resident.process_query(query)
+
+    times = timed_pair(cold_calls, resident_calls, repeats)
+    times["num_queries"] = num_queries
+    times["workers"] = workers
+    times["pool_starts"] = resident.engine.counters.pool_starts
+    times["pool_reuses"] = resident.engine.counters.pool_reuses
+    resident.close()
+    return times
 
 
 def bench_session_embellishment(context, keypair, repeats, num_queries=6):
@@ -301,6 +366,7 @@ def main() -> int:
         "homomorphic_accumulation": bench_accumulation(context, keypair, args.repeats),
         "query_embellishment": bench_embellishment(context, keypair, args.repeats),
         "session_embellishment": bench_session_embellishment(context, keypair, args.repeats),
+        "persistent_pool_amortisation": bench_persistent_pool(context, keypair, args.repeats),
         "pir_answer": bench_pir_answer(args.repeats),
         "index_build": bench_index_build(context, args.repeats),
     }
@@ -360,6 +426,11 @@ def main() -> int:
             failures.append("query embellishment speedup < 3x")
         if results["session_embellishment"]["speedup"] < 3.0:
             failures.append("session embellishment speedup < 3x")
+        if results["persistent_pool_amortisation"]["speedup"] < 1.5:
+            # Start-up amortisation is CPU-count independent: the resident
+            # pool skips the per-call fork whether or not the shards actually
+            # run concurrently, so this gate holds even on one core.
+            failures.append("persistent pool amortisation speedup < 1.5x")
         speedup_at_4 = parallel_batch["speedup_at_4"]
         if cpus >= 4:
             # Process parallelism cannot beat sequential without cores to run
@@ -380,7 +451,7 @@ def main() -> int:
         if failures:
             print("CHECK FAILED: " + "; ".join(failures))
             return 1
-        gates = "accumulation >= 5x, embellishment >= 3x, session >= 3x"
+        gates = "accumulation >= 5x, embellishment >= 3x, session >= 3x, resident pool >= 1.5x"
         if cpus >= 4:
             gates += f", 4-worker throughput >= 2x ({speedup_at_4}x)"
         print(f"CHECK PASSED: {gates}")

@@ -34,6 +34,7 @@ from repro.core.buckets import BucketOrganization, generate_buckets, simple_buck
 from repro.core.client import PrivateSearchClient, PrivateSearchSystem
 from repro.core.costs import CostModel, CostReport
 from repro.core.embellish import EmbellishedQuery, QueryEmbellisher
+from repro.core.engine import EngineCounters, ExecutionEngine
 from repro.core.metrics import BucketQualityEvaluator
 from repro.core.pir_retrieval import PIRRetrievalClient, PIRRetrievalServer
 from repro.core.postfilter import post_filter
@@ -54,6 +55,8 @@ __all__ = [
     "EmbellishedQuery",
     "PrivateRetrievalServer",
     "EncryptedResult",
+    "ExecutionEngine",
+    "EngineCounters",
     "post_filter",
     "PrivateSearchClient",
     "PrivateSearchSystem",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.buckets import BucketOrganization
 from repro.core.costs import CostModel, CostReport
@@ -97,8 +97,19 @@ class PrivateSearchClient:
         server: PrivateRetrievalServer,
         k: int | None = 20,
         parallelism: int | None = None,
-    ) -> list[SearchResult]:
-        """Embellish, batch-submit and post-filter a whole session's queries."""
+        stream: bool = False,
+    ) -> list[SearchResult] | Iterator[SearchResult]:
+        """Embellish, batch-submit and post-filter a whole session's queries.
+
+        With ``stream=True`` the return value is an iterator that yields each
+        query's :class:`~repro.textsearch.engine.SearchResult` in session
+        order as soon as the server's resident engine finishes that query --
+        the whole batch is dispatched up front (hybrid-scheduled over the
+        pool), but post-filtering of early queries overlaps the server work
+        of later ones.  With ``stream=False`` (the default) the same results
+        come back as a fully materialised list.  Rankings are identical
+        either way.
+        """
         max_genuine = self.max_supported_query_size(server.index.quantise_levels)
         for query in session:
             if len(dict.fromkeys(query)) > max_genuine:
@@ -109,8 +120,14 @@ class PrivateSearchClient:
                     "with a larger block_size"
                 )
         queries = self.embellish_session(session)
+        if stream:
+            return self._stream_results(queries, server, k, parallelism)
         results = server.process_batch(queries, parallelism=parallelism)
         return [self.post_filter(result, k=k) for result in results]
+
+    def _stream_results(self, queries, server, k, parallelism):
+        for result in server.iter_batch(queries, parallelism=parallelism):
+            yield self.post_filter(result, k=k)
 
 
 @dataclass
@@ -148,6 +165,16 @@ class PrivateSearchSystem:
             naive=self.naive,
             parallelism=self.parallelism,
         )
+
+    def close(self) -> None:
+        """Shut down the server's resident execution engine (idempotent)."""
+        self.server.close()
+
+    def __enter__(self) -> "PrivateSearchSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- real execution -------------------------------------------------------------
     def search(self, genuine_terms: Sequence[str], k: int | None = 20) -> tuple[SearchResult, CostReport]:

@@ -1,0 +1,291 @@
+"""Persistent execution engine: one resident worker pool for many queries.
+
+Sharded ``process_query`` originally forked a fresh ``ProcessPoolExecutor``
+per call, so pool start-up dominated exactly the path the paper's server-side
+cost model (Section 5.2, Algorithm 4) says should be pure modular arithmetic.
+:class:`ExecutionEngine` owns one long-lived pool for the server's whole
+lifetime -- the resident-node-controller architecture of long-lived
+data-parallel query engines -- so repeated query and batch calls amortise the
+fork/spawn cost down to a single pool start.
+
+Lifecycle
+---------
+``start()`` forks the pool eagerly (workers warm up by pre-importing the
+crypto layer and syncing the big-integer backend); any dispatching call
+autostarts a not-yet-started engine lazily.  ``shutdown()`` retires the pool
+permanently -- dispatching afterwards raises ``RuntimeError`` -- and the
+engine is a context manager (``with ExecutionEngine(4) as engine: ...``)
+whose exit is a ``shutdown()``.  ``resize()`` re-targets the worker count;
+a running pool is retired and the next dispatch starts a fresh one.
+
+Scheduling
+----------
+:meth:`submit_batch` implements **hybrid batch scheduling**: with at least as
+many queries as workers it dispatches one task per query (inter-query
+parallelism, merge-free); when the batch is *smaller* than the pool it splits
+the leftover workers into intra-query shards of the heaviest queries
+(:func:`repro.core.parallel.hybrid_shard_plan`), so small batches still
+saturate the pool.  Per-query shard groups come back as
+:class:`~repro.core.parallel.PendingResult` handles, which is what makes
+**streaming delivery** possible: callers collect each query's result as its
+futures complete, in submission order, without waiting for the whole batch.
+
+Reproducibility
+---------------
+Every worker task carries an explicit seed derived from ``(base_seed, task
+index within the call)`` -- never from pool age or dispatch history -- so a
+reused resident pool replays byte-identical seed streams call after call,
+exactly like a freshly forked pool would.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core import parallel
+from repro.crypto import numbertheory
+
+__all__ = ["EngineCounters", "ExecutionEngine"]
+
+
+def _warm_worker(backend: str) -> None:
+    """Pool initializer: pre-import the crypto layer and sync the backend.
+
+    Runs once per worker process at pool start, so the first real task pays
+    neither the import cost of the crypto modules nor a backend switch.
+    Tasks still carry (and re-assert) the backend themselves -- the warm-up
+    is an optimisation, not a correctness requirement.
+    """
+    from repro.crypto import benaloh, paillier  # noqa: F401  (import warm-up)
+
+    if numbertheory.get_backend() != backend:
+        numbertheory.set_backend(backend)
+
+
+@dataclass
+class EngineCounters:
+    """Dispatch statistics accumulated over an engine's lifetime."""
+
+    #: Worker pools forked/spawned (1 for the whole lifetime unless resized).
+    pool_starts: int = 0
+    #: Dispatching calls served by an already-running pool -- the start-up
+    #: cost these calls did *not* pay is the engine's whole reason to exist.
+    pool_reuses: int = 0
+    #: Worker tasks (shards or whole queries) submitted to the pool.
+    tasks_dispatched: int = 0
+    #: Queries routed through the engine (sharded singles and batch members).
+    queries_executed: int = 0
+
+    def reset(self) -> None:
+        self.pool_starts = 0
+        self.pool_reuses = 0
+        self.tasks_dispatched = 0
+        self.queries_executed = 0
+
+
+@dataclass
+class ExecutionEngine:
+    """A long-lived process pool plus the scheduling that feeds it.
+
+    Parameters
+    ----------
+    parallelism:
+        Resident worker-process count (defaults to the machine's CPU count).
+    base_seed:
+        Default base for per-task worker seed derivation; dispatching calls
+        may override it per call.
+    """
+
+    parallelism: int | None = None
+    base_seed: int = parallel.DEFAULT_WORKER_SEED
+    counters: EngineCounters = field(default_factory=EngineCounters)
+
+    def __post_init__(self) -> None:
+        if self.parallelism is None:
+            self.parallelism = os.cpu_count() or 1
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        self._executor = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True while a worker pool is resident."""
+        return self._executor is not None
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has retired the engine for good."""
+        return self._closed
+
+    def start(self) -> "ExecutionEngine":
+        """Fork the resident pool now (idempotent while running)."""
+        self._acquire(reuse=False)
+        return self
+
+    def shutdown(self) -> None:
+        """Retire the pool and the engine; further dispatching raises."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        self._closed = True
+
+    def resize(self, parallelism: int) -> None:
+        """Re-target the worker count; a running pool restarts on next dispatch."""
+        self._ensure_open()
+        if parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        if parallelism == self.parallelism:
+            return
+        self.parallelism = parallelism
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "ExecutionEngine has been shut down; create a new engine instead "
+                "of reusing a retired one"
+            )
+
+    def _acquire(self, reuse: bool = True):
+        """The resident executor, autostarting (and warm-up-initialising) it."""
+        self._ensure_open()
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.parallelism,
+                initializer=_warm_worker,
+                initargs=(numbertheory.get_backend(),),
+            )
+            self.counters.pool_starts += 1
+        elif reuse:
+            self.counters.pool_reuses += 1
+        return self._executor
+
+    # -- dispatch -----------------------------------------------------------------
+    def _effective_workers(self, parallelism: int | None) -> int:
+        """Per-call worker budget: the pool size, optionally capped lower."""
+        if parallelism is None:
+            return self.parallelism
+        return max(1, min(self.parallelism, parallelism))
+
+    def run_sharded(
+        self,
+        payload: Sequence[parallel.TermPayload],
+        modulus: int,
+        base_seed: int | None = None,
+        parallelism: int | None = None,
+    ) -> tuple[dict[int, int], parallel.ShardCounts, int, int]:
+        """One query, sharded over the resident pool and merged.
+
+        Same contract as :func:`repro.core.parallel.run_sharded`; single-shard
+        payloads run in-process without ever touching (or starting) the pool.
+        """
+        self._ensure_open()
+        workers = self._effective_workers(parallelism)
+        shards = parallel.partition_payload(payload, workers)
+        self.counters.queries_executed += 1
+        if len(shards) <= 1 or workers <= 1:
+            accumulators, counts = parallel.accumulate_terms(payload, modulus)
+            return accumulators, counts, 0, len(shards)
+        tasks = parallel.shard_tasks(
+            shards,
+            modulus,
+            self.base_seed if base_seed is None else base_seed,
+            numbertheory.get_backend(),
+        )
+        executor = self._acquire()
+        self.counters.tasks_dispatched += len(tasks)
+        partials = list(executor.map(parallel._shard_task, tasks))
+        merged, counts, merge_multiplications = parallel.collect_shard_results(
+            partials, modulus
+        )
+        return merged, counts, merge_multiplications, len(shards)
+
+    def submit_batch(
+        self,
+        payloads: Sequence[Sequence[parallel.TermPayload]],
+        modulus: int,
+        base_seed: int | None = None,
+        parallelism: int | None = None,
+    ) -> list[parallel.PendingResult]:
+        """Dispatch a batch under hybrid scheduling; results stream in order.
+
+        Returns one :class:`~repro.core.parallel.PendingResult` per query, in
+        query order.  A single-query batch is hybrid-scheduled like any other
+        (the whole pool shards that one query, matching what
+        :meth:`run_sharded` would do).  With a worker budget of 1 the pending
+        results defer the work in-process (each query accumulates when its
+        result is first collected), which keeps streaming semantics without
+        a pool.
+        """
+        self._ensure_open()
+        workers = self._effective_workers(parallelism)
+        self.counters.queries_executed += len(payloads)
+        if workers <= 1:
+            return [
+                parallel.PendingResult(modulus, payload=payload) for payload in payloads
+            ]
+        plan = parallel.hybrid_shard_plan(
+            [sum(len(doc_ids) for _, doc_ids, _ in payload) for payload in payloads],
+            workers,
+        )
+        shard_groups = [
+            parallel.partition_payload(payload, share)
+            for payload, share in zip(payloads, plan)
+        ]
+        if sum(len(group) for group in shard_groups) <= 1:
+            # At most one worker task in the whole batch (e.g. a single
+            # single-term query): the pool cannot help, run in-process.
+            return [
+                parallel.PendingResult(modulus, payload=payload) for payload in payloads
+            ]
+        seed = self.base_seed if base_seed is None else base_seed
+        backend = numbertheory.get_backend()
+        executor = self._acquire()
+        pending: list[parallel.PendingResult] = []
+        task_index = 0
+        for payload, shards in zip(payloads, shard_groups):
+            if not shards:
+                # Empty query: nothing to dispatch, zero shards executed.
+                pending.append(parallel.PendingResult(modulus, payload=payload))
+                continue
+            tasks = parallel.shard_tasks(
+                shards, modulus, seed, backend, start_index=task_index
+            )
+            task_index += len(tasks)
+            self.counters.tasks_dispatched += len(tasks)
+            pending.append(
+                parallel.PendingResult(
+                    modulus,
+                    futures=[executor.submit(parallel._shard_task, task) for task in tasks],
+                )
+            )
+        return pending
+
+    def run_batch(
+        self,
+        payloads: Sequence[Sequence[parallel.TermPayload]],
+        modulus: int,
+        base_seed: int | None = None,
+        parallelism: int | None = None,
+    ) -> list[tuple[dict[int, int], parallel.ShardCounts, int, int]]:
+        """:meth:`submit_batch`, collected: per-query merged results in order."""
+        return [
+            pending.result()
+            for pending in self.submit_batch(
+                payloads, modulus, base_seed=base_seed, parallelism=parallelism
+            )
+        ]

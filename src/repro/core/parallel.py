@@ -48,11 +48,15 @@ from repro.crypto import numbertheory
 __all__ = [
     "ShardCounts",
     "TermPayload",
+    "PendingResult",
     "power_table_strategy",
     "build_power_table",
     "accumulate_terms",
     "partition_payload",
+    "hybrid_shard_plan",
     "merge_shard_results",
+    "collect_shard_results",
+    "shard_tasks",
     "derive_worker_seed",
     "run_sharded",
     "run_query_batch",
@@ -114,6 +118,9 @@ def build_power_table(selector: int, impacts, modulus: int) -> tuple[dict[int, i
     distinct = sorted(set(impacts))
 
     table: dict[int, int] = {}
+    if not distinct:
+        # An empty inverted list needs no powers at all.
+        return table, multiplications
     if distinct[0] == 0:
         # E(u)^0 = 1, matching pow(selector, 0, modulus) on the naive path.
         table[0] = 1
@@ -224,6 +231,34 @@ def partition_payload(
     return [bucket for bucket in buckets if bucket]
 
 
+def hybrid_shard_plan(weights: Sequence[int], parallelism: int) -> list[int]:
+    """Workers per query for a batch of ``len(weights)`` queries.
+
+    Inter-query parallelism (one worker task per query) saturates the pool
+    only when the batch is at least as large as the worker count.  For
+    smaller batches the leftover workers are handed out as *intra-query*
+    shards: every query gets one worker, and each remaining worker goes to
+    the query with the most postings still queued per worker it already
+    holds -- a deterministic largest-remaining-load allocation, so the plan
+    (and therefore worker seed derivation) is reproducible.  Queries with no
+    postings never receive extra workers; a query cannot use more shards
+    than it has terms, but :func:`partition_payload` clamps that downstream.
+    """
+    queries = len(weights)
+    if queries == 0 or parallelism <= 0:
+        return []
+    shares = [1] * queries
+    leftover = parallelism - queries
+    for _ in range(max(0, leftover)):
+        heaviest = max(
+            range(queries), key=lambda i: (weights[i] / shares[i], weights[i], -i)
+        )
+        if weights[heaviest] == 0:
+            break
+        shares[heaviest] += 1
+    return shares
+
+
 def merge_shard_results(
     partials: Sequence[dict[int, int]], modulus: int
 ) -> tuple[dict[int, int], int]:
@@ -256,6 +291,97 @@ def derive_worker_seed(base_seed: int, task_index: int) -> int:
     """
     digest = hashlib.sha256(f"{base_seed}:{task_index}".encode()).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def shard_tasks(
+    shards: Sequence[Sequence[TermPayload]],
+    modulus: int,
+    base_seed: int,
+    backend: str,
+    start_index: int = 0,
+) -> list[tuple[Sequence[TermPayload], int, int, str]]:
+    """Build the worker task tuples for a list of shards.
+
+    ``start_index`` offsets the per-task seed derivation so that several
+    groups of shards dispatched in one logical call (e.g. the hybrid batch
+    scheduler's per-query shard groups) draw from disjoint seed indices.
+    The derivation depends only on ``(base_seed, index)`` -- never on pool
+    age -- so a resident pool replays identical seeds call after call.
+    """
+    return [
+        (shard, modulus, derive_worker_seed(base_seed, start_index + offset), backend)
+        for offset, shard in enumerate(shards)
+    ]
+
+
+def collect_shard_results(
+    partials: Sequence[tuple[dict[int, int], ShardCounts]], modulus: int
+) -> tuple[dict[int, int], ShardCounts, int]:
+    """Combine per-shard kernel outputs into one accumulator set plus counts."""
+    counts = ShardCounts()
+    for _, shard_counts in partials:
+        counts.add(shard_counts)
+    merged, merge_multiplications = merge_shard_results(
+        [accumulators for accumulators, _ in partials], modulus
+    )
+    return merged, counts, merge_multiplications
+
+
+class PendingResult:
+    """Handle to one query's in-flight accumulation.
+
+    Wraps either the shard futures of a dispatched query (resolved and
+    merged on :meth:`result`) or a deferred in-process payload (accumulated
+    lazily on first :meth:`result`, so a streaming consumer of a sequential
+    batch pays for each query only when it asks for it).  ``result`` is
+    idempotent; :attr:`shards` reports how many shard tasks the query
+    actually executed (0 for an empty payload).
+    """
+
+    def __init__(
+        self,
+        modulus: int,
+        futures: Sequence | None = None,
+        payload: Sequence[TermPayload] | None = None,
+    ) -> None:
+        if (futures is None) == (payload is None):
+            raise ValueError("exactly one of futures/payload must be provided")
+        self._modulus = modulus
+        self._futures = list(futures) if futures is not None else None
+        self._payload = payload
+        self._resolved: tuple[dict[int, int], ShardCounts, int, int] | None = None
+
+    @property
+    def shards(self) -> int:
+        if self._futures is not None:
+            return len(self._futures)
+        return 1 if self._payload else 0
+
+    def done(self) -> bool:
+        """True once collecting will not wait on outstanding worker futures.
+
+        A payload-deferred (in-process) pending result always reports True:
+        there is nothing to wait *for*, but the accumulation itself runs
+        inside the first :meth:`result` call -- "done" means "nothing is in
+        flight elsewhere", not "result() is free".
+        """
+        if self._resolved is not None or self._futures is None:
+            return True
+        return all(future.done() for future in self._futures)
+
+    def result(self) -> tuple[dict[int, int], ShardCounts, int, int]:
+        """``(accumulators, counts, merge_multiplications, shards)``, blocking."""
+        if self._resolved is None:
+            if self._futures is None:
+                accumulators, counts = accumulate_terms(self._payload, self._modulus)
+                self._resolved = (accumulators, counts, 0, self.shards)
+            else:
+                partials = [future.result() for future in self._futures]
+                merged, counts, merge_multiplications = collect_shard_results(
+                    partials, self._modulus
+                )
+                self._resolved = (merged, counts, merge_multiplications, self.shards)
+        return self._resolved
 
 
 def reseed_worker(seed: int) -> None:
@@ -315,12 +441,10 @@ def run_sharded(
     shards = partition_payload(payload, parallelism)
     if len(shards) <= 1 or parallelism <= 1:
         accumulators, counts = accumulate_terms(payload, modulus)
-        return accumulators, counts, 0, max(1, len(shards))
-    backend = numbertheory.get_backend()
-    tasks = [
-        (shard, modulus, derive_worker_seed(base_seed, index), backend)
-        for index, shard in enumerate(shards)
-    ]
+        # An empty payload executed zero shards; reporting 1 would drift the
+        # server's shards_executed counter on empty queries.
+        return accumulators, counts, 0, len(shards)
+    tasks = shard_tasks(shards, modulus, base_seed, numbertheory.get_backend())
     own_executor = executor is None
     if own_executor:
         executor = shard_executor(min(parallelism, len(shards)))
@@ -329,12 +453,7 @@ def run_sharded(
     finally:
         if own_executor:
             executor.shutdown()
-    counts = ShardCounts()
-    for _, shard_counts in partials:
-        counts.add(shard_counts)
-    merged, merge_multiplications = merge_shard_results(
-        [accumulators for accumulators, _ in partials], modulus
-    )
+    merged, counts, merge_multiplications = collect_shard_results(partials, modulus)
     return merged, counts, merge_multiplications, len(shards)
 
 
@@ -358,11 +477,7 @@ def run_query_batch(
         # caller's module-level crypto generators to a derivable seed, which
         # must never happen outside a worker process.
         return [accumulate_terms(payload, modulus) for payload in payloads]
-    backend = numbertheory.get_backend()
-    tasks = [
-        (payload, modulus, derive_worker_seed(base_seed, index), backend)
-        for index, payload in enumerate(payloads)
-    ]
+    tasks = shard_tasks(payloads, modulus, base_seed, numbertheory.get_backend())
     own_executor = executor is None
     if own_executor:
         executor = shard_executor(min(parallelism, len(payloads)))

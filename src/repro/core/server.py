@@ -25,8 +25,12 @@ Three accumulation paths exist:
   associative, so the merged ciphertexts are again bit-identical.
 
 :meth:`PrivateRetrievalServer.process_batch` executes a whole session's
-queries through one worker pool (one task per query; no merge step needed),
-which is the server half of the batch/session API.
+queries through the server's **resident execution engine**
+(:class:`repro.core.engine.ExecutionEngine`): one long-lived worker pool
+amortised over every query and batch the server answers, with hybrid batch
+scheduling (intra-query sharding of the leftover workers when a batch is
+smaller than the pool) and order-preserving streaming delivery via
+:meth:`PrivateRetrievalServer.iter_batch`.
 
 The server is instrumented: it counts disk blocks fetched (bucket-co-located
 lists are fetched together, the I/O optimisation Section 4 prescribes),
@@ -40,11 +44,12 @@ where the multiplications happen.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core import parallel
 from repro.core.buckets import BucketOrganization
 from repro.core.embellish import EmbellishedQuery
+from repro.core.engine import ExecutionEngine
 from repro.core.parallel import power_table_strategy
 from repro.crypto.benaloh import BenalohPublicKey
 from repro.textsearch.inverted_index import InvertedIndex
@@ -139,6 +144,14 @@ class PrivateRetrievalServer:
         Base seed from which each worker task derives its explicit RNG seed
         (see :func:`repro.core.parallel.derive_worker_seed`), keeping sharded
         runs reproducible instead of inheriting forked generator state.
+    engine:
+        The resident :class:`~repro.core.engine.ExecutionEngine` carrying the
+        long-lived worker pool.  Pass one to share a pool between servers;
+        left ``None``, the server lazily creates (and then owns) an engine on
+        its first parallel call, so repeated ``process_query`` /
+        ``process_batch`` calls amortise pool start-up for the server's whole
+        lifetime.  :meth:`close` shuts down an owned engine; shared engines
+        are the caller's to shut down.
     """
 
     index: InvertedIndex
@@ -147,13 +160,57 @@ class PrivateRetrievalServer:
     naive: bool = False
     parallelism: int = 1
     worker_base_seed: int = parallel.DEFAULT_WORKER_SEED
+    engine: ExecutionEngine | None = None
     counters: ServerCounters = field(default_factory=ServerCounters)
-    #: Per-query counter snapshots of the most recent :meth:`process_batch`.
+    #: Per-query counter snapshots of the most recent :meth:`process_batch`
+    #: (cleared by every non-batch entry point, so reads never see a stale
+    #: previous batch).
     last_batch_counters: list[ServerCounters] = field(default_factory=list)
+    _owns_engine: bool = field(default=False, init=False, repr=False)
+    #: Bumped by every entry point; an in-flight iter_batch stream stops
+    #: touching the shared aggregate once a newer call has claimed it.
+    _counter_epoch: int = field(default=0, init=False, repr=False)
+
+    # -- engine lifecycle ---------------------------------------------------------
+    def _engine_for(self, workers: int) -> ExecutionEngine:
+        """The resident engine, lazily created and grown to ``workers``."""
+        if self.engine is None:
+            self.engine = ExecutionEngine(
+                parallelism=workers, base_seed=self.worker_base_seed
+            )
+            self._owns_engine = True
+        elif self._owns_engine and workers > self.engine.parallelism:
+            # An owned pool grows to the largest parallelism ever requested;
+            # a shared engine's sizing belongs to whoever injected it.
+            self.engine.resize(workers)
+        return self.engine
+
+    def close(self) -> None:
+        """Shut down the owned resident engine (idempotent; shared engines stay up).
+
+        Closing releases the worker pool but is *not* terminal for the
+        server: sequential queries keep working, and a later parallel call
+        lazily creates a fresh owned engine (unlike a bare
+        :class:`~repro.core.engine.ExecutionEngine`, whose post-shutdown
+        dispatch raises).  Callers who need use-after-close to fail should
+        inject a shared engine and shut that down themselves.
+        """
+        if self.engine is not None and self._owns_engine:
+            self.engine.shutdown()
+            self.engine = None
+            self._owns_engine = False
+
+    def __enter__(self) -> "PrivateRetrievalServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def process_query(self, query: EmbellishedQuery) -> EncryptedResult:
         """Algorithm 4: accumulate encrypted relevance scores for every candidate document."""
+        self._counter_epoch += 1
         self.counters.reset()
+        self.last_batch_counters = []
         result = self._answer_into(query, self.counters)
         return result
 
@@ -162,26 +219,62 @@ class PrivateRetrievalServer:
         queries: Sequence[EmbellishedQuery],
         parallelism: int | None = None,
     ) -> list[EncryptedResult]:
-        """Answer a batch of queries, sharing one worker pool across all of them.
+        """Answer a batch of queries through the resident engine's worker pool.
 
-        Batches parallelise *across* queries (one worker task per query), so
-        no merge step exists and each result is computed exactly as the
-        sequential fast path computes it -- bit-identical by construction.
+        Batches parallelise *across* queries first (one worker task per
+        query, merge-free); when the batch is smaller than the pool, hybrid
+        scheduling splits the leftover workers into intra-query shards of
+        the heaviest queries, merged by the associative shard merge -- either
+        way each result is bit-identical to the sequential fast path's.
         ``parallelism`` overrides the server's knob for this batch only.
         Aggregate counters land in :attr:`counters`; per-query snapshots in
         :attr:`last_batch_counters`.
         """
+        return list(self.iter_batch(queries, parallelism=parallelism))
+
+    def iter_batch(
+        self,
+        queries: Sequence[EmbellishedQuery],
+        parallelism: int | None = None,
+    ) -> Iterator[EncryptedResult]:
+        """Stream a batch's results in query order as their futures complete.
+
+        The whole batch is dispatched up front (hybrid-scheduled over the
+        resident pool); each :class:`EncryptedResult` is yielded as soon as
+        its own shard tasks finish, so a consumer can post-filter early
+        results while later ones are still accumulating.  Counters fill
+        progressively: a query's snapshot in :attr:`last_batch_counters` is
+        complete once that query has been yielded, and :attr:`counters`
+        aggregates exactly the yielded prefix.  On the sequential path
+        (``naive=True`` or one worker) each query is instead computed lazily
+        when the iterator reaches it.
+
+        As with every entry point, the server's counters describe the *most
+        recent* call: answering other queries on this server while a stream
+        is still being consumed rebinds :attr:`last_batch_counters` and
+        resets :attr:`counters` to that newer call; the in-flight stream
+        keeps filling its own snapshot list (which the interleaving caller
+        no longer sees) but stops touching the shared aggregate, so the
+        newer call's :attr:`counters` stay uncontaminated.
+        """
         workers = self.parallelism if parallelism is None else parallelism
+        self._counter_epoch += 1
+        epoch = self._counter_epoch
         self.counters.reset()
-        self.last_batch_counters = []
-        results: list[EncryptedResult] = []
-        if self.naive or workers <= 1 or len(queries) <= 1:
+        # Also bound to a local: an interleaved process_query/process_batch
+        # rebinds the attribute, and this stream must keep appending to (and
+        # zipping against) its own snapshot list, never the newer call's.
+        snapshots: list[ServerCounters] = []
+        self.last_batch_counters = snapshots
+        if self.naive or workers <= 1:
             for query in queries:
                 per_query = ServerCounters()
-                results.append(self._answer_into(query, per_query, sharded=False))
-                self.last_batch_counters.append(per_query)
-                self.counters.add(per_query)
-            return results
+                result = self._answer_into(query, per_query, sharded=False)
+                snapshots.append(per_query)
+                if self._counter_epoch == epoch:
+                    self.counters.add(per_query)
+                yield result
+            return
 
         modulus = self.public_key.n
         payloads = []
@@ -190,19 +283,24 @@ class PrivateRetrievalServer:
             per_query.queries_processed = 1
             per_query.terms_processed = len(query)
             self._account_io(query, per_query)
-            self.last_batch_counters.append(per_query)
+            snapshots.append(per_query)
             payloads.append(self._payload(query))
-        batch = parallel.run_query_batch(
-            payloads, modulus, workers, base_seed=self.worker_base_seed
+        engine = self._engine_for(workers)
+        batch = engine.submit_batch(
+            payloads, modulus, base_seed=self.worker_base_seed, parallelism=workers
         )
-        for per_query, (accumulators, counts) in zip(self.last_batch_counters, batch):
+        for per_query, pending in zip(snapshots, batch):
+            accumulators, counts, merge_multiplications, shards = pending.result()
             per_query.postings_processed = counts.postings
             per_query.table_multiplications = counts.table_multiplications
-            per_query.modular_multiplications = counts.accumulator_multiplications
-            per_query.shards_executed = 1
-            self.counters.add(per_query)
-            results.append(EncryptedResult(encrypted_scores=accumulators, modulus=modulus))
-        return results
+            per_query.modular_multiplications = (
+                counts.accumulator_multiplications + merge_multiplications
+            )
+            per_query.merge_multiplications = merge_multiplications
+            per_query.shards_executed = shards
+            if self._counter_epoch == epoch:
+                self.counters.add(per_query)
+            yield EncryptedResult(encrypted_scores=accumulators, modulus=modulus)
 
     # -- dispatch ----------------------------------------------------------------
     def _answer_into(
@@ -254,7 +352,9 @@ class PrivateRetrievalServer:
         counters.postings_processed += counts.postings
         counters.table_multiplications += counts.table_multiplications
         counters.modular_multiplications += counts.accumulator_multiplications
-        counters.shards_executed += 1
+        # An empty query executes zero shards, matching run_sharded's report.
+        if payload:
+            counters.shards_executed += 1
         return EncryptedResult(encrypted_scores=accumulators, modulus=modulus)
 
     # -- sharded fast path ---------------------------------------------------------
@@ -264,8 +364,12 @@ class PrivateRetrievalServer:
         modulus = self.public_key.n
         payload = self._payload(query)
         counters.terms_processed += len(payload)
-        accumulators, counts, merge_multiplications, shards = parallel.run_sharded(
-            payload, modulus, self.parallelism, base_seed=self.worker_base_seed
+        engine = self._engine_for(self.parallelism)
+        accumulators, counts, merge_multiplications, shards = engine.run_sharded(
+            payload,
+            modulus,
+            base_seed=self.worker_base_seed,
+            parallelism=self.parallelism,
         )
         counters.postings_processed += counts.postings
         counters.table_multiplications += counts.table_multiplications

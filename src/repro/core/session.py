@@ -59,8 +59,19 @@ class QuerySession:
         each.  The batch API uses this to pre-stock the zero-encryption pool
         in one amortised replenishment instead of refilling mid-session.
         """
-        total = 0
+        return sum(self.selector_budgets(organization))
+
+    def selector_budgets(self, organization: BucketOrganization) -> tuple[int, ...]:
+        """Per-query selector ciphertext counts, in session order.
+
+        The per-query breakdown of :meth:`selector_budget`: entry ``i`` is
+        exactly how many selectors (= pool draws) embellishing query ``i``
+        consumes, so ``sum(selector_budgets(...))`` is the session total the
+        batch API pre-stocks.
+        """
+        budgets = []
         for query in self.queries:
+            total = 0
             seen_buckets: set[int] = set()
             for term in dict.fromkeys(query):
                 if term not in organization:
@@ -71,7 +82,8 @@ class QuerySession:
                     continue
                 seen_buckets.add(bucket_id)
                 total += len(organization.buckets[bucket_id])
-        return total
+            budgets.append(total)
+        return tuple(budgets)
 
     @classmethod
     def topical(

@@ -275,8 +275,12 @@ class InvertedIndex:
         for offset in range(0, len(data) - len(data) % POSTING_BYTES, POSTING_BYTES):
             chunk = data[offset : offset + POSTING_BYTES]
             posting = Posting.unpack(chunk)
-            if posting.doc_id == 0 and posting.quantised_impact == 0 and offset > 0:
-                # Zero padding added by the PIR database layer.
+            if posting.doc_id == 0 and posting.quantised_impact == 0:
+                # Zero padding added by the PIR database layer.  A column
+                # shorter than the PIR database's tallest column is padded
+                # from its very first byte, so padding must be dropped at
+                # offset 0 too -- genuine postings never quantise to impact 0
+                # (InvertedIndex.build discards non-positive impacts).
                 continue
             postings.append(posting)
         return tuple(postings)

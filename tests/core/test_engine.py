@@ -1,0 +1,232 @@
+"""Lifecycle, scheduling and counter tests for the persistent execution engine."""
+
+from array import array
+
+import pytest
+
+from repro.core import parallel
+from repro.core.engine import ExecutionEngine
+
+MODULUS = 1009 * 1013
+
+
+def _payload(entries):
+    """Term payloads from ``[(selector, [(doc, impact), ...]), ...]``."""
+    return [
+        (
+            selector,
+            array("I", [doc for doc, _ in postings]),
+            array("I", [impact for _, impact in postings]),
+        )
+        for selector, postings in entries
+    ]
+
+
+def _batch():
+    heavy = _payload(
+        [(11 + i, [(d, 1 + (d + i) % 4) for d in range(9)]) for i in range(4)]
+    )
+    light = _payload([(53, [(2, 1), (5, 1)])])
+    return [heavy, light]
+
+
+class TestLifecycle:
+    def test_lazy_autostart_on_first_dispatch(self):
+        engine = ExecutionEngine(parallelism=2)
+        assert not engine.running and not engine.closed
+        engine.run_batch(_batch(), MODULUS)
+        assert engine.running
+        assert engine.counters.pool_starts == 1
+        engine.shutdown()
+
+    def test_start_is_eager_and_idempotent(self):
+        engine = ExecutionEngine(parallelism=2)
+        engine.start()
+        engine.start()
+        assert engine.running
+        assert engine.counters.pool_starts == 1
+        engine.shutdown()
+
+    def test_context_manager_starts_and_shuts_down(self):
+        with ExecutionEngine(parallelism=2) as engine:
+            assert engine.running
+            engine.run_batch(_batch(), MODULUS)
+        assert engine.closed and not engine.running
+
+    def test_reuse_after_shutdown_raises(self):
+        engine = ExecutionEngine(parallelism=2)
+        engine.run_batch(_batch(), MODULUS)
+        engine.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            engine.run_batch(_batch(), MODULUS)
+        with pytest.raises(RuntimeError, match="shut down"):
+            engine.run_sharded(_batch()[0], MODULUS)
+        with pytest.raises(RuntimeError, match="shut down"):
+            engine.start()
+        with pytest.raises(RuntimeError, match="shut down"):
+            engine.resize(4)
+
+    def test_shutdown_is_idempotent(self):
+        engine = ExecutionEngine(parallelism=2)
+        engine.shutdown()
+        engine.shutdown()
+        assert engine.closed
+
+    def test_default_parallelism_is_cpu_count(self):
+        assert ExecutionEngine().parallelism >= 1
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(parallelism=0)
+        engine = ExecutionEngine(parallelism=2)
+        with pytest.raises(ValueError):
+            engine.resize(0)
+        engine.shutdown()
+
+    def test_resize_retires_the_running_pool(self):
+        engine = ExecutionEngine(parallelism=2)
+        baseline = engine.run_batch(_batch(), MODULUS)
+        engine.resize(3)
+        assert not engine.running  # retired; next dispatch starts a fresh pool
+        regrown = engine.run_batch(_batch(), MODULUS)
+        assert engine.counters.pool_starts == 2
+        assert [acc for acc, *_ in regrown] == [acc for acc, *_ in baseline]
+        engine.shutdown()
+
+
+class TestCountersAndReuse:
+    def test_pool_reuses_and_tasks_dispatched(self):
+        batch = _batch()
+        with ExecutionEngine(parallelism=2) as engine:
+            engine.run_batch(batch, MODULUS)
+            first_tasks = engine.counters.tasks_dispatched
+            assert first_tasks == len(batch)  # batch >= workers: one task/query
+            engine.run_batch(batch, MODULUS)
+            assert engine.counters.pool_starts == 1
+            assert engine.counters.pool_reuses >= 1
+            assert engine.counters.tasks_dispatched == 2 * first_tasks
+            assert engine.counters.queries_executed == 2 * len(batch)
+
+    def test_results_reproducible_across_pool_reuse(self):
+        """A reused resident pool replays the run of a fresh pool exactly --
+        same per-task seeds (derived from call-local indices, not pool age),
+        same ciphertexts, same operation counts."""
+        batch = _batch()
+        with ExecutionEngine(parallelism=4) as engine:
+            first = engine.run_batch(batch, MODULUS)
+            second = engine.run_batch(batch, MODULUS)
+        with ExecutionEngine(parallelism=4) as fresh:
+            third = fresh.run_batch(batch, MODULUS)
+        assert first == second == third
+
+    def test_single_shard_query_runs_in_process_without_starting_pool(self):
+        engine = ExecutionEngine(parallelism=4)
+        accumulators, counts, merge_muls, shards = engine.run_sharded(
+            _payload([(17, [(1, 2), (2, 1)])]), MODULUS
+        )
+        assert shards == 1 and merge_muls == 0
+        assert not engine.running
+        assert engine.counters.pool_starts == 0
+        engine.shutdown()
+
+    def test_empty_payload_reports_zero_shards(self):
+        engine = ExecutionEngine(parallelism=4)
+        accumulators, counts, merge_muls, shards = engine.run_sharded([], MODULUS)
+        assert accumulators == {} and shards == 0
+        batch = engine.run_batch([[], _batch()[1]], MODULUS)
+        assert batch[0][0] == {} and batch[0][3] == 0
+        engine.shutdown()
+
+
+class TestHybridScheduling:
+    def test_small_batch_gets_intra_query_shards(self):
+        batch = _batch()  # 2 queries, 4 workers -> leftover workers shard query 0
+        with ExecutionEngine(parallelism=4) as engine:
+            results = engine.run_batch(batch, MODULUS)
+        assert results[0][3] > 1  # the heavy query was sharded
+        assert results[1][3] == 1  # the single-term query cannot shard
+        assert engine.counters.tasks_dispatched == sum(r[3] for r in results)
+
+    def test_hybrid_results_match_sequential_kernel_and_op_totals(self):
+        batch = _batch()
+        with ExecutionEngine(parallelism=4) as engine:
+            results = engine.run_batch(batch, MODULUS)
+        for (merged, counts, merge_muls, _), payload in zip(results, batch):
+            sequential, seq_counts = parallel.accumulate_terms(payload, MODULUS)
+            assert merged == sequential
+            assert counts.postings == seq_counts.postings
+            assert counts.table_multiplications == seq_counts.table_multiplications
+            assert (
+                counts.accumulator_multiplications + merge_muls
+                == seq_counts.accumulator_multiplications
+            )
+
+    def test_single_query_batch_is_sharded_like_process_query(self):
+        """A batch of one heavy query must not fall back to one core: the
+        whole pool shards it, exactly as run_sharded would."""
+        heavy = _batch()[0]
+        with ExecutionEngine(parallelism=4) as engine:
+            (merged, counts, merge_muls, shards), = engine.run_batch([heavy], MODULUS)
+            via_sharded = engine.run_sharded(heavy, MODULUS)
+        assert shards > 1
+        assert (merged, counts, merge_muls, shards) == via_sharded
+
+    def test_single_task_batch_runs_in_process(self):
+        """One single-term query = one worker task: the pool cannot help, so
+        nothing is dispatched (and an idle engine never starts its pool)."""
+        engine = ExecutionEngine(parallelism=4)
+        (merged, counts, merge_muls, shards), = engine.run_batch([_batch()[1]], MODULUS)
+        assert shards == 1 and not engine.running
+        assert engine.run_batch([], MODULUS) == []
+        assert not engine.running
+        engine.shutdown()
+
+    def test_parallelism_override_caps_at_pool_size(self):
+        batch = _batch()
+        with ExecutionEngine(parallelism=4) as engine:
+            capped = engine.run_batch(batch, MODULUS, parallelism=2)
+            assert [r[3] for r in capped] == [1, 1]  # 2 workers, 2 queries
+            uncapped = engine.run_batch(batch, MODULUS, parallelism=64)
+            assert sum(r[3] for r in uncapped) <= 4  # pool size is the ceiling
+            assert [r[0] for r in capped] == [r[0] for r in uncapped]
+
+    def test_hybrid_shard_plan_properties(self):
+        assert parallel.hybrid_shard_plan([], 4) == []
+        assert parallel.hybrid_shard_plan([10, 10, 10, 10], 2) == [1, 1, 1, 1]
+        plan = parallel.hybrid_shard_plan([30, 2], 4)
+        assert sum(plan) == 4 and plan[0] > plan[1] >= 1
+        # Zero-posting queries never receive the leftover workers.
+        assert parallel.hybrid_shard_plan([0, 0], 5) == [1, 1]
+        # Deterministic: same inputs, same plan.
+        assert parallel.hybrid_shard_plan([7, 5, 3], 8) == parallel.hybrid_shard_plan(
+            [7, 5, 3], 8
+        )
+
+
+class TestStreaming:
+    def test_submit_batch_streams_in_order(self):
+        batch = _batch() + [[]]
+        with ExecutionEngine(parallelism=4) as engine:
+            pending = engine.submit_batch(batch, MODULUS)
+            collected = [p.result() for p in pending]
+            # result() is idempotent.
+            assert [p.result() for p in pending] == collected
+        expected = [parallel.accumulate_terms(p, MODULUS)[0] for p in batch]
+        assert [acc for acc, *_ in collected] == expected
+        assert collected[-1][3] == 0  # the empty query executed no shards
+
+    def test_sequential_engine_defers_work_lazily(self):
+        engine = ExecutionEngine(parallelism=1)
+        pending = engine.submit_batch(_batch(), MODULUS)
+        assert not engine.running  # nothing dispatched to a pool
+        assert all(p.done() for p in pending)
+        results = [p.result() for p in pending]
+        expected = [parallel.accumulate_terms(p, MODULUS)[0] for p in _batch()]
+        assert [acc for acc, *_ in results] == expected
+        engine.shutdown()
+
+    def test_pending_result_rejects_ambiguous_construction(self):
+        with pytest.raises(ValueError):
+            parallel.PendingResult(MODULUS)
+        with pytest.raises(ValueError):
+            parallel.PendingResult(MODULUS, futures=[], payload=[])

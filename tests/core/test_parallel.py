@@ -108,6 +108,17 @@ class TestWorkerSeeding:
         assert benaloh._DEFAULT_RNG.getstate() == expected
 
 
+class TestBuildPowerTable:
+    def test_empty_impacts_yield_empty_table(self):
+        """Regression: empty ``impacts`` used to raise IndexError on distinct[0]."""
+        assert parallel.build_power_table(17, [], 10007) == ({}, 0)
+        assert parallel.build_power_table(17, array("I"), 10007) == ({}, 0)
+
+    def test_zero_only_impacts_need_no_multiplications(self):
+        table, multiplications = parallel.build_power_table(17, [0, 0], 10007)
+        assert table == {0: 1} and multiplications == 0
+
+
 class TestAccumulationKernel:
     def test_kernel_counts_match_manual_expectation(self):
         modulus = 1009 * 1013
@@ -126,6 +137,13 @@ class TestAccumulationKernel:
             [(9, array("I"), array("I"))], 10007
         )
         assert accumulators == {} and counts.postings == 0
+
+    def test_run_sharded_empty_payload_reports_zero_shards(self):
+        """Regression: an empty payload used to report shards=1 despite
+        executing nothing, drifting ServerCounters.shards_executed."""
+        accumulators, counts, merge_muls, shards = parallel.run_sharded([], 10007, 4)
+        assert accumulators == {} and counts.postings == 0
+        assert merge_muls == 0 and shards == 0
 
     def test_run_sharded_inline_equals_kernel(self):
         modulus = 1009 * 1013

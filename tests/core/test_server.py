@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core.embellish import QueryEmbellisher
-from repro.core.server import PrivateRetrievalServer
+from repro.core.server import PrivateRetrievalServer, ServerCounters
 from repro.textsearch.engine import SearchEngine
 
 
@@ -171,3 +171,177 @@ class TestProcessQuery:
         server.process_query(query)
         assert server.counters.buckets_fetched == 0
         assert server.counters.blocks_read >= 1
+
+
+class TestBatchCounterHygiene:
+    def test_process_query_clears_stale_batch_snapshots(self, pr_setup, organization):
+        """Regression: process_query reset `counters` but left the previous
+        batch's per-query snapshots in last_batch_counters, so callers reading
+        them after a single query saw stale data."""
+        embellisher, server = pr_setup
+        query = embellisher.embellish([organization.buckets[0][0]])
+        server.process_batch([query, query])
+        assert len(server.last_batch_counters) == 2
+        server.process_query(query)
+        assert server.last_batch_counters == []
+
+    def test_empty_query_executes_zero_shards(self, pr_setup):
+        from repro.core.embellish import EmbellishedQuery
+
+        _, server = pr_setup
+        result = server.process_query(EmbellishedQuery(terms=(), encrypted_selectors=()))
+        assert len(result) == 0
+        assert server.counters.shards_executed == 0
+
+
+class TestResidentEngine:
+    def test_sharded_server_keeps_one_resident_pool(
+        self, index, organization, benaloh_keypair
+    ):
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(7)
+        )
+        bucketed = [t for bucket in organization.buckets for t in bucket if t in index]
+        query = embellisher.embellish(bucketed[:3])
+        sequential = PrivateRetrievalServer(
+            index=index, organization=organization, public_key=benaloh_keypair.public
+        )
+        with PrivateRetrievalServer(
+            index=index,
+            organization=organization,
+            public_key=benaloh_keypair.public,
+            parallelism=2,
+        ) as server:
+            first = server.process_query(query)
+            second = server.process_query(query)
+            assert server.engine is not None
+            assert server.engine.counters.pool_starts == 1
+            assert server.engine.counters.pool_reuses >= 1
+        assert server.engine is None  # context exit shut the owned engine down
+        assert (
+            first.encrypted_scores
+            == second.encrypted_scores
+            == sequential.process_query(query).encrypted_scores
+        )
+
+    def test_close_is_idempotent_and_leaves_shared_engines_alone(
+        self, index, organization, benaloh_keypair
+    ):
+        from repro.core.engine import ExecutionEngine
+
+        with ExecutionEngine(parallelism=2) as shared:
+            server = PrivateRetrievalServer(
+                index=index,
+                organization=organization,
+                public_key=benaloh_keypair.public,
+                parallelism=2,
+                engine=shared,
+            )
+            server.close()
+            server.close()
+            assert not shared.closed  # shared engines are the caller's to shut down
+
+    def test_parallel_call_after_close_creates_a_fresh_engine(
+        self, index, organization, benaloh_keypair
+    ):
+        """close() releases the pool but is not terminal: the next parallel
+        call lazily creates (and the server again owns) a fresh engine."""
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(13)
+        )
+        bucketed = [t for bucket in organization.buckets for t in bucket if t in index]
+        query = embellisher.embellish(bucketed[:3])
+        server = PrivateRetrievalServer(
+            index=index,
+            organization=organization,
+            public_key=benaloh_keypair.public,
+            parallelism=2,
+        )
+        first = server.process_query(query)
+        old_engine = server.engine
+        server.close()
+        assert old_engine.closed and server.engine is None
+        second = server.process_query(query)
+        assert server.engine is not None and server.engine is not old_engine
+        assert second.encrypted_scores == first.encrypted_scores
+        server.close()
+
+    def test_batch_parallelism_override_grows_owned_engine(
+        self, index, organization, benaloh_keypair
+    ):
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(9)
+        )
+        bucketed = [t for bucket in organization.buckets for t in bucket if t in index]
+        queries = [embellisher.embellish([t]) for t in bucketed[:3]]
+        with PrivateRetrievalServer(
+            index=index,
+            organization=organization,
+            public_key=benaloh_keypair.public,
+            parallelism=2,
+        ) as server:
+            baseline = server.process_batch(queries, parallelism=1)
+            grown = server.process_batch(queries, parallelism=3)
+            assert server.engine.parallelism == 3
+            assert [r.encrypted_scores for r in grown] == [
+                r.encrypted_scores for r in baseline
+            ]
+
+
+class TestIterBatch:
+    def test_streamed_results_match_batch_in_order(
+        self, index, organization, benaloh_keypair
+    ):
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(11)
+        )
+        bucketed = [t for bucket in organization.buckets for t in bucket if t in index]
+        queries = [embellisher.embellish([t]) for t in bucketed[:4]]
+        kwargs = dict(
+            index=index, organization=organization, public_key=benaloh_keypair.public
+        )
+        batch = PrivateRetrievalServer(**kwargs).process_batch(queries)
+        with PrivateRetrievalServer(parallelism=2, **kwargs) as server:
+            streamed = []
+            for position, result in enumerate(server.iter_batch(queries)):
+                # Counters fill progressively: the yielded prefix is complete.
+                assert len(server.last_batch_counters) == len(queries)
+                assert server.counters.queries_processed == position + 1
+                streamed.append(result)
+        assert [r.encrypted_scores for r in streamed] == [
+            r.encrypted_scores for r in batch
+        ]
+
+    def test_streaming_sequential_path_is_lazy(self, pr_setup, organization):
+        embellisher, server = pr_setup
+        queries = [
+            embellisher.embellish([organization.buckets[i][0]]) for i in range(3)
+        ]
+        iterator = server.iter_batch(queries)
+        first = next(iterator)
+        assert server.counters.queries_processed == 1
+        assert len(server.last_batch_counters) == 1
+        rest = list(iterator)
+        assert server.counters.queries_processed == 3
+        assert len(first.encrypted_scores) and len(rest) == 2
+
+    def test_interleaved_call_does_not_inherit_stream_counters(
+        self, pr_setup, organization
+    ):
+        """Regression: finishing a stream after an interleaved process_query
+        used to keep adding the stream's per-query counts into the shared
+        aggregate, contaminating the newer call's counters."""
+        embellisher, server = pr_setup
+        queries = [
+            embellisher.embellish([organization.buckets[i][0]]) for i in range(2)
+        ]
+        interleaved = embellisher.embellish([organization.buckets[5][0]])
+        stream = server.iter_batch(queries)
+        next(stream)
+        server.process_query(interleaved)
+        expected = ServerCounters()
+        expected.add(server.counters)
+        remainder = list(stream)  # the stream still yields correct results
+        assert len(remainder) == 1 and len(remainder[0].encrypted_scores)
+        assert server.counters == expected  # aggregate untouched by the stream
+        assert len(server.last_batch_counters) == 0  # rebound by process_query

@@ -130,6 +130,25 @@ class TestSelectorBudget:
         queries = [embellisher.embellish(list(q)) for q in session]
         assert session.selector_budget(organization) == sum(len(q) for q in queries)
 
+    def test_per_query_budgets_match_selectors_each_query_serves(
+        self, organization, benaloh_keypair
+    ):
+        session = QuerySession(
+            queries=(
+                (organization.buckets[0][0], organization.buckets[1][0]),
+                ("mystery-term",),
+                (organization.buckets[2][0],),
+            )
+        )
+        embellisher = QueryEmbellisher(
+            organization=organization, keypair=benaloh_keypair, rng=random.Random(9)
+        )
+        budgets = session.selector_budgets(organization)
+        assert budgets == tuple(
+            len(embellisher.embellish(list(q))) for q in session
+        )
+        assert sum(budgets) == session.selector_budget(organization)
+
 
 class TestBatchBucketReuse:
     """The batch API must uphold the session defence: recurring genuine terms

@@ -102,6 +102,13 @@ class TestStorageModel:
         postings = InvertedIndex.deserialise_list(data)
         assert [p.doc_id for p in postings] == [2]
 
+    def test_deserialise_fully_padded_column_is_empty(self):
+        """Regression: an all-padding PIR column (a bucket mate with no
+        postings, padded to the tallest column) used to decode to a phantom
+        Posting(doc_id=0, impact=0) at offset 0."""
+        assert InvertedIndex.deserialise_list(b"\x00" * 32) == ()
+        assert InvertedIndex.deserialise_list(b"") == ()
+
 
 class TestIteration:
     def test_iterate_lists_skips_unknown_terms(self, tiny_index):
