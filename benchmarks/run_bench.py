@@ -20,6 +20,12 @@ subsystem:
   through one resident ``ExecutionEngine`` pool vs forking a fresh pool per
   call (the pre-engine behaviour),
 
+plus the incremental-update series introduced with the update subsystem:
+
+* incremental update + query (``InvertedIndex.add_documents`` on a resident
+  index, then reading the query terms' columns) vs a full rebuild + query,
+  asserted bit-identical before timing,
+
 -- and writes a ``BENCH_fastpath.json`` summary next to the other benchmark
 results so the performance trajectory is tracked from PR to PR:
 
@@ -27,7 +33,8 @@ results so the performance trajectory is tracked from PR to PR:
 
 ``--check`` exits non-zero unless the accumulation speedup is >= 5x, the
 embellishment speedup is >= 3x, the resident-pool amortisation is >= 1.5x
-over per-call pool forking, and -- on machines with >= 4 CPUs -- the batched
+over per-call pool forking, the incremental update+query beats a full
+rebuild+query by >= 1.5x, and -- on machines with >= 4 CPUs -- the batched
 accumulation throughput at 4 workers is >= 2x sequential.  The
 parallel gate scales with the hardware (process parallelism cannot beat
 sequential on a single-core box, so there the series is recorded but not
@@ -290,6 +297,78 @@ def bench_pir_answer(repeats):
     )
 
 
+def bench_incremental_update(context, repeats, base_documents=400, update_batch=24):
+    """Incremental update + query vs full rebuild + query.
+
+    The baseline answers a corpus change the way the pre-update index had
+    to: rebuild the whole index from scratch, then read the query terms'
+    columns.  The incremental side starts from an index of the base corpus
+    (built outside the timing, once per repeat -- it represents the index
+    already resident before the change), applies the same ``update_batch``
+    documents through ``add_documents`` and reads the same columns, paying
+    tokenisation only for the new text plus one lazy impact refresh.  Both
+    sides are asserted bit-identical before timing; ``compact_ms`` and the
+    cost model's view of the update counters are recorded alongside.
+    """
+    from repro.core.costs import CostModel
+    from repro.textsearch.corpus import Corpus
+
+    corpus = SyntheticCorpusGenerator(
+        lexicon=context.lexicon,
+        num_documents=base_documents + update_batch,
+        seed=8,
+    ).generate()
+    documents = list(corpus)
+    base_corpus = Corpus(documents[:base_documents])
+    new_documents = documents[base_documents:]
+    full_corpus = Corpus(documents)
+
+    rebuilt = InvertedIndex.build(full_corpus)
+    incremental = InvertedIndex.build(base_corpus)
+    incremental.add_documents(new_documents)
+    query_terms = QueryWorkloadGenerator(rebuilt, seed=14).frequency_weighted_query(6)
+    assert set(incremental.terms) == set(rebuilt.terms), "incremental path diverged!"
+    for term in rebuilt.terms:
+        assert incremental.columns(term) == rebuilt.columns(term), (
+            f"incremental path diverged on {term!r}!"
+        )
+
+    naive_samples, fast_samples, compact_samples = [], [], []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fresh = InvertedIndex.build(full_corpus)
+        for term in query_terms:
+            fresh.columns(term)
+        naive_samples.append((time.perf_counter() - start) * 1000.0)
+
+        base = InvertedIndex.build(base_corpus)  # resident index, untimed
+        start = time.perf_counter()
+        base.add_documents(new_documents)
+        for term in query_terms:
+            base.columns(term)
+        fast_samples.append((time.perf_counter() - start) * 1000.0)
+        start = time.perf_counter()
+        base.compact()
+        compact_samples.append((time.perf_counter() - start) * 1000.0)
+
+    counters = incremental.update_counters
+    modelled = CostModel().index_update_report(
+        documents_added=counters.documents_added,
+        tokens_tokenised=counters.tokens_tokenised,
+        postings_rescored=counters.postings_rescored,
+        postings_merged=counters.postings_merged,
+        postings_dropped=counters.postings_dropped,
+    )
+    return {
+        "naive": min(naive_samples),
+        "fast": min(fast_samples),
+        "base_documents": base_documents,
+        "update_batch": update_batch,
+        "compact_ms": round(min(compact_samples), 4),
+        "modelled_update_ms": round(modelled.server_cpu_ms, 4),
+    }
+
+
 def _reference_index_build(corpus):
     """The seed's per-posting-object index construction, kept as the baseline."""
     from repro.textsearch.scoring import CorpusStatistics, CosineScorer
@@ -369,6 +448,7 @@ def main() -> int:
         "persistent_pool_amortisation": bench_persistent_pool(context, keypair, args.repeats),
         "pir_answer": bench_pir_answer(args.repeats),
         "index_build": bench_index_build(context, args.repeats),
+        "incremental_update": bench_incremental_update(context, args.repeats),
     }
 
     results = {}
@@ -431,6 +511,11 @@ def main() -> int:
             # pool skips the per-call fork whether or not the shards actually
             # run concurrently, so this gate holds even on one core.
             failures.append("persistent pool amortisation speedup < 1.5x")
+        if results["incremental_update"]["speedup"] < 1.5:
+            # Update + query must beat a full rebuild + query: the
+            # incremental path skips re-tokenising the resident corpus, which
+            # alone is worth > 2x at these corpus sizes.
+            failures.append("incremental update + query < 1.5x over full rebuild")
         speedup_at_4 = parallel_batch["speedup_at_4"]
         if cpus >= 4:
             # Process parallelism cannot beat sequential without cores to run
@@ -451,7 +536,10 @@ def main() -> int:
         if failures:
             print("CHECK FAILED: " + "; ".join(failures))
             return 1
-        gates = "accumulation >= 5x, embellishment >= 3x, session >= 3x, resident pool >= 1.5x"
+        gates = (
+            "accumulation >= 5x, embellishment >= 3x, session >= 3x, "
+            "resident pool >= 1.5x, incremental update >= 1.5x"
+        )
         if cpus >= 4:
             gates += f", 4-worker throughput >= 2x ({speedup_at_4}x)"
         print(f"CHECK PASSED: {gates}")

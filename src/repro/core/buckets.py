@@ -113,6 +113,46 @@ class BucketOrganization:
                 covered[bucket_id] = self.buckets[bucket_id]
         return covered
 
+    def extended(
+        self,
+        new_terms: Sequence[str],
+        specificity: Mapping[str, int] | None = None,
+    ) -> "BucketOrganization":
+        """A new organisation with ``new_terms`` appended in fresh buckets.
+
+        Incremental corpus updates surface dictionary terms that have no
+        bucket yet; without one they travel as decoy-less loose terms (the
+        embellisher's reduced-protection fallback).  Existing buckets -- and
+        therefore every existing term's bucket id and decoy set -- are left
+        untouched: reshuffling assignments on update would let the server
+        correlate queries across organisation versions.  The new terms are
+        sorted by decreasing specificity (stable), mirroring the Algorithm-2
+        invariant that co-bucketed decoys be comparably specific, and chunked
+        into appended buckets of :attr:`bucket_size`.  Terms already assigned
+        are ignored; with nothing new to add, ``self`` is returned unchanged.
+        """
+        merged_specificity = dict(self.specificity)
+        if specificity:
+            merged_specificity.update(specificity)
+        fresh = [
+            term
+            for term in dict.fromkeys(new_terms)
+            if term not in self._term_to_bucket
+        ]
+        if not fresh:
+            return self
+        fresh.sort(key=lambda term: -merged_specificity.get(term, 0))
+        size = max(1, self.bucket_size)
+        appended = tuple(
+            tuple(fresh[start : start + size]) for start in range(0, len(fresh), size)
+        )
+        return BucketOrganization(
+            buckets=self.buckets + appended,
+            bucket_size=self.bucket_size,
+            segment_size=self.segment_size,
+            specificity=merged_specificity,
+        )
+
     def intra_bucket_specificity_difference(self, bucket_id: int) -> int:
         """Max minus min specificity within one bucket (the Figure 5(a)/6(a) metric)."""
         bucket = self.buckets[bucket_id]

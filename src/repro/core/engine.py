@@ -47,7 +47,19 @@ from typing import Sequence
 from repro.core import parallel
 from repro.crypto import numbertheory
 
-__all__ = ["EngineCounters", "ExecutionEngine"]
+__all__ = ["EngineBusyError", "EngineCounters", "ExecutionEngine"]
+
+
+class EngineBusyError(RuntimeError):
+    """Raised when a lifecycle operation conflicts with in-flight shard work.
+
+    :meth:`ExecutionEngine.resize` must not retire a pool that a streamed
+    batch still has futures on: the old behaviour silently blocked inside
+    ``Executor.shutdown`` until the whole batch drained.  Callers either
+    drain/collect the stream first, or catch this and keep the current pool
+    (what :class:`~repro.core.server.PrivateRetrievalServer` does when an
+    interleaved call asks for more workers mid-stream).
+    """
 
 
 def _warm_worker(backend: str) -> None:
@@ -109,6 +121,9 @@ class ExecutionEngine:
             raise ValueError("parallelism must be at least 1")
         self._executor = None
         self._closed = False
+        #: Futures dispatched by submit_batch that may still be running; done
+        #: futures remove themselves via callback (and are pruned on read).
+        self._inflight: set = set()
 
     # -- lifecycle ----------------------------------------------------------------
     @property
@@ -133,13 +148,41 @@ class ExecutionEngine:
             self._executor = None
         self._closed = True
 
+    def outstanding_tasks(self) -> int:
+        """Shard futures dispatched by :meth:`submit_batch` not yet completed."""
+        # Iterate a snapshot: done-callbacks discard from _inflight on the
+        # executor's manager thread, and set.copy() is atomic under the GIL
+        # while direct iteration could see the set change size mid-walk.
+        pending = {future for future in self._inflight.copy() if not future.done()}
+        self._inflight = pending
+        return len(pending)
+
+    def _track(self, future) -> None:
+        self._inflight.add(future)
+        future.add_done_callback(self._inflight.discard)
+
     def resize(self, parallelism: int) -> None:
-        """Re-target the worker count; a running pool restarts on next dispatch."""
+        """Re-target the worker count; a running pool restarts on next dispatch.
+
+        Refuses (with :class:`EngineBusyError`) while a streamed batch still
+        has shard futures in flight -- retiring the pool under them would
+        block inside ``Executor.shutdown`` until the whole batch drained,
+        stalling the caller for the batch's full duration.  Collect or drain
+        the outstanding :class:`~repro.core.parallel.PendingResult` handles
+        first, then resize.
+        """
         self._ensure_open()
         if parallelism < 1:
             raise ValueError("parallelism must be at least 1")
         if parallelism == self.parallelism:
             return
+        outstanding = self.outstanding_tasks()
+        if outstanding:
+            raise EngineBusyError(
+                f"cannot resize to {parallelism} workers: {outstanding} shard "
+                "future(s) of a streamed batch are still in flight; collect or "
+                "drain the stream before resizing"
+            )
         self.parallelism = parallelism
         if self._executor is not None:
             self._executor.shutdown()
@@ -238,13 +281,17 @@ class ExecutionEngine:
             return [
                 parallel.PendingResult(modulus, payload=payload) for payload in payloads
             ]
+        # Per-entry costs are computed once and shared between the hybrid
+        # plan (per-query sums) and the intra-query partition.
+        cost_lists = [
+            [parallel.term_cost(entry) for entry in payload] for payload in payloads
+        ]
         plan = parallel.hybrid_shard_plan(
-            [sum(len(doc_ids) for _, doc_ids, _ in payload) for payload in payloads],
-            workers,
+            [sum(costs) for costs in cost_lists], workers
         )
         shard_groups = [
-            parallel.partition_payload(payload, share)
-            for payload, share in zip(payloads, plan)
+            parallel.partition_payload(payload, share, costs=costs)
+            for payload, share, costs in zip(payloads, plan, cost_lists)
         ]
         if sum(len(group) for group in shard_groups) <= 1:
             # At most one worker task in the whole batch (e.g. a single
@@ -267,12 +314,10 @@ class ExecutionEngine:
             )
             task_index += len(tasks)
             self.counters.tasks_dispatched += len(tasks)
-            pending.append(
-                parallel.PendingResult(
-                    modulus,
-                    futures=[executor.submit(parallel._shard_task, task) for task in tasks],
-                )
-            )
+            futures = [executor.submit(parallel._shard_task, task) for task in tasks]
+            for future in futures:
+                self._track(future)
+            pending.append(parallel.PendingResult(modulus, futures=futures))
         return pending
 
     def run_batch(

@@ -50,6 +50,7 @@ __all__ = [
     "TermPayload",
     "PendingResult",
     "power_table_strategy",
+    "term_cost",
     "build_power_table",
     "accumulate_terms",
     "partition_payload",
@@ -110,6 +111,28 @@ class ShardCounts:
         self.postings += other.postings
         self.table_multiplications += other.table_multiplications
         self.accumulator_multiplications += other.accumulator_multiplications
+
+
+def term_cost(entry: TermPayload) -> int:
+    """Estimated modular multiplications one term payload costs its shard.
+
+    One accumulator multiplication per posting plus the power-table build
+    cost of the list's distinct quantised impacts (the same strategy choice
+    :func:`build_power_table` will make).  This is what the LPT partition
+    balances: the old per-posting-count weighting assumed uniform cost per
+    posting, but two equally long lists can differ by hundreds of table
+    multiplications when one quantises to a single impact level and the
+    other spreads over the whole range -- exactly the skew impact-ordered
+    lists exhibit.  Deterministic, selector-independent, and cheap (no
+    ciphertext arithmetic), so planners and analytic estimators can replay
+    it.
+    """
+    _, doc_ids, impacts = entry
+    if not len(doc_ids):
+        return 0
+    distinct = sorted(set(impacts))
+    _, table_multiplications = power_table_strategy(distinct, distinct[-1])
+    return len(doc_ids) + table_multiplications
 
 
 def build_power_table(selector: int, impacts, modulus: int) -> tuple[dict[int, int], int]:
@@ -210,31 +233,44 @@ def accumulate_terms(
 
 
 def partition_payload(
-    payload: Sequence[TermPayload], shards: int
+    payload: Sequence[TermPayload],
+    shards: int,
+    costs: Sequence[int] | None = None,
 ) -> list[list[TermPayload]]:
-    """Balance term payloads over ``shards`` shards, greedily by list length.
+    """Balance term payloads over ``shards`` shards, greedily by estimated cost.
 
-    Terms are assigned longest-list-first to the currently lightest shard
-    (LPT scheduling), which keeps the per-shard posting counts within one
-    list length of each other.  Empty shards are dropped, so the result may
-    contain fewer than ``shards`` entries for narrow queries.
+    Terms are assigned costliest-first to the currently lightest shard (LPT
+    scheduling) where a term's cost is :func:`term_cost` -- its posting count
+    plus its power-table build multiplications -- which keeps the per-shard
+    *modular-multiplication* totals within one term cost of each other.  The
+    original weighting used bare list lengths, i.e. assumed uniform cost per
+    posting, and systematically overloaded whichever shard drew the lists
+    with the widest distinct-impact spread.  Empty shards are dropped, so
+    the result may contain fewer than ``shards`` entries for narrow queries.
+    ``costs`` lets callers that already computed per-entry :func:`term_cost`
+    values (the hybrid batch scheduler) pass them in instead of recomputing.
     """
     if shards <= 1 or len(payload) <= 1:
         return [list(payload)] if payload else []
-    order = sorted(range(len(payload)), key=lambda i: len(payload[i][1]), reverse=True)
+    if costs is None:
+        costs = [term_cost(entry) for entry in payload]
+    order = sorted(range(len(payload)), key=lambda i: costs[i], reverse=True)
     buckets: list[list[TermPayload]] = [[] for _ in range(min(shards, len(payload)))]
     loads = [0] * len(buckets)
     for i in order:
         lightest = loads.index(min(loads))
         buckets[lightest].append(payload[i])
-        loads[lightest] += len(payload[i][1])
+        loads[lightest] += costs[i]
     return [bucket for bucket in buckets if bucket]
 
 
 def hybrid_shard_plan(weights: Sequence[int], parallelism: int) -> list[int]:
     """Workers per query for a batch of ``len(weights)`` queries.
 
-    Inter-query parallelism (one worker task per query) saturates the pool
+    ``weights`` are per-query cost estimates -- callers pass summed
+    :func:`term_cost` values rather than bare posting counts, so the plan
+    accounts for power-table build work, not just list lengths.  Inter-query
+    parallelism (one worker task per query) saturates the pool
     only when the batch is at least as large as the worker count.  For
     smaller batches the leftover workers are handed out as *intra-query*
     shards: every query gets one worker, and each remaining worker goes to

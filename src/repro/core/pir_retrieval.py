@@ -45,6 +45,8 @@ class PIRRetrievalServer:
     #: (the default) uses the packed set-bit path (identical answers).
     naive: bool = False
     _databases: dict[int, PIRDatabase] = field(default_factory=dict, init=False)
+    #: Index update epoch the database cache was last synced against.
+    _databases_epoch: int = field(default=-1, init=False)
     multiplications: int = field(default=0, init=False)
     inversions: int = field(default=0, init=False)
     blocks_read: int = field(default=0, init=False)
@@ -56,8 +58,25 @@ class PIRRetrievalServer:
         self.blocks_read = 0
         self.buckets_fetched = 0
 
+    def _sync_databases(self) -> None:
+        """Evict cached databases of buckets an incremental index update touched.
+
+        The index's update journal names exactly the terms whose serialised
+        lists changed; only their buckets' bit matrices are rebuilt (lazily,
+        on next access).  Every other cached database stays resident.
+        """
+        epoch = self.index.update_epoch
+        if epoch == self._databases_epoch:
+            return
+        for term in self.index.touched_since(self._databases_epoch):
+            if term in self.organization:
+                self._databases.pop(self.organization.bucket_id_of(term), None)
+        self._databases_epoch = epoch
+
     def bucket_database(self, bucket_id: int) -> PIRDatabase:
-        """The padded bit-matrix database of one bucket (built lazily, cached)."""
+        """The padded bit-matrix database of one bucket (built lazily, cached;
+        invalidated per bucket when incremental index updates touch its terms)."""
+        self._sync_databases()
         if bucket_id not in self._databases:
             columns = [
                 self.index.serialise_list(term) or b"\x00" * POSTING_BYTES

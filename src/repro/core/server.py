@@ -46,10 +46,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Iterator, Sequence
 
+from typing import Mapping
+
 from repro.core import parallel
 from repro.core.buckets import BucketOrganization
 from repro.core.embellish import EmbellishedQuery
-from repro.core.engine import ExecutionEngine
+from repro.core.engine import EngineBusyError, ExecutionEngine
 from repro.core.parallel import power_table_strategy
 from repro.crypto.benaloh import BenalohPublicKey
 from repro.textsearch.inverted_index import InvertedIndex
@@ -170,6 +172,11 @@ class PrivateRetrievalServer:
     #: Bumped by every entry point; an in-flight iter_batch stream stops
     #: touching the shared aggregate once a newer call has claimed it.
     _counter_epoch: int = field(default=0, init=False, repr=False)
+    #: Per-term power-table plans ``term -> (strategy, table_mults, postings)``,
+    #: invalidated lazily for exactly the terms an index update touched.
+    _power_plans: dict = field(default_factory=dict, init=False, repr=False)
+    #: Index update epoch the plan cache was last synced against.
+    _plans_epoch: int = field(default=-1, init=False, repr=False)
 
     # -- engine lifecycle ---------------------------------------------------------
     def _engine_for(self, workers: int) -> ExecutionEngine:
@@ -181,8 +188,14 @@ class PrivateRetrievalServer:
             self._owns_engine = True
         elif self._owns_engine and workers > self.engine.parallelism:
             # An owned pool grows to the largest parallelism ever requested;
-            # a shared engine's sizing belongs to whoever injected it.
-            self.engine.resize(workers)
+            # a shared engine's sizing belongs to whoever injected it.  If a
+            # streamed batch still has shard futures in flight the resize is
+            # refused -- serve this call with the current (smaller) pool,
+            # which is always correct, and grow on a later quiet dispatch.
+            try:
+                self.engine.resize(workers)
+            except EngineBusyError:
+                pass
         return self.engine
 
     def close(self) -> None:
@@ -205,6 +218,60 @@ class PrivateRetrievalServer:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- incremental index updates -------------------------------------------------
+    def _sync_power_plans(self) -> None:
+        """Drop cached plans for exactly the terms index updates touched."""
+        epoch = self.index.update_epoch
+        if epoch == self._plans_epoch:
+            return
+        for term in self.index.touched_since(self._plans_epoch):
+            self._power_plans.pop(term, None)
+        self._plans_epoch = epoch
+
+    def power_plan(self, term: str) -> tuple[str, int, int]:
+        """``(strategy, table_multiplications, postings)`` for one term's list.
+
+        The strategy choice and its multiplication count are deterministic,
+        selector-independent functions of the list's distinct quantised
+        impacts, so they are cached per term and reused by the analytic cost
+        estimator across queries.  After an incremental index update only the
+        *touched* terms' plans are recomputed (the index's update journal
+        says which); everything else stays cached.
+        """
+        self._sync_power_plans()
+        plan = self._power_plans.get(term)
+        if plan is None:
+            doc_ids, impacts = self.index.columns(term)
+            if not len(doc_ids):
+                plan = ("ladder", 0, 0)
+            else:
+                distinct = sorted(set(impacts))
+                strategy, cost = power_table_strategy(distinct, distinct[-1])
+                plan = (strategy, cost, len(doc_ids))
+            self._power_plans[term] = plan
+        return plan
+
+    def accommodate_new_terms(
+        self, specificity: Mapping[str, int] | None = None
+    ) -> tuple[str, ...]:
+        """Give bucket assignments to dictionary terms updates introduced.
+
+        Terms added by :meth:`~repro.textsearch.inverted_index.InvertedIndex.add_document`
+        have no bucket yet, so queries naming them travel decoy-less (the
+        embellisher's reduced-protection fallback).  This appends fresh
+        buckets for them via :meth:`~repro.core.buckets.BucketOrganization.extended`
+        -- existing assignments never move -- and returns the newly covered
+        terms.  The caller must propagate the returned organisation state to
+        its clients (client and server must agree on buckets).
+        """
+        unbucketed = [
+            term for term in self.index.terms if term not in self.organization
+        ]
+        if not unbucketed:
+            return ()
+        self.organization = self.organization.extended(unbucketed, specificity)
+        return tuple(unbucketed)
 
     def process_query(self, query: EmbellishedQuery) -> EncryptedResult:
         """Algorithm 4: accumulate encrypted relevance scores for every candidate document."""

@@ -59,6 +59,17 @@ class Corpus:
             raise ValueError(f"duplicate document id {document.doc_id}")
         self._documents[document.doc_id] = document
 
+    def remove(self, doc_id: int) -> Document:
+        """Remove and return a document, raising ``KeyError`` when absent.
+
+        Mirrors :meth:`repro.textsearch.inverted_index.InvertedIndex.remove_document`
+        so a corpus can be kept equivalent to an incrementally-updated index.
+        """
+        try:
+            return self._documents.pop(doc_id)
+        except KeyError:
+            raise KeyError(f"unknown document id {doc_id}") from None
+
     def document(self, doc_id: int) -> Document:
         """Look up a document by id, raising ``KeyError`` when absent."""
         try:

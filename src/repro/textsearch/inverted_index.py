@@ -1,4 +1,4 @@
-"""Impact-ordered inverted index (Figure 9 of the paper).
+"""Impact-ordered inverted index (Figure 9 of the paper), with incremental updates.
 
 The index has two components:
 
@@ -21,6 +21,40 @@ homomorphic accumulation reads :meth:`InvertedIndex.columns` directly) and
 posting.  :class:`Posting` remains the public row view: :meth:`postings`
 materialises (and caches) a tuple of lazy views for code that wants objects.
 
+Incremental updates
+-------------------
+Indexes produced by :meth:`InvertedIndex.build` support live corpus changes
+without a rebuild:
+
+* :meth:`add_document` / :meth:`add_documents` tokenise only the new
+  document, update the corpus statistics incrementally and stage the new
+  postings in an in-memory **delta segment** (same columnar layout as the
+  main lists);
+* :meth:`remove_document` / :meth:`remove_documents` mark the document in a
+  **tombstone set** -- its main-list rows stay physically present but are
+  filtered out of every read path -- and roll the statistics back;
+* :meth:`compact` merges delta and tombstones into the main lists (two-run
+  merge per touched term, preserving impact order) and resets both.
+
+Every read path (:meth:`columns`, :meth:`postings`, :meth:`serialise_list`,
+:meth:`document_frequency`, ``in``) sees main + delta transparently, so a
+query against an updated index is **bit-identical** to one against a
+from-scratch rebuild of the equivalent corpus -- before and after
+:meth:`compact`.  Identity is achieved by re-deriving impacts lazily from the
+cached per-document term frequencies through the *same* scorer call
+:meth:`build` uses whenever the statistics have drifted (IDF-style scorers
+couple every impact to ``N`` and the document frequencies); re-tokenisation
+-- the expensive part of a rebuild -- never happens again.  Lists whose
+relative order the scorer preserved (always true for the cosine scorer,
+whose per-list impacts share one positive term-weight factor) keep their
+arrays and are only re-quantised when their impacts or the stored
+:attr:`max_impact` actually moved; reordered lists are re-sorted
+individually.
+
+Downstream caches (the server's power-table plans, the PIR bucket databases)
+stay coherent through :attr:`update_epoch` and :meth:`touched_since`, which
+report exactly the terms whose observable list content changed.
+
 The index also exposes a simple storage model -- posting size, list size in
 bytes, disk blocks of ``block_size`` bytes -- which the Section 5.2 cost model
 uses to estimate server I/O, and a serialisation of each list used as the PIR
@@ -35,14 +69,22 @@ from array import array
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
-from repro.textsearch.corpus import Corpus
+from repro.textsearch.corpus import Corpus, Document
 from repro.textsearch.scoring import CorpusStatistics, CosineScorer, Scorer
 from repro.textsearch.tokenizer import Tokenizer
 
-__all__ = ["Posting", "InvertedIndex"]
+__all__ = [
+    "Posting",
+    "InvertedIndex",
+    "UpdateCounters",
+    "CompactionReport",
+]
 
 #: On-disk size of one posting: a 4-byte document id plus a 4-byte impact.
 POSTING_BYTES = 8
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` (empty list).
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -61,6 +103,48 @@ class Posting:
     def unpack(cls, data: bytes) -> "Posting":
         doc_id, quantised = struct.unpack(">II", data)
         return cls(doc_id=doc_id, impact=float(quantised), quantised_impact=quantised)
+
+
+@dataclass
+class UpdateCounters:
+    """Instrumentation of the incremental-update machinery (cumulative)."""
+
+    documents_added: int = 0
+    documents_removed: int = 0
+    #: Tokens tokenised by add_document -- the work a rebuild would redo for
+    #: the *whole* corpus but the incremental path pays only for new text.
+    tokens_tokenised: int = 0
+    #: Lazy impact refreshes executed (one per batch of updates, not per update).
+    refreshes: int = 0
+    #: Per-document impact values recomputed across all refreshes.
+    postings_rescored: int = 0
+    #: Main lists whose impact/quant arrays were rewritten by a refresh.
+    lists_requantised: int = 0
+    #: Main lists a refresh had to re-sort (scorer reordered them; never the
+    #: cosine scorer, whose per-list order is update-invariant).
+    lists_resorted: int = 0
+    compactions: int = 0
+    #: Delta postings folded into main lists by compactions.
+    postings_merged: int = 0
+    #: Tombstoned main-list rows physically dropped by compactions.
+    postings_dropped: int = 0
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :meth:`InvertedIndex.compact` call actually did."""
+
+    lists_merged: int
+    postings_merged: int
+    postings_dropped: int
+
+    @property
+    def was_noop(self) -> bool:
+        return (
+            self.lists_merged == 0
+            and self.postings_merged == 0
+            and self.postings_dropped == 0
+        )
 
 
 class _PostingList:
@@ -110,7 +194,13 @@ class _PostingList:
 
 
 class InvertedIndex:
-    """Dictionary plus impact-ordered inverted lists over a corpus."""
+    """Dictionary plus impact-ordered inverted lists over a corpus.
+
+    Indexes built by :meth:`build` (or constructed with ``document_terms=``)
+    additionally support incremental maintenance: see the module docstring
+    and :meth:`add_document` / :meth:`remove_document` / :meth:`compact`.
+    Hand-built indexes (raw ``postings=`` only) remain read-only.
+    """
 
     def __init__(
         self,
@@ -118,14 +208,53 @@ class InvertedIndex:
         stats: CorpusStatistics,
         quantise_levels: int,
         block_size: int = 1024,
+        *,
+        document_terms: Mapping[int, Mapping[str, int]] | None = None,
+        scorer: Scorer | None = None,
+        tokenizer: Tokenizer | None = None,
+        max_impact: float | None = None,
     ) -> None:
         self._lists = {
             term: entries if isinstance(entries, _PostingList) else _PostingList.from_postings(entries)
             for term, entries in postings.items()
         }
-        self.stats = stats
         self.quantise_levels = quantise_levels
         self.block_size = block_size
+        if max_impact is None:
+            max_impact = max(
+                (max(pl.impacts) for pl in self._lists.values() if len(pl)),
+                default=0.0,
+            )
+        self._max_impact = max_impact
+        self._scorer: Scorer = scorer or CosineScorer()
+        self._tokenizer: Tokenizer = tokenizer or Tokenizer()
+        # -- incremental-update state -------------------------------------------
+        self._delta: dict[str, _PostingList] = {}
+        self._tombstones: set[int] = set()
+        self._delta_docs: set[int] = set()
+        self._merged: dict[str, _PostingList | None] = {}
+        self._stale = False
+        self._update_epoch = 0
+        self._touched: dict[str, int] = {}
+        self.update_counters = UpdateCounters()
+        if document_terms is not None:
+            self._doc_terms: dict[int, Mapping[str, int]] | None = dict(document_terms)
+            self._document_frequencies: dict[str, int] | None = dict(
+                stats.document_frequencies
+            )
+            self._total_length = sum(
+                sum(freqs.values()) for freqs in self._doc_terms.values()
+            )
+            self.stats = CorpusStatistics(
+                num_documents=stats.num_documents,
+                document_frequencies=self._document_frequencies,
+                average_document_length=stats.average_document_length,
+            )
+        else:
+            self._doc_terms = None
+            self._document_frequencies = None
+            self._total_length = 0
+            self.stats = stats
 
     # -- construction ----------------------------------------------------------
     @classmethod
@@ -184,16 +313,18 @@ class InvertedIndex:
         lists: dict[str, _PostingList] = {}
         for term, entries in raw_lists.items():
             entries.sort(key=lambda e: (-e[1], e[0]))
-            lists[term] = _PostingList(
-                doc_ids=array("I", (doc_id for doc_id, _ in entries)),
-                impacts=array("d", (impact for _, impact in entries)),
-                quants=array(
-                    "I",
-                    (cls._quantise(impact, max_impact, quantise_levels) for _, impact in entries),
-                ),
-            )
+            lists[term] = cls._columnar(entries, max_impact, quantise_levels)
 
-        return cls(postings=lists, stats=stats, quantise_levels=quantise_levels, block_size=block_size)
+        return cls(
+            postings=lists,
+            stats=stats,
+            quantise_levels=quantise_levels,
+            block_size=block_size,
+            document_terms=term_frequencies,
+            scorer=scorer,
+            tokenizer=tokenizer,
+            max_impact=max_impact,
+        )
 
     @staticmethod
     def _quantise(impact: float, max_impact: float, levels: int) -> int:
@@ -203,22 +334,406 @@ class InvertedIndex:
         level = int(round(impact / max_impact * levels))
         return max(1, min(levels, level))
 
+    @staticmethod
+    def _columnar(
+        entries: list[tuple[int, float]], max_impact: float, levels: int
+    ) -> _PostingList:
+        """Columnar arrays from impact-ordered ``(doc_id, impact)`` pairs."""
+        return _PostingList(
+            doc_ids=array("I", (doc_id for doc_id, _ in entries)),
+            impacts=array("d", (impact for _, impact in entries)),
+            quants=array(
+                "I",
+                (
+                    InvertedIndex._quantise(impact, max_impact, levels)
+                    for _, impact in entries
+                ),
+            ),
+        )
+
+    # -- incremental updates -------------------------------------------------------
+    def _require_updatable(self) -> None:
+        if self._doc_terms is None:
+            raise RuntimeError(
+                "this index does not support incremental updates: it was "
+                "constructed from raw postings without per-document term "
+                "frequencies; use InvertedIndex.build (or pass document_terms=) "
+                "to enable add_document/remove_document/compact"
+            )
+
+    @property
+    def max_impact(self) -> float:
+        """The global impact calibration every quantised value derives from.
+
+        Stored per-index (not recomputed ad hoc) so updates can detect when
+        it moves and re-quantise the affected lists instead of silently
+        clamping a late high-impact insert; reading it reflects any pending
+        updates.
+        """
+        self._ensure_fresh()
+        return self._max_impact
+
+    @property
+    def supports_updates(self) -> bool:
+        """True when the index carries the per-document state updates need."""
+        return self._doc_terms is not None
+
+    @property
+    def has_pending_updates(self) -> bool:
+        """True while the delta segment or tombstone set is non-empty."""
+        return bool(self._delta_docs or self._tombstones)
+
+    @property
+    def update_epoch(self) -> int:
+        """Monotonic mutation counter; bumped by every add/remove (not compact)."""
+        return self._update_epoch
+
+    @property
+    def num_tombstones(self) -> int:
+        return len(self._tombstones)
+
+    @property
+    def num_delta_documents(self) -> int:
+        return len(self._delta_docs)
+
+    def touched_since(self, epoch: int) -> frozenset[str]:
+        """Terms whose observable list content changed after ``epoch``.
+
+        Downstream caches (power-table plans, PIR bucket databases) snapshot
+        :attr:`update_epoch`, and on their next access drop exactly these
+        terms.  Compaction never appears here: it rewrites the physical
+        layout but the merged content every read path serves is unchanged.
+        """
+        self._ensure_fresh()
+        return frozenset(t for t, e in self._touched.items() if e > epoch)
+
+    def _register_mutation(self, touched_terms: Iterable[str]) -> None:
+        self._update_epoch += 1
+        for term in touched_terms:
+            self._touched[term] = self._update_epoch
+        self._stale = True
+        self._merged.clear()
+        self._refresh_stats()
+
+    def _refresh_stats(self) -> None:
+        num_documents = len(self._doc_terms)
+        self.stats = CorpusStatistics(
+            num_documents=num_documents,
+            document_frequencies=self._document_frequencies,
+            average_document_length=self._total_length / max(num_documents, 1),
+        )
+
+    def add_document(self, document: Document) -> None:
+        """Stage one new document in the delta segment.
+
+        Tokenises only the new text, updates ``N``, the document frequencies
+        and the average length incrementally, and marks the index for a lazy
+        impact refresh (the first read after a batch of updates pays one
+        arithmetic re-derivation; tokenisation of the existing corpus is
+        never repeated).  A document whose text yields no indexable terms
+        contributes no postings -- the delta segment stays empty -- but still
+        counts towards the corpus statistics, exactly as a rebuild would
+        count it.  Duplicate ids of *live* documents are rejected; re-adding
+        a previously removed id is allowed.
+        """
+        self._require_updatable()
+        doc_id = document.doc_id
+        if doc_id in self._doc_terms:
+            raise ValueError(f"duplicate document id {doc_id}")
+        frequencies = self._tokenizer.term_frequencies(document.text)
+        self._doc_terms[doc_id] = frequencies
+        self._total_length += sum(frequencies.values())
+        for term in frequencies:
+            self._document_frequencies[term] = (
+                self._document_frequencies.get(term, 0) + 1
+            )
+        if frequencies:
+            self._delta_docs.add(doc_id)
+        self._register_mutation(frequencies)
+        self.update_counters.documents_added += 1
+        self.update_counters.tokens_tokenised += sum(frequencies.values())
+
+    def add_documents(self, documents: Iterable[Document]) -> None:
+        for document in documents:
+            self.add_document(document)
+
+    def remove_document(self, doc_id: int) -> None:
+        """Remove one document: tombstone its main rows, roll statistics back.
+
+        The document's main-list rows stay physically present until
+        :meth:`compact` but are filtered out of every read path (the
+        tombstone check is the read-path cost of deferred deletion).  A
+        document still sitting in the delta segment is dropped from it
+        directly.  Removing the last document of a term drops the term from
+        the dictionary and the statistics.
+        """
+        self._require_updatable()
+        frequencies = self._doc_terms.pop(doc_id, None)
+        if frequencies is None:
+            raise KeyError(f"unknown document id {doc_id}")
+        self._total_length -= sum(frequencies.values())
+        for term in frequencies:
+            remaining = self._document_frequencies.get(term, 0) - 1
+            if remaining > 0:
+                self._document_frequencies[term] = remaining
+            else:
+                self._document_frequencies.pop(term, None)
+        if doc_id in self._delta_docs:
+            self._delta_docs.discard(doc_id)
+        else:
+            self._tombstones.add(doc_id)
+        self._register_mutation(frequencies)
+        self.update_counters.documents_removed += 1
+
+    def remove_documents(self, doc_ids: Iterable[int]) -> None:
+        for doc_id in doc_ids:
+            self.remove_document(doc_id)
+
+    def compact(self) -> CompactionReport:
+        """Merge delta segment and tombstones into the main lists.
+
+        Each touched term's main and delta runs are merged in impact order
+        (one linear two-run merge) with tombstoned rows dropped; terms whose
+        every posting was removed leave the dictionary.  Content served by
+        the read paths is bit-identical before and after, so no downstream
+        cache is invalidated.  Compacting with an empty delta segment and no
+        tombstones is an idempotent no-op.
+        """
+        self._ensure_fresh()
+        if not self.has_pending_updates:
+            return CompactionReport(
+                lists_merged=0, postings_merged=0, postings_dropped=0
+            )
+        postings_merged = sum(len(entries) for entries in self._delta.values())
+        old_main_total = sum(len(entries) for entries in self._lists.values())
+        new_lists: dict[str, _PostingList] = {}
+        lists_merged = 0
+        for term in dict.fromkeys((*self._lists, *self._delta)):
+            effective = self._effective(term)
+            if effective is None or not len(effective):
+                continue
+            if effective is not self._lists.get(term):
+                lists_merged += 1
+            new_lists[term] = effective
+        new_total = sum(len(entries) for entries in new_lists.values())
+        postings_dropped = old_main_total + postings_merged - new_total
+        self._lists = new_lists
+        self._delta = {}
+        self._tombstones = set()
+        self._delta_docs = set()
+        self._merged = {}
+        counters = self.update_counters
+        counters.compactions += 1
+        counters.postings_merged += postings_merged
+        counters.postings_dropped += postings_dropped
+        return CompactionReport(
+            lists_merged=lists_merged,
+            postings_merged=postings_merged,
+            postings_dropped=postings_dropped,
+        )
+
+    # -- lazy impact refresh -------------------------------------------------------
+    def _ensure_fresh(self) -> None:
+        if self._stale:
+            self._refresh()
+
+    def _refresh(self) -> None:
+        """Re-derive impacts and quantisation against the current statistics.
+
+        Runs once per batch of updates, on the first read after them.  Every
+        live document's impacts are recomputed through the *same* scorer call
+        :meth:`build` uses (bit-identity with a rebuild holds for any scorer
+        by construction); tokenisation is never repeated.  Main lists whose
+        relative order survived keep their document-id arrays and are
+        re-quantised only when their impacts or :attr:`max_impact` actually
+        moved; reordered lists (impossible under the cosine scorer, possible
+        under length-normalised ones like BM25 when the average document
+        length drifts) are re-sorted individually.
+        """
+        self._stale = False
+        scorer = self._scorer
+        stats = self.stats
+        levels = self.quantise_levels
+        counters = self.update_counters
+        epoch = self._update_epoch
+        touched = self._touched
+
+        impacts_by_doc: dict[int, Mapping[str, float]] = {}
+        max_impact = 0.0
+        for doc_id, frequencies in self._doc_terms.items():
+            impacts = scorer.document_impacts(frequencies, stats)
+            impacts_by_doc[doc_id] = impacts
+            for impact in impacts.values():
+                if impact > max_impact:
+                    max_impact = impact
+            counters.postings_rescored += len(impacts)
+        max_moved = max_impact != self._max_impact
+        self._max_impact = max_impact
+
+        # Delta segment: columnar lists of the documents added since the last
+        # compact, rebuilt against the fresh impacts (delta is small between
+        # compactions -- that is its whole point).
+        delta_raw: dict[str, list[tuple[int, float]]] = {}
+        if self._delta_docs:
+            for doc_id in self._doc_terms:  # corpus insertion order
+                if doc_id not in self._delta_docs:
+                    continue
+                for term, impact in impacts_by_doc[doc_id].items():
+                    if impact <= 0.0:
+                        continue
+                    delta_raw.setdefault(term, []).append((doc_id, impact))
+        new_delta: dict[str, _PostingList] = {}
+        for term, entries in delta_raw.items():
+            entries.sort(key=lambda e: (-e[1], e[0]))
+            new_delta[term] = self._columnar(entries, max_impact, levels)
+            touched[term] = epoch
+        self._delta = new_delta
+
+        tombstones = self._tombstones
+        for term in list(self._lists):
+            plist = self._lists[term]
+            doc_ids = plist.doc_ids
+            old_impacts = plist.impacts
+            live: list[tuple[int, float]] = []  # (position, fresh impact)
+            ordered = True
+            impacts_changed = False
+            prev_key: tuple[float, int] | None = None
+            for position, doc_id in enumerate(doc_ids):
+                if doc_id in tombstones:
+                    continue
+                impact = impacts_by_doc[doc_id].get(term, 0.0)
+                key = (-impact, doc_id)
+                if impact <= 0.0 or (prev_key is not None and key < prev_key):
+                    ordered = False
+                    break
+                prev_key = key
+                live.append((position, impact))
+                if impact != old_impacts[position]:
+                    impacts_changed = True
+            if not ordered:
+                entries = [
+                    (doc_id, impacts_by_doc[doc_id].get(term, 0.0))
+                    for doc_id in doc_ids
+                    if doc_id not in tombstones
+                ]
+                entries = [entry for entry in entries if entry[1] > 0.0]
+                entries.sort(key=lambda e: (-e[1], e[0]))
+                counters.lists_resorted += 1
+                counters.lists_requantised += 1
+                touched[term] = epoch
+                if entries:
+                    self._lists[term] = self._columnar(entries, max_impact, levels)
+                else:
+                    del self._lists[term]
+                continue
+            if not impacts_changed and not max_moved:
+                # Impact values and calibration both held still (e.g. a
+                # removed document was re-added unchanged): keep the arrays,
+                # skip the re-quantisation entirely.
+                continue
+            new_impacts = array("d", old_impacts)
+            new_quants = array("I", plist.quants)
+            for position, impact in live:
+                new_impacts[position] = impact
+                new_quants[position] = self._quantise(impact, max_impact, levels)
+            self._lists[term] = _PostingList(doc_ids, new_impacts, new_quants)
+            counters.lists_requantised += 1
+            touched[term] = epoch
+        counters.refreshes += 1
+        self._merged.clear()
+
+    # -- merged (main + delta - tombstones) read view --------------------------------
+    def _effective(self, term: str) -> _PostingList | None:
+        """The live inverted list: main rows minus tombstones, merged with delta."""
+        self._ensure_fresh()
+        main = self._lists.get(term)
+        if not self.has_pending_updates:
+            return main
+        cached = self._merged.get(term, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        delta = self._delta.get(term)
+        tombstones = self._tombstones
+        if main is None:
+            merged = delta
+        elif delta is None and not any(d in tombstones for d in main.doc_ids):
+            merged = main
+        else:
+            merged = self._merge_runs(main, delta, tombstones)
+        if merged is not None and not len(merged):
+            merged = None
+        self._merged[term] = merged
+        return merged
+
+    @staticmethod
+    def _merge_runs(
+        main: _PostingList, delta: _PostingList | None, tombstones: set[int]
+    ) -> _PostingList | None:
+        """Two-run merge by ``(-impact, doc_id)``, filtering tombstoned main rows."""
+        out_docs, out_impacts, out_quants = array("I"), array("d"), array("I")
+        m_docs, m_impacts, m_quants = main.doc_ids, main.impacts, main.quants
+        if delta is None:
+            d_docs: array = array("I")
+            d_impacts: array = array("d")
+            d_quants: array = array("I")
+        else:
+            d_docs, d_impacts, d_quants = delta.doc_ids, delta.impacts, delta.quants
+        i = j = 0
+        n, m = len(m_docs), len(d_docs)
+        while i < n and j < m:
+            if m_docs[i] in tombstones:
+                i += 1
+                continue
+            if (-m_impacts[i], m_docs[i]) <= (-d_impacts[j], d_docs[j]):
+                out_docs.append(m_docs[i])
+                out_impacts.append(m_impacts[i])
+                out_quants.append(m_quants[i])
+                i += 1
+            else:
+                out_docs.append(d_docs[j])
+                out_impacts.append(d_impacts[j])
+                out_quants.append(d_quants[j])
+                j += 1
+        while i < n:
+            if m_docs[i] not in tombstones:
+                out_docs.append(m_docs[i])
+                out_impacts.append(m_impacts[i])
+                out_quants.append(m_quants[i])
+            i += 1
+        if j < m:
+            out_docs.extend(d_docs[j:])
+            out_impacts.extend(d_impacts[j:])
+            out_quants.extend(d_quants[j:])
+        if not len(out_docs):
+            return None
+        return _PostingList(out_docs, out_impacts, out_quants)
+
     # -- dictionary access --------------------------------------------------------
     @property
     def terms(self) -> tuple[str, ...]:
-        """The dictionary ``T`` (terms that appear in at least one document)."""
-        return tuple(self._lists)
+        """The dictionary ``T`` (terms that appear in at least one live document)."""
+        self._ensure_fresh()
+        if not self.has_pending_updates:
+            return tuple(self._lists)
+        return tuple(
+            term
+            for term in dict.fromkeys((*self._lists, *self._delta))
+            if self._effective(term) is not None
+        )
 
     @property
     def num_terms(self) -> int:
-        return len(self._lists)
+        self._ensure_fresh()
+        if not self.has_pending_updates:
+            return len(self._lists)
+        return len(self.terms)
 
     def __contains__(self, term: str) -> bool:
-        return term in self._lists
+        return self._effective(term) is not None
 
     def postings(self, term: str) -> tuple[Posting, ...]:
         """The impact-ordered inverted list ``L_i`` (empty for unknown terms)."""
-        entries = self._lists.get(term)
+        entries = self._effective(term)
         if entries is None:
             return ()
         return entries.view()
@@ -226,24 +741,27 @@ class InvertedIndex:
     def columns(self, term: str) -> tuple[array, array]:
         """The list's parallel ``(doc_ids, quantised_impacts)`` arrays (hot path).
 
-        Both arrays are the index's own storage: callers must not mutate them.
-        Unknown terms yield a pair of empty arrays.
+        Both arrays are the index's own storage: callers must not mutate
+        them, and an incremental update may replace them (readers holding
+        arrays across updates see the pre-update snapshot).  Unknown terms
+        yield a pair of empty arrays.
         """
-        entries = self._lists.get(term)
+        entries = self._effective(term)
         if entries is None:
             return array("I"), array("I")
         return entries.doc_ids, entries.quants
 
     def document_frequency(self, term: str) -> int:
-        """``f_t``: the number of documents containing ``term``."""
-        entries = self._lists.get(term)
+        """``f_t``: the number of live documents containing ``term``."""
+        entries = self._effective(term)
         return len(entries) if entries is not None else 0
 
     def iterate_lists(self, terms: Iterable[str]) -> Iterator[tuple[str, tuple[Posting, ...]]]:
         """Yield ``(term, inverted list)`` for each requested term (skipping unknowns)."""
         for term in terms:
-            if term in self._lists:
-                yield term, self.postings(term)
+            entries = self._effective(term)
+            if entries is not None:
+                yield term, entries.view()
 
     # -- storage model -------------------------------------------------------------
     def list_size_bytes(self, term: str) -> int:
@@ -258,12 +776,15 @@ class InvertedIndex:
         return -(-size // self.block_size)
 
     def total_size_bytes(self) -> int:
-        """Total index size (inverted lists only, dictionary excluded)."""
-        return sum(len(entries) * POSTING_BYTES for entries in self._lists.values())
+        """Total index size (live inverted lists only, dictionary excluded)."""
+        self._ensure_fresh()
+        if not self.has_pending_updates:
+            return sum(len(entries) * POSTING_BYTES for entries in self._lists.values())
+        return sum(self.list_size_bytes(term) for term in self.terms)
 
     def serialise_list(self, term: str) -> bytes:
         """The inverted list as bytes -- one PIR database column per bucket term."""
-        entries = self._lists.get(term)
+        entries = self._effective(term)
         if entries is None or not len(entries):
             return b""
         return entries.serialise()

@@ -103,3 +103,48 @@ class TestCostReportAggregation:
         combined = self._make(0.0).combined(self._make(10.0), weight_self=0.25)
         assert combined.server_io_ms == pytest.approx(7.5)
         assert combined.counts["x"] == pytest.approx(7.5)
+
+
+class TestIndexUpdateReport:
+    def test_maintenance_cost_composition(self):
+        model = CostModel()
+        report = model.index_update_report(
+            documents_added=3,
+            documents_removed=1,
+            tokens_tokenised=100,
+            postings_rescored=400,
+            postings_merged=30,
+            postings_dropped=10,
+        )
+        assert report.scheme == "INDEX"
+        assert report.server_io_ms == 0.0
+        assert report.traffic_kbytes == 0.0
+        assert report.user_cpu_ms == 0.0
+        expected = (
+            100 * model.index_tokenise_ms_per_token
+            + 400 * model.index_rescore_ms_per_posting
+            + 40 * model.index_merge_ms_per_posting
+        )
+        assert report.server_cpu_ms == pytest.approx(expected)
+        assert report.counts["documents_added"] == 3
+        assert report.counts["postings_merged"] == 30
+
+    def test_accepts_update_counters_fields(self):
+        from repro.textsearch.corpus import Corpus, Document
+        from repro.textsearch.inverted_index import InvertedIndex
+
+        index = InvertedIndex.build(
+            Corpus([Document(doc_id=1, text="alpha beta gamma")])
+        )
+        index.add_document(Document(doc_id=2, text="beta delta"))
+        index.compact()
+        counters = index.update_counters
+        report = CostModel().index_update_report(
+            documents_added=counters.documents_added,
+            documents_removed=counters.documents_removed,
+            tokens_tokenised=counters.tokens_tokenised,
+            postings_rescored=counters.postings_rescored,
+            postings_merged=counters.postings_merged,
+            postings_dropped=counters.postings_dropped,
+        )
+        assert report.server_cpu_ms > 0.0

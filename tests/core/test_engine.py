@@ -230,3 +230,87 @@ class TestStreaming:
             parallel.PendingResult(MODULUS)
         with pytest.raises(ValueError):
             parallel.PendingResult(MODULUS, futures=[], payload=[])
+
+
+class TestResizeGuard:
+    """Regression: resize() while a streamed batch is in flight used to block
+    silently inside Executor.shutdown until the whole batch drained."""
+
+    def test_resize_refused_while_shard_futures_in_flight(self):
+        from concurrent.futures import Future
+
+        from repro.core.engine import EngineBusyError
+
+        engine = ExecutionEngine(parallelism=2)
+        blocker: Future = Future()
+        engine._track(blocker)
+        assert engine.outstanding_tasks() == 1
+        with pytest.raises(EngineBusyError, match="still in flight"):
+            engine.resize(3)
+        assert engine.parallelism == 2  # unchanged
+        # Resizing to the current size is a no-op and never conflicts.
+        engine.resize(2)
+        blocker.set_result(None)
+        assert engine.outstanding_tasks() == 0
+        engine.resize(3)
+        assert engine.parallelism == 3
+        engine.shutdown()
+
+    def test_done_futures_are_pruned_not_counted(self):
+        from concurrent.futures import Future
+
+        engine = ExecutionEngine(parallelism=2)
+        done: Future = Future()
+        done.set_result(None)
+        engine._inflight.add(done)
+        assert engine.outstanding_tasks() == 0
+        engine.resize(4)
+        assert engine.parallelism == 4
+        engine.shutdown()
+
+    def test_iter_batch_across_a_drained_resize(self):
+        """Driving streamed batches across a resize: drain, resize, stream
+        again -- results stay bit-identical to the sequential kernel."""
+        expected = [parallel.accumulate_terms(p, MODULUS)[0] for p in _batch()]
+        with ExecutionEngine(parallelism=2) as engine:
+            first = [p.result() for p in engine.submit_batch(_batch(), MODULUS)]
+            assert [acc for acc, *_ in first] == expected
+            assert engine.outstanding_tasks() == 0  # stream fully collected
+            engine.resize(3)
+            second = [p.result() for p in engine.submit_batch(_batch(), MODULUS)]
+            assert [acc for acc, *_ in second] == expected
+
+    def test_server_keeps_current_pool_when_resize_is_refused(self):
+        from concurrent.futures import Future
+
+        from repro.core.buckets import simple_buckets
+        from repro.core.server import PrivateRetrievalServer
+        from repro.crypto.benaloh import generate_keypair
+        from repro.textsearch.corpus import Corpus, Document
+        from repro.textsearch.inverted_index import InvertedIndex
+        import random
+
+        keypair = generate_keypair(key_bits=128, block_size=3**6, rng=random.Random(9))
+        index = InvertedIndex.build(
+            Corpus([Document(doc_id=i, text="alpha beta gamma") for i in range(3)])
+        )
+        organization = simple_buckets(sorted(index.terms), {}, bucket_size=3)
+        engine = ExecutionEngine(parallelism=2)
+        server = PrivateRetrievalServer(
+            index=index,
+            organization=organization,
+            public_key=keypair.public,
+            parallelism=2,
+            engine=engine,
+        )
+        server._owns_engine = True  # exercise the owned-growth path
+        blocker: Future = Future()
+        engine._track(blocker)
+        # A larger-parallelism request mid-stream degrades gracefully to the
+        # current pool instead of raising or blocking.
+        resolved = server._engine_for(4)
+        assert resolved is engine
+        assert engine.parallelism == 2
+        blocker.set_result(None)
+        assert server._engine_for(4).parallelism == 4
+        engine.shutdown()

@@ -1,0 +1,172 @@
+"""Serving-layer behaviour under incremental index updates.
+
+The index's update journal (``update_epoch`` / ``touched_since``) must keep
+every downstream cache coherent while invalidating *only* what an update
+touched: the PR server's per-term power-table plans, the bucket organisation
+coverage of newly introduced terms, and the PIR servers' per-bucket bit-matrix
+databases.
+"""
+
+import random
+
+import pytest
+
+from repro.core.buckets import simple_buckets
+from repro.core.embellish import QueryEmbellisher
+from repro.core.pir_retrieval import PIRRetrievalServer
+from repro.core.server import PrivateRetrievalServer
+from repro.crypto.benaloh import generate_keypair
+from repro.textsearch.corpus import Corpus, Document
+from repro.textsearch.inverted_index import InvertedIndex
+
+KEYPAIR = generate_keypair(key_bits=128, block_size=3**6, rng=random.Random(77))
+
+
+@pytest.fixture()
+def documents():
+    return [
+        Document(doc_id=1, text="night keeper keeps the keep in the town"),
+        Document(doc_id=2, text="big old house and the big old gown"),
+        Document(doc_id=3, text="house in the town had the big old keep"),
+    ]
+
+
+@pytest.fixture()
+def index(documents):
+    return InvertedIndex.build(Corpus(documents))
+
+
+@pytest.fixture()
+def organization(index):
+    return simple_buckets(sorted(index.terms), {}, bucket_size=3)
+
+
+@pytest.fixture()
+def server(index, organization):
+    return PrivateRetrievalServer(
+        index=index, organization=organization, public_key=KEYPAIR.public
+    )
+
+
+class TestPowerPlanCache:
+    def test_plans_are_cached_per_term(self, server):
+        first = server.power_plan("keep")
+        assert server.power_plan("keep") is first  # cache hit, same tuple
+
+    def test_update_invalidates_only_touched_terms(self, server, index):
+        untouched = server.power_plan("gown")
+        touched = server.power_plan("keep")
+        index.add_document(Document(doc_id=9, text="keep the keep"))
+        new_touched = server.power_plan("keep")
+        assert new_touched is not touched  # journal evicted the stale plan
+        assert new_touched[2] == touched[2] + 1  # one more posting now
+        # Every served plan -- evicted or survivor -- matches the live list.
+        for term in ("gown", "keep", "town"):
+            _, _, postings = server.power_plan(term)
+            assert postings == index.document_frequency(term)
+        assert untouched[2] == index.document_frequency("gown")
+
+    def test_plan_for_unknown_term_is_empty(self, server):
+        assert server.power_plan("no-such-term") == ("ladder", 0, 0)
+
+    def test_compaction_keeps_plans_valid_without_invalidation(self, server, index):
+        index.add_document(Document(doc_id=9, text="night watch"))
+        before = {t: server.power_plan(t) for t in index.terms}
+        index.compact()
+        for term, plan in before.items():
+            assert server.power_plan(term) is plan  # content unchanged, cache kept
+
+    def test_estimate_costs_uses_the_cache_and_stays_exact(self, documents, index):
+        from repro.core.client import PrivateSearchSystem
+
+        system = PrivateSearchSystem(
+            index=index,
+            organization=simple_buckets(sorted(index.terms), {}, bucket_size=3),
+            key_bits=128,
+            block_size=3**6,
+            rng=random.Random(5),
+        )
+        genuine = [sorted(index.terms)[0]]
+        estimate = system.estimate_costs(genuine)
+        _, real = system.search(genuine)
+        for key in ("server_table_multiplications", "server_multiplications"):
+            assert estimate.counts[key] == real.counts[key], key
+        # After an update the cached plans refresh and the estimate tracks.
+        index.add_document(Document(doc_id=9, text="night keeper gown town"))
+        estimate = system.estimate_costs(genuine)
+        _, real = system.search(genuine)
+        for key in ("server_table_multiplications", "server_multiplications"):
+            assert estimate.counts[key] == real.counts[key], key
+
+
+class TestAccommodateNewTerms:
+    def test_new_terms_get_appended_buckets(self, server, index, organization):
+        old_buckets = organization.buckets
+        index.add_document(Document(doc_id=9, text="zanzibar spice market"))
+        adopted = server.accommodate_new_terms()
+        assert set(adopted) == {"zanzibar", "spice", "market"}
+        # Existing assignments never move.
+        assert server.organization.buckets[: len(old_buckets)] == old_buckets
+        for term in adopted:
+            assert term in server.organization
+        # Idempotent once covered.
+        assert server.accommodate_new_terms() == ()
+
+    def test_queries_over_new_terms_gain_decoys(self, server, index):
+        index.add_document(Document(doc_id=9, text="zanzibar spice market"))
+        server.accommodate_new_terms()
+        embellisher = QueryEmbellisher(
+            organization=server.organization, keypair=KEYPAIR, rng=random.Random(3)
+        )
+        query = embellisher.embellish(["zanzibar"])
+        assert embellisher.last_unbucketed_terms == ()
+        assert len(query) == len(server.organization.bucket_of("zanzibar"))
+        result = server.process_query(query)
+        assert 9 in result.encrypted_scores
+
+    def test_extended_preserves_lookup_invariants(self, organization):
+        extended = organization.extended(["aaa", "bbb", "ccc", "ddd"], {"aaa": 7})
+        assert extended.num_terms == organization.num_terms + 4
+        for term in ("aaa", "bbb", "ccc", "ddd"):
+            assert extended.bucket_of(term)  # assigned exactly once (ctor checks)
+        # Specificity sorting: the most specific new term leads its bucket.
+        new_buckets = extended.buckets[organization.num_buckets :]
+        assert new_buckets[0][0] == "aaa"
+        assert organization.extended([]) is organization
+        assert extended.extended(["aaa"]) is extended  # already covered
+
+
+class TestPIRDatabaseInvalidation:
+    def test_touched_bucket_rebuilt_untouched_kept(self, index, organization):
+        pir = PIRRetrievalServer(index=index, organization=organization)
+        gown_bucket = organization.bucket_id_of("gown")
+        keep_bucket = organization.bucket_id_of("keep")
+        before = {b: pir.bucket_database(b) for b in range(organization.num_buckets)}
+        index.add_document(Document(doc_id=9, text="keep the keep"))
+        after_keep = pir.bucket_database(keep_bucket)
+        assert after_keep is not before[keep_bucket]  # rebuilt
+        # Whatever the journal decided, every served database must equal one
+        # rebuilt from the live index's serialised lists.
+        from repro.crypto.pir import PIRDatabase
+        from repro.textsearch.inverted_index import POSTING_BYTES
+
+        for bucket_id in (keep_bucket, gown_bucket):
+            expected = PIRDatabase.from_columns(
+                [
+                    index.serialise_list(term) or b"\x00" * POSTING_BYTES
+                    for term in organization.buckets[bucket_id]
+                ]
+            )
+            served = pir.bucket_database(bucket_id)
+            assert served.row_masks == expected.row_masks
+            assert served.cols == expected.cols
+
+    def test_compaction_does_not_evict_databases(self, index, organization):
+        pir = PIRRetrievalServer(index=index, organization=organization)
+        index.add_document(Document(doc_id=9, text="night watch"))
+        databases = {
+            b: pir.bucket_database(b) for b in range(organization.num_buckets)
+        }
+        index.compact()
+        for bucket_id, database in databases.items():
+            assert pir.bucket_database(bucket_id) is database

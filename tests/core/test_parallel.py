@@ -203,3 +203,61 @@ class TestShardedServer:
         first = PrivateRetrievalServer(parallelism=2, **kwargs).process_query(query)
         second = PrivateRetrievalServer(parallelism=2, **kwargs).process_query(query)
         assert first.encrypted_scores == second.encrypted_scores
+
+
+class TestCostWeightedPartition:
+    """Regression: the LPT partition assumed uniform per-posting cost, but the
+    power-table build makes per-term cost depend on the distinct-impact
+    spread; shards must balance estimated multiplications, not list lengths."""
+
+    def _skewed_payload(self):
+        # Four equally long lists: one quantises across a wide sparse range
+        # (expensive power table), three to a single level (almost free).
+        expensive = (3, [(d, 1 + 25 * d) for d in range(10)])
+        cheap = [(5 + i, [(d, 4) for d in range(10)]) for i in range(3)]
+        return _payload([expensive, *cheap])
+
+    def test_term_cost_counts_postings_plus_table_work(self):
+        payload = self._skewed_payload()
+        modulus = 1009 * 1013
+        for entry in payload:
+            _, counts = parallel.accumulate_terms([entry], modulus)
+            assert parallel.term_cost(entry) == (
+                counts.postings + counts.table_multiplications
+            )
+        assert parallel.term_cost((7, array("I"), array("I"))) == 0
+
+    def test_skewed_lists_balance_by_realised_multiplications(self):
+        payload = self._skewed_payload()
+        modulus = 1009 * 1013
+        shards = parallel.partition_payload(payload, 2)
+        assert len(shards) == 2
+
+        def realised(shard):
+            _, counts = parallel.accumulate_terms(shard, modulus)
+            return counts.table_multiplications + counts.accumulator_multiplications
+
+        loads = sorted(realised(shard) for shard in shards)
+        # Length-based LPT would pair the expensive list with a cheap one
+        # (every shard gets two 10-posting lists), leaving the other shard
+        # with only two cheap lists -- a spread of a full power-table build.
+        length_balanced = [[payload[0], payload[1]], [payload[2], payload[3]]]
+        old_loads = sorted(realised(shard) for shard in length_balanced)
+        assert loads[-1] - loads[0] < old_loads[-1] - old_loads[0]
+        # LPT bound under the cost weighting: spread within one term cost.
+        assert loads[-1] - loads[0] <= max(
+            parallel.term_cost(entry) for entry in payload
+        )
+
+    def test_op_totals_conserved_under_cost_weighting(self):
+        payload = self._skewed_payload()
+        modulus = 1009 * 1013
+        sequential, seq_counts = parallel.accumulate_terms(payload, modulus)
+        partition = parallel.partition_payload(payload, 3)
+        partials = [parallel.accumulate_terms(shard, modulus) for shard in partition]
+        merged, merge_muls = parallel.merge_shard_results(
+            [accumulators for accumulators, _ in partials], modulus
+        )
+        assert merged == sequential
+        within = sum(c.accumulator_multiplications for _, c in partials)
+        assert within + merge_muls == seq_counts.accumulator_multiplications

@@ -49,3 +49,18 @@ class TestCorpus:
     def test_iteration_order(self):
         corpus = Corpus([Document(doc_id=i, text=str(i)) for i in range(5)])
         assert [d.doc_id for d in corpus] == list(range(5))
+
+    def test_remove_returns_document_and_forgets_it(self):
+        corpus = Corpus([Document(doc_id=i, text=str(i)) for i in range(3)])
+        removed = corpus.remove(1)
+        assert removed.doc_id == 1
+        assert 1 not in corpus
+        assert len(corpus) == 2
+        assert [d.doc_id for d in corpus] == [0, 2]
+
+    def test_remove_unknown_id_raises(self):
+        corpus = Corpus([Document(doc_id=0, text="x")])
+        import pytest
+
+        with pytest.raises(KeyError, match="unknown document id 9"):
+            corpus.remove(9)

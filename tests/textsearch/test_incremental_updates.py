@@ -1,0 +1,272 @@
+"""Unit tests for incremental index updates (delta segments, tombstones, compact)."""
+
+import pytest
+
+from repro.textsearch.corpus import Corpus, Document
+from repro.textsearch.inverted_index import InvertedIndex, Posting
+from repro.textsearch.scoring import BM25Scorer, CorpusStatistics
+
+
+@pytest.fixture()
+def base_documents():
+    return [
+        Document(doc_id=1, text="the old night keeper keeps the keep in the town"),
+        Document(doc_id=2, text="in the big old house in the big old gown"),
+        Document(doc_id=3, text="the house in the town had the big old keep"),
+        Document(doc_id=4, text="where the old night keeper never did sleep"),
+    ]
+
+
+@pytest.fixture()
+def index(base_documents):
+    return InvertedIndex.build(Corpus(base_documents))
+
+
+def assert_indexes_identical(incremental, rebuilt):
+    """Structural bit-identity: terms, stats, calibration, per-list columns."""
+    assert set(incremental.terms) == set(rebuilt.terms)
+    assert incremental.max_impact == rebuilt.max_impact
+    assert incremental.stats.num_documents == rebuilt.stats.num_documents
+    assert incremental.stats.average_document_length == rebuilt.stats.average_document_length
+    assert dict(incremental.stats.document_frequencies) == dict(
+        rebuilt.stats.document_frequencies
+    )
+    for term in rebuilt.terms:
+        assert incremental.document_frequency(term) == rebuilt.document_frequency(term)
+        inc_docs, inc_quants = incremental.columns(term)
+        ref_docs, ref_quants = rebuilt.columns(term)
+        assert list(inc_docs) == list(ref_docs), term
+        assert list(inc_quants) == list(ref_quants), term
+        assert [p.impact for p in incremental.postings(term)] == [
+            p.impact for p in rebuilt.postings(term)
+        ], term
+        assert incremental.serialise_list(term) == rebuilt.serialise_list(term)
+
+
+class TestAddDocument:
+    def test_add_matches_rebuild_before_and_after_compact(self, base_documents, index):
+        new = Document(doc_id=9, text="night watch keeper of the old house gown")
+        index.add_document(new)
+        rebuilt = InvertedIndex.build(Corpus(base_documents + [new]))
+        assert index.has_pending_updates
+        assert_indexes_identical(index, rebuilt)
+        report = index.compact()
+        assert not report.was_noop
+        assert not index.has_pending_updates
+        assert_indexes_identical(index, rebuilt)
+
+    def test_duplicate_live_id_rejected(self, index):
+        with pytest.raises(ValueError, match="duplicate document id 2"):
+            index.add_document(Document(doc_id=2, text="anything"))
+
+    def test_stats_updated_incrementally(self, base_documents, index):
+        before_n = index.stats.num_documents
+        index.add_document(Document(doc_id=9, text="gown gown town"))
+        assert index.stats.num_documents == before_n + 1
+        assert index.stats.document_frequencies["gown"] == 2
+        assert index.document_frequency("gown") == 2
+
+    def test_stopword_only_document_adds_no_postings(self, base_documents, index):
+        """A document with no indexable terms is a delta no-op -- but it still
+        counts towards the corpus statistics, exactly as a rebuild counts it."""
+        empty = Document(doc_id=9, text="the and of to in a")
+        terms_before = set(index.terms)
+        index.add_document(empty)
+        assert not index.has_pending_updates  # nothing staged
+        assert index.num_delta_documents == 0
+        assert set(index.terms) == terms_before
+        assert index.compact().was_noop
+        rebuilt = InvertedIndex.build(Corpus(base_documents + [empty]))
+        assert_indexes_identical(index, rebuilt)
+
+
+class TestRemoveDocument:
+    def test_remove_matches_rebuild_before_and_after_compact(self, base_documents, index):
+        index.remove_document(2)
+        rebuilt = InvertedIndex.build(
+            Corpus([d for d in base_documents if d.doc_id != 2])
+        )
+        assert index.num_tombstones == 1
+        assert_indexes_identical(index, rebuilt)
+        report = index.compact()
+        assert report.postings_dropped > 0
+        assert index.num_tombstones == 0
+        assert_indexes_identical(index, rebuilt)
+
+    def test_removing_last_document_of_term_drops_term(self, index):
+        # "gown" appears only in document 2.
+        assert "gown" in index
+        index.remove_document(2)
+        assert "gown" not in index
+        assert index.document_frequency("gown") == 0
+        assert "gown" not in index.terms
+        assert "gown" not in index.stats.document_frequencies
+        assert index.postings("gown") == ()
+        assert index.serialise_list("gown") == b""
+        index.compact()
+        assert "gown" not in index
+
+    def test_unknown_id_raises(self, index):
+        with pytest.raises(KeyError, match="unknown document id 99"):
+            index.remove_document(99)
+
+    def test_tombstone_read_path_filters_without_compaction(self, index):
+        """Removed documents vanish from every read path while their rows are
+        still physically present in the main lists (the tombstone cost)."""
+        index.remove_document(3)
+        assert index.has_pending_updates
+        for term in index.terms:
+            doc_ids, _ = index.columns(term)
+            assert 3 not in set(doc_ids), term
+            assert all(p.doc_id != 3 for p in index.postings(term))
+            recovered = InvertedIndex.deserialise_list(index.serialise_list(term))
+            assert all(p.doc_id != 3 for p in recovered)
+
+    def test_remove_document_still_in_delta(self, base_documents, index):
+        new = Document(doc_id=9, text="night watch keeper")
+        index.add_document(new)
+        index.remove_document(9)
+        assert index.num_tombstones == 0  # never reached the main lists
+        rebuilt = InvertedIndex.build(Corpus(base_documents))
+        assert_indexes_identical(index, rebuilt)
+
+
+class TestQuantisationDrift:
+    def test_high_impact_late_insert_triggers_requantisation(self, base_documents, index):
+        """Regression (quantisation drift): an added document with an impact
+        above the build-time maximum must re-quantise the affected lists --
+        clamping it to the old ``max_impact`` would corrupt impact order."""
+        _ = index.terms  # force initial freshness
+        old_max = index.max_impact
+        # A one-term document: its single impact is the full term weight,
+        # which exceeds every length-normalised impact of the base corpus.
+        spike = Document(doc_id=9, text="zanzibar")
+        index.add_document(spike)
+        rebuilt = InvertedIndex.build(Corpus(base_documents + [spike]))
+        assert rebuilt.max_impact > old_max  # the scenario is real
+        assert index.max_impact == rebuilt.max_impact
+        assert index.update_counters.lists_requantised > 0
+        assert_indexes_identical(index, rebuilt)
+        # The spike itself occupies the top quantisation level, not a clamp
+        # of the old scale.
+        (posting,) = index.postings("zanzibar")
+        assert posting.quantised_impact == index.quantise_levels
+
+    def test_requantisation_skipped_when_nothing_moved(self, base_documents, index):
+        """Removing a document and re-adding it unchanged restores the exact
+        statistics, so no main list is re-quantised (the 'only when
+        max_impact actually moves' guarantee)."""
+        _ = index.terms
+        requantised_before = index.update_counters.lists_requantised
+        index.remove_document(2)
+        index.add_document(base_documents[1])
+        _ = index.terms  # force the refresh
+        assert index.update_counters.lists_requantised == requantised_before
+        rebuilt = InvertedIndex.build(
+            Corpus([base_documents[0], base_documents[2], base_documents[3], base_documents[1]])
+        )
+        assert_indexes_identical(index, rebuilt)
+
+
+class TestCompaction:
+    def test_compact_on_empty_delta_is_idempotent(self, index):
+        snapshot = {term: index.columns(term) for term in index.terms}
+        assert index.compact().was_noop
+        assert index.compact().was_noop
+        for term, (doc_ids, quants) in snapshot.items():
+            assert index.columns(term) == (doc_ids, quants)  # same array objects
+
+    def test_compact_merges_and_counts(self, base_documents, index):
+        new = Document(doc_id=9, text="night keeper town")
+        index.add_document(new)
+        index.remove_document(2)
+        report = index.compact()
+        assert report.postings_merged == 3
+        assert report.postings_dropped > 0
+        assert report.lists_merged > 0
+        assert index.update_counters.compactions == 1
+        assert not index.has_pending_updates
+        rebuilt = InvertedIndex.build(
+            Corpus([d for d in base_documents if d.doc_id != 2] + [new])
+        )
+        assert_indexes_identical(index, rebuilt)
+
+    def test_interleaved_updates_and_queries(self, base_documents, index):
+        """Reads between updates must never observe half-applied state."""
+        live = list(base_documents)
+        for step, doc in enumerate(
+            [
+                Document(doc_id=10, text="wine cellar below the old house"),
+                Document(doc_id=11, text="the night train to huntsville"),
+                Document(doc_id=12, text="gown of the town keeper"),
+            ]
+        ):
+            index.add_document(doc)
+            live.append(doc)
+            removed = live.pop(0)
+            index.remove_document(removed.doc_id)
+            assert_indexes_identical(index, InvertedIndex.build(Corpus(live)))
+            if step == 1:
+                index.compact()
+                assert_indexes_identical(index, InvertedIndex.build(Corpus(live)))
+
+
+class TestUpdateJournal:
+    def test_touched_since_reports_changed_terms(self, index):
+        epoch = index.update_epoch
+        index.add_document(Document(doc_id=9, text="zebra stripes"))
+        touched = index.touched_since(epoch)
+        assert "zebra" in touched and "stripes" in touched
+        assert index.touched_since(index.update_epoch) == frozenset()
+
+    def test_compaction_does_not_advance_the_epoch(self, index):
+        index.add_document(Document(doc_id=9, text="zebra"))
+        _ = index.terms
+        epoch = index.update_epoch
+        index.compact()
+        assert index.update_epoch == epoch
+        assert index.touched_since(epoch) == frozenset()
+
+
+class TestUpdatableGuard:
+    def test_hand_built_index_rejects_updates(self):
+        hand_built = InvertedIndex(
+            postings={"alpha": [Posting(doc_id=1, impact=2.0, quantised_impact=3)]},
+            stats=CorpusStatistics(
+                num_documents=1,
+                document_frequencies={"alpha": 1},
+                average_document_length=1.0,
+            ),
+            quantise_levels=255,
+        )
+        assert not hand_built.supports_updates
+        assert hand_built.max_impact == 2.0  # derived from the raw postings
+        with pytest.raises(RuntimeError, match="does not support incremental updates"):
+            hand_built.add_document(Document(doc_id=2, text="alpha"))
+        with pytest.raises(RuntimeError, match="does not support incremental updates"):
+            hand_built.remove_document(1)
+        assert hand_built.compact().was_noop  # read-only compact is a no-op
+
+    def test_built_index_supports_updates(self, index):
+        assert index.supports_updates
+
+
+class TestBM25Updates:
+    def test_bm25_incremental_matches_rebuild(self, base_documents):
+        """BM25 couples impacts to the average document length, so updates
+        shift every impact; the refresh must still match a rebuild exactly."""
+        scorer = BM25Scorer()
+        index = InvertedIndex.build(Corpus(base_documents), scorer=scorer)
+        extra = [
+            Document(doc_id=9, text="keep keep keep town town gown night " * 5),
+            Document(doc_id=10, text="gown"),
+        ]
+        index.add_documents(extra)
+        index.remove_document(1)
+        rebuilt = InvertedIndex.build(
+            Corpus([d for d in base_documents if d.doc_id != 1] + extra),
+            scorer=scorer,
+        )
+        assert_indexes_identical(index, rebuilt)
+        index.compact()
+        assert_indexes_identical(index, rebuilt)
