@@ -118,6 +118,11 @@ class CostModel:
     index_tokenise_ms_per_token: float = 0.001
     index_rescore_ms_per_posting: float = 0.0002
     index_merge_ms_per_posting: float = 0.00005
+    #: Segmented-engine maintenance constants: fixed bookkeeping per sealed
+    #: delta / per committed tiered merge, and the per-posting cost of the
+    #: merge kernel's rewrite (the LSM write amplification).
+    index_seal_ms_per_segment: float = 0.01
+    index_merge_ms_per_segment: float = 0.02
 
     # -- component conversions ----------------------------------------------------
     def io_ms(self, buckets_fetched: int, blocks_read: int) -> float:
@@ -207,14 +212,20 @@ class CostModel:
         postings_rescored: int = 0,
         postings_merged: int = 0,
         postings_dropped: int = 0,
+        segments_sealed: int = 0,
+        segments_merged: int = 0,
+        merge_postings_written: int = 0,
+        merge_postings_dropped: int = 0,
     ) -> CostReport:
         """Modelled server-side cost of a batch of incremental index updates.
 
         Converts the :class:`~repro.textsearch.inverted_index.UpdateCounters`
         of an update batch into milliseconds: tokenisation of the new text,
-        the lazy impact re-derivation the first post-update read pays, and
-        the compaction merge.  A from-scratch rebuild would instead pay
-        tokenisation *and* rescoring for the whole corpus -- the gap the
+        the lazy impact re-derivation the first post-update read pays, the
+        compaction merge, and -- for the segmented engine -- delta seals and
+        tiered background merges (per-segment bookkeeping plus the merge
+        kernel's per-posting rewrite).  A from-scratch rebuild would instead
+        pay tokenisation *and* rescoring for the whole corpus -- the gap the
         ``incremental_update`` benchmark series measures empirically.
         Maintenance is pure server work: no I/O seeks beyond the transfer
         already modelled, no traffic, no user computation.
@@ -223,6 +234,10 @@ class CostModel:
             tokens_tokenised * self.index_tokenise_ms_per_token
             + postings_rescored * self.index_rescore_ms_per_posting
             + (postings_merged + postings_dropped) * self.index_merge_ms_per_posting
+            + (merge_postings_written + merge_postings_dropped)
+            * self.index_merge_ms_per_posting
+            + segments_sealed * self.index_seal_ms_per_segment
+            + segments_merged * self.index_merge_ms_per_segment
         )
         return CostReport(
             scheme="INDEX",
@@ -237,8 +252,48 @@ class CostModel:
                 "postings_rescored": postings_rescored,
                 "postings_merged": postings_merged,
                 "postings_dropped": postings_dropped,
+                "segments_sealed": segments_sealed,
+                "segments_merged": segments_merged,
+                "merge_postings_written": merge_postings_written,
+                "merge_postings_dropped": merge_postings_dropped,
             },
         )
+
+    def index_maintenance_report(self, index) -> CostReport:
+        """The :meth:`index_update_report` of a live index, manifest-keyed.
+
+        Reads the index's cumulative
+        :class:`~repro.textsearch.inverted_index.UpdateCounters` *and* its
+        :meth:`~repro.textsearch.inverted_index.InvertedIndex.segment_manifest`,
+        so the report reflects the actual segment configuration: the counts
+        carry the manifest's epoch, journal horizon, segment/generation
+        fan-out and resident tombstones alongside the modelled milliseconds.
+        """
+        counters = index.update_counters
+        manifest = index.segment_manifest()
+        report = self.index_update_report(
+            documents_added=counters.documents_added,
+            documents_removed=counters.documents_removed,
+            tokens_tokenised=counters.tokens_tokenised,
+            postings_rescored=counters.postings_rescored,
+            postings_merged=counters.postings_merged,
+            postings_dropped=counters.postings_dropped,
+            segments_sealed=counters.segments_sealed,
+            segments_merged=counters.segments_merged,
+            merge_postings_written=counters.merge_postings_written,
+            merge_postings_dropped=counters.merge_postings_dropped,
+        )
+        report.counts.update(
+            {
+                "manifest_epoch": manifest.epoch,
+                "journal_horizon": manifest.journal_horizon,
+                "segments": manifest.num_segments,
+                "generations": len(manifest.generations),
+                "resident_postings": manifest.total_postings,
+                "resident_tombstones": manifest.total_tombstones,
+            }
+        )
+        return report
 
     # -- PIR baseline ------------------------------------------------------------------
     def pir_report(

@@ -141,15 +141,22 @@ class ExecutionEngine:
         self._acquire(reuse=False)
         return self
 
-    def shutdown(self) -> None:
-        """Retire the pool and the engine; further dispatching raises."""
+    def shutdown(self, wait: bool = True) -> None:
+        """Retire the pool and the engine; further dispatching raises.
+
+        ``wait=False`` returns immediately: in-flight tasks still run to
+        completion and the worker processes then exit on their own, but the
+        caller is not blocked until they drain -- what finalizers need.
+        """
         if self._executor is not None:
-            self._executor.shutdown()
+            self._executor.shutdown(wait=wait)
             self._executor = None
         self._closed = True
 
     def outstanding_tasks(self) -> int:
-        """Shard futures dispatched by :meth:`submit_batch` not yet completed."""
+        """Tracked futures not yet completed: :meth:`submit_batch` shard
+        futures plus generic :meth:`submit_task` background work (e.g.
+        segment merges)."""
         # Iterate a snapshot: done-callbacks discard from _inflight on the
         # executor's manager thread, and set.copy() is atomic under the GIL
         # while direct iteration could see the set change size mid-walk.
@@ -179,9 +186,11 @@ class ExecutionEngine:
         outstanding = self.outstanding_tasks()
         if outstanding:
             raise EngineBusyError(
-                f"cannot resize to {parallelism} workers: {outstanding} shard "
-                "future(s) of a streamed batch are still in flight; collect or "
-                "drain the stream before resizing"
+                f"cannot resize to {parallelism} workers: {outstanding} "
+                "dispatched future(s) are still in flight (streamed batch "
+                "shards and/or background tasks such as segment merges); "
+                "collect the stream / commit or await the pending handles "
+                "before resizing"
             )
         self.parallelism = parallelism
         if self._executor is not None:
@@ -218,6 +227,24 @@ class ExecutionEngine:
         return self._executor
 
     # -- dispatch -----------------------------------------------------------------
+    def submit_task(self, fn, /, *args):
+        """Dispatch one generic task to the resident pool; returns its future.
+
+        This is the engine's background-work entry point for non-query
+        maintenance -- most notably the segment-merge kernel dispatched by
+        :meth:`repro.textsearch.inverted_index.InvertedIndex.begin_merges`,
+        which lets index compaction overlap query serving on the same
+        resident pool.  ``fn`` must be a module-level callable and the
+        arguments picklable.  The future is tracked like shard futures:
+        :meth:`resize` refuses while it is in flight, and
+        :meth:`outstanding_tasks` counts it.
+        """
+        executor = self._acquire()
+        self.counters.tasks_dispatched += 1
+        future = executor.submit(fn, *args)
+        self._track(future)
+        return future
+
     def _effective_workers(self, parallelism: int | None) -> int:
         """Per-call worker budget: the pool size, optionally capped lower."""
         if parallelism is None:

@@ -61,16 +61,24 @@ class PIRRetrievalServer:
     def _sync_databases(self) -> None:
         """Evict cached databases of buckets an incremental index update touched.
 
-        The index's update journal names exactly the terms whose serialised
-        lists changed; only their buckets' bit matrices are rebuilt (lazily,
-        on next access).  Every other cached database stays resident.
+        The index's update journal names the terms whose serialised lists
+        (may have) changed; only their buckets' bit matrices are rebuilt
+        (lazily, on next access).  Every other cached database stays
+        resident.  The invalidation protocol lives on the index
+        (:meth:`~repro.textsearch.inverted_index.InvertedIndex.stale_cache_terms`):
+        ``None`` means this cache is behind the journal horizon and is
+        dropped wholesale.
         """
         epoch = self.index.update_epoch
         if epoch == self._databases_epoch:
             return
-        for term in self.index.touched_since(self._databases_epoch):
-            if term in self.organization:
-                self._databases.pop(self.organization.bucket_id_of(term), None)
+        stale = self.index.stale_cache_terms(self._databases_epoch)
+        if stale is None:
+            self._databases.clear()
+        else:
+            for term in stale:
+                if term in self.organization:
+                    self._databases.pop(self.organization.bucket_id_of(term), None)
         self._databases_epoch = epoch
 
     def bucket_database(self, bucket_id: int) -> PIRDatabase:

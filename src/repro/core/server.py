@@ -198,7 +198,7 @@ class PrivateRetrievalServer:
                 pass
         return self.engine
 
-    def close(self) -> None:
+    def close(self, wait: bool = True) -> None:
         """Shut down the owned resident engine (idempotent; shared engines stay up).
 
         Closing releases the worker pool but is *not* terminal for the
@@ -207,9 +207,10 @@ class PrivateRetrievalServer:
         :class:`~repro.core.engine.ExecutionEngine`, whose post-shutdown
         dispatch raises).  Callers who need use-after-close to fail should
         inject a shared engine and shut that down themselves.
+        ``wait=False`` skips blocking on in-flight worker tasks.
         """
         if self.engine is not None and self._owns_engine:
-            self.engine.shutdown()
+            self.engine.shutdown(wait=wait)
             self.engine = None
             self._owns_engine = False
 
@@ -219,14 +220,36 @@ class PrivateRetrievalServer:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def __del__(self) -> None:
+        # Finalizer guard: a server dropped without close()/with must not
+        # strand its owned engine's worker processes.  Best-effort and
+        # non-blocking -- garbage collection must not stall on in-flight
+        # worker tasks, and during interpreter shutdown the pool may already
+        # be half torn down.
+        try:
+            self.close(wait=False)
+        except Exception:
+            pass
+
     # -- incremental index updates -------------------------------------------------
     def _sync_power_plans(self) -> None:
-        """Drop cached plans for exactly the terms index updates touched."""
+        """Drop cached plans for the terms index updates (may have) touched.
+
+        The invalidation protocol lives on the index
+        (:meth:`~repro.textsearch.inverted_index.InvertedIndex.stale_cache_terms`):
+        ``None`` -- this cache is behind the journal horizon, so drop it
+        wholesale (that also covers terms that have left the dictionary);
+        otherwise evict exactly the reported terms.
+        """
         epoch = self.index.update_epoch
         if epoch == self._plans_epoch:
             return
-        for term in self.index.touched_since(self._plans_epoch):
-            self._power_plans.pop(term, None)
+        stale = self.index.stale_cache_terms(self._plans_epoch)
+        if stale is None:
+            self._power_plans.clear()
+        else:
+            for term in stale:
+                self._power_plans.pop(term, None)
         self._plans_epoch = epoch
 
     def power_plan(self, term: str) -> tuple[str, int, int]:

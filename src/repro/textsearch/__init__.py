@@ -11,8 +11,12 @@ that engine from scratch:
   over a lexicon vocabulary (topic mixtures, Zipfian term frequencies).
 * :mod:`repro.textsearch.scoring` -- the Equation-3 cosine weighting scheme
   and Okapi BM25.
+* :mod:`repro.textsearch.segments` -- the segmented columnar storage engine:
+  immutable index segments, the tiered LSM merge policy, the worker-safe
+  merge kernel and the on-disk directory format.
 * :mod:`repro.textsearch.inverted_index` -- the impact-ordered inverted index
-  of Figure 9, with impact discretisation and a block-layout model.
+  of Figure 9 on top of the segment store, with impact discretisation, a
+  block-layout model, incremental updates and save/load persistence.
 * :mod:`repro.textsearch.engine` -- query evaluation (Figure 10) and the
   Boolean model baseline.
 * :mod:`repro.textsearch.evaluation` -- precision/recall and rank-agreement
@@ -23,6 +27,12 @@ from repro.textsearch.corpus import Corpus, Document
 from repro.textsearch.engine import BooleanSearchEngine, SearchEngine, SearchResult
 from repro.textsearch.inverted_index import InvertedIndex, Posting
 from repro.textsearch.scoring import BM25Scorer, CosineScorer
+from repro.textsearch.segments import (
+    IndexSegment,
+    SegmentInfo,
+    SegmentManifest,
+    TieredMergePolicy,
+)
 from repro.textsearch.synthetic import SyntheticCorpusGenerator
 from repro.textsearch.tokenizer import Tokenizer, DEFAULT_STOPWORDS
 
@@ -36,6 +46,10 @@ __all__ = [
     "BM25Scorer",
     "InvertedIndex",
     "Posting",
+    "IndexSegment",
+    "SegmentInfo",
+    "SegmentManifest",
+    "TieredMergePolicy",
     "SearchEngine",
     "BooleanSearchEngine",
     "SearchResult",

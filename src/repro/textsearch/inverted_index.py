@@ -1,4 +1,4 @@
-"""Impact-ordered inverted index (Figure 9 of the paper), with incremental updates.
+"""Impact-ordered inverted index (Figure 9 of the paper), on a segmented store.
 
 The index has two components:
 
@@ -13,13 +13,15 @@ stores both the raw floating-point impact and a discretised integer version
 (``quantise_levels`` buckets over the observed impact range), exactly the
 arrangement the paper adopts from Zobel & Moffat.
 
-Storage layout: each inverted list is held **columnar** -- parallel
-``array('I')`` document-id / quantised-impact arrays plus an ``array('d')``
-of raw impacts -- so index construction, hot-path iteration (the server's
-homomorphic accumulation reads :meth:`InvertedIndex.columns` directly) and
-:meth:`InvertedIndex.serialise_list` avoid building a Python object per
-posting.  :class:`Posting` remains the public row view: :meth:`postings`
-materialises (and caches) a tuple of lazy views for code that wants objects.
+Storage layout: the index is a **segmented storage engine** (see
+:mod:`repro.textsearch.segments`).  Postings live in an ordered list of
+immutable columnar :class:`~repro.textsearch.segments.IndexSegment`\\ s --
+parallel ``array('I')`` document-id / quantised-impact arrays plus an
+``array('d')`` of raw impacts per term, with per-segment document and
+tombstone sets -- and every read path serves the k-way merge of the
+per-segment runs by ``(-impact, doc_id)``.  A freshly built index is one
+*base* segment, so construction and the compacted hot path are exactly the
+columnar fast path of the earlier single-array design.
 
 Incremental updates
 -------------------
@@ -28,32 +30,52 @@ without a rebuild:
 
 * :meth:`add_document` / :meth:`add_documents` tokenise only the new
   document, update the corpus statistics incrementally and stage the new
-  postings in an in-memory **delta segment** (same columnar layout as the
-  main lists);
-* :meth:`remove_document` / :meth:`remove_documents` mark the document in a
-  **tombstone set** -- its main-list rows stay physically present but are
-  filtered out of every read path -- and roll the statistics back;
-* :meth:`compact` merges delta and tombstones into the main lists (two-run
-  merge per touched term, preserving impact order) and resets both.
+  postings in the **unsealed delta** (the mutable head segment);
+* :meth:`remove_document` / :meth:`remove_documents` record a **tombstone**
+  in the unsealed delta -- the document's rows in older segments stay
+  physically present but are filtered out of every read path -- and roll the
+  statistics back;
+* :meth:`seal_delta` freezes the delta into an immutable generation-0
+  segment (automatic at ``seal_threshold`` staged postings), so sustained
+  update streams accumulate **generational delta segments** instead of one
+  ever-growing mutable delta;
+* the :class:`~repro.textsearch.segments.TieredMergePolicy` compacts sealed
+  segments LSM-style: :meth:`maintain` runs due seals and merges in-process,
+  while :meth:`begin_merges` / :meth:`commit_merge` dispatch the merge kernel
+  to an :class:`~repro.core.engine.ExecutionEngine` worker so compaction
+  overlaps query serving;
+* :meth:`compact` folds *everything* (sealed segments, unsealed delta,
+  tombstones) back into a single base segment.
 
 Every read path (:meth:`columns`, :meth:`postings`, :meth:`serialise_list`,
-:meth:`document_frequency`, ``in``) sees main + delta transparently, so a
-query against an updated index is **bit-identical** to one against a
-from-scratch rebuild of the equivalent corpus -- before and after
-:meth:`compact`.  Identity is achieved by re-deriving impacts lazily from the
-cached per-document term frequencies through the *same* scorer call
-:meth:`build` uses whenever the statistics have drifted (IDF-style scorers
-couple every impact to ``N`` and the document frequencies); re-tokenisation
--- the expensive part of a rebuild -- never happens again.  Lists whose
-relative order the scorer preserved (always true for the cosine scorer,
-whose per-list impacts share one positive term-weight factor) keep their
-arrays and are only re-quantised when their impacts or the stored
-:attr:`max_impact` actually moved; reordered lists are re-sorted
-individually.
+:meth:`document_frequency`, ``in``) sees the merged view transparently, so a
+query against **any** segment configuration -- unsealed delta, multiple
+sealed generations, mid-merge, after a ``save``/``load`` round trip -- is
+**bit-identical** to one against a from-scratch rebuild of the equivalent
+corpus.  Identity is achieved by re-deriving impacts lazily from the cached
+per-document term frequencies through the *same* scorer call :meth:`build`
+uses whenever the statistics have drifted (IDF-style scorers couple every
+impact to ``N`` and the document frequencies); re-tokenisation -- the
+expensive part of a rebuild -- never happens again.  Lists whose relative
+order the scorer preserved keep their arrays and are only re-quantised when
+their impacts or the stored :attr:`max_impact` actually moved; reordered
+lists are re-sorted individually, per segment.
+
+Persistence
+-----------
+:meth:`save` spills the sealed segments to a columnar directory
+(:func:`repro.textsearch.segments.write_index_directory`);
+:meth:`load` restores them, optionally ``mmap``-backed so cold-start cost is
+I/O-bound -- per-term columns materialise lazily from the mapped files on
+first access -- instead of rebuild-bound.
 
 Downstream caches (the server's power-table plans, the PIR bucket databases)
 stay coherent through :attr:`update_epoch` and :meth:`touched_since`, which
-report exactly the terms whose observable list content changed.
+report exactly the terms whose observable list content changed.  The journal
+is **bounded**: sealing and compaction prune entries older than the previous
+maintenance event and advance :attr:`journal_horizon`; a cache that last
+synced below the horizon receives the conservative full-invalidation answer
+(see :meth:`touched_since`).
 
 The index also exposes a simple storage model -- posting size, list size in
 bytes, disk blocks of ``block_size`` bytes -- which the Section 5.2 cost model
@@ -63,14 +85,34 @@ database columns.
 
 from __future__ import annotations
 
+import dataclasses
 import struct
-import sys
 from array import array
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.textsearch.corpus import Corpus, Document
-from repro.textsearch.scoring import CorpusStatistics, CosineScorer, Scorer
+from repro.textsearch.scoring import (
+    BM25Scorer,
+    CorpusStatistics,
+    CosineScorer,
+    Scorer,
+)
+from repro.textsearch.segments import (
+    _EMPTY,
+    IndexSegment,
+    MergeHandle,
+    PostingColumns,
+    SegmentInfo,
+    SegmentManifest,
+    TieredMergePolicy,
+    merge_posting_runs,
+    merge_segment_parts,
+    quantise_impact,
+    read_index_directory,
+    write_index_directory,
+)
 from repro.textsearch.tokenizer import Tokenizer
 
 __all__ = [
@@ -85,6 +127,12 @@ POSTING_BYTES = 8
 
 #: Sentinel distinguishing "not cached" from a cached ``None`` (empty list).
 _MISSING = object()
+
+#: Scorers the on-disk manifest can reconstruct by name.
+_SCORER_REGISTRY: dict[str, type] = {
+    "CosineScorer": CosineScorer,
+    "BM25Scorer": BM25Scorer,
+}
 
 
 @dataclass(frozen=True)
@@ -118,16 +166,26 @@ class UpdateCounters:
     refreshes: int = 0
     #: Per-document impact values recomputed across all refreshes.
     postings_rescored: int = 0
-    #: Main lists whose impact/quant arrays were rewritten by a refresh.
+    #: Per-segment lists whose impact/quant arrays were rewritten by a refresh.
     lists_requantised: int = 0
-    #: Main lists a refresh had to re-sort (scorer reordered them; never the
-    #: cosine scorer, whose per-list order is update-invariant).
+    #: Per-segment lists a refresh had to re-sort (scorer reordered them; never
+    #: the cosine scorer, whose per-list order is update-invariant).
     lists_resorted: int = 0
     compactions: int = 0
-    #: Delta postings folded into main lists by compactions.
+    #: Delta/young-segment postings folded into the base by compactions.
     postings_merged: int = 0
-    #: Tombstoned main-list rows physically dropped by compactions.
+    #: Tombstoned rows physically dropped by compactions.
     postings_dropped: int = 0
+    #: Unsealed deltas frozen into generation-0 segments.
+    segments_sealed: int = 0
+    #: Tiered background/foreground merges committed.
+    merges: int = 0
+    #: Input segments consumed by committed merges.
+    segments_merged: int = 0
+    #: Postings written out by committed merges (the LSM write amplification).
+    merge_postings_written: int = 0
+    #: Dead rows dropped (and consumed tombstones applied) by committed merges.
+    merge_postings_dropped: int = 0
 
 
 @dataclass(frozen=True)
@@ -147,50 +205,41 @@ class CompactionReport:
         )
 
 
-class _PostingList:
-    """Columnar storage of one inverted list: parallel impact-ordered arrays."""
+def _scorer_spec(scorer: Scorer) -> dict:
+    """A JSON-serialisable description of a scorer, for the saved manifest."""
+    spec: dict = {"name": type(scorer).__name__}
+    if dataclasses.is_dataclass(scorer):
+        spec["params"] = {
+            f.name: getattr(scorer, f.name) for f in dataclasses.fields(scorer)
+        }
+    return spec
 
-    __slots__ = ("doc_ids", "impacts", "quants", "_view")
 
-    def __init__(self, doc_ids: array, impacts: array, quants: array) -> None:
-        self.doc_ids = doc_ids
-        self.impacts = impacts
-        self.quants = quants
-        self._view: tuple[Posting, ...] | None = None
+def _scorer_from_spec(spec: Mapping | None) -> Scorer | None:
+    if not spec:
+        return None
+    cls = _SCORER_REGISTRY.get(spec.get("name", ""))
+    if cls is None:
+        return None
+    return cls(**spec.get("params", {}))
 
-    def __len__(self) -> int:
-        return len(self.doc_ids)
 
-    def view(self) -> tuple[Posting, ...]:
-        """Materialise the row view lazily; cached because lists are immutable."""
-        if self._view is None:
-            self._view = tuple(
-                Posting(doc_id=d, impact=i, quantised_impact=q)
-                for d, i, q in zip(self.doc_ids, self.impacts, self.quants)
-            )
-        return self._view
+def _tokenizer_spec(tokenizer: Tokenizer) -> dict:
+    return {
+        "stopwords": sorted(tokenizer.stopwords),
+        "min_token_length": tokenizer.min_token_length,
+        "keep_phrases": tokenizer.keep_phrases,
+    }
 
-    @classmethod
-    def from_postings(cls, postings: Iterable[Posting]) -> "_PostingList":
-        entries = list(postings)
-        return cls(
-            doc_ids=array("I", (p.doc_id for p in entries)),
-            impacts=array("d", (p.impact for p in entries)),
-            quants=array("I", (p.quantised_impact for p in entries)),
-        )
 
-    def serialise(self) -> bytes:
-        """The list as big-endian ``<doc_id, quantised_impact>`` pairs, O(n) array ops."""
-        if array("I").itemsize != 4:  # exotic platform: fall back to struct
-            return b"".join(
-                struct.pack(">II", d, q) for d, q in zip(self.doc_ids, self.quants)
-            )
-        interleaved = array("I", bytes(len(self.doc_ids) * 2 * 4))
-        interleaved[0::2] = self.doc_ids
-        interleaved[1::2] = self.quants
-        if sys.byteorder == "little":
-            interleaved.byteswap()
-        return interleaved.tobytes()
+def _tokenizer_from_spec(spec: Mapping | None) -> Tokenizer | None:
+    if not spec:
+        return None
+    return Tokenizer(
+        stopwords=frozenset(spec.get("stopwords", ())),
+        min_token_length=spec.get("min_token_length", 2),
+        keep_phrases=spec.get("keep_phrases", True),
+    )
 
 
 class InvertedIndex:
@@ -198,8 +247,21 @@ class InvertedIndex:
 
     Indexes built by :meth:`build` (or constructed with ``document_terms=``)
     additionally support incremental maintenance: see the module docstring
-    and :meth:`add_document` / :meth:`remove_document` / :meth:`compact`.
-    Hand-built indexes (raw ``postings=`` only) remain read-only.
+    and :meth:`add_document` / :meth:`remove_document` / :meth:`seal_delta` /
+    :meth:`maintain` / :meth:`compact`.  Hand-built indexes (raw
+    ``postings=`` only) remain read-only.
+
+    Parameters
+    ----------
+    seal_threshold:
+        Staged-posting count at which :meth:`add_document` automatically
+        seals the unsealed delta into a generation-0 segment.  ``None`` (the
+        default) never auto-seals -- the single-delta behaviour -- leaving
+        sealing to explicit :meth:`seal_delta` / :meth:`maintain` calls.
+    merge_policy:
+        The tiered compaction policy consulted by :meth:`maintain` and
+        :meth:`begin_merges`; defaults to
+        :class:`~repro.textsearch.segments.TieredMergePolicy` with fanout 4.
     """
 
     def __init__(
@@ -213,28 +275,93 @@ class InvertedIndex:
         scorer: Scorer | None = None,
         tokenizer: Tokenizer | None = None,
         max_impact: float | None = None,
+        seal_threshold: int | None = None,
+        merge_policy: TieredMergePolicy | None = None,
     ) -> None:
-        self._lists = {
-            term: entries if isinstance(entries, _PostingList) else _PostingList.from_postings(entries)
+        lists = {
+            term: entries
+            if isinstance(entries, PostingColumns)
+            else PostingColumns.from_postings(entries)
             for term, entries in postings.items()
         }
-        self.quantise_levels = quantise_levels
-        self.block_size = block_size
         if max_impact is None:
             max_impact = max(
-                (max(pl.impacts) for pl in self._lists.values() if len(pl)),
+                (max(columns.impacts) for columns in lists.values() if len(columns)),
                 default=0.0,
             )
+        documents: set[int] = set()
+        for columns in lists.values():
+            documents.update(columns.doc_ids)
+        base = IndexSegment(
+            segment_id=0,
+            generation=0,
+            seq_lo=0,
+            seq_hi=0,
+            lists=lists,
+            documents=documents,
+            base=True,
+        )
+        self._install(
+            segments=[base],
+            stats=stats,
+            quantise_levels=quantise_levels,
+            block_size=block_size,
+            document_terms=document_terms,
+            scorer=scorer,
+            tokenizer=tokenizer,
+            max_impact=max_impact,
+            seal_threshold=seal_threshold,
+            merge_policy=merge_policy,
+            next_seq=1,
+            next_segment_id=1,
+        )
+
+    def _install(
+        self,
+        *,
+        segments: list[IndexSegment],
+        stats: CorpusStatistics,
+        quantise_levels: int,
+        block_size: int,
+        document_terms: Mapping[int, Mapping[str, int]] | None,
+        scorer: Scorer | None,
+        tokenizer: Tokenizer | None,
+        max_impact: float,
+        seal_threshold: int | None,
+        merge_policy: TieredMergePolicy | None,
+        next_seq: int,
+        next_segment_id: int,
+        buffers: Sequence = (),
+    ) -> None:
+        """Shared state initialisation for ``__init__`` and :meth:`load`."""
+        self._segments = segments
+        self.quantise_levels = quantise_levels
+        self.block_size = block_size
         self._max_impact = max_impact
         self._scorer: Scorer = scorer or CosineScorer()
         self._tokenizer: Tokenizer = tokenizer or Tokenizer()
-        # -- incremental-update state -------------------------------------------
-        self._delta: dict[str, _PostingList] = {}
-        self._tombstones: set[int] = set()
-        self._delta_docs: set[int] = set()
-        self._merged: dict[str, _PostingList | None] = {}
+        self.seal_threshold = seal_threshold
+        self.merge_policy = merge_policy or TieredMergePolicy()
+        self._next_seq = next_seq
+        self._next_segment_id = next_segment_id
+        #: mmap objects backing lazy columns; held for the index's lifetime.
+        self._buffers = list(buffers)
+        # -- unsealed delta state ----------------------------------------------
+        self._active_docs: set[int] = set()
+        self._active_tombstones: set[int] = set()
+        self._active_lists: dict[str, PostingColumns] = {}
+        self._active_postings = 0
+        # -- read-path caches ---------------------------------------------------
+        self._merged: dict[str, PostingColumns | None] = {}
+        self._dead: list | None = None
+        #: Fresh per-document impacts from the latest refresh core; consumed
+        #: by the deferred per-list rewrites.
+        self._fresh: dict[int, Mapping[str, float]] | None = None
+        # -- update journal -----------------------------------------------------
         self._stale = False
         self._update_epoch = 0
+        self._journal_horizon = 0
+        self._last_maintenance_epoch = 0
         self._touched: dict[str, int] = {}
         self.update_counters = UpdateCounters()
         if document_terms is not None:
@@ -265,6 +392,8 @@ class InvertedIndex:
         scorer: Scorer | None = None,
         quantise_levels: int = 255,
         block_size: int = 1024,
+        seal_threshold: int | None = None,
+        merge_policy: TieredMergePolicy | None = None,
     ) -> "InvertedIndex":
         """Index a corpus: tokenize, score, discretise and impact-order.
 
@@ -310,10 +439,10 @@ class InvertedIndex:
                 max_impact = max(max_impact, impact)
 
         # Build the columnar lists directly -- no intermediate Posting objects.
-        lists: dict[str, _PostingList] = {}
+        lists: dict[str, PostingColumns] = {}
         for term, entries in raw_lists.items():
             entries.sort(key=lambda e: (-e[1], e[0]))
-            lists[term] = cls._columnar(entries, max_impact, quantise_levels)
+            lists[term] = PostingColumns.from_entries(entries, max_impact, quantise_levels)
 
         return cls(
             postings=lists,
@@ -324,32 +453,14 @@ class InvertedIndex:
             scorer=scorer,
             tokenizer=tokenizer,
             max_impact=max_impact,
+            seal_threshold=seal_threshold,
+            merge_policy=merge_policy,
         )
 
     @staticmethod
     def _quantise(impact: float, max_impact: float, levels: int) -> int:
         """Map a positive impact onto 1..levels (linear, ceiling at the top)."""
-        if max_impact <= 0.0:
-            return 1
-        level = int(round(impact / max_impact * levels))
-        return max(1, min(levels, level))
-
-    @staticmethod
-    def _columnar(
-        entries: list[tuple[int, float]], max_impact: float, levels: int
-    ) -> _PostingList:
-        """Columnar arrays from impact-ordered ``(doc_id, impact)`` pairs."""
-        return _PostingList(
-            doc_ids=array("I", (doc_id for doc_id, _ in entries)),
-            impacts=array("d", (impact for _, impact in entries)),
-            quants=array(
-                "I",
-                (
-                    InvertedIndex._quantise(impact, max_impact, levels)
-                    for _, impact in entries
-                ),
-            ),
-        )
+        return quantise_impact(impact, max_impact, levels)
 
     # -- incremental updates -------------------------------------------------------
     def _require_updatable(self) -> None:
@@ -380,32 +491,140 @@ class InvertedIndex:
 
     @property
     def has_pending_updates(self) -> bool:
-        """True while the delta segment or tombstone set is non-empty."""
-        return bool(self._delta_docs or self._tombstones)
+        """True while the *unsealed* delta holds staged documents or tombstones."""
+        return bool(self._active_docs or self._active_tombstones)
 
     @property
     def update_epoch(self) -> int:
-        """Monotonic mutation counter; bumped by every add/remove (not compact)."""
+        """Monotonic mutation counter; bumped by every add/remove (never by
+        seal, merge or compact, whose served content is unchanged)."""
         return self._update_epoch
 
     @property
+    def journal_horizon(self) -> int:
+        """The oldest epoch :meth:`touched_since` can still answer exactly.
+
+        Sealing, merging and compaction prune journal entries older than the
+        previous maintenance event, so the journal stays bounded on
+        long-lived indexes.  Callers whose cached epoch is *below* this
+        horizon must treat every term as touched (and clear entries for
+        terms that may since have left the dictionary) -- which is exactly
+        what :meth:`touched_since` reports for such epochs.
+        """
+        return self._journal_horizon
+
+    @property
     def num_tombstones(self) -> int:
-        return len(self._tombstones)
+        """Removed documents whose rows have not yet been physically dropped."""
+        return len(self._active_tombstones) + sum(
+            len(segment.tombstones) for segment in self._segments
+        )
 
     @property
     def num_delta_documents(self) -> int:
-        return len(self._delta_docs)
+        """Documents staged in the unsealed delta."""
+        return len(self._active_docs)
+
+    @property
+    def num_segments(self) -> int:
+        """Sealed segments currently serving reads (the unsealed delta excluded)."""
+        return len(self._segments)
+
+    def segment_manifest(self) -> SegmentManifest:
+        """The current segment configuration plus journal epoch/horizon.
+
+        This is what the serving layer keys its cache maintenance off (the
+        PR server's power plans, the PIR bucket databases) and what
+        :meth:`repro.core.costs.CostModel.index_maintenance_report` reads.
+
+        Deliberately cheap to poll: neither the refresh core nor the
+        deferred per-list rewrites run, so interleaving monitoring with
+        updates costs O(segments), not O(corpus).  Sealed posting counts
+        reflect the physical arrays (a pending BM25 re-sort may still drop
+        a few dead rows when it runs); the unsealed entry reports *staged*
+        counts -- its ``postings`` is the staged-term tally the
+        ``seal_threshold`` trigger uses, and ``terms`` counts the delta
+        lists materialised by the last read (0 while a refresh is pending).
+        """
+        active = None
+        if self.has_pending_updates:
+            active = SegmentInfo(
+                segment_id=-1,
+                generation=0,
+                base=False,
+                seq_lo=self._next_seq,
+                seq_hi=self._next_seq,
+                documents=len(self._active_docs),
+                postings=self._active_postings,
+                tombstones=len(self._active_tombstones),
+                terms=len(self._active_lists),
+                sealed=False,
+            )
+        return SegmentManifest(
+            epoch=self._update_epoch,
+            journal_horizon=self._journal_horizon,
+            segments=tuple(segment.info() for segment in self._segments),
+            active=active,
+        )
 
     def touched_since(self, epoch: int) -> frozenset[str]:
-        """Terms whose observable list content changed after ``epoch``.
+        """Terms whose observable list content may have changed after ``epoch``.
 
         Downstream caches (power-table plans, PIR bucket databases) snapshot
         :attr:`update_epoch`, and on their next access drop exactly these
-        terms.  Compaction never appears here: it rewrites the physical
-        layout but the merged content every read path serves is unchanged.
+        terms.  Seal/merge/compaction never appear here: they rewrite the
+        physical layout but the merged content every read path serves is
+        unchanged.
+
+        The answer is exact for terms whose post-update array rewrite has
+        already run, and a conservative superset for the rest: lists still
+        *pending* their deferred rewrite report as touched for any
+        ``epoch`` before the current one, because whether their content
+        moved is only known once the rewrite executes -- computing that
+        here would force the full-index rewrite the deferred design exists
+        to avoid.  For ``epoch == update_epoch`` pending lists are *not*
+        reported: a cache synced at the current epoch either read a term
+        (running its rewrite) or never cached it.
+
+        **Horizon contract:** maintenance prunes journal entries older than
+        the previous maintenance event (:attr:`journal_horizon`).  For an
+        ``epoch`` below the horizon the exact answer is gone, so every entry
+        older than the pruned horizon reports as touched: the conservative
+        superset of all live terms plus everything still journaled is
+        returned.  Callers tracking per-term caches should additionally
+        compare their synced epoch against :attr:`journal_horizon` and clear
+        wholesale when behind it, covering terms that have left the
+        dictionary since.
         """
         self._ensure_fresh()
-        return frozenset(t for t, e in self._touched.items() if e > epoch)
+        if epoch < self._journal_horizon:
+            conservative = set(self._touched)
+            for segment in self._segments:
+                conservative.update(segment.lists)
+            conservative.update(self._active_lists)
+            return frozenset(conservative)
+        exact = frozenset(t for t, e in self._touched.items() if e > epoch)
+        if epoch >= self._update_epoch:
+            return exact
+        pending: set[str] = set()
+        for segment in self._segments:
+            pending.update(segment.stale_terms)
+        return exact | pending
+
+    def stale_cache_terms(self, cached_epoch: int) -> frozenset[str] | None:
+        """What a per-term cache synced at ``cached_epoch`` must drop.
+
+        The one entry point encoding the journal's invalidation protocol for
+        downstream caches (the PR server's power plans, the PIR bucket
+        databases): ``None`` means *clear everything* -- the cache is behind
+        :attr:`journal_horizon`, so exact answers are gone and terms that
+        have left the dictionary could otherwise linger; any other return is
+        the (possibly conservative) set of terms to evict, per
+        :meth:`touched_since`.
+        """
+        if cached_epoch < self._journal_horizon:
+            return None
+        return self.touched_since(cached_epoch)
 
     def _register_mutation(self, touched_terms: Iterable[str]) -> None:
         self._update_epoch += 1
@@ -413,6 +632,7 @@ class InvertedIndex:
             self._touched[term] = self._update_epoch
         self._stale = True
         self._merged.clear()
+        self._dead = None
         self._refresh_stats()
 
     def _refresh_stats(self) -> None:
@@ -423,18 +643,43 @@ class InvertedIndex:
             average_document_length=self._total_length / max(num_documents, 1),
         )
 
+    def _prune_journal(self) -> None:
+        """Bound the update journal at seal/merge/compact time.
+
+        Entries at or below the *previous* maintenance epoch are dropped and
+        :attr:`journal_horizon` advances to it, so the journal never holds
+        more than the terms touched across two maintenance windows.  Caches
+        that sync at least once per window keep exact per-term invalidation;
+        anything older gets the documented conservative answer.
+
+        Maintenance events that land on the same epoch (a seal and the
+        merge commits of one ``maintain()`` cycle) count as *one* event:
+        advancing the window again with no epoch progress would collapse it
+        to zero and force every cache into wholesale invalidation.
+        """
+        if self._update_epoch == self._last_maintenance_epoch:
+            return
+        horizon = self._last_maintenance_epoch
+        if horizon > self._journal_horizon:
+            self._journal_horizon = horizon
+            self._touched = {
+                term: epoch for term, epoch in self._touched.items() if epoch > horizon
+            }
+        self._last_maintenance_epoch = self._update_epoch
+
     def add_document(self, document: Document) -> None:
-        """Stage one new document in the delta segment.
+        """Stage one new document in the unsealed delta.
 
         Tokenises only the new text, updates ``N``, the document frequencies
         and the average length incrementally, and marks the index for a lazy
         impact refresh (the first read after a batch of updates pays one
         arithmetic re-derivation; tokenisation of the existing corpus is
         never repeated).  A document whose text yields no indexable terms
-        contributes no postings -- the delta segment stays empty -- but still
-        counts towards the corpus statistics, exactly as a rebuild would
-        count it.  Duplicate ids of *live* documents are rejected; re-adding
-        a previously removed id is allowed.
+        contributes no postings -- the delta stays empty -- but still counts
+        towards the corpus statistics, exactly as a rebuild would count it.
+        Duplicate ids of *live* documents are rejected; re-adding a
+        previously removed id is allowed.  When ``seal_threshold`` staged
+        postings accumulate, the delta is sealed automatically.
         """
         self._require_updatable()
         doc_id = document.doc_id
@@ -448,24 +693,30 @@ class InvertedIndex:
                 self._document_frequencies.get(term, 0) + 1
             )
         if frequencies:
-            self._delta_docs.add(doc_id)
+            self._active_docs.add(doc_id)
+            self._active_postings += len(frequencies)
         self._register_mutation(frequencies)
         self.update_counters.documents_added += 1
         self.update_counters.tokens_tokenised += sum(frequencies.values())
+        if (
+            self.seal_threshold is not None
+            and self._active_postings >= self.seal_threshold
+        ):
+            self.seal_delta()
 
     def add_documents(self, documents: Iterable[Document]) -> None:
         for document in documents:
             self.add_document(document)
 
     def remove_document(self, doc_id: int) -> None:
-        """Remove one document: tombstone its main rows, roll statistics back.
+        """Remove one document: tombstone it, roll the statistics back.
 
-        The document's main-list rows stay physically present until
-        :meth:`compact` but are filtered out of every read path (the
-        tombstone check is the read-path cost of deferred deletion).  A
-        document still sitting in the delta segment is dropped from it
-        directly.  Removing the last document of a term drops the term from
-        the dictionary and the statistics.
+        The document's rows in sealed segments stay physically present until
+        a merge or :meth:`compact` reaches them but are filtered out of every
+        read path (the tombstone check is the read-path cost of deferred
+        deletion).  A document still sitting in the unsealed delta is dropped
+        from it directly.  Removing the last document of a term drops the
+        term from the dictionary and the statistics.
         """
         self._require_updatable()
         frequencies = self._doc_terms.pop(doc_id, None)
@@ -478,10 +729,11 @@ class InvertedIndex:
                 self._document_frequencies[term] = remaining
             else:
                 self._document_frequencies.pop(term, None)
-        if doc_id in self._delta_docs:
-            self._delta_docs.discard(doc_id)
+        if doc_id in self._active_docs:
+            self._active_docs.discard(doc_id)
+            self._active_postings -= len(frequencies)
         else:
-            self._tombstones.add(doc_id)
+            self._active_tombstones.add(doc_id)
         self._register_mutation(frequencies)
         self.update_counters.documents_removed += 1
 
@@ -489,39 +741,231 @@ class InvertedIndex:
         for doc_id in doc_ids:
             self.remove_document(doc_id)
 
-    def compact(self) -> CompactionReport:
-        """Merge delta segment and tombstones into the main lists.
+    # -- segment lifecycle ---------------------------------------------------------
+    def seal_delta(self) -> SegmentInfo | None:
+        """Freeze the unsealed delta into an immutable generation-0 segment.
 
-        Each touched term's main and delta runs are merged in impact order
-        (one linear two-run merge) with tombstoned rows dropped; terms whose
-        every posting was removed leave the dictionary.  Content served by
-        the read paths is bit-identical before and after, so no downstream
-        cache is invalidated.  Compacting with an empty delta segment and no
-        tombstones is an idempotent no-op.
+        The staged postings (already columnar and impact-fresh after the
+        refresh this forces) and the pending tombstones become one sealed
+        :class:`~repro.textsearch.segments.IndexSegment`; the delta resets
+        empty.  Served content is unchanged, so no downstream cache is
+        invalidated, but the update journal is pruned (see
+        :attr:`journal_horizon`).  Returns the new segment's info, or
+        ``None`` when there was nothing to seal.
         """
         self._ensure_fresh()
         if not self.has_pending_updates:
+            return None
+        seq = self._next_seq
+        self._next_seq += 1
+        segment = IndexSegment(
+            segment_id=self._next_segment_id,
+            generation=0,
+            seq_lo=seq,
+            seq_hi=seq,
+            lists=self._active_lists,
+            documents=set(self._active_docs),
+            tombstones=set(self._active_tombstones),
+        )
+        self._next_segment_id += 1
+        self._segments.append(segment)
+        self._active_docs = set()
+        self._active_tombstones = set()
+        self._active_lists = {}
+        self._active_postings = 0
+        self._merged.clear()
+        self._dead = None
+        self.update_counters.segments_sealed += 1
+        self._prune_journal()
+        return segment.info()
+
+    def plan_merges(self) -> list[tuple[int, ...]]:
+        """Segment-id groups the merge policy considers due (may be empty)."""
+        self._ensure_fresh()
+        return self.merge_policy.plan(self._segments)
+
+    def begin_merges(self, engine=None) -> list[MergeHandle]:
+        """Start every due tiered merge, returning one handle per group.
+
+        With an :class:`~repro.core.engine.ExecutionEngine`, each merge runs
+        on a worker process while this index keeps serving queries from the
+        untouched input segments -- compaction overlaps query serving; the
+        caller redeems each handle with :meth:`commit_merge` when convenient.
+        Without an engine the merge is computed lazily in-process at commit
+        time.  Updates may continue between begin and commit: the commit
+        detects the moved epoch and schedules the impact refresh that
+        restores bit-identity.
+        """
+        self._ensure_fresh()
+        handles: list[MergeHandle] = []
+        for group in self.plan_merges():
+            ids = set(group)
+            positions = [
+                i for i, segment in enumerate(self._segments) if segment.segment_id in ids
+            ]
+            chosen = [self._segments[i] for i in positions]
+            # Flush the inputs' deferred rewrites: the kernel must merge
+            # current arrays (it copies impacts/quants verbatim).
+            dead = self._dead_sets()
+            for position in positions:
+                segment = self._segments[position]
+                for term in list(segment.stale_terms):
+                    self._refresh_list(segment, term, dead[position])
+            older_docs: set[int] = set()
+            for segment in self._segments[: positions[0]]:
+                older_docs |= segment.documents
+            # Documents tombstoned by segments newer than the range: their
+            # rows still carry pre-removal impacts (the deferred rewrite
+            # skips dead rows), so the kernel must drop them or the merged
+            # runs come out unsorted.
+            external_dead = frozenset(dead[positions[-1]])
+            parts = [
+                (dict(segment.lists), frozenset(segment.documents), frozenset(segment.tombstones))
+                for segment in chosen
+            ]
+            handle = MergeHandle(
+                segment_ids=tuple(segment.segment_id for segment in chosen),
+                generation=max(segment.generation for segment in chosen) + 1,
+                seq_lo=chosen[0].seq_lo,
+                seq_hi=chosen[-1].seq_hi,
+                epoch=self._update_epoch,
+            )
+            if engine is not None:
+                handle._future = engine.submit_task(
+                    merge_segment_parts, parts, frozenset(older_docs), external_dead
+                )
+            else:
+                handle._parts = parts
+                handle._older_docs = frozenset(older_docs)
+                handle._external_dead = external_dead
+            handles.append(handle)
+        return handles
+
+    def commit_merge(self, handle: MergeHandle) -> bool:
+        """Install a finished merge, replacing its input segments.
+
+        Returns ``False`` (and changes nothing) when the inputs are no
+        longer all present -- a full :meth:`compact` or a competing commit
+        got there first, so the handle is simply discarded.  If the index
+        mutated since the merge was planned, the merged segment is installed
+        and the index marked stale, so the next read re-derives impacts
+        exactly as it would after any mutation batch.
+        """
+        ids = set(handle.segment_ids)
+        present = [segment for segment in self._segments if segment.segment_id in ids]
+        if len(present) != len(ids):
+            return False
+        merged_lists, documents, tombstones, written, dropped = handle.result()
+        merged = IndexSegment(
+            segment_id=self._next_segment_id,
+            generation=handle.generation,
+            seq_lo=handle.seq_lo,
+            seq_hi=handle.seq_hi,
+            lists=merged_lists,
+            documents=set(documents),
+            tombstones=set(tombstones),
+        )
+        self._next_segment_id += 1
+        position = next(
+            i for i, segment in enumerate(self._segments) if segment.segment_id in ids
+        )
+        remaining = [s for s in self._segments if s.segment_id not in ids]
+        remaining.insert(position, merged)
+        self._segments = remaining
+        counters = self.update_counters
+        counters.merges += 1
+        counters.segments_merged += len(ids)
+        counters.merge_postings_written += written
+        counters.merge_postings_dropped += dropped
+        self._merged.clear()
+        self._dead = None
+        self._prune_journal()
+        if self._update_epoch != handle.epoch:
+            # The corpus moved while the merge ran: the merged arrays carry
+            # the planning-time impacts, so force the standard lazy refresh.
+            self._stale = True
+        return True
+
+    def maintain(self, engine=None, *, force_seal: bool = False) -> dict:
+        """One synchronous maintenance step: seal when due, run due merges.
+
+        Seals the unsealed delta when ``force_seal`` or the
+        ``seal_threshold`` is reached, then commits every merge the policy
+        considers due (dispatching the merge kernels to ``engine`` workers
+        when one is given).  Returns ``{"sealed": bool,
+        "merges_committed": int}``.
+        """
+        sealed = None
+        if force_seal or (
+            self.seal_threshold is not None
+            and self._active_postings >= self.seal_threshold
+        ):
+            sealed = self.seal_delta()
+        committed = 0
+        for handle in self.begin_merges(engine):
+            if self.commit_merge(handle):
+                committed += 1
+        return {"sealed": sealed is not None, "merges_committed": committed}
+
+    def compact(self) -> CompactionReport:
+        """Fold every segment, the unsealed delta and all tombstones together.
+
+        The merged view of each term becomes the single new **base** segment
+        (one k-way merge per term, exactly the read path's order) with every
+        tombstoned row dropped; terms whose every posting was removed leave
+        the dictionary.  Content served by the read paths is bit-identical
+        before and after, so no downstream cache is invalidated.  Compacting
+        an already-compacted index is an idempotent no-op.
+        """
+        self._ensure_fresh()
+        if len(self._segments) == 1 and not self.has_pending_updates:
             return CompactionReport(
                 lists_merged=0, postings_merged=0, postings_dropped=0
             )
-        postings_merged = sum(len(entries) for entries in self._delta.values())
-        old_main_total = sum(len(entries) for entries in self._lists.values())
-        new_lists: dict[str, _PostingList] = {}
+        base = self._segments[0]
+        base_total = base.num_postings
+        contributed = sum(
+            segment.num_postings for segment in self._segments[1:]
+        ) + sum(len(columns) for columns in self._active_lists.values())
+        all_terms = dict.fromkeys(
+            term for segment in self._segments for term in segment.lists
+        )
+        all_terms.update(dict.fromkeys(self._active_lists))
+        new_lists: dict[str, PostingColumns] = {}
+        documents: set[int] = set()
         lists_merged = 0
-        for term in dict.fromkeys((*self._lists, *self._delta)):
+        for term in all_terms:
             effective = self._effective(term)
             if effective is None or not len(effective):
                 continue
-            if effective is not self._lists.get(term):
+            if effective is not base.lists.get(term):
                 lists_merged += 1
             new_lists[term] = effective
-        new_total = sum(len(entries) for entries in new_lists.values())
-        postings_dropped = old_main_total + postings_merged - new_total
-        self._lists = new_lists
-        self._delta = {}
-        self._tombstones = set()
-        self._delta_docs = set()
+            documents.update(effective.doc_ids)
+        new_total = sum(len(columns) for columns in new_lists.values())
+        postings_merged = contributed
+        postings_dropped = base_total + contributed - new_total
+        seq_hi = self._next_seq
+        self._next_seq += 1
+        self._segments = [
+            IndexSegment(
+                segment_id=self._next_segment_id,
+                generation=0,
+                seq_lo=0,
+                seq_hi=seq_hi,
+                lists=new_lists,
+                documents=documents,
+                base=True,
+            )
+        ]
+        self._next_segment_id += 1
+        self._active_docs = set()
+        self._active_tombstones = set()
+        self._active_lists = {}
+        self._active_postings = 0
         self._merged = {}
+        self._dead = None
+        self._prune_journal()
         counters = self.update_counters
         counters.compactions += 1
         counters.postings_merged += postings_merged
@@ -532,23 +976,139 @@ class InvertedIndex:
             postings_dropped=postings_dropped,
         )
 
+    # -- persistence ---------------------------------------------------------------
+    def save(self, path: str | Path, *, include_document_terms: bool = True) -> SegmentManifest:
+        """Persist the index as a columnar segment directory.
+
+        The unsealed delta is sealed first (the format stores sealed
+        segments only), then each segment's columns are written as one
+        binary blob plus a JSON manifest -- see
+        :func:`repro.textsearch.segments.write_index_directory`.  With
+        ``include_document_terms`` (the default) the per-document term
+        frequencies are saved too, so the loaded index supports further
+        incremental updates; without them it loads read-only.  Returns the
+        saved manifest.
+        """
+        self._ensure_current_arrays()
+        self.seal_delta()
+        extra = {
+            "quantise_levels": self.quantise_levels,
+            "block_size": self.block_size,
+            "max_impact": self._max_impact,
+            "next_seq": self._next_seq,
+            "next_segment_id": self._next_segment_id,
+            "seal_threshold": self.seal_threshold,
+            "merge_policy": (
+                {"fanout": self.merge_policy.fanout}
+                if isinstance(self.merge_policy, TieredMergePolicy)
+                else None
+            ),
+            "scorer": _scorer_spec(self._scorer),
+            "tokenizer": _tokenizer_spec(self._tokenizer),
+            "stats": {
+                "num_documents": self.stats.num_documents,
+                "average_document_length": self.stats.average_document_length,
+                "document_frequencies": dict(self.stats.document_frequencies),
+            },
+        }
+        write_index_directory(
+            path,
+            segments=self._segments,
+            extra=extra,
+            document_terms=self._doc_terms if include_document_terms else None,
+        )
+        return self.segment_manifest()
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        mmap: bool = False,
+        scorer: Scorer | None = None,
+        tokenizer: Tokenizer | None = None,
+        seal_threshold=_MISSING,
+        merge_policy=_MISSING,
+    ) -> "InvertedIndex":
+        """Restore a :meth:`save` directory.
+
+        With ``mmap=True`` each segment file is memory-mapped and the
+        per-term ``array('I')``/``array('d')`` columns materialise lazily
+        from it on first access, so cold-start cost is manifest I/O plus the
+        pages the first queries actually touch (on a byte-order-mismatched
+        platform the loader falls back to eager reads with a byteswap).  The
+        scorer and tokenizer are reconstructed from the manifest for the
+        built-in types; pass ``scorer=`` explicitly to revive an index built
+        with a custom scorer, which is required when the saved directory
+        carries document terms (updates re-derive impacts through the
+        scorer).  ``seal_threshold`` and ``merge_policy`` likewise restore
+        from the manifest unless overridden here (a custom policy class does
+        not round-trip; the saved fanout restores a
+        :class:`~repro.textsearch.segments.TieredMergePolicy`).
+        """
+        manifest, segments, document_terms, buffers = read_index_directory(
+            path, use_mmap=mmap
+        )
+        stats_raw = manifest["stats"]
+        stats = CorpusStatistics(
+            num_documents=stats_raw["num_documents"],
+            document_frequencies=dict(stats_raw["document_frequencies"]),
+            average_document_length=stats_raw["average_document_length"],
+        )
+        if scorer is None:
+            scorer = _scorer_from_spec(manifest.get("scorer"))
+            if scorer is None and document_terms is not None:
+                raise ValueError(
+                    f"cannot reconstruct scorer {manifest.get('scorer')!r} from the "
+                    "manifest; pass scorer= to InvertedIndex.load"
+                )
+        if tokenizer is None:
+            tokenizer = _tokenizer_from_spec(manifest.get("tokenizer"))
+        if seal_threshold is _MISSING:
+            seal_threshold = manifest.get("seal_threshold")
+        if merge_policy is _MISSING:
+            policy_spec = manifest.get("merge_policy")
+            merge_policy = (
+                TieredMergePolicy(fanout=policy_spec["fanout"]) if policy_spec else None
+            )
+        index = cls.__new__(cls)
+        index._install(
+            segments=segments,
+            stats=stats,
+            quantise_levels=manifest["quantise_levels"],
+            block_size=manifest["block_size"],
+            document_terms=document_terms,
+            scorer=scorer,
+            tokenizer=tokenizer,
+            max_impact=manifest["max_impact"],
+            seal_threshold=seal_threshold,
+            merge_policy=merge_policy,
+            next_seq=manifest["next_seq"],
+            next_segment_id=manifest["next_segment_id"],
+            buffers=buffers,
+        )
+        return index
+
     # -- lazy impact refresh -------------------------------------------------------
     def _ensure_fresh(self) -> None:
         if self._stale:
             self._refresh()
 
     def _refresh(self) -> None:
-        """Re-derive impacts and quantisation against the current statistics.
+        """Re-derive impacts against the current statistics (the refresh core).
 
         Runs once per batch of updates, on the first read after them.  Every
         live document's impacts are recomputed through the *same* scorer call
         :meth:`build` uses (bit-identity with a rebuild holds for any scorer
-        by construction); tokenisation is never repeated.  Main lists whose
-        relative order survived keep their document-id arrays and are
-        re-quantised only when their impacts or :attr:`max_impact` actually
-        moved; reordered lists (impossible under the cosine scorer, possible
-        under length-normalised ones like BM25 when the average document
-        length drifts) are re-sorted individually.
+        by construction); tokenisation is never repeated.  The unsealed
+        delta's columns are rebuilt eagerly (the delta is small between
+        seals -- that is its whole point), but sealed segments are only
+        *marked stale*: each per-term array rewrite is deferred to the
+        list's first access (:meth:`_refresh_list`), so a query pays the
+        rewrite for exactly the terms it touches while a full
+        :meth:`compact` -- the single-delta maintenance strategy -- pays all
+        of them.  This is what makes sustained update streams cheap on the
+        segmented engine.
         """
         self._stale = False
         scorer = self._scorer
@@ -567,165 +1127,181 @@ class InvertedIndex:
                 if impact > max_impact:
                     max_impact = impact
             counters.postings_rescored += len(impacts)
-        max_moved = max_impact != self._max_impact
         self._max_impact = max_impact
+        #: Kept resident until the next refresh: the deferred per-list
+        #: rewrites read their fresh impacts from here.
+        self._fresh = impacts_by_doc
 
-        # Delta segment: columnar lists of the documents added since the last
-        # compact, rebuilt against the fresh impacts (delta is small between
-        # compactions -- that is its whole point).
         delta_raw: dict[str, list[tuple[int, float]]] = {}
-        if self._delta_docs:
+        if self._active_docs:
             for doc_id in self._doc_terms:  # corpus insertion order
-                if doc_id not in self._delta_docs:
+                if doc_id not in self._active_docs:
                     continue
                 for term, impact in impacts_by_doc[doc_id].items():
                     if impact <= 0.0:
                         continue
                     delta_raw.setdefault(term, []).append((doc_id, impact))
-        new_delta: dict[str, _PostingList] = {}
+        new_active: dict[str, PostingColumns] = {}
         for term, entries in delta_raw.items():
             entries.sort(key=lambda e: (-e[1], e[0]))
-            new_delta[term] = self._columnar(entries, max_impact, levels)
+            new_active[term] = PostingColumns.from_entries(entries, max_impact, levels)
             touched[term] = epoch
-        self._delta = new_delta
+        self._active_lists = new_active
 
-        tombstones = self._tombstones
-        for term in list(self._lists):
-            plist = self._lists[term]
-            doc_ids = plist.doc_ids
-            old_impacts = plist.impacts
-            live: list[tuple[int, float]] = []  # (position, fresh impact)
-            ordered = True
-            impacts_changed = False
-            prev_key: tuple[float, int] | None = None
-            for position, doc_id in enumerate(doc_ids):
-                if doc_id in tombstones:
-                    continue
-                impact = impacts_by_doc[doc_id].get(term, 0.0)
-                key = (-impact, doc_id)
-                if impact <= 0.0 or (prev_key is not None and key < prev_key):
-                    ordered = False
-                    break
-                prev_key = key
-                live.append((position, impact))
-                if impact != old_impacts[position]:
-                    impacts_changed = True
-            if not ordered:
-                entries = [
-                    (doc_id, impacts_by_doc[doc_id].get(term, 0.0))
-                    for doc_id in doc_ids
-                    if doc_id not in tombstones
-                ]
-                entries = [entry for entry in entries if entry[1] > 0.0]
-                entries.sort(key=lambda e: (-e[1], e[0]))
-                counters.lists_resorted += 1
-                counters.lists_requantised += 1
-                touched[term] = epoch
-                if entries:
-                    self._lists[term] = self._columnar(entries, max_impact, levels)
-                else:
-                    del self._lists[term]
-                continue
-            if not impacts_changed and not max_moved:
-                # Impact values and calibration both held still (e.g. a
-                # removed document was re-added unchanged): keep the arrays,
-                # skip the re-quantisation entirely.
-                continue
-            new_impacts = array("d", old_impacts)
-            new_quants = array("I", plist.quants)
-            for position, impact in live:
-                new_impacts[position] = impact
-                new_quants[position] = self._quantise(impact, max_impact, levels)
-            self._lists[term] = _PostingList(doc_ids, new_impacts, new_quants)
-            counters.lists_requantised += 1
-            touched[term] = epoch
+        for segment in self._segments:
+            if segment.lists:
+                segment.stale_terms = set(segment.lists)
         counters.refreshes += 1
         self._merged.clear()
+        self._dead = None
 
-    # -- merged (main + delta - tombstones) read view --------------------------------
-    def _effective(self, term: str) -> _PostingList | None:
-        """The live inverted list: main rows minus tombstones, merged with delta."""
+    def _refresh_list(self, segment: IndexSegment, term: str, dead) -> None:
+        """Access-time rewrite: align one segment's list with the fresh impacts.
+
+        The skip check is self-contained against current truth -- the stored
+        impacts *and* quantised values of every live row are compared to
+        what a rebuild would hold right now -- so arrays are kept verbatim
+        exactly when their observable content is already identical (e.g. a
+        removed document re-added unchanged), no matter how many refresh
+        generations they sat out.  Reordered lists (impossible under the
+        cosine scorer, possible under length-normalised ones like BM25 when
+        the average document length drifts) are re-sorted individually.
+        """
+        segment.stale_terms.discard(term)
+        columns = segment.lists.get(term)
+        if columns is None:
+            return
+        impacts_by_doc = self._fresh
+        levels = self.quantise_levels
+        max_impact = self._max_impact
+        counters = self.update_counters
+        doc_ids = columns.doc_ids
+        old_impacts = columns.impacts
+        old_quants = columns.quants
+        live: list[tuple[int, float]] = []  # (position, fresh impact)
+        ordered = True
+        changed = False
+        prev_key: tuple[float, int] | None = None
+        for position, doc_id in enumerate(doc_ids):
+            if doc_id in dead:
+                continue
+            impact = impacts_by_doc[doc_id].get(term, 0.0)
+            key = (-impact, doc_id)
+            if impact <= 0.0 or (prev_key is not None and key < prev_key):
+                ordered = False
+                break
+            prev_key = key
+            live.append((position, impact))
+            if not changed and (
+                impact != old_impacts[position]
+                or quantise_impact(impact, max_impact, levels) != old_quants[position]
+            ):
+                changed = True
+        if ordered and not live:
+            # Every row is tombstoned: the observable list is empty and
+            # stays empty, so there is nothing to rewrite -- and marking
+            # it touched would pin the dead term in the journal forever.
+            return
+        if not ordered:
+            entries = [
+                (doc_id, impacts_by_doc[doc_id].get(term, 0.0))
+                for doc_id in doc_ids
+                if doc_id not in dead
+            ]
+            entries = [entry for entry in entries if entry[1] > 0.0]
+            entries.sort(key=lambda e: (-e[1], e[0]))
+            counters.lists_resorted += 1
+            counters.lists_requantised += 1
+            self._touched[term] = self._update_epoch
+            if entries:
+                segment.lists[term] = PostingColumns.from_entries(
+                    entries, max_impact, levels
+                )
+            else:
+                del segment.lists[term]
+            return
+        if not changed:
+            return
+        new_impacts = array("d", old_impacts)
+        new_quants = array("I", old_quants)
+        for position, impact in live:
+            new_impacts[position] = impact
+            new_quants[position] = quantise_impact(impact, max_impact, levels)
+        segment.lists[term] = PostingColumns(doc_ids, new_impacts, new_quants)
+        counters.lists_requantised += 1
+        self._touched[term] = self._update_epoch
+
+    def _ensure_current_arrays(self) -> None:
+        """Flush every deferred per-list rewrite (journal/persist/merge paths)."""
         self._ensure_fresh()
-        main = self._lists.get(term)
-        if not self.has_pending_updates:
-            return main
+        if all(not segment.stale_terms for segment in self._segments):
+            return
+        dead = self._dead_sets()
+        for position, segment in enumerate(self._segments):
+            if not segment.stale_terms:
+                continue
+            for term in list(segment.stale_terms):
+                self._refresh_list(segment, term, dead[position])
+
+    # -- merged (k-way across segments + delta) read view ---------------------------
+    def _single_clean(self) -> bool:
+        """One segment, nothing unsealed: serve its arrays with zero merging."""
+        return len(self._segments) == 1 and not self.has_pending_updates
+
+    def _dead_sets(self) -> list:
+        """Per-segment dead sets: tombstones of every strictly newer segment."""
+        if self._dead is None:
+            accumulated: set[int] = set(self._active_tombstones)
+            dead: list = []
+            for segment in reversed(self._segments):
+                dead.append(frozenset(accumulated) if accumulated else _EMPTY)
+                accumulated |= segment.tombstones
+            dead.reverse()
+            self._dead = dead
+        return self._dead
+
+    def _effective(self, term: str) -> PostingColumns | None:
+        """The live inverted list: the k-way merge of every segment's run."""
+        self._ensure_fresh()
+        if self._single_clean():
+            segment = self._segments[0]
+            if segment.stale_terms and term in segment.stale_terms:
+                self._refresh_list(segment, term, _EMPTY)
+            return segment.lists.get(term)
         cached = self._merged.get(term, _MISSING)
         if cached is not _MISSING:
             return cached
-        delta = self._delta.get(term)
-        tombstones = self._tombstones
-        if main is None:
-            merged = delta
-        elif delta is None and not any(d in tombstones for d in main.doc_ids):
-            merged = main
-        else:
-            merged = self._merge_runs(main, delta, tombstones)
+        dead = self._dead_sets()
+        runs = []
+        for position, segment in enumerate(self._segments):
+            if segment.stale_terms and term in segment.stale_terms:
+                self._refresh_list(segment, term, dead[position])
+            runs.append((segment.lists.get(term), dead[position]))
+        runs.append((self._active_lists.get(term), _EMPTY))
+        merged = merge_posting_runs(runs)
         if merged is not None and not len(merged):
             merged = None
         self._merged[term] = merged
         return merged
-
-    @staticmethod
-    def _merge_runs(
-        main: _PostingList, delta: _PostingList | None, tombstones: set[int]
-    ) -> _PostingList | None:
-        """Two-run merge by ``(-impact, doc_id)``, filtering tombstoned main rows."""
-        out_docs, out_impacts, out_quants = array("I"), array("d"), array("I")
-        m_docs, m_impacts, m_quants = main.doc_ids, main.impacts, main.quants
-        if delta is None:
-            d_docs: array = array("I")
-            d_impacts: array = array("d")
-            d_quants: array = array("I")
-        else:
-            d_docs, d_impacts, d_quants = delta.doc_ids, delta.impacts, delta.quants
-        i = j = 0
-        n, m = len(m_docs), len(d_docs)
-        while i < n and j < m:
-            if m_docs[i] in tombstones:
-                i += 1
-                continue
-            if (-m_impacts[i], m_docs[i]) <= (-d_impacts[j], d_docs[j]):
-                out_docs.append(m_docs[i])
-                out_impacts.append(m_impacts[i])
-                out_quants.append(m_quants[i])
-                i += 1
-            else:
-                out_docs.append(d_docs[j])
-                out_impacts.append(d_impacts[j])
-                out_quants.append(d_quants[j])
-                j += 1
-        while i < n:
-            if m_docs[i] not in tombstones:
-                out_docs.append(m_docs[i])
-                out_impacts.append(m_impacts[i])
-                out_quants.append(m_quants[i])
-            i += 1
-        if j < m:
-            out_docs.extend(d_docs[j:])
-            out_impacts.extend(d_impacts[j:])
-            out_quants.extend(d_quants[j:])
-        if not len(out_docs):
-            return None
-        return _PostingList(out_docs, out_impacts, out_quants)
 
     # -- dictionary access --------------------------------------------------------
     @property
     def terms(self) -> tuple[str, ...]:
         """The dictionary ``T`` (terms that appear in at least one live document)."""
         self._ensure_fresh()
-        if not self.has_pending_updates:
-            return tuple(self._lists)
-        return tuple(
-            term
-            for term in dict.fromkeys((*self._lists, *self._delta))
-            if self._effective(term) is not None
+        if self._single_clean():
+            return tuple(self._segments[0].lists)
+        seen = dict.fromkeys(
+            term for segment in self._segments for term in segment.lists
         )
+        seen.update(dict.fromkeys(self._active_lists))
+        return tuple(term for term in seen if self._effective(term) is not None)
 
     @property
     def num_terms(self) -> int:
         self._ensure_fresh()
-        if not self.has_pending_updates:
-            return len(self._lists)
+        if self._single_clean():
+            return len(self._segments[0].lists)
         return len(self.terms)
 
     def __contains__(self, term: str) -> bool:
@@ -738,7 +1314,7 @@ class InvertedIndex:
             return ()
         return entries.view()
 
-    def columns(self, term: str) -> tuple[array, array]:
+    def columns(self, term: str) -> tuple:
         """The list's parallel ``(doc_ids, quantised_impacts)`` arrays (hot path).
 
         Both arrays are the index's own storage: callers must not mutate
@@ -778,12 +1354,21 @@ class InvertedIndex:
     def total_size_bytes(self) -> int:
         """Total index size (live inverted lists only, dictionary excluded)."""
         self._ensure_fresh()
-        if not self.has_pending_updates:
-            return sum(len(entries) * POSTING_BYTES for entries in self._lists.values())
+        if self._single_clean():
+            return sum(
+                len(columns) * POSTING_BYTES
+                for columns in self._segments[0].lists.values()
+            )
         return sum(self.list_size_bytes(term) for term in self.terms)
 
     def serialise_list(self, term: str) -> bytes:
-        """The inverted list as bytes -- one PIR database column per bucket term."""
+        """The inverted list as bytes -- one PIR database column per bucket term.
+
+        Always the **effective** (merged, tombstone-filtered) view: while
+        delta postings or tombstones are pending, the serialised bytes
+        reflect exactly what every other read path serves, so the PIR layer
+        never leaks a pre-update row.
+        """
         entries = self._effective(term)
         if entries is None or not len(entries):
             return b""

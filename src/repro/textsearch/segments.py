@@ -1,0 +1,687 @@
+"""Segmented columnar storage engine for the inverted index.
+
+:class:`~repro.textsearch.inverted_index.InvertedIndex` stores its postings
+as a sequence of **segments** -- immutable columnar units, each carrying its
+own per-term posting arrays, the set of documents whose rows it holds, and a
+**tombstone set** naming documents removed while the segment was accumulating
+(tombstones apply to *strictly older* segments; a re-added document's fresh
+rows always live in a newer segment than the tombstone that killed its old
+ones).  The read path is a k-way merge of the per-segment runs by
+``(-impact, doc_id)`` with tombstoned rows filtered out, which is exactly the
+order a from-scratch rebuild produces -- the repo's bit-identity invariant
+therefore holds over *any* segment configuration.
+
+The pieces provided here:
+
+* :class:`PostingColumns` -- one term's parallel ``array('I')`` document-id /
+  quantised-impact arrays plus an ``array('d')`` of raw impacts.  Columns may
+  be **lazy**: constructed with a loader closure over an ``mmap``-backed
+  buffer, they materialise their arrays on first access, so a loaded index
+  pays I/O only for the terms queries actually touch.
+* :class:`IndexSegment` -- one immutable storage unit (lists + documents +
+  tombstones + generation/sequence metadata).
+* :class:`SegmentInfo` / :class:`SegmentManifest` -- the serving layer's view
+  of the segment configuration; downstream caches key their invalidation off
+  ``manifest.epoch`` and ``manifest.journal_horizon``.
+* :class:`TieredMergePolicy` -- LSM-style compaction scheduling: when a
+  generation accumulates ``fanout`` sealed segments, the oldest ``fanout`` of
+  them merge into one segment of the next generation.  The base segment (the
+  product of :meth:`InvertedIndex.build` or a full ``compact()``) is never
+  selected; folding into it is what ``compact()`` is for.
+* :func:`merge_segment_parts` -- the pure merge kernel.  Module-level and
+  picklable, so :meth:`InvertedIndex.begin_merges` can dispatch it to an
+  :class:`~repro.core.engine.ExecutionEngine` worker process and overlap
+  compaction with query serving; :class:`MergeHandle` carries the pending
+  result back to ``commit_merge``.
+* :func:`write_index_directory` / :func:`read_index_directory` -- the on-disk
+  columnar format behind :meth:`InvertedIndex.save` / ``load``: one binary
+  blob per segment (per term: doc ids, quants, impacts, 16-byte aligned) plus
+  a JSON manifest, readable eagerly or through ``mmap``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import mmap as _mmap
+import os
+import struct
+import sys
+from array import array
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import AbstractSet, Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "PostingColumns",
+    "IndexSegment",
+    "SegmentInfo",
+    "SegmentManifest",
+    "TieredMergePolicy",
+    "MergeHandle",
+    "merge_posting_runs",
+    "merge_segment_parts",
+    "quantise_impact",
+    "write_index_directory",
+    "read_index_directory",
+    "INDEX_FORMAT",
+    "INDEX_FORMAT_VERSION",
+]
+
+#: Identifier written into every saved manifest.
+INDEX_FORMAT = "repro-index-segments"
+INDEX_FORMAT_VERSION = 1
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+def quantise_impact(impact: float, max_impact: float, levels: int) -> int:
+    """Map a positive impact onto ``1..levels`` (linear, ceiling at the top)."""
+    if max_impact <= 0.0:
+        return 1
+    level = int(round(impact / max_impact * levels))
+    return max(1, min(levels, level))
+
+
+class PostingColumns:
+    """Columnar storage of one inverted list: parallel impact-ordered arrays.
+
+    Either eager (constructed from three arrays) or lazy (constructed via
+    :meth:`lazy` with a loader closure, typically over an mmap-backed
+    buffer); lazy columns materialise on first array access and report their
+    length without loading.  Pickling always materialises, so columns can be
+    shipped to worker processes regardless of their backing.
+    """
+
+    __slots__ = ("_doc_ids", "_impacts", "_quants", "_view", "_loader", "_length")
+
+    def __init__(self, doc_ids: array, impacts: array, quants: array) -> None:
+        self._doc_ids = doc_ids
+        self._impacts = impacts
+        self._quants = quants
+        self._view: tuple | None = None
+        self._loader: Callable[[], tuple[array, array, array]] | None = None
+        self._length = len(doc_ids)
+
+    @classmethod
+    def lazy(cls, length: int, loader: Callable[[], tuple[array, array, array]]) -> "PostingColumns":
+        """Columns that materialise via ``loader`` on first array access."""
+        columns = cls.__new__(cls)
+        columns._doc_ids = None
+        columns._impacts = None
+        columns._quants = None
+        columns._view = None
+        columns._loader = loader
+        columns._length = length
+        return columns
+
+    def _materialise(self) -> None:
+        doc_ids, impacts, quants = self._loader()
+        if len(doc_ids) != self._length:
+            raise ValueError(
+                f"lazy posting columns loaded {len(doc_ids)} rows, expected {self._length}"
+            )
+        self._doc_ids, self._impacts, self._quants = doc_ids, impacts, quants
+        self._loader = None
+
+    @property
+    def doc_ids(self) -> array:
+        if self._loader is not None:
+            self._materialise()
+        return self._doc_ids
+
+    @property
+    def impacts(self) -> array:
+        if self._loader is not None:
+            self._materialise()
+        return self._impacts
+
+    @property
+    def quants(self) -> array:
+        if self._loader is not None:
+            self._materialise()
+        return self._quants
+
+    @property
+    def materialised(self) -> bool:
+        """False while the arrays still await their first (lazy) load."""
+        return self._loader is None
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __reduce__(self):
+        # Materialise on pickle: worker processes receive plain arrays.
+        return (PostingColumns, (self.doc_ids, self.impacts, self.quants))
+
+    def view(self) -> tuple:
+        """Materialise the row view lazily; cached because lists are immutable."""
+        if self._view is None:
+            from repro.textsearch.inverted_index import Posting
+
+            self._view = tuple(
+                Posting(doc_id=d, impact=i, quantised_impact=q)
+                for d, i, q in zip(self.doc_ids, self.impacts, self.quants)
+            )
+        return self._view
+
+    @classmethod
+    def from_postings(cls, postings: Iterable) -> "PostingColumns":
+        entries = list(postings)
+        return cls(
+            doc_ids=array("I", (p.doc_id for p in entries)),
+            impacts=array("d", (p.impact for p in entries)),
+            quants=array("I", (p.quantised_impact for p in entries)),
+        )
+
+    @classmethod
+    def from_entries(
+        cls, entries: Sequence[tuple[int, float]], max_impact: float, levels: int
+    ) -> "PostingColumns":
+        """Columnar arrays from impact-ordered ``(doc_id, impact)`` pairs."""
+        return cls(
+            doc_ids=array("I", (doc_id for doc_id, _ in entries)),
+            impacts=array("d", (impact for _, impact in entries)),
+            quants=array(
+                "I",
+                (quantise_impact(impact, max_impact, levels) for _, impact in entries),
+            ),
+        )
+
+    def serialise(self) -> bytes:
+        """The list as big-endian ``<doc_id, quantised_impact>`` pairs, O(n) array ops."""
+        doc_ids, quants = self.doc_ids, self.quants
+        if array("I").itemsize != 4:  # exotic platform: fall back to struct
+            return b"".join(
+                struct.pack(">II", d, q) for d, q in zip(doc_ids, quants)
+            )
+        interleaved = array("I", bytes(len(doc_ids) * 2 * 4))
+        interleaved[0::2] = doc_ids
+        interleaved[1::2] = quants
+        if sys.byteorder == "little":
+            interleaved.byteswap()
+        return interleaved.tobytes()
+
+
+@dataclass
+class IndexSegment:
+    """One immutable storage unit of the segmented index.
+
+    ``seq_lo..seq_hi`` is the contiguous range of seal-sequence numbers the
+    segment covers; segments are globally ordered (and merged) by it.
+    ``tombstones`` name documents removed while this segment was the active
+    delta -- they suppress rows in *strictly older* segments only.
+    """
+
+    segment_id: int
+    generation: int
+    seq_lo: int
+    seq_hi: int
+    lists: dict[str, PostingColumns]
+    documents: set[int]
+    tombstones: set[int] = field(default_factory=set)
+    #: True for the build/compact product; never selected by the merge policy.
+    base: bool = False
+    #: Terms whose arrays await the deferred post-update rewrite (see
+    #: ``InvertedIndex._refresh_list``); consumed on first access.
+    stale_terms: set[str] = field(default_factory=set)
+
+    @property
+    def num_postings(self) -> int:
+        return sum(len(columns) for columns in self.lists.values())
+
+    def info(self) -> "SegmentInfo":
+        return SegmentInfo(
+            segment_id=self.segment_id,
+            generation=self.generation,
+            base=self.base,
+            seq_lo=self.seq_lo,
+            seq_hi=self.seq_hi,
+            documents=len(self.documents),
+            postings=self.num_postings,
+            tombstones=len(self.tombstones),
+            terms=len(self.lists),
+            sealed=True,
+        )
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Summary of one segment, as exposed through :class:`SegmentManifest`."""
+
+    segment_id: int
+    generation: int
+    base: bool
+    seq_lo: int
+    seq_hi: int
+    documents: int
+    postings: int
+    tombstones: int
+    terms: int
+    sealed: bool = True
+
+
+@dataclass(frozen=True)
+class SegmentManifest:
+    """The serving layer's view of the index's segment configuration.
+
+    ``epoch`` is the index's monotonic mutation counter and
+    ``journal_horizon`` the oldest epoch the update journal can still answer
+    exactly: caches that last synced at an epoch *below* the horizon must do
+    a full invalidation (see ``InvertedIndex.touched_since``).
+    """
+
+    epoch: int
+    journal_horizon: int
+    segments: tuple[SegmentInfo, ...]
+    active: SegmentInfo | None = None
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def total_postings(self) -> int:
+        return sum(info.postings for info in self.segments)
+
+    @property
+    def total_tombstones(self) -> int:
+        pending = self.active.tombstones if self.active is not None else 0
+        return sum(info.tombstones for info in self.segments) + pending
+
+    @property
+    def generations(self) -> tuple[int, ...]:
+        return tuple(sorted({info.generation for info in self.segments}))
+
+
+@dataclass(frozen=True)
+class TieredMergePolicy:
+    """LSM-style tiered compaction: merge ``fanout`` same-generation segments.
+
+    Each :meth:`plan` call proposes at most one merge per generation: the
+    oldest ``fanout`` non-base segments of any generation that has
+    accumulated at least ``fanout`` of them.  Merging assigns the output
+    ``generation + 1``, so sustained updates build a logarithmic tier
+    structure instead of an ever-longer run list, and each posting is
+    rewritten O(log_fanout(updates)) times between full compactions.
+    """
+
+    fanout: int = 4
+
+    def __post_init__(self) -> None:
+        if self.fanout < 2:
+            raise ValueError("merge fanout must be at least 2")
+
+    def plan(self, segments: Sequence[IndexSegment]) -> list[tuple[int, ...]]:
+        """Segment-id groups due for merging (each contiguous, oldest first)."""
+        by_generation: dict[int, list[IndexSegment]] = {}
+        for segment in segments:
+            if not segment.base:
+                by_generation.setdefault(segment.generation, []).append(segment)
+        groups: list[tuple[int, ...]] = []
+        for generation in sorted(by_generation):
+            tier = sorted(by_generation[generation], key=lambda s: s.seq_lo)
+            if len(tier) < self.fanout:
+                continue
+            candidate = tier[: self.fanout]
+            span_lo, span_hi = candidate[0].seq_lo, candidate[-1].seq_hi
+            # Defensive: never merge around a foreign segment's range.  With
+            # oldest-first selection this cannot happen, but an interleaved
+            # range would corrupt tombstone ordering, so verify.
+            if any(
+                span_lo < other.seq_lo <= span_hi
+                for other in segments
+                if other.segment_id not in {s.segment_id for s in candidate}
+            ):
+                continue
+            groups.append(tuple(segment.segment_id for segment in candidate))
+        return groups
+
+
+def merge_posting_runs(
+    runs: Sequence[tuple[PostingColumns | None, AbstractSet[int]]],
+) -> PostingColumns | None:
+    """K-way merge of impact-ordered runs by ``(-impact, doc_id)``.
+
+    ``runs`` are ordered oldest to newest; each pairs a term's columns (or
+    ``None``) with the set of documents dead *for that run* (tombstones of
+    strictly newer segments).  Rows of dead documents are dropped.  Returns
+    ``None`` for an empty result; a single clean run is returned as-is
+    (zero-copy), which is what keeps the compacted fast path allocation-free.
+    """
+    live: list[tuple[PostingColumns, AbstractSet[int]]] = []
+    for columns, dead in runs:
+        if columns is None or not len(columns):
+            continue
+        live.append((columns, dead))
+    if not live:
+        return None
+    if len(live) == 1:
+        columns, dead = live[0]
+        if not dead or not any(doc_id in dead for doc_id in columns.doc_ids):
+            return columns
+
+    def run_iter(columns: PostingColumns, dead: AbstractSet[int]):
+        doc_ids, impacts, quants = columns.doc_ids, columns.impacts, columns.quants
+        for position in range(len(doc_ids)):
+            doc_id = doc_ids[position]
+            if doc_id in dead:
+                continue
+            yield (-impacts[position], doc_id, impacts[position], quants[position])
+
+    out_docs, out_impacts, out_quants = array("I"), array("d"), array("I")
+    for _, doc_id, impact, quant in heapq.merge(
+        *(run_iter(columns, dead) for columns, dead in live)
+    ):
+        out_docs.append(doc_id)
+        out_impacts.append(impact)
+        out_quants.append(quant)
+    if not len(out_docs):
+        return None
+    return PostingColumns(out_docs, out_impacts, out_quants)
+
+
+def merge_segment_parts(
+    parts: Sequence[tuple[Mapping[str, PostingColumns], frozenset[int], frozenset[int]]],
+    older_docs: frozenset[int],
+    external_dead: frozenset[int] = frozenset(),
+) -> tuple[dict[str, PostingColumns], set[int], set[int], int, int]:
+    """The pure merge kernel: fold ordered segment parts into one.
+
+    ``parts`` are ``(lists, documents, tombstones)`` triples ordered oldest
+    to newest (a contiguous seal-sequence range); ``older_docs`` is the union
+    of document sets of every segment *older than the range* at planning
+    time.  Tombstones internal to the range are applied (their rows dropped
+    and the tombstone consumed); a tombstone survives into the merged
+    segment only if its document actually has rows in an older segment --
+    anything else can never match again and is garbage-collected here.
+
+    ``external_dead`` names documents tombstoned by segments *newer than
+    the range* (including the unsealed delta).  Their rows must be dropped
+    here too: they are invisible to every read path, can never be revived
+    (a re-added document's rows live in newer segments), and -- critically
+    -- they carry impact values from before their document was removed,
+    which the deferred rewrite never updates; leaving them in a run would
+    feed ``heapq.merge`` unsorted input and scramble the order of *live*
+    rows around them.
+
+    Returns ``(lists, documents, tombstones, postings_written,
+    postings_dropped)``.  Module-level and operating on picklable data, so it
+    can run on an :class:`~repro.core.engine.ExecutionEngine` worker process.
+    """
+    count = len(parts)
+    dead_for: list[AbstractSet[int]] = [_EMPTY] * count
+    accumulated: set[int] = set(external_dead)
+    for position in range(count - 1, -1, -1):
+        dead_for[position] = frozenset(accumulated) if accumulated else _EMPTY
+        accumulated |= parts[position][2]
+
+    all_terms = dict.fromkeys(
+        term for lists, _, _ in parts for term in lists
+    )
+    merged_lists: dict[str, PostingColumns] = {}
+    postings_written = 0
+    postings_before = 0
+    for term in all_terms:
+        runs = [
+            (parts[position][0].get(term), dead_for[position])
+            for position in range(count)
+        ]
+        postings_before += sum(len(r) for r, _ in runs if r is not None)
+        merged = merge_posting_runs(runs)
+        if merged is not None and len(merged):
+            merged_lists[term] = merged
+            postings_written += len(merged)
+
+    documents: set[int] = set()
+    for position, (_, docs, _) in enumerate(parts):
+        dead = dead_for[position]
+        documents.update(doc for doc in docs if doc not in dead)
+    tombstones = {
+        doc
+        for _, _, stones in parts
+        for doc in stones
+        if doc in older_docs
+    }
+    return merged_lists, documents, tombstones, postings_written, postings_before - postings_written
+
+
+@dataclass
+class MergeHandle:
+    """One planned (possibly in-flight) segment merge.
+
+    Produced by ``InvertedIndex.begin_merges`` and redeemed by
+    ``commit_merge``.  With an engine, ``_future`` carries the worker-process
+    computation and queries keep serving from the untouched input segments
+    until the commit; without one, the merge runs lazily in-process when the
+    result is first needed.
+    """
+
+    segment_ids: tuple[int, ...]
+    generation: int
+    seq_lo: int
+    seq_hi: int
+    #: ``update_epoch`` at planning time; a commit under a moved epoch marks
+    #: the index stale so the next read re-derives impacts.
+    epoch: int
+    _future: object | None = None
+    _parts: list | None = None
+    _older_docs: frozenset[int] | None = None
+    _external_dead: frozenset[int] = frozenset()
+    _result: tuple | None = None
+
+    @property
+    def done(self) -> bool:
+        """True once the merged data is (or can immediately be) available."""
+        return self._future is None or self._future.done()
+
+    def result(self) -> tuple:
+        if self._result is None:
+            if self._future is not None:
+                self._result = self._future.result()
+            else:
+                self._result = merge_segment_parts(
+                    self._parts, self._older_docs, self._external_dead
+                )
+            self._parts = None
+        return self._result
+
+
+# -- on-disk columnar directory format -------------------------------------------
+#
+#   <path>/
+#     manifest.json        format, version, byteorder, segment directory
+#                          (per segment: metadata, tombstones, documents and
+#                          the term -> [byte offset, row count] directory),
+#                          plus the index-level extras the caller supplies
+#     doc_terms.json       per-document term frequencies (absent => read-only)
+#     segment_<id>.bin     per term, concatenated: doc_ids (4n bytes), quants
+#                          (4n), impacts (8n) -- 16n per term, so every term
+#                          block starts 16-byte aligned and each column is
+#                          aligned for zero-copy mmap slicing
+#
+# Columns are written in native byte order (recorded in the manifest); a
+# load on a mismatched platform falls back to eager reads with a byteswap.
+
+_TERM_BLOCK_FACTOR = 16  # bytes per row: 4 (doc id) + 4 (quant) + 8 (impact)
+
+
+def _segment_blob(segment: IndexSegment) -> tuple[bytes, dict[str, tuple[int, int]]]:
+    chunks: list[bytes] = []
+    directory: dict[str, tuple[int, int]] = {}
+    offset = 0
+    for term in sorted(segment.lists):
+        columns = segment.lists[term]
+        rows = len(columns)
+        directory[term] = (offset, rows)
+        chunks.append(columns.doc_ids.tobytes())
+        chunks.append(columns.quants.tobytes())
+        chunks.append(columns.impacts.tobytes())
+        offset += rows * _TERM_BLOCK_FACTOR
+    return b"".join(chunks), directory
+
+
+def _column_loader(
+    buffer, offset: int, rows: int, swap: bool
+) -> Callable[[], tuple[array, array, array]]:
+    def load() -> tuple[array, array, array]:
+        view = memoryview(buffer)
+        doc_ids = array("I")
+        doc_ids.frombytes(view[offset : offset + 4 * rows])
+        quants = array("I")
+        quants.frombytes(view[offset + 4 * rows : offset + 8 * rows])
+        impacts = array("d")
+        impacts.frombytes(view[offset + 8 * rows : offset + 16 * rows])
+        if swap:
+            doc_ids.byteswap()
+            quants.byteswap()
+            impacts.byteswap()
+        return doc_ids, impacts, quants
+
+    return load
+
+
+def write_index_directory(
+    path: str | Path,
+    *,
+    segments: Sequence[IndexSegment],
+    extra: Mapping[str, object],
+    document_terms: Mapping[int, Mapping[str, int]] | None,
+) -> None:
+    """Persist sealed segments (plus index-level ``extra`` metadata) under ``path``.
+
+    Saves are crash-safe, including re-saves over an earlier checkpoint:
+    every data file of one save carries that save's sequence number in its
+    name (so a file the *previous* manifest references is never rewritten in
+    place), the manifest itself is swapped in atomically via ``os.replace``,
+    and only then are files the new manifest no longer references deleted.
+    A crash at any point leaves either the old checkpoint fully intact (new
+    files are unreferenced orphans, reclaimed by the next save) or the new
+    one fully committed.
+    """
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest_path = root / "manifest.json"
+    save_seq = 0
+    if manifest_path.exists():
+        try:
+            previous = json.loads(manifest_path.read_text(encoding="utf-8"))
+            save_seq = int(previous.get("save_seq", 0)) + 1
+        except (ValueError, OSError, TypeError):
+            save_seq = 1
+    manifest_segments = []
+    for segment in segments:
+        blob, directory = _segment_blob(segment)
+        filename = f"segment_{segment.segment_id}_{save_seq}.bin"
+        (root / filename).write_bytes(blob)
+        manifest_segments.append(
+            {
+                "segment_id": segment.segment_id,
+                "generation": segment.generation,
+                "base": segment.base,
+                "seq": [segment.seq_lo, segment.seq_hi],
+                "file": filename,
+                "documents": sorted(segment.documents),
+                "tombstones": sorted(segment.tombstones),
+                "terms": {term: list(entry) for term, entry in directory.items()},
+            }
+        )
+    doc_terms_file = None
+    if document_terms is not None:
+        doc_terms_file = f"doc_terms_{save_seq}.json"
+        (root / doc_terms_file).write_text(
+            json.dumps(
+                {str(doc_id): dict(freqs) for doc_id, freqs in document_terms.items()}
+            ),
+            encoding="utf-8",
+        )
+    manifest = {
+        "format": INDEX_FORMAT,
+        "version": INDEX_FORMAT_VERSION,
+        "byteorder": sys.byteorder,
+        "save_seq": save_seq,
+        "doc_terms_file": doc_terms_file,
+        "segments": manifest_segments,
+        **dict(extra),
+    }
+    # Atomic manifest swap: readers see the old checkpoint or the new one,
+    # never a torn mix.
+    staging = root / "manifest.json.tmp"
+    staging.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+    os.replace(staging, manifest_path)
+    # Reclaim files no manifest references any more (previous saves' blobs,
+    # or orphans from a crashed save).
+    current = {entry["file"] for entry in manifest_segments}
+    if doc_terms_file is not None:
+        current.add(doc_terms_file)
+    for pattern in ("segment_*.bin", "doc_terms*.json"):
+        for candidate in root.glob(pattern):
+            if candidate.name not in current:
+                candidate.unlink()
+
+
+def read_index_directory(
+    path: str | Path, *, use_mmap: bool = False
+) -> tuple[dict, list[IndexSegment], dict[int, dict[str, int]] | None, list]:
+    """Load a :func:`write_index_directory` tree.
+
+    Returns ``(manifest, segments, document_terms, buffers)``; ``buffers``
+    holds the mmap objects backing any lazy columns and must stay referenced
+    for the index's lifetime.  With ``use_mmap`` the per-term columns are
+    materialised lazily from the mapped file on first access; without it (or
+    on a byte-order mismatch) each segment file is read eagerly.
+    """
+    root = Path(path)
+    manifest = json.loads((root / "manifest.json").read_text(encoding="utf-8"))
+    if manifest.get("format") != INDEX_FORMAT:
+        raise ValueError(f"{root} is not a {INDEX_FORMAT} directory")
+    if manifest.get("version", 0) > INDEX_FORMAT_VERSION:
+        raise ValueError(
+            f"index format version {manifest.get('version')} is newer than "
+            f"this reader ({INDEX_FORMAT_VERSION})"
+        )
+    swap = manifest.get("byteorder", sys.byteorder) != sys.byteorder
+    buffers: list = []
+    segments: list[IndexSegment] = []
+    for entry in manifest["segments"]:
+        file_path = root / entry["file"]
+        if use_mmap and not swap:
+            with open(file_path, "rb") as handle:
+                size = file_path.stat().st_size
+                buffer = (
+                    _mmap.mmap(handle.fileno(), size, access=_mmap.ACCESS_READ)
+                    if size
+                    else b""
+                )
+            buffers.append(buffer)
+        else:
+            buffer = file_path.read_bytes()
+        lists = {
+            term: PostingColumns.lazy(rows, _column_loader(buffer, offset, rows, swap))
+            for term, (offset, rows) in entry["terms"].items()
+        }
+        if not use_mmap:
+            for columns in lists.values():
+                columns.doc_ids  # noqa: B018 -- force eager materialisation
+        segments.append(
+            IndexSegment(
+                segment_id=entry["segment_id"],
+                generation=entry["generation"],
+                base=entry.get("base", False),
+                seq_lo=entry["seq"][0],
+                seq_hi=entry["seq"][1],
+                lists=lists,
+                documents=set(entry["documents"]),
+                tombstones=set(entry["tombstones"]),
+            )
+        )
+    segments.sort(key=lambda segment: segment.seq_lo)
+    document_terms: dict[int, dict[str, int]] | None = None
+    doc_terms_name = manifest.get("doc_terms_file")
+    doc_terms_path = root / doc_terms_name if doc_terms_name else None
+    if doc_terms_path is not None and doc_terms_path.exists():
+        raw = json.loads(doc_terms_path.read_text(encoding="utf-8"))
+        document_terms = {
+            int(doc_id): dict(freqs) for doc_id, freqs in raw.items()
+        }
+    return manifest, segments, document_terms, buffers

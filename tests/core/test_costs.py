@@ -148,3 +148,59 @@ class TestIndexUpdateReport:
             postings_dropped=counters.postings_dropped,
         )
         assert report.server_cpu_ms > 0.0
+
+
+class TestIndexMaintenanceReport:
+    def test_manifest_keyed_report_reflects_segment_configuration(self):
+        from repro.textsearch.corpus import Corpus, Document
+        from repro.textsearch.inverted_index import InvertedIndex
+        from repro.textsearch.segments import TieredMergePolicy
+
+        index = InvertedIndex.build(
+            Corpus(
+                [
+                    Document(doc_id=1, text="night keeper keeps the keep"),
+                    Document(doc_id=2, text="big old house and gown"),
+                ]
+            ),
+            seal_threshold=1,
+            merge_policy=TieredMergePolicy(fanout=2),
+        )
+        for i in range(2):
+            index.add_document(Document(doc_id=10 + i, text=f"wine cellar vintage{i}"))
+        index.maintain()
+        report = CostModel().index_maintenance_report(index)
+        assert report.scheme == "INDEX"
+        counts = report.counts
+        assert counts["documents_added"] == 2
+        assert counts["segments_sealed"] == 2
+        assert counts["segments_merged"] == 2
+        assert counts["merge_postings_written"] > 0
+        manifest = index.segment_manifest()
+        assert counts["segments"] == manifest.num_segments
+        assert counts["manifest_epoch"] == index.update_epoch
+        assert counts["journal_horizon"] == index.journal_horizon
+        assert counts["resident_postings"] == manifest.total_postings
+        assert report.server_cpu_ms > 0.0
+        assert report.traffic_kbytes == 0.0 and report.user_cpu_ms == 0.0
+
+    def test_segment_counters_priced_into_server_cpu(self):
+        model = CostModel()
+        quiet = model.index_update_report(tokens_tokenised=10)
+        busy = model.index_update_report(
+            tokens_tokenised=10,
+            segments_sealed=3,
+            segments_merged=4,
+            merge_postings_written=100,
+            merge_postings_dropped=20,
+        )
+        expected_extra = (
+            3 * model.index_seal_ms_per_segment
+            + 4 * model.index_merge_ms_per_segment
+            + 120 * model.index_merge_ms_per_posting
+        )
+        assert busy.server_cpu_ms == pytest.approx(
+            quiet.server_cpu_ms + expected_extra
+        )
+        assert busy.counts["segments_sealed"] == 3
+        assert busy.counts["merge_postings_dropped"] == 20

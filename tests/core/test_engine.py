@@ -314,3 +314,49 @@ class TestResizeGuard:
         blocker.set_result(None)
         assert server._engine_for(4).parallelism == 4
         engine.shutdown()
+
+
+class TestSubmitTask:
+    def test_generic_background_task_runs_on_the_pool(self):
+        import math
+
+        with ExecutionEngine(parallelism=1) as engine:
+            future = engine.submit_task(math.factorial, 10)
+            assert future.result() == 3628800
+            assert engine.counters.tasks_dispatched == 1
+            assert engine.counters.pool_starts == 1
+
+    def test_submit_task_counts_as_outstanding_until_done(self):
+        import math
+
+        with ExecutionEngine(parallelism=1) as engine:
+            future = engine.submit_task(math.factorial, 5)
+            future.result()
+            assert engine.outstanding_tasks() == 0
+
+    def test_submit_task_after_shutdown_raises(self):
+        import math
+
+        engine = ExecutionEngine(parallelism=1)
+        engine.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            engine.submit_task(math.factorial, 3)
+
+    def test_background_segment_merge_payload_round_trips(self):
+        """The segment-merge kernel is dispatchable as a generic task: its
+        payload (posting columns + sets) pickles to the worker and back."""
+        from repro.textsearch.segments import PostingColumns, merge_segment_parts
+
+        old = PostingColumns.from_entries([(1, 3.0), (2, 2.0)], 3.0, 255)
+        new = PostingColumns.from_entries([(3, 2.5)], 3.0, 255)
+        parts = [
+            ({"term": old}, frozenset({1, 2}), frozenset()),
+            ({"term": new}, frozenset({3}), frozenset({2})),
+        ]
+        with ExecutionEngine(parallelism=1) as engine:
+            future = engine.submit_task(merge_segment_parts, parts, frozenset())
+            lists, documents, tombstones, written, dropped = future.result()
+        assert list(lists["term"].doc_ids) == [1, 3]
+        assert documents == {1, 3}
+        assert tombstones == set()  # consumed in range
+        assert written == 2 and dropped == 1

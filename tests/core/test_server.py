@@ -345,3 +345,62 @@ class TestIterBatch:
         assert len(remainder) == 1 and len(remainder[0].encrypted_scores)
         assert server.counters == expected  # aggregate untouched by the stream
         assert len(server.last_batch_counters) == 0  # rebound by process_query
+
+
+class TestEngineFinalizerGuard:
+    def test_gc_reclaimed_server_shuts_down_owned_engine(
+        self, index, organization, benaloh_keypair
+    ):
+        """Regression: a server dropped without close()/with used to strand
+        its owned engine's worker pool until interpreter exit."""
+        import gc
+
+        server = PrivateRetrievalServer(
+            index=index,
+            organization=organization,
+            public_key=benaloh_keypair.public,
+            parallelism=2,
+        )
+        engine = server._engine_for(2)
+        engine.start()  # a real resident pool is up
+        assert engine.running and not engine.closed
+        del server
+        gc.collect()
+        assert engine.closed
+        assert not engine.running  # the worker pool was shut down, not stranded
+
+    def test_finalizer_leaves_shared_engines_running(
+        self, index, organization, benaloh_keypair
+    ):
+        import gc
+
+        from repro.core.engine import ExecutionEngine
+
+        with ExecutionEngine(parallelism=2) as shared:
+            server = PrivateRetrievalServer(
+                index=index,
+                organization=organization,
+                public_key=benaloh_keypair.public,
+                parallelism=2,
+                engine=shared,
+            )
+            del server
+            gc.collect()
+            assert not shared.closed  # shared engines are the caller's to shut down
+
+    def test_finalizer_after_explicit_close_is_harmless(
+        self, index, organization, benaloh_keypair
+    ):
+        import gc
+
+        server = PrivateRetrievalServer(
+            index=index,
+            organization=organization,
+            public_key=benaloh_keypair.public,
+        )
+        server._engine_for(1)
+        server.close()
+        server.close()  # idempotent
+        assert server.engine is None
+        del server
+        gc.collect()  # __del__ after close must not raise

@@ -117,3 +117,66 @@ class TestIteration:
 
     def test_num_terms(self, tiny_index):
         assert tiny_index.num_terms == len(tiny_index.terms)
+
+
+class TestSerialiseRoundTripUnderPendingUpdates:
+    """Pinned behaviour: ``serialise_list`` always reflects the *effective*
+    main+delta view the PIR layer serves, even while delta postings and
+    tombstones are pending, and ``deserialise_list`` inverts it exactly."""
+
+    @pytest.fixture()
+    def pending_index(self, tiny_corpus):
+        index = InvertedIndex.build(tiny_corpus)
+        index.add_document(
+            Document(doc_id=9, text="night watch keeper of the old house gown")
+        )
+        index.remove_document(2)
+        assert index.has_pending_updates
+        return index
+
+    def test_round_trip_matches_effective_postings(self, pending_index):
+        for term in pending_index.terms:
+            recovered = InvertedIndex.deserialise_list(
+                pending_index.serialise_list(term)
+            )
+            effective = pending_index.postings(term)
+            assert [(p.doc_id, p.quantised_impact) for p in recovered] == [
+                (p.doc_id, p.quantised_impact) for p in effective
+            ], term
+
+    def test_pending_bytes_equal_rebuild_bytes(self, tiny_corpus, pending_index):
+        live = [doc for doc in tiny_corpus if doc.doc_id != 2] + [
+            Document(doc_id=9, text="night watch keeper of the old house gown")
+        ]
+        rebuilt = InvertedIndex.build(Corpus(live))
+        for term in rebuilt.terms:
+            assert pending_index.serialise_list(term) == rebuilt.serialise_list(term), term
+
+    def test_pending_bytes_equal_post_compact_bytes(self, pending_index):
+        before = {
+            term: pending_index.serialise_list(term) for term in pending_index.terms
+        }
+        pending_index.compact()
+        for term, data in before.items():
+            assert pending_index.serialise_list(term) == data, term
+
+    def test_tombstoned_rows_never_serialised(self, pending_index):
+        for term in pending_index.terms:
+            recovered = InvertedIndex.deserialise_list(
+                pending_index.serialise_list(term)
+            )
+            assert all(p.doc_id != 2 for p in recovered), term
+
+    def test_delta_rows_round_trip_through_pir_padding(self, pending_index):
+        """A pending-update column padded by the PIR database layer decodes
+        back to the effective postings -- padding is dropped, delta rows kept."""
+        data = pending_index.serialise_list("gown")  # doc 9's delta row only
+        padded = data + b"\x00" * (4 * POSTING_BYTES)
+        recovered = InvertedIndex.deserialise_list(padded)
+        assert [p.doc_id for p in recovered] == [9]
+
+    def test_removed_term_serialises_empty_while_pending(self, tiny_corpus):
+        index = InvertedIndex.build(tiny_corpus)
+        index.remove_document(2)  # the only "gown" document
+        assert index.serialise_list("gown") == b""
+        assert InvertedIndex.deserialise_list(index.serialise_list("gown")) == ()

@@ -1,0 +1,595 @@
+"""Unit tests for the segmented storage engine (seal, merge, persist)."""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import ExecutionEngine
+from repro.textsearch.corpus import Corpus, Document
+from repro.textsearch.inverted_index import InvertedIndex
+from repro.textsearch.scoring import BM25Scorer
+from repro.textsearch.segments import (
+    IndexSegment,
+    PostingColumns,
+    TieredMergePolicy,
+    merge_posting_runs,
+)
+
+
+@pytest.fixture()
+def base_documents():
+    return [
+        Document(doc_id=1, text="the old night keeper keeps the keep in the town"),
+        Document(doc_id=2, text="in the big old house in the big old gown"),
+        Document(doc_id=3, text="the house in the town had the big old keep"),
+        Document(doc_id=4, text="where the old night keeper never did sleep"),
+    ]
+
+
+@pytest.fixture()
+def extra_documents():
+    return [
+        Document(doc_id=10, text="wine cellar below the old house"),
+        Document(doc_id=11, text="the night train to huntsville"),
+        Document(doc_id=12, text="gown of the town keeper"),
+        Document(doc_id=13, text="yeast and nitrogen in the cellar air"),
+        Document(doc_id=14, text="diving for wine in the old town"),
+        Document(doc_id=15, text="terrorism never did sleep in huntsville"),
+    ]
+
+
+def assert_indexes_identical(left, right):
+    assert set(left.terms) == set(right.terms)
+    assert left.max_impact == right.max_impact
+    assert left.stats.num_documents == right.stats.num_documents
+    assert dict(left.stats.document_frequencies) == dict(right.stats.document_frequencies)
+    for term in right.terms:
+        left_docs, left_quants = left.columns(term)
+        right_docs, right_quants = right.columns(term)
+        assert list(left_docs) == list(right_docs), term
+        assert list(left_quants) == list(right_quants), term
+        assert left.serialise_list(term) == right.serialise_list(term)
+
+
+class TestSealing:
+    def test_seal_freezes_delta_into_generation_zero_segment(self, base_documents, extra_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        index.add_document(extra_documents[0])
+        assert index.has_pending_updates
+        info = index.seal_delta()
+        assert info is not None
+        assert info.generation == 0 and not info.base and info.sealed
+        assert not index.has_pending_updates
+        assert index.num_segments == 2
+        rebuilt = InvertedIndex.build(Corpus(base_documents + extra_documents[:1]))
+        assert_indexes_identical(index, rebuilt)
+
+    def test_seal_with_nothing_staged_is_a_noop(self, base_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        assert index.seal_delta() is None
+        assert index.num_segments == 1
+
+    def test_tombstone_only_seal_filters_older_rows(self, base_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        index.remove_document(2)
+        info = index.seal_delta()
+        assert info is not None and info.tombstones == 1
+        assert index.num_segments == 2
+        assert index.num_tombstones == 1  # resident in the sealed segment now
+        rebuilt = InvertedIndex.build(
+            Corpus([d for d in base_documents if d.doc_id != 2])
+        )
+        assert_indexes_identical(index, rebuilt)
+
+    def test_auto_seal_at_threshold(self, base_documents, extra_documents):
+        index = InvertedIndex.build(Corpus(base_documents), seal_threshold=1)
+        index.add_documents(extra_documents[:3])
+        # Every add crosses the one-posting threshold, so each sealed alone.
+        assert index.num_segments == 4
+        assert index.update_counters.segments_sealed == 3
+        assert not index.has_pending_updates
+        rebuilt = InvertedIndex.build(Corpus(base_documents + extra_documents[:3]))
+        assert_indexes_identical(index, rebuilt)
+
+    def test_remove_after_seal_tombstones_the_sealed_rows(self, base_documents, extra_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        index.add_document(extra_documents[0])
+        index.seal_delta()
+        index.remove_document(extra_documents[0].doc_id)
+        rebuilt = InvertedIndex.build(Corpus(base_documents))
+        assert_indexes_identical(index, rebuilt)
+
+    def test_re_add_after_sealed_remove_serves_only_fresh_rows(self, base_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        index.remove_document(2)
+        index.seal_delta()
+        index.add_document(base_documents[1])
+        ordered = [d for d in base_documents if d.doc_id != 2] + [base_documents[1]]
+        assert_indexes_identical(index, InvertedIndex.build(Corpus(ordered)))
+
+
+class TestTieredMergePolicy:
+    def _segment(self, segment_id, generation, seq, base=False):
+        return IndexSegment(
+            segment_id=segment_id,
+            generation=generation,
+            seq_lo=seq[0],
+            seq_hi=seq[1],
+            lists={},
+            documents=set(),
+            base=base,
+        )
+
+    def test_plans_oldest_fanout_of_a_full_tier(self):
+        policy = TieredMergePolicy(fanout=2)
+        segments = [
+            self._segment(0, 0, (0, 0), base=True),
+            self._segment(1, 0, (1, 1)),
+            self._segment(2, 0, (2, 2)),
+            self._segment(3, 0, (3, 3)),
+        ]
+        assert policy.plan(segments) == [(1, 2)]
+
+    def test_base_segment_never_selected(self):
+        policy = TieredMergePolicy(fanout=2)
+        segments = [
+            self._segment(0, 0, (0, 0), base=True),
+            self._segment(1, 0, (1, 1)),
+        ]
+        assert policy.plan(segments) == []
+
+    def test_one_group_per_generation(self):
+        policy = TieredMergePolicy(fanout=2)
+        segments = [
+            self._segment(0, 0, (0, 0), base=True),
+            self._segment(5, 1, (1, 4)),
+            self._segment(6, 1, (5, 8)),
+            self._segment(7, 0, (9, 9)),
+            self._segment(8, 0, (10, 10)),
+        ]
+        assert policy.plan(segments) == [(7, 8), (5, 6)]
+
+    def test_fanout_below_two_rejected(self):
+        with pytest.raises(ValueError, match="fanout"):
+            TieredMergePolicy(fanout=1)
+
+
+class TestTieredMerging:
+    def test_maintain_merges_full_tier_and_content_is_preserved(
+        self, base_documents, extra_documents
+    ):
+        index = InvertedIndex.build(
+            Corpus(base_documents),
+            seal_threshold=1,
+            merge_policy=TieredMergePolicy(fanout=2),
+        )
+        index.add_documents(extra_documents[:4])  # four generation-0 seals
+        assert index.num_segments == 5
+        report = index.maintain()
+        assert report["merges_committed"] >= 1
+        assert index.num_segments < 5
+        manifest = index.segment_manifest()
+        assert 1 in manifest.generations  # a merged generation exists
+        rebuilt = InvertedIndex.build(Corpus(base_documents + extra_documents[:4]))
+        assert_indexes_identical(index, rebuilt)
+        assert index.update_counters.merges >= 1
+        assert index.update_counters.merge_postings_written > 0
+
+    def test_merge_consumes_tombstones_and_drops_dead_rows(
+        self, base_documents, extra_documents
+    ):
+        index = InvertedIndex.build(
+            Corpus(base_documents), merge_policy=TieredMergePolicy(fanout=2)
+        )
+        index.add_document(extra_documents[0])
+        index.seal_delta()
+        index.remove_document(extra_documents[0].doc_id)
+        index.add_document(extra_documents[1])
+        index.seal_delta()
+        # Two generation-0 segments; the newer one's tombstone kills the
+        # older one's rows, and since doc 10 lives nowhere older than the
+        # merged range the tombstone must be consumed by the merge.
+        handles = index.begin_merges()
+        assert len(handles) == 1
+        assert index.commit_merge(handles[0])
+        assert index.num_tombstones == 0
+        assert index.update_counters.merge_postings_dropped > 0
+        rebuilt = InvertedIndex.build(Corpus(base_documents + [extra_documents[1]]))
+        assert_indexes_identical(index, rebuilt)
+
+    def test_merge_keeps_tombstones_of_base_resident_documents(self, base_documents, extra_documents):
+        index = InvertedIndex.build(
+            Corpus(base_documents), merge_policy=TieredMergePolicy(fanout=2)
+        )
+        index.add_document(extra_documents[0])
+        index.seal_delta()
+        index.remove_document(2)  # rows live in the base segment
+        index.add_document(extra_documents[1])
+        index.seal_delta()
+        handles = index.begin_merges()
+        assert index.commit_merge(handles[0])
+        # The tombstone survives the merge (its rows are in the base,
+        # outside the merged range) and keeps filtering reads.
+        assert index.num_tombstones == 1
+        rebuilt = InvertedIndex.build(
+            Corpus(
+                [d for d in base_documents if d.doc_id != 2] + extra_documents[:2]
+            )
+        )
+        assert_indexes_identical(index, rebuilt)
+
+    def test_commit_after_compact_discards_handle(self, base_documents, extra_documents):
+        index = InvertedIndex.build(
+            Corpus(base_documents),
+            seal_threshold=1,
+            merge_policy=TieredMergePolicy(fanout=2),
+        )
+        index.add_documents(extra_documents[:2])
+        handles = index.begin_merges()
+        assert handles
+        index.compact()  # the inputs are gone
+        assert index.commit_merge(handles[0]) is False
+        rebuilt = InvertedIndex.build(Corpus(base_documents + extra_documents[:2]))
+        assert_indexes_identical(index, rebuilt)
+
+    def test_mutations_between_begin_and_commit_stay_bit_identical(
+        self, base_documents, extra_documents
+    ):
+        index = InvertedIndex.build(
+            Corpus(base_documents),
+            seal_threshold=1,
+            merge_policy=TieredMergePolicy(fanout=2),
+        )
+        index.add_documents(extra_documents[:2])
+        handles = index.begin_merges()
+        index.add_document(extra_documents[2])  # moves the epoch mid-merge
+        index.remove_document(1)
+        assert index.commit_merge(handles[0])
+        live = [d for d in base_documents if d.doc_id != 1] + extra_documents[:3]
+        assert_indexes_identical(index, InvertedIndex.build(Corpus(live)))
+
+    def test_merge_drops_rows_tombstoned_outside_the_range(self, base_documents, extra_documents):
+        """Regression: rows tombstoned by a segment *newer than the merged
+        range* carry pre-removal impacts (the deferred rewrite skips dead
+        rows), so leaving them in the merged runs fed heapq.merge unsorted
+        input and scrambled the order of live rows around them."""
+        index = InvertedIndex.build(
+            Corpus(base_documents), merge_policy=TieredMergePolicy(fanout=2)
+        )
+        index.add_document(extra_documents[0])
+        index.seal_delta()
+        index.add_document(extra_documents[1])
+        index.seal_delta()
+        # Tombstone a doc of the to-be-merged range *and* drift the stats so
+        # its dead rows' stale impacts diverge from the fresh ones.
+        index.remove_document(extra_documents[0].doc_id)
+        index.remove_document(1)
+        index.remove_document(2)
+        index.seal_delta()  # external tombstones live in this newer segment
+        for handle in index.begin_merges():
+            assert index.commit_merge(handle)
+        merged = [s for s in index._segments if not s.base][0]
+        assert extra_documents[0].doc_id not in merged.documents
+        assert all(
+            extra_documents[0].doc_id not in set(columns.doc_ids)
+            for columns in merged.lists.values()
+        )
+        live = [d for d in base_documents if d.doc_id not in (1, 2)] + [extra_documents[1]]
+        assert_indexes_identical(index, InvertedIndex.build(Corpus(live)))
+
+    def test_one_maintain_cycle_counts_as_one_journal_window(self, base_documents, extra_documents):
+        """Regression: the seal and the merge commits of a single maintain()
+        call used to prune the journal twice, collapsing the window to zero
+        and forcing every downstream cache into wholesale invalidation."""
+        index = InvertedIndex.build(
+            Corpus(base_documents), merge_policy=TieredMergePolicy(fanout=2)
+        )
+        for doc in extra_documents[:2]:
+            index.add_document(doc)
+            index.maintain(force_seal=True)
+        assert index.update_counters.merges == 1  # seal + commit in one cycle
+        # The current batch's entries must still be answerable exactly.
+        assert index.journal_horizon < index.update_epoch
+
+    def test_background_merge_on_engine_worker(self, base_documents, extra_documents):
+        index = InvertedIndex.build(
+            Corpus(base_documents),
+            seal_threshold=1,
+            merge_policy=TieredMergePolicy(fanout=2),
+        )
+        index.add_documents(extra_documents[:2])
+        rebuilt = InvertedIndex.build(Corpus(base_documents + extra_documents[:2]))
+        with ExecutionEngine(parallelism=1) as engine:
+            handles = index.begin_merges(engine)
+            assert len(handles) == 1
+            # Queries keep serving from the untouched inputs mid-merge.
+            assert_indexes_identical(index, rebuilt)
+            assert index.commit_merge(handles[0])
+            assert engine.counters.tasks_dispatched >= 1
+        assert_indexes_identical(index, rebuilt)
+        assert index.update_counters.merges == 1
+
+
+class TestMergePostingRuns:
+    def test_single_clean_run_is_returned_zero_copy(self):
+        columns = PostingColumns.from_entries([(1, 2.0), (2, 1.0)], 2.0, 255)
+        assert merge_posting_runs([(columns, frozenset())]) is columns
+
+    def test_dead_rows_filtered_and_order_preserved(self):
+        old = PostingColumns.from_entries([(1, 3.0), (2, 2.0), (3, 1.0)], 3.0, 255)
+        new = PostingColumns.from_entries([(4, 2.5), (5, 0.5)], 3.0, 255)
+        merged = merge_posting_runs([(old, frozenset({2})), (new, frozenset())])
+        assert list(merged.doc_ids) == [1, 4, 3, 5]
+        assert list(merged.impacts) == [3.0, 2.5, 1.0, 0.5]
+
+    def test_empty_result_is_none(self):
+        columns = PostingColumns.from_entries([(7, 1.0)], 1.0, 255)
+        assert merge_posting_runs([(columns, frozenset({7}))]) is None
+        assert merge_posting_runs([(None, frozenset())]) is None
+
+
+class TestUpdateJournalBounds:
+    def test_seal_prunes_dead_term_entries_beyond_the_window(self, base_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        index.add_document(Document(doc_id=9, text="zebra stripes"))
+        index.seal_delta()
+        index.remove_document(9)  # "zebra" leaves the dictionary; entry lingers
+        index.add_document(Document(doc_id=10, text="lion mane"))
+        index.seal_delta()
+        assert "zebra" in index._touched  # still within the window
+        index.add_document(Document(doc_id=11, text="tiger paw"))
+        index.seal_delta()  # prunes entries at or below the previous seal's epoch
+        assert index.journal_horizon > 0
+        assert "zebra" not in index._touched
+        # Recent entries keep exact answers.
+        assert "tiger" in index.touched_since(index.journal_horizon)
+
+    def test_epochs_below_horizon_report_everything_touched(self, base_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        for step, doc_id in enumerate((9, 10, 11)):
+            index.add_document(Document(doc_id=doc_id, text=f"mammal{step} fur"))
+            index.seal_delta()
+        assert index.journal_horizon > 0
+        stale_epoch = index.journal_horizon - 1
+        touched = index.touched_since(stale_epoch)
+        # Conservative: every live term reports as touched, including ones
+        # whose exact journal entries were pruned.
+        assert touched >= set(index.terms)
+
+    def test_dead_terms_do_not_accumulate_across_sealed_batches(self, base_documents):
+        """The PR-4 journal leak: one-shot terms of long-removed documents
+        stayed journaled forever.  With window pruning the journal holds at
+        most the live dictionary plus the last two batches' churn."""
+        index = InvertedIndex.build(Corpus(base_documents), seal_threshold=1)
+        for i in range(30):
+            index.add_document(Document(doc_id=100 + i, text=f"unique{i} filler{i}"))
+            if i >= 2:
+                index.remove_document(100 + i - 2)  # retire old churn docs
+        live_terms = set(index.terms)
+        dead_journaled = set(index._touched) - live_terms
+        # Only the most recent windows' removals may linger, never all 28.
+        assert len(dead_journaled) <= 8
+        assert "unique3" not in index._touched
+
+    def test_touched_since_reports_pending_rewrites_without_flushing(self, base_documents):
+        """Serving-layer syncs must not pay the full-index array rewrite:
+        touched_since reports lists still awaiting their deferred rewrite as
+        (conservatively) touched instead of executing the rewrites to find
+        out."""
+        index = InvertedIndex.build(Corpus(base_documents))
+        epoch_before = index.update_epoch
+        index.add_document(Document(doc_id=9, text="night watch"))
+        touched = index.touched_since(epoch_before)
+        base = index._segments[0]
+        assert base.stale_terms  # the deferred rewrites were NOT flushed
+        assert base.stale_terms <= touched  # ...but they report as touched
+        # A cache synced at the current epoch needs no invalidation: terms
+        # it cached were read (running their rewrite), the rest it never held.
+        assert index.touched_since(index.update_epoch) == frozenset()
+
+    def test_compact_prunes_journal_too(self, base_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        index.add_document(Document(doc_id=9, text="zebra"))
+        index.compact()
+        index.remove_document(9)
+        index.compact()
+        index.add_document(Document(doc_id=10, text="lion"))
+        index.compact()
+        assert index.journal_horizon > 0
+        assert "zebra" not in index._touched
+
+
+class TestSegmentManifest:
+    def test_manifest_reflects_configuration(self, base_documents, extra_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        manifest = index.segment_manifest()
+        assert manifest.num_segments == 1
+        assert manifest.segments[0].base
+        assert manifest.active is None
+        index.add_document(extra_documents[0])
+        index.remove_document(1)
+        manifest = index.segment_manifest()
+        assert manifest.active is not None
+        assert not manifest.active.sealed
+        assert manifest.active.documents == 1
+        assert manifest.active.tombstones == 1
+        assert manifest.total_tombstones == 1
+        index.seal_delta()
+        manifest = index.segment_manifest()
+        assert manifest.num_segments == 2
+        assert manifest.active is None
+        assert manifest.generations == (0,)
+        assert manifest.epoch == index.update_epoch
+
+
+def _save_target(tmp_path: Path, name: str) -> Path:
+    """Honour SAVED_INDEX_ARTIFACT_DIR so CI can upload the saved tree."""
+    artifact_root = os.environ.get("SAVED_INDEX_ARTIFACT_DIR")
+    if artifact_root:
+        return Path(artifact_root) / name
+    return tmp_path / name
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("use_mmap", [False, True])
+    def test_save_load_round_trip(self, tmp_path, base_documents, extra_documents, use_mmap):
+        index = InvertedIndex.build(Corpus(base_documents))
+        index.add_document(extra_documents[0])
+        index.remove_document(2)
+        target = _save_target(tmp_path, f"roundtrip_mmap_{use_mmap}")
+        manifest = index.save(target)
+        assert all(info.sealed for info in manifest.segments)
+        loaded = InvertedIndex.load(target, mmap=use_mmap)
+        live = [d for d in base_documents if d.doc_id != 2] + [extra_documents[0]]
+        rebuilt = InvertedIndex.build(Corpus(live))
+        assert_indexes_identical(loaded, rebuilt)
+        assert loaded.stats.average_document_length == rebuilt.stats.average_document_length
+
+    def test_mmap_load_materialises_columns_lazily(self, tmp_path, base_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        index.save(tmp_path / "lazy")
+        loaded = InvertedIndex.load(tmp_path / "lazy", mmap=True)
+        segment = loaded._segments[0]
+        assert all(not columns.materialised for columns in segment.lists.values())
+        loaded.columns("keep")  # touch one term
+        assert segment.lists["keep"].materialised
+        untouched = [t for t in segment.lists if t != "keep"]
+        assert any(not segment.lists[t].materialised for t in untouched)
+
+    def test_loaded_index_supports_further_updates(self, tmp_path, base_documents, extra_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        index.save(tmp_path / "updatable")
+        loaded = InvertedIndex.load(tmp_path / "updatable", mmap=True)
+        loaded.add_document(extra_documents[0])
+        loaded.remove_document(1)
+        live = [d for d in base_documents if d.doc_id != 1] + [extra_documents[0]]
+        assert_indexes_identical(loaded, InvertedIndex.build(Corpus(live)))
+
+    def test_load_without_document_terms_is_read_only(self, tmp_path, base_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        index.save(tmp_path / "frozen", include_document_terms=False)
+        loaded = InvertedIndex.load(tmp_path / "frozen")
+        assert not loaded.supports_updates
+        assert_indexes_identical(loaded, index)
+        with pytest.raises(RuntimeError, match="does not support incremental updates"):
+            loaded.add_document(Document(doc_id=99, text="anything"))
+
+    def test_bm25_scorer_round_trips_through_manifest(self, tmp_path, base_documents, extra_documents):
+        scorer = BM25Scorer(k1=1.6, b=0.6)
+        index = InvertedIndex.build(Corpus(base_documents), scorer=scorer)
+        index.save(tmp_path / "bm25")
+        loaded = InvertedIndex.load(tmp_path / "bm25")
+        assert loaded._scorer == scorer
+        loaded.add_document(extra_documents[0])
+        rebuilt = InvertedIndex.build(
+            Corpus(base_documents + [extra_documents[0]]), scorer=scorer
+        )
+        assert_indexes_identical(loaded, rebuilt)
+
+    def test_unknown_scorer_requires_explicit_argument(self, tmp_path, base_documents):
+        class OddScorer:
+            def document_impacts(self, term_frequencies, stats):
+                return {term: 1.0 for term in term_frequencies}
+
+        index = InvertedIndex.build(Corpus(base_documents), scorer=OddScorer())
+        index.save(tmp_path / "odd")
+        with pytest.raises(ValueError, match="pass scorer="):
+            InvertedIndex.load(tmp_path / "odd")
+        loaded = InvertedIndex.load(tmp_path / "odd", scorer=OddScorer())
+        assert_indexes_identical(loaded, index)
+
+    def test_save_seals_the_pending_delta(self, tmp_path, base_documents, extra_documents):
+        index = InvertedIndex.build(Corpus(base_documents))
+        index.add_document(extra_documents[0])
+        assert index.has_pending_updates
+        manifest = index.save(tmp_path / "sealed")
+        assert not index.has_pending_updates
+        assert manifest.num_segments == 2
+
+    def test_segment_structure_survives_the_round_trip(self, tmp_path, base_documents, extra_documents):
+        index = InvertedIndex.build(Corpus(base_documents), seal_threshold=1)
+        index.add_documents(extra_documents[:3])
+        index.save(tmp_path / "segmented")
+        loaded = InvertedIndex.load(tmp_path / "segmented")
+        original = index.segment_manifest()
+        restored = loaded.segment_manifest()
+        assert [info.segment_id for info in restored.segments] == [
+            info.segment_id for info in original.segments
+        ]
+        assert [info.generation for info in restored.segments] == [
+            info.generation for info in original.segments
+        ]
+        # Maintenance keeps working after the reload.
+        loaded.add_documents(extra_documents[3:])
+        loaded.maintain(force_seal=True)
+        rebuilt = InvertedIndex.build(Corpus(base_documents + extra_documents))
+        assert_indexes_identical(loaded, rebuilt)
+
+    def test_resave_reclaims_orphaned_segment_files(self, tmp_path, base_documents, extra_documents):
+        """Regression: segment ids only grow, so repeated checkpoints to one
+        path used to accumulate unreferenced segment_<id>.bin blobs."""
+        import json
+
+        index = InvertedIndex.build(Corpus(base_documents))
+        target = tmp_path / "checkpoint"
+        index.save(target)
+        index.add_document(extra_documents[0])
+        index.maintain(force_seal=True)
+        index.compact()
+        index.save(target)
+        manifest = json.loads((target / "manifest.json").read_text())
+        referenced = sorted(entry["file"] for entry in manifest["segments"])
+        on_disk = sorted(p.name for p in target.glob("segment_*.bin"))
+        assert on_disk == referenced
+        loaded = InvertedIndex.load(target)
+        rebuilt = InvertedIndex.build(Corpus(base_documents + [extra_documents[0]]))
+        assert_indexes_identical(loaded, rebuilt)
+
+    def test_resave_never_rewrites_previously_referenced_files(
+        self, tmp_path, base_documents, extra_documents
+    ):
+        """Crash safety: a re-save must not touch any file the previous
+        manifest references -- a crash mid-save would otherwise corrupt a
+        previously valid checkpoint.  Data files carry the save sequence in
+        their names and the manifest is swapped atomically."""
+        import json
+
+        index = InvertedIndex.build(Corpus(base_documents))
+        target = tmp_path / "checkpoint"
+        index.save(target)
+        old_manifest = json.loads((target / "manifest.json").read_text())
+        old_files = {e["file"] for e in old_manifest["segments"]}
+        old_files.add(old_manifest["doc_terms_file"])
+        index.add_document(extra_documents[0])
+        index.save(target)
+        new_manifest = json.loads((target / "manifest.json").read_text())
+        new_files = {e["file"] for e in new_manifest["segments"]}
+        new_files.add(new_manifest["doc_terms_file"])
+        assert not (old_files & new_files)  # disjoint: old files never rewritten
+        assert new_manifest["save_seq"] == old_manifest["save_seq"] + 1
+
+    def test_maintenance_config_round_trips_through_save_load(
+        self, tmp_path, base_documents, extra_documents
+    ):
+        """Regression: seal_threshold and the merge fanout used to be lost on
+        load, silently disabling auto-seal after a restart."""
+        index = InvertedIndex.build(
+            Corpus(base_documents),
+            seal_threshold=1,
+            merge_policy=TieredMergePolicy(fanout=3),
+        )
+        index.save(tmp_path / "configured")
+        loaded = InvertedIndex.load(tmp_path / "configured")
+        assert loaded.seal_threshold == 1
+        assert loaded.merge_policy == TieredMergePolicy(fanout=3)
+        loaded.add_document(extra_documents[0])  # auto-seal still armed
+        assert loaded.update_counters.segments_sealed == 1
+        # Explicit overrides still win.
+        overridden = InvertedIndex.load(tmp_path / "configured", seal_threshold=None)
+        assert overridden.seal_threshold is None
+
+    def test_load_rejects_non_index_directory(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a repro-index-segments"):
+            InvertedIndex.load(tmp_path)
