@@ -208,6 +208,10 @@ class PrivateSearchSystem:
             client_decryptions=self.client.postfilter_counters.decryptions,
             server_merge_multiplications=counters.merge_multiplications,
             shards_executed=counters.shards_executed,
+            pool_restarts=counters.pool_restarts,
+            tasks_retried=counters.tasks_retried,
+            tasks_timed_out=counters.tasks_timed_out,
+            degraded_queries=counters.degraded_queries,
         )
         return ranking, report
 
@@ -270,6 +274,10 @@ class PrivateSearchSystem:
                 client_decryptions=self.client.postfilter_counters.decryptions,
                 server_merge_multiplications=counters.merge_multiplications,
                 shards_executed=counters.shards_executed,
+                pool_restarts=counters.pool_restarts,
+                tasks_retried=counters.tasks_retried,
+                tasks_timed_out=counters.tasks_timed_out,
+                degraded_queries=counters.degraded_queries,
             )
             outputs.append((ranking, report))
         return outputs

@@ -30,24 +30,87 @@ saturate the pool.  Per-query shard groups come back as
 **streaming delivery** possible: callers collect each query's result as its
 futures complete, in submission order, without waiting for the whole batch.
 
+Fault tolerance
+---------------
+Shard collection survives worker death, hung tasks, and transient errors.
+The accumulation kernel is an associative product in Z*_n, so re-running a
+lost shard is idempotent down to the bit: on ``BrokenProcessPool`` (a worker
+died), a per-task deadline expiring, or a transient error, the engine retires
+the broken pool (``cancel_futures=True``), restarts it lazily, and
+re-dispatches *only the lost shards* under bounded exponential backoff with
+seeded jitter (:class:`RetryPolicy`; the clock and sleep are injectable so
+fault suites run fast and deterministically).  When a task exhausts its retry
+budget the engine **degrades gracefully**: the shard runs in-process through
+the same kernel -- slower, still bit-identical -- instead of failing the
+query.  ``EngineCounters`` exposes the whole story (``pool_restarts``,
+``tasks_retried``, ``tasks_timed_out``, ``degraded_queries``) and the server
+forwards it into :meth:`repro.core.costs.CostModel.pr_report`.  Installing a
+:class:`repro.core.faults.FaultInjector` (``fault_injector`` field) makes
+workers fail on a seeded schedule -- the test/bench substrate for all of the
+above.
+
 Reproducibility
 ---------------
 Every worker task carries an explicit seed derived from ``(base_seed, task
 index within the call)`` -- never from pool age or dispatch history -- so a
 reused resident pool replays byte-identical seed streams call after call,
-exactly like a freshly forked pool would.
+exactly like a freshly forked pool would.  Retries re-dispatch the *same*
+task tuple (same seed), and the degraded path calls the kernel directly
+(never ``_shard_task``, which would re-seed the caller's generators), so no
+failure path perturbs results.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
-from dataclasses import dataclass, field
-from typing import Sequence
+import time
+from concurrent.futures import BrokenExecutor, CancelledError, Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field, fields
+from typing import Callable, Sequence
 
-from repro.core import parallel
+from repro.core import faults, parallel
 from repro.crypto import numbertheory
 
-__all__ = ["EngineBusyError", "EngineCounters", "ExecutionEngine"]
+__all__ = [
+    "EngineBusyError",
+    "EngineCounters",
+    "ExecutionEngine",
+    "ResilientPendingResult",
+    "RetryPolicy",
+]
+
+#: Exceptions that mean "this attempt is lost but the task is retryable".
+#: ``concurrent.futures.TimeoutError`` is a distinct class before 3.11.
+_TIMEOUT_ERRORS = (TimeoutError, FuturesTimeoutError)
+_LOST_ATTEMPT_ERRORS = (BrokenExecutor, CancelledError) + _TIMEOUT_ERRORS
+
+
+def _retryable(exc: BaseException) -> bool:
+    """Whether a failed attempt may be re-dispatched.
+
+    Pool loss (``BrokenExecutor``), cancellation (a sibling recovery retired
+    the pool under this future), expired deadlines, and duck-typed transient
+    errors (``exc.transient`` is true -- see :mod:`repro.core.faults`) are
+    retryable; everything else -- including ``PermanentFaultError`` and real
+    bugs in the kernel -- propagates to the caller unchanged.
+    """
+    return isinstance(exc, _LOST_ATTEMPT_ERRORS) or bool(
+        getattr(exc, "transient", False)
+    )
+
+
+def _pool_loss(exc: BaseException) -> bool:
+    """Whether the failure implies the resident pool is unusable.
+
+    A broken executor obviously is; a timeout means a worker slot is wedged
+    on a hung task, so the pool restarts too (the hung worker would otherwise
+    occupy a slot forever); a cancellation means some other recovery already
+    retired it.  A transient *error* came from a healthy worker -- the pool
+    survives.
+    """
+    return isinstance(exc, _LOST_ATTEMPT_ERRORS)
 
 
 class EngineBusyError(RuntimeError):
@@ -77,6 +140,41 @@ def _warm_worker(backend: str) -> None:
 
 
 @dataclass
+class RetryPolicy:
+    """Deadline/retry/backoff knobs for shard collection.
+
+    ``clock`` and ``sleep`` are injectable (monotonic seconds / blocking
+    sleep) so fault-injection suites drive deadlines with a fake clock and
+    collapse backoff waits to zero, keeping the whole suite deterministic
+    and fast.  Jitter is seeded -- a pure function of ``(jitter_seed,
+    task_index, attempt)`` -- never drawn from a shared RNG.
+    """
+
+    #: Re-dispatch attempts per task after the initial one; beyond this the
+    #: task degrades to in-process sequential execution.
+    max_retries: int = 3
+    #: Per-attempt deadline in seconds (None: wait indefinitely).
+    timeout: float | None = None
+    #: First backoff delay; doubles per attempt up to ``backoff_max``.
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    jitter_seed: int = 0x5EED
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff(self, task_index: int, attempt: int) -> float:
+        """Bounded exponential backoff with seeded jitter in [50%, 100%]."""
+        if attempt <= 0 or self.backoff_base <= 0:
+            return 0.0
+        bounded = min(self.backoff_max, self.backoff_base * 2 ** (attempt - 1))
+        digest = hashlib.sha256(
+            f"{self.jitter_seed}:{task_index}:{attempt}".encode()
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return bounded * (0.5 + 0.5 * fraction)
+
+
+@dataclass
 class EngineCounters:
     """Dispatch statistics accumulated over an engine's lifetime."""
 
@@ -85,16 +183,59 @@ class EngineCounters:
     #: Dispatching calls served by an already-running pool -- the start-up
     #: cost these calls did *not* pay is the engine's whole reason to exist.
     pool_reuses: int = 0
-    #: Worker tasks (shards or whole queries) submitted to the pool.
+    #: Worker tasks (shards or whole queries) submitted to the pool.  Counts
+    #: initial dispatches only; re-dispatches show up in ``tasks_retried``.
     tasks_dispatched: int = 0
     #: Queries routed through the engine (sharded singles and batch members).
     queries_executed: int = 0
+    #: Broken/hung pools retired by the recovery path (each restarts lazily,
+    #: so a restart also increments ``pool_starts`` on the next dispatch).
+    pool_restarts: int = 0
+    #: Shard attempts re-dispatched after worker death/timeout/transient error.
+    tasks_retried: int = 0
+    #: Shard attempts that outlived their per-task deadline.
+    tasks_timed_out: int = 0
+    #: Queries that fell back to in-process sequential execution after a
+    #: shard exhausted its retry budget (results stay bit-identical).
+    degraded_queries: int = 0
 
     def reset(self) -> None:
-        self.pool_starts = 0
-        self.pool_reuses = 0
-        self.tasks_dispatched = 0
-        self.queries_executed = 0
+        for spec in fields(self):
+            setattr(self, spec.name, 0)
+
+
+class ResilientPendingResult(parallel.PendingResult):
+    """A :class:`~repro.core.parallel.PendingResult` that recovers on collect.
+
+    Collection routes through the owning engine's retry/degrade machinery:
+    worker death, cancellation (a sibling query's recovery retired the shared
+    pool), deadlines, and transient errors are healed per shard, so a
+    streamed batch keeps its contract -- same results, same order -- through
+    failures.  Interface-compatible with the base class (``result``,
+    ``done``, ``shards``), which is what lets the server's streaming path
+    stay untouched.
+    """
+
+    def __init__(
+        self, engine: "ExecutionEngine", modulus: int, futures, tasks, indices
+    ) -> None:
+        super().__init__(modulus, futures=futures)
+        self._engine = engine
+        self._tasks = list(tasks)
+        self._indices = list(indices)
+
+    def result(self) -> tuple[dict[int, int], parallel.ShardCounts, int, int]:
+        if self._resolved is None:
+            partials, degraded = self._engine._collect_partials(
+                self._futures, self._tasks, self._indices
+            )
+            merged, counts, merge_multiplications = parallel.collect_shard_results(
+                partials, self._modulus
+            )
+            if degraded:
+                self._engine.counters.degraded_queries += 1
+            self._resolved = (merged, counts, merge_multiplications, self.shards)
+        return self._resolved
 
 
 @dataclass
@@ -108,11 +249,19 @@ class ExecutionEngine:
     base_seed:
         Default base for per-task worker seed derivation; dispatching calls
         may override it per call.
+    retry_policy:
+        Deadlines, retry budget, and backoff for shard collection.
+    fault_injector:
+        Optional :class:`repro.core.faults.FaultInjector`; when set, shard
+        tasks run through :func:`repro.core.faults.faulted_shard_task` and
+        fail on the injector's seeded schedule.
     """
 
     parallelism: int | None = None
     base_seed: int = parallel.DEFAULT_WORKER_SEED
     counters: EngineCounters = field(default_factory=EngineCounters)
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_injector: faults.FaultInjector | None = None
 
     def __post_init__(self) -> None:
         if self.parallelism is None:
@@ -147,10 +296,15 @@ class ExecutionEngine:
         ``wait=False`` returns immediately: in-flight tasks still run to
         completion and the worker processes then exit on their own, but the
         caller is not blocked until they drain -- what finalizers need.
+        Tolerates a pool whose workers already died: shutting down a broken
+        executor must never raise out of lifecycle paths.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=wait)
-            self._executor = None
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=wait)
+            except Exception:
+                pass
         self._closed = True
 
     def outstanding_tasks(self) -> int:
@@ -176,7 +330,9 @@ class ExecutionEngine:
         block inside ``Executor.shutdown`` until the whole batch drained,
         stalling the caller for the batch's full duration.  Collect or drain
         the outstanding :class:`~repro.core.parallel.PendingResult` handles
-        first, then resize.
+        first, then resize.  A pool whose workers already died does not get
+        in the way: its futures are done (exception-bearing), and retiring a
+        broken executor is swallowed.
         """
         self._ensure_open()
         if parallelism < 1:
@@ -193,9 +349,12 @@ class ExecutionEngine:
                 "before resizing"
             )
         self.parallelism = parallelism
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown()
+            except Exception:
+                pass
 
     def __enter__(self) -> "ExecutionEngine":
         return self.start()
@@ -211,8 +370,15 @@ class ExecutionEngine:
             )
 
     def _acquire(self, reuse: bool = True):
-        """The resident executor, autostarting (and warm-up-initialising) it."""
+        """The resident executor, autostarting (and warm-up-initialising) it.
+
+        A pool left broken by worker death is retired here and replaced, so
+        every dispatch path -- including generic :meth:`submit_task` work --
+        self-heals instead of rethrowing ``BrokenProcessPool`` forever.
+        """
         self._ensure_open()
+        if self._executor is not None and getattr(self._executor, "_broken", False):
+            self._retire_broken_pool()
         if self._executor is None:
             from concurrent.futures import ProcessPoolExecutor
 
@@ -226,6 +392,28 @@ class ExecutionEngine:
             self.counters.pool_reuses += 1
         return self._executor
 
+    def _retire_broken_pool(self, origin=None) -> None:
+        """Drop the resident pool after a failure; the next dispatch restarts.
+
+        ``origin`` is the executor the failed future was dispatched on: when
+        one worker death breaks a pool, every sibling future of that pool
+        fails too, and each failure must retire the *old* pool only -- not
+        the healthy replacement a sibling's recovery already started.
+        Pending futures are cancelled rather than awaited -- with workers
+        dead there is nothing to wait for, and cancelled siblings are healed
+        by their own collection's retry path.
+        """
+        if origin is not None and self._executor is not origin:
+            return
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        self.counters.pool_restarts += 1
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
     # -- dispatch -----------------------------------------------------------------
     def submit_task(self, fn, /, *args):
         """Dispatch one generic task to the resident pool; returns its future.
@@ -237,7 +425,10 @@ class ExecutionEngine:
         resident pool.  ``fn`` must be a module-level callable and the
         arguments picklable.  The future is tracked like shard futures:
         :meth:`resize` refuses while it is in flight, and
-        :meth:`outstanding_tasks` counts it.
+        :meth:`outstanding_tasks` counts it.  Generic tasks are *not*
+        retried -- unlike the associative shard kernel, the engine cannot
+        know an arbitrary ``fn`` is idempotent -- but a pool they broke is
+        healed on the next acquire.
         """
         executor = self._acquire()
         self.counters.tasks_dispatched += 1
@@ -251,6 +442,106 @@ class ExecutionEngine:
             return self.parallelism
         return max(1, min(self.parallelism, parallelism))
 
+    def _dispatch(self, executor, task, task_index: int, attempt: int = 0):
+        """Submit one shard task; a failed submission becomes a failed future.
+
+        Submission itself can raise (the pool broke while earlier tasks of
+        the same call were being submitted); folding that into an
+        exception-bearing future funnels every failure through the one
+        recovery path in :meth:`_collect_partials`.
+        """
+        if self.fault_injector is not None:
+            submission = (
+                faults.faulted_shard_task,
+                self.fault_injector.plan,
+                task_index,
+                attempt,
+                task,
+            )
+        else:
+            submission = (parallel._shard_task, task)
+        try:
+            future = executor.submit(*submission)
+        except BaseException as exc:  # noqa: BLE001 -- folded into the future
+            future = Future()
+            future.set_exception(exc)
+            future._origin_executor = executor
+            return future
+        future._origin_executor = executor
+        self._track(future)
+        return future
+
+    def _wait(self, future):
+        """Await one shard future under the policy's per-attempt deadline."""
+        policy = self.retry_policy
+        if policy.timeout is None:
+            return future.result()
+        deadline = policy.clock() + policy.timeout
+        try:
+            return future.result(timeout=max(0.0, deadline - policy.clock()))
+        except _TIMEOUT_ERRORS:
+            self.counters.tasks_timed_out += 1
+            raise
+
+    def _collect_partials(self, futures, tasks, indices=None):
+        """Gather shard partials, healing lost attempts; returns (partials,
+        degraded) where ``degraded`` reports whether any shard fell back to
+        in-process execution.  ``indices`` are the call-scoped dispatch
+        indices (fault-plan/jitter coordinates); retries reuse them so a
+        re-dispatch replays the same coordinate at the next attempt."""
+        if indices is None:
+            indices = range(len(tasks))
+        partials = []
+        degraded = False
+        for future, task, task_index in zip(futures, tasks, indices):
+            try:
+                partials.append(self._wait(future))
+            except BaseException as exc:  # includes CancelledError
+                if not _retryable(exc):
+                    raise
+                origin = getattr(future, "_origin_executor", None)
+                partial, task_degraded = self._recover_task(
+                    task, task_index, exc, origin
+                )
+                partials.append(partial)
+                degraded = degraded or task_degraded
+        return partials, degraded
+
+    def _recover_task(self, task, task_index: int, exc: BaseException, origin=None):
+        """Re-dispatch one lost shard until it lands or the budget runs out.
+
+        Re-execution is bit-identical: the task tuple (payload, modulus,
+        derived seed, backend) is immutable and the kernel is a pure
+        associative product.  After ``retry_policy.max_retries`` failed
+        re-dispatches the shard **degrades** to in-process execution through
+        :func:`repro.core.parallel.accumulate_terms` -- never
+        ``_shard_task``, which would re-seed the caller's module-level
+        generators (see that function's docstring).
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            if _pool_loss(exc):
+                self._retire_broken_pool(origin)
+            attempt += 1
+            if attempt > policy.max_retries:
+                break
+            self.counters.tasks_retried += 1
+            delay = policy.backoff(task_index, attempt)
+            if delay > 0:
+                policy.sleep(delay)
+            try:
+                executor = self._acquire(reuse=False)
+                origin = executor
+                future = self._dispatch(executor, task, task_index, attempt)
+                return self._wait(future), False
+            except BaseException as retry_exc:  # includes CancelledError
+                if not _retryable(retry_exc):
+                    raise
+                exc = retry_exc
+        payload, modulus = task[0], task[1]
+        return parallel.accumulate_terms(payload, modulus), True
+
     def run_sharded(
         self,
         payload: Sequence[parallel.TermPayload],
@@ -262,6 +553,8 @@ class ExecutionEngine:
 
         Same contract as :func:`repro.core.parallel.run_sharded`; single-shard
         payloads run in-process without ever touching (or starting) the pool.
+        Worker death, deadlines, and transient errors during collection are
+        healed per shard (see :meth:`_recover_task`).
         """
         self._ensure_open()
         workers = self._effective_workers(parallelism)
@@ -278,7 +571,13 @@ class ExecutionEngine:
         )
         executor = self._acquire()
         self.counters.tasks_dispatched += len(tasks)
-        partials = list(executor.map(parallel._shard_task, tasks))
+        futures = [
+            self._dispatch(executor, task, task_index)
+            for task_index, task in enumerate(tasks)
+        ]
+        partials, degraded = self._collect_partials(futures, tasks)
+        if degraded:
+            self.counters.degraded_queries += 1
         merged, counts, merge_multiplications = parallel.collect_shard_results(
             partials, modulus
         )
@@ -299,7 +598,9 @@ class ExecutionEngine:
         :meth:`run_sharded` would do).  With a worker budget of 1 the pending
         results defer the work in-process (each query accumulates when its
         result is first collected), which keeps streaming semantics without
-        a pool.
+        a pool.  Dispatched queries come back as
+        :class:`ResilientPendingResult` handles whose collection heals lost
+        shards through this engine's retry/degrade machinery.
         """
         self._ensure_open()
         workers = self._effective_workers(parallelism)
@@ -339,12 +640,14 @@ class ExecutionEngine:
             tasks = parallel.shard_tasks(
                 shards, modulus, seed, backend, start_index=task_index
             )
-            task_index += len(tasks)
             self.counters.tasks_dispatched += len(tasks)
-            futures = [executor.submit(parallel._shard_task, task) for task in tasks]
-            for future in futures:
-                self._track(future)
-            pending.append(parallel.PendingResult(modulus, futures=futures))
+            futures = [
+                self._dispatch(executor, task, task_index + offset)
+                for offset, task in enumerate(tasks)
+            ]
+            indices = range(task_index, task_index + len(tasks))
+            task_index += len(tasks)
+            pending.append(ResilientPendingResult(self, modulus, futures, tasks, indices))
         return pending
 
     def run_batch(

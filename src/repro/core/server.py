@@ -83,6 +83,36 @@ class EncryptedResult:
         return len(self.encrypted_scores) * (doc_id_bytes + ciphertext_bytes)
 
 
+#: EngineCounters fields mirrored into ServerCounters per query/batch.
+_RESILIENCE_FIELDS = (
+    "pool_restarts",
+    "tasks_retried",
+    "tasks_timed_out",
+    "degraded_queries",
+)
+
+
+def _resilience_snapshot(engine: ExecutionEngine) -> tuple[int, ...]:
+    """The engine's lifetime resilience counters, for delta attribution."""
+    return tuple(getattr(engine.counters, name) for name in _RESILIENCE_FIELDS)
+
+
+def _attribute_resilience(
+    counters: "ServerCounters", engine: ExecutionEngine, before: tuple[int, ...]
+) -> None:
+    """Charge the engine's resilience-counter deltas since ``before``.
+
+    The engine is shared across the server's calls (and possibly across
+    servers), so per-query attribution is the delta over this query's
+    collection window -- exact for the server's single-threaded use, a fair
+    split under interleaving.
+    """
+    for name, prior in zip(_RESILIENCE_FIELDS, before):
+        delta = getattr(engine.counters, name) - prior
+        if delta > 0:
+            setattr(counters, name, getattr(counters, name) + delta)
+
+
 @dataclass
 class ServerCounters:
     """Operation counters accumulated while answering one query (or one batch)."""
@@ -104,6 +134,14 @@ class ServerCounters:
     #: Queries answered into these counters (1 for process_query; the batch
     #: size for process_batch).
     queries_processed: int = 0
+    #: Resilience attribution, mirrored from the engine's counters (see
+    #: :class:`repro.core.engine.EngineCounters`): how execution *survived*
+    #: while answering this query/batch.  Recovery re-runs the associative
+    #: kernel, so these never change result bits or op totals above.
+    pool_restarts: int = 0
+    tasks_retried: int = 0
+    tasks_timed_out: int = 0
+    degraded_queries: int = 0
 
     def reset(self) -> None:
         for counter in fields(self):
@@ -380,7 +418,9 @@ class PrivateRetrievalServer:
             payloads, modulus, base_seed=self.worker_base_seed, parallelism=workers
         )
         for per_query, pending in zip(snapshots, batch):
+            before = _resilience_snapshot(engine)
             accumulators, counts, merge_multiplications, shards = pending.result()
+            _attribute_resilience(per_query, engine, before)
             per_query.postings_processed = counts.postings
             per_query.table_multiplications = counts.table_multiplications
             per_query.modular_multiplications = (
@@ -455,12 +495,14 @@ class PrivateRetrievalServer:
         payload = self._payload(query)
         counters.terms_processed += len(payload)
         engine = self._engine_for(self.parallelism)
+        before = _resilience_snapshot(engine)
         accumulators, counts, merge_multiplications, shards = engine.run_sharded(
             payload,
             modulus,
             base_seed=self.worker_base_seed,
             parallelism=self.parallelism,
         )
+        _attribute_resilience(counters, engine, before)
         counters.postings_processed += counts.postings
         counters.table_multiplications += counts.table_multiplications
         # Within-shard plus merge multiplications total exactly the sequential

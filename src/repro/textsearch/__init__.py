@@ -28,6 +28,7 @@ from repro.textsearch.engine import BooleanSearchEngine, SearchEngine, SearchRes
 from repro.textsearch.inverted_index import InvertedIndex, Posting
 from repro.textsearch.scoring import BM25Scorer, CosineScorer
 from repro.textsearch.segments import (
+    CorruptIndexError,
     IndexSegment,
     SegmentInfo,
     SegmentManifest,
@@ -46,6 +47,7 @@ __all__ = [
     "BM25Scorer",
     "InvertedIndex",
     "Posting",
+    "CorruptIndexError",
     "IndexSegment",
     "SegmentInfo",
     "SegmentManifest",

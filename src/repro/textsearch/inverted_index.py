@@ -87,10 +87,11 @@ from __future__ import annotations
 
 import dataclasses
 import struct
+import time
 from array import array
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.textsearch.corpus import Corpus, Document
 from repro.textsearch.scoring import (
@@ -101,6 +102,7 @@ from repro.textsearch.scoring import (
 )
 from repro.textsearch.segments import (
     _EMPTY,
+    CorruptIndexError,
     IndexSegment,
     MergeHandle,
     PostingColumns,
@@ -111,6 +113,8 @@ from repro.textsearch.segments import (
     merge_segment_parts,
     quantise_impact,
     read_index_directory,
+    repair_index_directory,
+    verify_index_directory,
     write_index_directory,
 )
 from repro.textsearch.tokenizer import Tokenizer
@@ -120,6 +124,7 @@ __all__ = [
     "InvertedIndex",
     "UpdateCounters",
     "CompactionReport",
+    "CorruptIndexError",
 ]
 
 #: On-disk size of one posting: a 4-byte document id plus a 4-byte impact.
@@ -1029,6 +1034,8 @@ class InvertedIndex:
         tokenizer: Tokenizer | None = None,
         seal_threshold=_MISSING,
         merge_policy=_MISSING,
+        transient_retries: int = 2,
+        retry_sleep: Callable[[float], None] = time.sleep,
     ) -> "InvertedIndex":
         """Restore a :meth:`save` directory.
 
@@ -1045,16 +1052,46 @@ class InvertedIndex:
         from the manifest unless overridden here (a custom policy class does
         not round-trip; the saved fanout restores a
         :class:`~repro.textsearch.segments.TieredMergePolicy`).
+
+        Failure semantics are typed, never opaque: a nonexistent directory
+        raises :class:`FileNotFoundError` naming the path; an empty or
+        unrecoverable directory raises
+        :class:`~repro.textsearch.segments.CorruptIndexError`; a torn
+        re-save falls back to the newest fully-consistent manifest
+        generation (see :func:`repro.textsearch.segments.verify_index_directory`
+        / :func:`~repro.textsearch.segments.repair_index_directory` for the
+        audit/repair entry points, also exposed as
+        :meth:`verify_directory` / :meth:`repair_directory`).  Errors whose
+        ``transient`` attribute is true (e.g. injected storage faults, or a
+        flaky network filesystem wrapper raising them) are retried up to
+        ``transient_retries`` times through ``retry_sleep`` -- injectable so
+        fault suites run without real waiting.
         """
-        manifest, segments, document_terms, buffers = read_index_directory(
-            path, use_mmap=mmap
-        )
-        stats_raw = manifest["stats"]
-        stats = CorpusStatistics(
-            num_documents=stats_raw["num_documents"],
-            document_frequencies=dict(stats_raw["document_frequencies"]),
-            average_document_length=stats_raw["average_document_length"],
-        )
+        attempts = 0
+        while True:
+            try:
+                manifest, segments, document_terms, buffers = read_index_directory(
+                    path, use_mmap=mmap
+                )
+                break
+            except Exception as exc:
+                if not getattr(exc, "transient", False) or attempts >= transient_retries:
+                    raise
+                attempts += 1
+                retry_sleep(0.01 * attempts)
+        try:
+            stats_raw = manifest["stats"]
+            stats = CorpusStatistics(
+                num_documents=stats_raw["num_documents"],
+                document_frequencies=dict(stats_raw["document_frequencies"]),
+                average_document_length=stats_raw["average_document_length"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise CorruptIndexError(
+                f"index manifest under {path} is missing required metadata "
+                f"({exc!r})",
+                path=path,
+            ) from exc
         if scorer is None:
             scorer = _scorer_from_spec(manifest.get("scorer"))
             if scorer is None and document_terms is not None:
@@ -1071,23 +1108,48 @@ class InvertedIndex:
             merge_policy = (
                 TieredMergePolicy(fanout=policy_spec["fanout"]) if policy_spec else None
             )
+        try:
+            quantise_levels = manifest["quantise_levels"]
+            block_size = manifest["block_size"]
+            max_impact = manifest["max_impact"]
+            next_seq = manifest["next_seq"]
+            next_segment_id = manifest["next_segment_id"]
+        except KeyError as exc:
+            raise CorruptIndexError(
+                f"index manifest under {path} is missing required metadata "
+                f"({exc!r})",
+                path=path,
+            ) from exc
         index = cls.__new__(cls)
         index._install(
             segments=segments,
             stats=stats,
-            quantise_levels=manifest["quantise_levels"],
-            block_size=manifest["block_size"],
+            quantise_levels=quantise_levels,
+            block_size=block_size,
             document_terms=document_terms,
             scorer=scorer,
             tokenizer=tokenizer,
-            max_impact=manifest["max_impact"],
+            max_impact=max_impact,
             seal_threshold=seal_threshold,
             merge_policy=merge_policy,
-            next_seq=manifest["next_seq"],
-            next_segment_id=manifest["next_segment_id"],
+            next_seq=next_seq,
+            next_segment_id=next_segment_id,
             buffers=buffers,
         )
         return index
+
+    @staticmethod
+    def verify_directory(path: str | Path, *, deep: bool = True) -> dict:
+        """Audit a :meth:`save` tree without loading it; see
+        :func:`repro.textsearch.segments.verify_index_directory`."""
+        return verify_index_directory(path, deep=deep)
+
+    @staticmethod
+    def repair_directory(path: str | Path) -> dict:
+        """Promote the newest fully-consistent checkpoint of a damaged
+        :meth:`save` tree; see
+        :func:`repro.textsearch.segments.repair_index_directory`."""
+        return repair_index_directory(path)
 
     # -- lazy impact refresh -------------------------------------------------------
     def _ensure_fresh(self) -> None:

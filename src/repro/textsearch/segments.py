@@ -47,12 +47,14 @@ import mmap as _mmap
 import os
 import struct
 import sys
+import zlib
 from array import array
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import AbstractSet, Callable, Iterable, Mapping, Sequence
 
 __all__ = [
+    "CorruptIndexError",
     "PostingColumns",
     "IndexSegment",
     "SegmentInfo",
@@ -64,15 +66,65 @@ __all__ = [
     "quantise_impact",
     "write_index_directory",
     "read_index_directory",
+    "verify_index_directory",
+    "repair_index_directory",
+    "install_io_fault_hook",
     "INDEX_FORMAT",
     "INDEX_FORMAT_VERSION",
 ]
 
 #: Identifier written into every saved manifest.
 INDEX_FORMAT = "repro-index-segments"
-INDEX_FORMAT_VERSION = 1
+#: Version 2 adds per-term and per-file CRC-32 checksums plus retained
+#: ``manifest_<seq>.json`` generations; version-1 trees remain readable
+#: (no checksums to validate, no generations to fall back to).
+INDEX_FORMAT_VERSION = 2
 
 _EMPTY: frozenset[int] = frozenset()
+
+
+class CorruptIndexError(ValueError):
+    """Typed error for on-disk index state that cannot be read safely.
+
+    Raised by :func:`read_index_directory` (and therefore
+    :meth:`InvertedIndex.load <repro.textsearch.inverted_index.InvertedIndex.load>`)
+    when no fully-consistent manifest generation exists, and by lazy column
+    materialisation when a term block fails its checksum -- the storage
+    layer's contract is *clean recovery or a typed error, never silent wrong
+    answers*.  ``path`` names the offending directory or file.
+    """
+
+    def __init__(self, message: str, *, path: str | Path | None = None) -> None:
+        super().__init__(message)
+        self.path = str(path) if path is not None else None
+
+
+#: Optional storage-I/O interception hook, called as ``hook(op, path)``
+#: immediately before each manifest/segment/doc-terms read or write.
+_IO_FAULT_HOOK: Callable[[str, str], None] | None = None
+
+
+def install_io_fault_hook(
+    hook: Callable[[str, str], None] | None,
+) -> Callable[[str, str], None] | None:
+    """Install (or, with ``None``, remove) the storage I/O hook; returns the
+    previous hook.
+
+    Raising from the hook aborts the intercepted operation -- this is how
+    :meth:`repro.core.faults.FaultInjector.io_hook` injects transient and
+    permanent storage faults on a seeded schedule without this module
+    importing the fault machinery (retry sites classify errors by the
+    duck-typed ``transient`` attribute).
+    """
+    global _IO_FAULT_HOOK
+    previous = _IO_FAULT_HOOK
+    _IO_FAULT_HOOK = hook
+    return previous
+
+
+def _io_event(op: str, path: str | Path) -> None:
+    if _IO_FAULT_HOOK is not None:
+        _IO_FAULT_HOOK(op, str(path))
 
 
 def quantise_impact(impact: float, max_impact: float, levels: int) -> int:
@@ -506,26 +558,48 @@ class MergeHandle:
 _TERM_BLOCK_FACTOR = 16  # bytes per row: 4 (doc id) + 4 (quant) + 8 (impact)
 
 
-def _segment_blob(segment: IndexSegment) -> tuple[bytes, dict[str, tuple[int, int]]]:
+def _segment_blob(segment: IndexSegment) -> tuple[bytes, dict[str, tuple[int, int, int]]]:
     chunks: list[bytes] = []
-    directory: dict[str, tuple[int, int]] = {}
+    directory: dict[str, tuple[int, int, int]] = {}
     offset = 0
     for term in sorted(segment.lists):
         columns = segment.lists[term]
         rows = len(columns)
-        directory[term] = (offset, rows)
-        chunks.append(columns.doc_ids.tobytes())
-        chunks.append(columns.quants.tobytes())
-        chunks.append(columns.impacts.tobytes())
+        block = (
+            columns.doc_ids.tobytes()
+            + columns.quants.tobytes()
+            + columns.impacts.tobytes()
+        )
+        # Per-term CRC over the block as stored (native byte order): readers
+        # validate before any byteswap, so the check is platform-portable.
+        directory[term] = (offset, rows, zlib.crc32(block))
+        chunks.append(block)
         offset += rows * _TERM_BLOCK_FACTOR
     return b"".join(chunks), directory
 
 
 def _column_loader(
-    buffer, offset: int, rows: int, swap: bool
+    buffer,
+    offset: int,
+    rows: int,
+    swap: bool,
+    crc: int | None = None,
+    source: str = "",
 ) -> Callable[[], tuple[array, array, array]]:
     def load() -> tuple[array, array, array]:
         view = memoryview(buffer)
+        chunk = view[offset : offset + _TERM_BLOCK_FACTOR * rows]
+        if len(chunk) != _TERM_BLOCK_FACTOR * rows:
+            raise CorruptIndexError(
+                f"{source}: term block at offset {offset} truncated "
+                f"({len(chunk)} of {_TERM_BLOCK_FACTOR * rows} bytes)",
+                path=source,
+            )
+        if crc is not None and zlib.crc32(chunk) != crc:
+            raise CorruptIndexError(
+                f"{source}: term block at offset {offset} failed its checksum",
+                path=source,
+            )
         doc_ids = array("I")
         doc_ids.frombytes(view[offset : offset + 4 * rows])
         quants = array("I")
@@ -554,26 +628,50 @@ def write_index_directory(
     every data file of one save carries that save's sequence number in its
     name (so a file the *previous* manifest references is never rewritten in
     place), the manifest itself is swapped in atomically via ``os.replace``,
-    and only then are files the new manifest no longer references deleted.
-    A crash at any point leaves either the old checkpoint fully intact (new
-    files are unreferenced orphans, reclaimed by the next save) or the new
-    one fully committed.
+    and only then are files no longer needed deleted.  A crash at any point
+    leaves either the old checkpoint fully intact (new files are
+    unreferenced orphans, reclaimed by the next save) or the new one fully
+    committed.
+
+    Beyond the atomic swap, each save also writes its manifest as a retained
+    **generation** (``manifest_<seq>.json``) and spares the *previous*
+    generation's manifest and data files from reclamation.  If a crash (or a
+    filesystem that reorders writes around a rename) leaves the newest
+    checkpoint torn -- truncated data files, a torn ``manifest.json`` --
+    :func:`read_index_directory` falls back to the newest generation whose
+    manifest and files are fully consistent.  Retention is bounded to one
+    previous generation; older files are reclaimed as before.
     """
     root = Path(path)
     root.mkdir(parents=True, exist_ok=True)
     manifest_path = root / "manifest.json"
     save_seq = 0
+    previous_seq: int | None = None
+    previous_files: set[str] = set()
     if manifest_path.exists():
         try:
             previous = json.loads(manifest_path.read_text(encoding="utf-8"))
-            save_seq = int(previous.get("save_seq", 0)) + 1
-        except (ValueError, OSError, TypeError):
+            previous_seq = int(previous.get("save_seq", 0))
+            save_seq = previous_seq + 1
+            previous_files = {
+                entry["file"]
+                for entry in previous.get("segments", [])
+                if isinstance(entry, dict) and "file" in entry
+            }
+            if previous.get("doc_terms_file"):
+                previous_files.add(previous["doc_terms_file"])
+        except (ValueError, OSError, TypeError, KeyError):
             save_seq = 1
+            previous_seq = None
+            previous_files = set()
     manifest_segments = []
+    integrity: dict[str, list[int]] = {}
     for segment in segments:
         blob, directory = _segment_blob(segment)
         filename = f"segment_{segment.segment_id}_{save_seq}.bin"
+        _io_event("write", root / filename)
         (root / filename).write_bytes(blob)
+        integrity[filename] = [len(blob), zlib.crc32(blob)]
         manifest_segments.append(
             {
                 "segment_id": segment.segment_id,
@@ -589,35 +687,214 @@ def write_index_directory(
     doc_terms_file = None
     if document_terms is not None:
         doc_terms_file = f"doc_terms_{save_seq}.json"
-        (root / doc_terms_file).write_text(
-            json.dumps(
-                {str(doc_id): dict(freqs) for doc_id, freqs in document_terms.items()}
-            ),
-            encoding="utf-8",
+        payload = json.dumps(
+            {str(doc_id): dict(freqs) for doc_id, freqs in document_terms.items()}
         )
+        _io_event("write", root / doc_terms_file)
+        (root / doc_terms_file).write_text(payload, encoding="utf-8")
+        integrity[doc_terms_file] = [
+            len(payload.encode("utf-8")),
+            zlib.crc32(payload.encode("utf-8")),
+        ]
     manifest = {
         "format": INDEX_FORMAT,
         "version": INDEX_FORMAT_VERSION,
         "byteorder": sys.byteorder,
         "save_seq": save_seq,
         "doc_terms_file": doc_terms_file,
+        "integrity": integrity,
         "segments": manifest_segments,
         **dict(extra),
     }
-    # Atomic manifest swap: readers see the old checkpoint or the new one,
-    # never a torn mix.
+    payload = json.dumps(manifest, indent=1)
+    # The retained generation first, then the atomic primary swap: readers
+    # see the old checkpoint or the new one, never a torn mix, and the
+    # generation file gives recovery a fallback if the primary tears later.
     staging = root / "manifest.json.tmp"
-    staging.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+    generation_path = root / f"manifest_{save_seq}.json"
+    _io_event("write", generation_path)
+    staging.write_text(payload, encoding="utf-8")
+    os.replace(staging, generation_path)
+    _io_event("write", manifest_path)
+    staging.write_text(payload, encoding="utf-8")
     os.replace(staging, manifest_path)
-    # Reclaim files no manifest references any more (previous saves' blobs,
-    # or orphans from a crashed save).
+    # Reclaim files neither the new manifest nor the retained previous
+    # generation references (older saves' blobs, orphans of crashed saves).
     current = {entry["file"] for entry in manifest_segments}
     if doc_terms_file is not None:
         current.add(doc_terms_file)
+    current |= previous_files
+    keep_manifests = {generation_path.name}
+    if previous_seq is not None:
+        keep_manifests.add(f"manifest_{previous_seq}.json")
     for pattern in ("segment_*.bin", "doc_terms*.json"):
         for candidate in root.glob(pattern):
             if candidate.name not in current:
                 candidate.unlink()
+    for candidate in root.glob("manifest_*.json"):
+        if candidate.name not in keep_manifests:
+            candidate.unlink()
+
+
+def _generation_seq(candidate: Path) -> int:
+    """The save sequence encoded in a ``manifest_<seq>.json`` name (-1: none)."""
+    try:
+        return int(candidate.stem.split("_", 1)[1])
+    except (IndexError, ValueError):
+        return -1
+
+
+def _manifest_candidates(root: Path) -> list[Path]:
+    """Manifest files to try, in recovery order: primary, then newest-first
+    retained generations."""
+    candidates = []
+    primary = root / "manifest.json"
+    if primary.exists():
+        candidates.append(primary)
+    generations = [
+        candidate
+        for candidate in root.glob("manifest_*.json")
+        if _generation_seq(candidate) >= 0
+    ]
+    generations.sort(key=_generation_seq, reverse=True)
+    candidates.extend(generations)
+    return candidates
+
+
+def _term_entry(entry) -> tuple[int, int, int | None]:
+    """``(offset, rows, crc)`` from a manifest term entry (v1 has no crc)."""
+    if len(entry) >= 3:
+        return entry[0], entry[1], entry[2]
+    return entry[0], entry[1], None
+
+
+def _manifest_problems(root: Path, manifest) -> list[str]:
+    """Cheap consistency check of one parsed manifest against the directory.
+
+    Structural keys, referenced-file existence, and file sizes (derivable
+    from the per-term directory even for v1 manifests) -- everything except
+    reading data, so recovery can pick a generation without paying full I/O.
+    """
+    problems: list[str] = []
+    if not isinstance(manifest, dict):
+        return ["manifest is not a JSON object"]
+    if manifest.get("format") != INDEX_FORMAT:
+        problems.append(
+            f"not a {INDEX_FORMAT} directory (format {manifest.get('format')!r})"
+        )
+        return problems
+    if manifest.get("version", 0) > INDEX_FORMAT_VERSION:
+        problems.append(
+            f"format version {manifest.get('version')} is newer than this "
+            f"reader ({INDEX_FORMAT_VERSION})"
+        )
+        return problems
+    entries = manifest.get("segments")
+    if not isinstance(entries, list):
+        return problems + ["manifest has no segment list"]
+    for entry in entries:
+        if not isinstance(entry, dict):
+            problems.append("malformed segment entry")
+            continue
+        for key in ("file", "segment_id", "generation", "seq", "terms", "documents", "tombstones"):
+            if key not in entry:
+                problems.append(f"segment entry missing {key!r}")
+                break
+        else:
+            file_path = root / entry["file"]
+            expected = sum(
+                _term_entry(term_entry)[1] * _TERM_BLOCK_FACTOR
+                for term_entry in entry["terms"].values()
+            )
+            if not file_path.exists():
+                problems.append(f"missing data file {entry['file']}")
+            elif file_path.stat().st_size != expected:
+                problems.append(
+                    f"data file {entry['file']} is {file_path.stat().st_size} "
+                    f"bytes, expected {expected}"
+                )
+    doc_terms_name = manifest.get("doc_terms_file")
+    if doc_terms_name:
+        doc_terms_path = root / doc_terms_name
+        recorded = (manifest.get("integrity") or {}).get(doc_terms_name)
+        if not doc_terms_path.exists():
+            problems.append(f"missing doc-terms file {doc_terms_name}")
+        elif recorded and doc_terms_path.stat().st_size != recorded[0]:
+            problems.append(
+                f"doc-terms file {doc_terms_name} is "
+                f"{doc_terms_path.stat().st_size} bytes, expected {recorded[0]}"
+            )
+    return problems
+
+
+def _deep_problems(root: Path, manifest) -> list[str]:
+    """Full-content verification: whole-file and per-term CRCs (v2 trees)."""
+    problems: list[str] = []
+    integrity = manifest.get("integrity") or {}
+    for entry in manifest.get("segments", []):
+        file_path = root / entry["file"]
+        try:
+            blob = file_path.read_bytes()
+        except OSError as exc:
+            problems.append(f"unreadable data file {entry['file']}: {exc}")
+            continue
+        recorded = integrity.get(entry["file"])
+        if recorded and zlib.crc32(blob) != recorded[1]:
+            problems.append(f"data file {entry['file']} failed its checksum")
+            continue
+        for term, term_entry in entry["terms"].items():
+            offset, rows, crc = _term_entry(term_entry)
+            chunk = blob[offset : offset + rows * _TERM_BLOCK_FACTOR]
+            if len(chunk) != rows * _TERM_BLOCK_FACTOR:
+                problems.append(f"term {term!r} truncated in {entry['file']}")
+            elif crc is not None and zlib.crc32(chunk) != crc:
+                problems.append(f"term {term!r} failed its checksum in {entry['file']}")
+    doc_terms_name = manifest.get("doc_terms_file")
+    if doc_terms_name and (root / doc_terms_name).exists():
+        recorded = integrity.get(doc_terms_name)
+        data = (root / doc_terms_name).read_bytes()
+        if recorded and zlib.crc32(data) != recorded[1]:
+            problems.append(f"doc-terms file {doc_terms_name} failed its checksum")
+        else:
+            try:
+                json.loads(data.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                problems.append(f"doc-terms file {doc_terms_name} is not valid JSON")
+    return problems
+
+
+def _resolve_manifest(root: Path) -> tuple[dict, str | None]:
+    """The newest fully-consistent manifest, falling back over generations.
+
+    Returns ``(manifest, recovered_from)`` where ``recovered_from`` is the
+    generation filename when the primary ``manifest.json`` was unusable (a
+    torn re-save) and ``None`` when the primary was consistent.  Raises
+    :class:`CorruptIndexError` when no candidate passes.
+    """
+    candidates = _manifest_candidates(root)
+    if not candidates:
+        raise CorruptIndexError(
+            f"{root} is not an index directory: no manifest.json or "
+            "manifest_<seq>.json present",
+            path=root,
+        )
+    failures: list[str] = []
+    for candidate in candidates:
+        try:
+            manifest = json.loads(candidate.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            failures.append(f"{candidate.name}: unreadable ({exc})")
+            continue
+        problems = _manifest_problems(root, manifest)
+        if problems:
+            failures.append(f"{candidate.name}: " + "; ".join(problems))
+            continue
+        recovered_from = None if candidate.name == "manifest.json" else candidate.name
+        return manifest, recovered_from
+    raise CorruptIndexError(
+        f"no consistent manifest generation under {root}: " + " | ".join(failures),
+        path=root,
+    )
 
 
 def read_index_directory(
@@ -630,21 +907,31 @@ def read_index_directory(
     for the index's lifetime.  With ``use_mmap`` the per-term columns are
     materialised lazily from the mapped file on first access; without it (or
     on a byte-order mismatch) each segment file is read eagerly.
+
+    The manifest is validated against the data files before anything is
+    read: a torn re-save (truncated files, torn primary manifest) falls back
+    to the newest fully-consistent retained generation, recorded in the
+    returned manifest under ``"recovered_from"``.  A nonexistent directory
+    raises :class:`FileNotFoundError` naming the path; a directory with no
+    usable checkpoint raises :class:`CorruptIndexError`.  Column checksums
+    are enforced on materialisation (eagerly here without ``use_mmap``;
+    lazily on first term access with it), so a bit-flip surfaces as a typed
+    error rather than silent wrong postings.
     """
     root = Path(path)
-    manifest = json.loads((root / "manifest.json").read_text(encoding="utf-8"))
-    if manifest.get("format") != INDEX_FORMAT:
-        raise ValueError(f"{root} is not a {INDEX_FORMAT} directory")
-    if manifest.get("version", 0) > INDEX_FORMAT_VERSION:
-        raise ValueError(
-            f"index format version {manifest.get('version')} is newer than "
-            f"this reader ({INDEX_FORMAT_VERSION})"
-        )
+    if not root.is_dir():
+        raise FileNotFoundError(f"no such index directory: {root}")
+    _io_event("read", root / "manifest.json")
+    manifest, recovered_from = _resolve_manifest(root)
+    if recovered_from is not None:
+        manifest["recovered_from"] = recovered_from
+    integrity = manifest.get("integrity") or {}
     swap = manifest.get("byteorder", sys.byteorder) != sys.byteorder
     buffers: list = []
     segments: list[IndexSegment] = []
     for entry in manifest["segments"]:
         file_path = root / entry["file"]
+        _io_event("read", file_path)
         if use_mmap and not swap:
             with open(file_path, "rb") as handle:
                 size = file_path.stat().st_size
@@ -656,10 +943,21 @@ def read_index_directory(
             buffers.append(buffer)
         else:
             buffer = file_path.read_bytes()
-        lists = {
-            term: PostingColumns.lazy(rows, _column_loader(buffer, offset, rows, swap))
-            for term, (offset, rows) in entry["terms"].items()
-        }
+            recorded = integrity.get(entry["file"])
+            if recorded and zlib.crc32(buffer) != recorded[1]:
+                raise CorruptIndexError(
+                    f"data file {entry['file']} failed its checksum",
+                    path=file_path,
+                )
+        lists = {}
+        for term, term_entry in entry["terms"].items():
+            offset, rows, crc = _term_entry(term_entry)
+            lists[term] = PostingColumns.lazy(
+                rows,
+                _column_loader(
+                    buffer, offset, rows, swap, crc=crc, source=str(file_path)
+                ),
+            )
         if not use_mmap:
             for columns in lists.values():
                 columns.doc_ids  # noqa: B018 -- force eager materialisation
@@ -680,8 +978,128 @@ def read_index_directory(
     doc_terms_name = manifest.get("doc_terms_file")
     doc_terms_path = root / doc_terms_name if doc_terms_name else None
     if doc_terms_path is not None and doc_terms_path.exists():
-        raw = json.loads(doc_terms_path.read_text(encoding="utf-8"))
+        _io_event("read", doc_terms_path)
+        try:
+            raw = json.loads(doc_terms_path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise CorruptIndexError(
+                f"doc-terms file {doc_terms_name} is not valid JSON: {exc}",
+                path=doc_terms_path,
+            ) from exc
         document_terms = {
             int(doc_id): dict(freqs) for doc_id, freqs in raw.items()
         }
     return manifest, segments, document_terms, buffers
+
+
+def verify_index_directory(path: str | Path, *, deep: bool = True) -> dict:
+    """Audit a saved index tree; never raises for corruption, reports it.
+
+    Returns a report dict: ``ok`` (the primary ``manifest.json`` checkpoint
+    is fully consistent), ``problems`` (per manifest candidate, the failures
+    found), ``consistent`` (candidate manifests that pass), ``recoverable``
+    (the manifest :func:`read_index_directory` would use, or ``None`` when
+    the tree is unrecoverable), and ``save_seq`` of that manifest.  With
+    ``deep`` (the default) every data file is read and checked against its
+    whole-file and per-term checksums; without it only structure, existence,
+    and sizes are checked.
+    """
+    root = Path(path)
+    if not root.is_dir():
+        raise FileNotFoundError(f"no such index directory: {root}")
+    report: dict = {
+        "path": str(root),
+        "ok": False,
+        "problems": {},
+        "consistent": [],
+        "recoverable": None,
+        "save_seq": None,
+    }
+    candidates = _manifest_candidates(root)
+    if not candidates:
+        report["problems"]["manifest.json"] = ["no manifest present"]
+        return report
+    for candidate in candidates:
+        try:
+            manifest = json.loads(candidate.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            report["problems"][candidate.name] = [f"unreadable ({exc})"]
+            continue
+        problems = _manifest_problems(root, manifest)
+        if not problems and deep:
+            problems = _deep_problems(root, manifest)
+        if problems:
+            report["problems"][candidate.name] = problems
+        else:
+            report["consistent"].append(candidate.name)
+            if report["recoverable"] is None:
+                report["recoverable"] = candidate.name
+                report["save_seq"] = manifest.get("save_seq")
+    report["ok"] = "manifest.json" in report["consistent"]
+    return report
+
+
+def repair_index_directory(path: str | Path) -> dict:
+    """Promote the newest fully-consistent checkpoint and drop the debris.
+
+    Walks the manifest candidates (primary first, then retained generations
+    newest-first) with deep verification; the first fully-consistent one
+    becomes ``manifest.json`` (atomic swap), and data files or generation
+    manifests it does not reference are removed.  Returns a report dict
+    (``recovered``: the manifest promoted; ``save_seq``; ``removed``: the
+    filenames deleted).  Raises :class:`CorruptIndexError` when no candidate
+    survives verification -- the tree holds no safely-readable checkpoint.
+    """
+    root = Path(path)
+    if not root.is_dir():
+        raise FileNotFoundError(f"no such index directory: {root}")
+    failures: list[str] = []
+    chosen: tuple[Path, dict] | None = None
+    for candidate in _manifest_candidates(root):
+        try:
+            manifest = json.loads(candidate.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            failures.append(f"{candidate.name}: unreadable ({exc})")
+            continue
+        problems = _manifest_problems(root, manifest) or _deep_problems(root, manifest)
+        if problems:
+            failures.append(f"{candidate.name}: " + "; ".join(problems))
+            continue
+        chosen = (candidate, manifest)
+        break
+    if chosen is None:
+        raise CorruptIndexError(
+            f"cannot repair {root}: no manifest generation survives "
+            "verification"
+            + (f" ({' | '.join(failures)})" if failures else ""),
+            path=root,
+        )
+    candidate, manifest = chosen
+    payload = json.dumps(manifest, indent=1)
+    save_seq = manifest.get("save_seq")
+    generation_name = f"manifest_{save_seq}.json" if save_seq is not None else None
+    if candidate.name != "manifest.json":
+        staging = root / "manifest.json.tmp"
+        staging.write_text(payload, encoding="utf-8")
+        os.replace(staging, root / "manifest.json")
+    referenced = {
+        entry["file"] for entry in manifest.get("segments", []) if "file" in entry
+    }
+    if manifest.get("doc_terms_file"):
+        referenced.add(manifest["doc_terms_file"])
+    removed: list[str] = []
+    for pattern in ("segment_*.bin", "doc_terms*.json"):
+        for stale in root.glob(pattern):
+            if stale.name not in referenced:
+                stale.unlink()
+                removed.append(stale.name)
+    for stale in root.glob("manifest_*.json"):
+        if stale.name != generation_name:
+            stale.unlink()
+            removed.append(stale.name)
+    return {
+        "path": str(root),
+        "recovered": candidate.name,
+        "save_seq": save_seq,
+        "removed": sorted(removed),
+    }

@@ -1,0 +1,379 @@
+"""Crash-recovery tests for the on-disk index directory.
+
+The storage contract under failure is absolute: after tearing a saved
+directory at *any* byte -- truncating any file at any boundary, flipping any
+bit, or aborting a re-save at any write operation -- :meth:`InvertedIndex.load`
+either reconstructs a fully-consistent saved generation **bit-identically**
+or raises a typed :class:`CorruptIndexError`.  Silent wrong answers are the
+one outcome these tests exist to rule out.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.faults import (
+    FaultInjector,
+    FaultPlan,
+    PermanentFaultError,
+    TransientFaultError,
+)
+from repro.textsearch import Corpus, CorruptIndexError, Document, InvertedIndex
+from repro.textsearch.segments import (
+    _TERM_BLOCK_FACTOR,
+    install_io_fault_hook,
+    repair_index_directory,
+    verify_index_directory,
+)
+
+_WORDS = (
+    "alpha beta gamma delta epsilon zeta eta theta iota kappa "
+    "lambda sigma omega"
+).split()
+
+
+def _build_index(num_docs: int = 10) -> InvertedIndex:
+    docs = [
+        Document(
+            doc_id=i,
+            text=" ".join(_WORDS[(i + k) % len(_WORDS)] for k in range(2 + i % 5)),
+        )
+        for i in range(num_docs)
+    ]
+    return InvertedIndex.build(Corpus(docs))
+
+
+def _snapshot(index: InvertedIndex):
+    """The logical content of an index: every term's full posting list."""
+    return {
+        term: tuple(
+            (p.doc_id, p.impact, p.quantised_impact) for p in index.postings(term)
+        )
+        for term in sorted(index.terms)
+    }
+
+
+def _two_generation_directory(tmp_path):
+    """Save, mutate, re-save: a directory holding generations A and B."""
+    index = _build_index()
+    root = tmp_path / "ckpt"
+    index.save(root)
+    snap_a = _snapshot(InvertedIndex.load(root))
+    index.add_document(Document(doc_id=500, text="omega alpha sigma fresh"))
+    index.save(root)
+    snap_b = _snapshot(InvertedIndex.load(root))
+    assert snap_a != snap_b
+    return root, snap_a, snap_b
+
+
+def _cut_points(name: str, size: int):
+    """Truncation offsets for one file: start, mid-record, record boundaries,
+    and one byte short of complete."""
+    cuts = {0, 1, size // 3, size // 2, size - 1}
+    if name.endswith(".bin"):
+        rows = size // _TERM_BLOCK_FACTOR
+        cuts.update(
+            _TERM_BLOCK_FACTOR * k for k in (1, rows // 2, rows - 1) if k > 0
+        )
+    return sorted(cut for cut in cuts if 0 <= cut < size)
+
+
+class TestTruncationAtEveryBoundary:
+    def test_every_file_every_boundary_recovers_or_raises(self, tmp_path):
+        root, snap_a, snap_b = _two_generation_directory(tmp_path)
+        pristine = {p.name: p.read_bytes() for p in root.iterdir()}
+        scenarios = 0
+        recovered, rejected = 0, 0
+        for name, data in pristine.items():
+            for cut in _cut_points(name, len(data)):
+                scenarios += 1
+                work = tmp_path / f"torn_{name}_{cut}"
+                work.mkdir()
+                for other, blob in pristine.items():
+                    (work / other).write_bytes(blob if other != name else blob[:cut])
+                try:
+                    loaded = InvertedIndex.load(work)
+                except CorruptIndexError:
+                    rejected += 1
+                    continue
+                assert _snapshot(loaded) in (snap_a, snap_b), (
+                    f"truncating {name} at byte {cut} produced an index that "
+                    "matches no saved generation"
+                )
+                recovered += 1
+        assert scenarios > 20
+        # Both outcomes must actually occur across the sweep, or the
+        # either/or contract is vacuous.
+        assert recovered > 0
+        assert rejected >= 0
+
+    def test_torn_primary_manifest_falls_back_to_newest_generation(self, tmp_path):
+        root, _snap_a, snap_b = _two_generation_directory(tmp_path)
+        manifest = root / "manifest.json"
+        blob = manifest.read_bytes()
+        manifest.write_bytes(blob[: len(blob) // 2])
+        loaded = InvertedIndex.load(root)
+        # The newest generation manifest is a byte-identical copy of the
+        # torn primary, so recovery loses nothing.
+        assert _snapshot(loaded) == snap_b
+
+    def test_torn_current_data_file_falls_back_to_previous_generation(self, tmp_path):
+        root, snap_a, snap_b = _two_generation_directory(tmp_path)
+        import json
+
+        manifest = json.loads((root / "manifest.json").read_text())
+        current_files = {entry["file"] for entry in manifest["segments"]}
+        previous_only_ok = False
+        for name in current_files:
+            work = tmp_path / f"gen_{name}"
+            shutil.copytree(root, work)
+            victim = work / name
+            data = victim.read_bytes()
+            victim.write_bytes(data[: len(data) // 2])
+            try:
+                loaded = InvertedIndex.load(work)
+            except CorruptIndexError:
+                continue
+            snap = _snapshot(loaded)
+            assert snap in (snap_a, snap_b)
+            if snap == snap_a:
+                previous_only_ok = True
+        # At least one current-generation data file is not shared with the
+        # previous generation, so its loss must roll back to snapshot A.
+        assert previous_only_ok
+
+
+class TestBitCorruption:
+    def test_eager_load_rejects_a_flipped_bit(self, tmp_path):
+        index = _build_index()
+        root = tmp_path / "ckpt"
+        index.save(root)
+        import json
+
+        manifest = json.loads((root / "manifest.json").read_text())
+        victim = root / manifest["segments"][0]["file"]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(CorruptIndexError, match="checksum"):
+            InvertedIndex.load(root)
+
+    def test_lazy_mmap_load_rejects_a_flipped_bit_at_access(self, tmp_path):
+        """mmap loading defers column reads; the per-term checksum catches
+        the corruption when the poisoned term materialises -- a typed error,
+        never a silently wrong posting list."""
+        index = _build_index()
+        root = tmp_path / "ckpt"
+        index.save(root)
+        import json
+
+        manifest = json.loads((root / "manifest.json").read_text())
+        victim = root / manifest["segments"][0]["file"]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        victim.write_bytes(bytes(blob))
+        loaded = InvertedIndex.load(root, mmap=True)
+        with pytest.raises(CorruptIndexError, match="checksum"):
+            _snapshot(loaded)
+
+
+class TestTornResave:
+    def test_aborting_a_resave_at_every_write_keeps_a_loadable_state(self, tmp_path):
+        """Kill the save at each successive write operation: whatever the
+        directory holds afterwards must load as generation A or B."""
+        index = _build_index()
+        template = tmp_path / "template"
+        index.save(template)
+        snap_a = _snapshot(InvertedIndex.load(template))
+
+        def resaved(work):
+            loaded = InvertedIndex.load(work)
+            loaded.add_document(Document(doc_id=500, text="omega alpha sigma fresh"))
+            return loaded
+
+        # Count the save's I/O operations with a fault-free instrumented run.
+        probe_dir = tmp_path / "probe"
+        shutil.copytree(template, probe_dir)
+        probe_index = resaved(probe_dir)
+        counter = FaultInjector(plan=FaultPlan())
+        previous = install_io_fault_hook(counter.io_hook())
+        try:
+            probe_index.save(probe_dir)
+        finally:
+            install_io_fault_hook(previous)
+        snap_b = _snapshot(InvertedIndex.load(probe_dir))
+        total_writes = counter.io_operations
+        assert total_writes >= 3  # data files + generation + primary manifest
+
+        aborted = 0
+        for op in range(total_writes):
+            work = tmp_path / f"abort_{op}"
+            shutil.copytree(template, work)
+            victim = resaved(work)
+            hook = FaultInjector(
+                plan=FaultPlan(io_permanent_at=frozenset({op}))
+            ).io_hook()
+            previous = install_io_fault_hook(hook)
+            try:
+                with pytest.raises(PermanentFaultError):
+                    victim.save(work)
+            finally:
+                install_io_fault_hook(previous)
+            aborted += 1
+            assert _snapshot(InvertedIndex.load(work)) in (snap_a, snap_b), (
+                f"aborting the re-save at write op {op} lost both generations"
+            )
+        assert aborted == total_writes
+
+
+class TestTypedLoadErrors:
+    def test_nonexistent_directory_raises_file_not_found_naming_the_path(self, tmp_path):
+        missing = tmp_path / "never_saved"
+        with pytest.raises(FileNotFoundError, match="never_saved"):
+            InvertedIndex.load(missing)
+
+    def test_empty_directory_raises_corrupt_index_error_naming_the_path(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(CorruptIndexError) as excinfo:
+            InvertedIndex.load(empty)
+        assert excinfo.value.path == str(empty)
+        assert "empty" in str(excinfo.value)
+
+    def test_corrupt_index_error_is_exported_and_a_value_error(self):
+        import repro.textsearch as textsearch
+
+        assert textsearch.CorruptIndexError is CorruptIndexError
+        assert issubclass(CorruptIndexError, ValueError)
+
+    def test_unparseable_manifest_raises_typed_error(self, tmp_path):
+        index = _build_index()
+        root = tmp_path / "ckpt"
+        index.save(root)
+        for name in list(p.name for p in root.iterdir()):
+            if name.startswith("manifest"):
+                (root / name).write_text("{ not json")
+        with pytest.raises(CorruptIndexError):
+            InvertedIndex.load(root)
+
+
+class TestVerifyAndRepair:
+    def test_verify_reports_healthy_directory(self, tmp_path):
+        index = _build_index()
+        root = tmp_path / "ckpt"
+        index.save(root)
+        report = InvertedIndex.verify_directory(root)
+        assert report["ok"] is True
+        assert "manifest.json" in report["consistent"]
+        assert report["problems"].get("manifest.json", []) == []
+
+    def test_verify_flags_torn_state_and_repair_restores_it(self, tmp_path):
+        root, snap_a, _snap_b = _two_generation_directory(tmp_path)
+        import json
+
+        manifest = json.loads((root / "manifest.json").read_text())
+        # Destroy a current-generation data file absent from generation A.
+        previous = json.loads(
+            (root / f"manifest_{manifest['save_seq'] - 1}.json").read_text()
+        )
+        previous_files = {entry["file"] for entry in previous["segments"]}
+        victims = [
+            entry["file"]
+            for entry in manifest["segments"]
+            if entry["file"] not in previous_files
+        ]
+        assert victims
+        blob = (root / victims[0]).read_bytes()
+        (root / victims[0]).write_bytes(blob[: len(blob) // 2])
+
+        report = verify_index_directory(root)
+        assert report["ok"] is False
+        assert report["problems"]["manifest.json"]
+        assert report["recoverable"]
+
+        outcome = repair_index_directory(root)
+        assert outcome["recovered"] == report["recoverable"]
+        assert outcome["removed"]
+        healed = verify_index_directory(root)
+        assert healed["ok"] is True
+        assert _snapshot(InvertedIndex.load(root)) == snap_a
+
+    def test_repair_raises_when_nothing_survives(self, tmp_path):
+        index = _build_index()
+        root = tmp_path / "ckpt"
+        index.save(root)
+        for path in root.iterdir():
+            if path.name.endswith(".bin"):
+                path.write_bytes(b"")
+        with pytest.raises(CorruptIndexError):
+            repair_index_directory(root)
+
+    def test_verify_missing_directory_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            verify_index_directory(tmp_path / "nope")
+
+    def test_deep_verify_catches_bit_rot_that_shallow_misses(self, tmp_path):
+        index = _build_index()
+        root = tmp_path / "ckpt"
+        index.save(root)
+        import json
+
+        manifest = json.loads((root / "manifest.json").read_text())
+        victim = root / manifest["segments"][0]["file"]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        victim.write_bytes(bytes(blob))
+        shallow = verify_index_directory(root, deep=False)
+        assert shallow["ok"] is True  # sizes line up; rot is invisible
+        deep = verify_index_directory(root, deep=True)
+        assert deep["ok"] is False
+
+
+class TestTransientStorageFaults:
+    def test_transient_read_fault_is_retried_to_success(self, tmp_path):
+        index = _build_index()
+        root = tmp_path / "ckpt"
+        index.save(root)
+        expected = _snapshot(InvertedIndex.load(root))
+        injector = FaultInjector(plan=FaultPlan(io_transient_at=frozenset({0})))
+        sleeps = []
+        previous = install_io_fault_hook(injector.io_hook())
+        try:
+            loaded = InvertedIndex.load(root, retry_sleep=sleeps.append)
+        finally:
+            install_io_fault_hook(previous)
+        assert _snapshot(loaded) == expected
+        assert injector.io_faults == 1
+        assert sleeps == [0.01]  # injectable: no real waiting in CI
+
+    def test_transient_budget_exhausted_propagates(self, tmp_path):
+        index = _build_index()
+        root = tmp_path / "ckpt"
+        index.save(root)
+        # Fault the first operation of every attempt (each load retry starts
+        # a fresh pass over the directory, consuming fresh ordinals).
+        injector = FaultInjector(plan=FaultPlan(io_transient_rate=1.0))
+        previous = install_io_fault_hook(injector.io_hook())
+        try:
+            with pytest.raises(TransientFaultError):
+                InvertedIndex.load(
+                    root, transient_retries=2, retry_sleep=lambda _s: None
+                )
+        finally:
+            install_io_fault_hook(previous)
+        assert injector.io_faults == 3  # initial attempt + 2 retries
+
+    def test_permanent_read_fault_propagates_unretried(self, tmp_path):
+        index = _build_index()
+        root = tmp_path / "ckpt"
+        index.save(root)
+        injector = FaultInjector(plan=FaultPlan(io_permanent_at=frozenset({0})))
+        sleeps = []
+        previous = install_io_fault_hook(injector.io_hook())
+        try:
+            with pytest.raises(PermanentFaultError):
+                InvertedIndex.load(root, retry_sleep=sleeps.append)
+        finally:
+            install_io_fault_hook(previous)
+        assert sleeps == []
+        assert injector.io_faults == 1

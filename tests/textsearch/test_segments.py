@@ -528,22 +528,33 @@ class TestPersistence:
 
     def test_resave_reclaims_orphaned_segment_files(self, tmp_path, base_documents, extra_documents):
         """Regression: segment ids only grow, so repeated checkpoints to one
-        path used to accumulate unreferenced segment_<id>.bin blobs."""
+        path used to accumulate unreferenced segment_<id>.bin blobs.
+        Retention for crash recovery is bounded: a re-save keeps exactly the
+        current checkpoint plus the previous generation, so a third save
+        reclaims the first generation's files."""
         import json
 
         index = InvertedIndex.build(Corpus(base_documents))
         target = tmp_path / "checkpoint"
         index.save(target)
+        first_gen = {p.name for p in target.glob("segment_*.bin")}
         index.add_document(extra_documents[0])
         index.maintain(force_seal=True)
         index.compact()
         index.save(target)
         manifest = json.loads((target / "manifest.json").read_text())
-        referenced = sorted(entry["file"] for entry in manifest["segments"])
-        on_disk = sorted(p.name for p in target.glob("segment_*.bin"))
-        assert on_disk == referenced
+        referenced = {entry["file"] for entry in manifest["segments"]}
+        on_disk = {p.name for p in target.glob("segment_*.bin")}
+        # Current checkpoint plus the retained previous generation, no more.
+        assert on_disk == referenced | first_gen
+        index.add_document(extra_documents[1])
+        index.save(target)
+        on_disk = {p.name for p in target.glob("segment_*.bin")}
+        assert not (on_disk & first_gen)  # bounded: generation 0 reclaimed
         loaded = InvertedIndex.load(target)
-        rebuilt = InvertedIndex.build(Corpus(base_documents + [extra_documents[0]]))
+        rebuilt = InvertedIndex.build(
+            Corpus(base_documents + [extra_documents[0], extra_documents[1]])
+        )
         assert_indexes_identical(loaded, rebuilt)
 
     def test_resave_never_rewrites_previously_referenced_files(
