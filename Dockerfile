@@ -1,0 +1,27 @@
+# Deployable image for the private-retrieval serving front-end.
+#
+# The package is pure standard library at runtime, so the image is just a
+# slim Python plus the source tree.  Mount saved index directories under
+# /indexes and name them as tenants:
+#
+#   docker build -t pr-serve .
+#   docker run -p 8080:8080 -v /var/indexes:/indexes:ro pr-serve \
+#       --tenant corpus=/indexes/corpus --parallelism 4
+#
+# The entrypoint drains gracefully on SIGTERM (docker stop): in-flight
+# batches finish, new requests are refused, worker pools shut down.
+
+FROM python:3.11-slim
+
+WORKDIR /app
+COPY src/ src/
+COPY scripts/serve.py scripts/serve.py
+
+ENV PYTHONPATH=/app/src \
+    PYTHONUNBUFFERED=1
+
+EXPOSE 8080
+
+# python (not a shell) as PID 1 so SIGTERM reaches the drain handler.
+ENTRYPOINT ["python", "scripts/serve.py", "--host", "0.0.0.0", "--port", "8080"]
+CMD ["--help"]

@@ -41,6 +41,14 @@ plus the series introduced with the fault-tolerant execution layer:
   per batch, pool restarted, lost shard re-dispatched) vs the same batch on
   a clean engine, asserted bit-identical before timing,
 
+plus the series introduced with the serving front-end:
+
+* serving throughput -- a multi-threaded load generator driving concurrent
+  sessions against the real HTTP service (saved index, ``mmap`` load,
+  chunked NDJSON streaming) recording queries/sec and batch-latency
+  p50/p95/p99, with correctness asserted bit-identical to the in-process
+  path and saturation (429) / graceful-drain probes riding along,
+
 -- and writes a ``BENCH_fastpath.json`` summary next to the other benchmark
 results so the performance trajectory is tracked from PR to PR:
 
@@ -51,7 +59,10 @@ embellishment speedup is >= 3x, the resident-pool amortisation is >= 1.5x
 over per-call pool forking, the incremental update+query beats a full
 rebuild+query by >= 1.5x, the segmented sustained-update series and the
 save/load cold-start series are each >= 1.5x, the fault-injected batch
-sustains >= 0.5x the clean batch's throughput, and -- on machines with
+sustains >= 0.5x the clean batch's throughput, the served (HTTP) throughput
+is >= 0.3x the in-process direct path (the gap is the cost of serialising
+the encrypted candidate sets to hex JSON) with working 429 shedding and
+graceful drain, and -- on machines with
 >= 4 CPUs -- the batched accumulation throughput at 4 workers is >= 2x
 sequential.  The parallel gate scales with the hardware (process
 parallelism cannot beat sequential on a single-core box, so there the
@@ -621,6 +632,255 @@ def bench_save_load_coldstart(context, repeats, num_documents=600):
     }
 
 
+def bench_serving_throughput(
+    context,
+    keypair,
+    repeats,
+    clients=4,
+    batches_per_client=2,
+    queries_per_batch=4,
+):
+    """Load-generate against the HTTP serving front-end and record qps + tails.
+
+    Deploys the real thing: the context index is saved to disk, a
+    :class:`RetrievalService` loads it back (``mmap=True``, the
+    ``scripts/serve.py`` path) on a background event loop, and ``clients``
+    threads each open their own session and fire ``batches_per_client``
+    batches of ``queries_per_batch`` single-term embellished queries over
+    actual sockets.  Recorded: sustained queries/sec, per-batch p50/p95/p99
+    wall-clock, and the service's own ``/metrics`` latency rollups.
+
+    Three contract probes ride along and are gated by ``--check``:
+
+    * the first remote batch is asserted **bit-identical** to an in-process
+      ``process_batch`` before any timing starts;
+    * a burst against a 1-active/0-pending service must shed with 429
+      (and the one admitted batch must still complete);
+    * a drain issued mid-stream must finish the in-flight batch and refuse
+      new work afterwards.
+
+    The throughput gate is relative: the service (transport + JSON + event
+    loop + admission) must sustain >= 0.3x the qps of the same work run
+    directly through ``PrivateRetrievalServer.process_batch`` in-process.
+    The honest ratio sits near 0.5x: the serving layer pays to serialise
+    every query's full encrypted candidate set (hundreds of 1024-bit
+    ciphertexts) to hex JSON and back, which the in-process baseline never
+    does, and the engine work is pure-Python big-int arithmetic holding the
+    GIL, so client concurrency cannot buy the difference back.  What the
+    gate catches is the serving layer *collapsing* throughput.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.service import (
+        RetrievalService,
+        ServiceClient,
+        ServiceConfig,
+        ServiceError,
+        ServiceRunner,
+    )
+    from repro.service.metrics import LatencyRollup
+
+    save_dir = Path(tempfile.mkdtemp(prefix="bench_serving_")) / "index"
+    context.index.save(save_dir)
+    result: dict = {
+        "clients": clients,
+        "batches_per_client": batches_per_client,
+        "queries_per_batch": queries_per_batch,
+    }
+    try:
+        service = RetrievalService(
+            ServiceConfig(bucket_size=4, max_active=2, max_pending=32)
+        )
+        service.add_tenant("bench", index_dir=save_dir)
+        runner = ServiceRunner(service)
+        try:
+            host, port = runner.start()
+            client = ServiceClient(host, port)
+            organization = client.organization("bench")
+            embellisher = QueryEmbellisher(
+                organization=organization, keypair=keypair, rng=random.Random(77)
+            )
+            # 3 genuine terms per query (typical web-query length, mid-range
+            # of the paper's 1-6 sweep): per-query crypto work must dominate
+            # transport for the relative-throughput gate to measure overhead
+            # rather than socket round-trips.
+            workload = QueryWorkloadGenerator(context.index, seed=88)
+            batches = [
+                [
+                    embellisher.embellish(workload.frequency_weighted_query(3))
+                    for _ in range(queries_per_batch)
+                ]
+                for _ in range(clients * batches_per_client)
+            ]
+
+            # correctness probe: remote == direct, bit for bit
+            probe_session = client.open_session("bench", keypair.public)
+            remote_probe, _ = client.run_batch(
+                probe_session, batches[0], keypair.public.n
+            )
+            direct_server = PrivateRetrievalServer(
+                index=context.index,
+                organization=organization,
+                public_key=keypair.public,
+            )
+            direct_probe = direct_server.process_batch(batches[0])
+            assert [r.encrypted_scores for r in remote_probe] == [
+                d.encrypted_scores for d in direct_probe
+            ], "served results diverged from in-process results!"
+
+            # load phase: every client thread owns a session, fires its share
+            sessions = [
+                client.open_session("bench", keypair.public) for _ in range(clients)
+            ]
+            batch_latency = LatencyRollup()
+            errors: list[BaseException] = []
+            lock = threading.Lock()
+
+            def drive(slot: int) -> None:
+                try:
+                    for i in range(batches_per_client):
+                        batch = batches[slot * batches_per_client + i]
+                        start = time.perf_counter()
+                        _, done = client.run_batch(
+                            sessions[slot], batch, keypair.public.n
+                        )
+                        elapsed_ms = (time.perf_counter() - start) * 1000.0
+                        with lock:
+                            batch_latency.record(elapsed_ms)
+                            assert done["queries"] == len(batch)
+                except BaseException as exc:
+                    with lock:
+                        errors.append(exc)
+
+            wall_start = time.perf_counter()
+            threads = [
+                threading.Thread(target=drive, args=(slot,))
+                for slot in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall_s = time.perf_counter() - wall_start
+            assert not errors, f"load generation failed: {errors[0]!r}"
+
+            total_queries = clients * batches_per_client * queries_per_batch
+            metrics = client.metrics()
+            result.update(
+                {
+                    "queries": total_queries,
+                    "wall_ms": round(wall_s * 1000.0, 1),
+                    "qps": round(total_queries / wall_s, 2),
+                    "batch_p50_ms": batch_latency.snapshot()["p50_ms"],
+                    "batch_p95_ms": batch_latency.snapshot()["p95_ms"],
+                    "batch_p99_ms": batch_latency.snapshot()["p99_ms"],
+                    "service_latency_ms": metrics["service"]["latency_ms"],
+                    "admitted": metrics["service"]["requests"]["admitted"],
+                    "failed": metrics["service"]["requests"]["failed"],
+                }
+            )
+
+            # drain probe: in-flight batch finishes, new work is refused
+            stream = client.submit_batch(
+                sessions[0], batches[0], keypair.public.n
+            )
+            first_line = next(stream)
+            assert first_line["kind"] == "result"
+            drain_thread = threading.Thread(target=runner.drain)
+            drain_thread.start()
+            tail = list(stream)  # consumed while the service drains
+            drain_thread.join(timeout=120)
+            result["drain_inflight_completed"] = bool(
+                tail
+                and tail[-1].get("kind") == "done"
+                and tail[-1].get("queries") == len(batches[0])
+            )
+            try:
+                client.run_batch(sessions[0], batches[0], keypair.public.n)
+                result["drain_rejects_new"] = False
+            except (ServiceError, OSError):
+                result["drain_rejects_new"] = True
+        finally:
+            runner.stop()
+    finally:
+        shutil.rmtree(save_dir.parent, ignore_errors=True)
+
+    # saturation probe: its own tiny service so limits are explicit
+    sat_dir = Path(tempfile.mkdtemp(prefix="bench_serving_sat_")) / "index"
+    context.index.save(sat_dir)
+    try:
+        sat_service = RetrievalService(
+            ServiceConfig(bucket_size=4, max_active=1, max_pending=0,
+                          retry_after=0.1)
+        )
+        sat_service.add_tenant("bench", index_dir=sat_dir)
+        with ServiceRunner(sat_service) as (host, port):
+            sat_client = ServiceClient(host, port)
+            organization = sat_client.organization("bench")
+            embellisher = QueryEmbellisher(
+                organization=organization, keypair=keypair, rng=random.Random(79)
+            )
+            workload = QueryWorkloadGenerator(context.index, seed=89)
+            burst_batch = [
+                embellisher.embellish(workload.frequency_weighted_query(3))
+                for _ in range(queries_per_batch)
+            ]
+            sat_sessions = [
+                sat_client.open_session("bench", keypair.public) for _ in range(3)
+            ]
+            outcomes: list[str] = []
+            lock = threading.Lock()
+
+            def burst(session_id: str) -> None:
+                try:
+                    _, done = sat_client.run_batch(
+                        session_id, burst_batch, keypair.public.n
+                    )
+                    with lock:
+                        outcomes.append(
+                            "served" if done["queries"] == len(burst_batch)
+                            else "partial"
+                        )
+                except ServiceError as error:
+                    with lock:
+                        outcomes.append(f"http_{error.status}")
+
+            burst_threads = [
+                threading.Thread(target=burst, args=(session_id,))
+                for session_id in sat_sessions
+            ]
+            for thread in burst_threads:
+                thread.start()
+            for thread in burst_threads:
+                thread.join()
+        result["saturation_outcomes"] = sorted(outcomes)
+        result["saturated_429s"] = sum(1 for o in outcomes if o == "http_429")
+        result["saturation_partial"] = sum(1 for o in outcomes if o == "partial")
+    finally:
+        shutil.rmtree(sat_dir.parent, ignore_errors=True)
+
+    # direct in-process baseline: the load phase's exact batches, sequentially
+    direct_server = PrivateRetrievalServer(
+        index=context.index,
+        organization=organization,
+        public_key=keypair.public,
+    )
+    start = time.perf_counter()
+    for batch in batches:
+        direct_server.process_batch(batch)
+    direct_s = time.perf_counter() - start
+    direct_total = sum(len(batch) for batch in batches)
+    result["direct_qps"] = round(direct_total / direct_s, 2)
+    result["relative_to_direct"] = (
+        round(result["qps"] / result["direct_qps"], 3)
+        if result["direct_qps"] > 0
+        else None
+    )
+    return result
+
+
 def _reference_index_build(corpus):
     """The seed's per-posting-object index construction, kept as the baseline."""
     from repro.textsearch.scoring import CorpusStatistics, CosineScorer
@@ -737,6 +997,20 @@ def main() -> int:
     if parallel_batch["speedup_at_4"] is not None:
         print(f"  speedup at 4 workers: {parallel_batch['speedup_at_4']:.2f}x")
 
+    serving = bench_serving_throughput(context, keypair, args.repeats)
+    results["serving_throughput"] = serving
+    print(f"\nserving throughput ({serving['clients']} client threads x "
+          f"{serving['batches_per_client']} batches x "
+          f"{serving['queries_per_batch']} queries, HTTP + NDJSON streaming):")
+    print(f"  {serving['qps']:>8.2f} q/s over the wire "
+          f"({serving['relative_to_direct']}x in-process direct)")
+    print(f"  batch latency p50/p95/p99: {serving['batch_p50_ms']:.1f} / "
+          f"{serving['batch_p95_ms']:.1f} / {serving['batch_p99_ms']:.1f} ms")
+    print(f"  saturation burst: {serving['saturated_429s']} x 429, "
+          f"outcomes {serving['saturation_outcomes']}; "
+          f"drain finished in-flight: {serving['drain_inflight_completed']}, "
+          f"refused new: {serving['drain_rejects_new']}")
+
     faulted_batch = bench_faulted_batch_throughput(context, keypair, args.repeats)
     results["faulted_batch_throughput"] = faulted_batch
     print(f"\nfaulted batch throughput ({faulted_batch['batch_size']} queries, "
@@ -790,6 +1064,29 @@ def main() -> int:
             # re-scoring the corpus; mmap loads are I/O-bound and typically
             # two orders of magnitude faster.
             failures.append("save/load cold start < 1.5x over rebuild")
+        if serving["failed"]:
+            failures.append(f"{serving['failed']} admitted batches failed server-side")
+        if serving["relative_to_direct"] is None or serving["relative_to_direct"] < 0.3:
+            # The serving layer may tax throughput but must not collapse it.
+            # The dominant, unavoidable tax is serialising the full encrypted
+            # candidate set (hundreds of 1024-bit ciphertexts per query) to
+            # hex JSON and back -- work the in-process baseline never does --
+            # which lands the honest ratio near 0.5x on the calibration
+            # machine; 0.3x is the regression bar beneath it.  The engine
+            # work is GIL-bound pure-Python arithmetic, so client
+            # concurrency cannot inflate the number either.
+            failures.append(
+                f"serving throughput < 0.3x in-process direct "
+                f"({serving['relative_to_direct']}x)"
+            )
+        if serving["saturated_429s"] < 1:
+            failures.append("saturation burst produced no 429 (load shedding broken)")
+        if serving["saturation_partial"]:
+            failures.append("a saturated batch was admitted but not completed")
+        if not serving["drain_inflight_completed"]:
+            failures.append("drain did not complete the in-flight batch")
+        if not serving["drain_rejects_new"]:
+            failures.append("drain kept admitting new work")
         ratio = faulted_batch["throughput_ratio"]
         if ratio is None or ratio < 0.5:
             # Recovery is allowed to cost wall-clock (a pool restart plus one
@@ -821,7 +1118,9 @@ def main() -> int:
             "accumulation >= 5x, embellishment >= 3x, session >= 3x, "
             "resident pool >= 1.5x, incremental update >= 1.5x, "
             "sustained updates >= 1.5x, cold start >= 1.5x, "
-            f"faulted batch >= 0.5x clean ({ratio}x)"
+            f"faulted batch >= 0.5x clean ({ratio}x), "
+            f"serving >= 0.3x direct ({serving['relative_to_direct']}x) "
+            "with 429 shedding and graceful drain"
         )
         if cpus >= 4:
             gates += f", 4-worker throughput >= 2x ({speedup_at_4}x)"

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repository Markdown links (CI: the docs-links job).
+
+Scans every tracked ``*.md`` file for inline links and validates the ones
+that point inside the repository:
+
+* relative path links (``[text](docs/operations.md)``, ``(../Dockerfile)``)
+  must name an existing file or directory, resolved against the linking
+  file's location;
+* fragment links to Markdown files (``operations.md#tuning``) must also
+  match a heading in the target file (GitHub's anchor slugging);
+* bare in-page fragments (``(#layer-0)``) must match a heading in the same
+  file.
+
+External links (``http://``, ``https://``, ``mailto:``) are out of scope --
+this gate is for the promise the docs make about *this* tree, which every
+refactor can silently break.
+
+Exit status: 0 when all links resolve, 1 otherwise (each problem printed as
+``file:line: message``).
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# [text](target) -- deliberately simple: no reference-style links in this
+# repo, and nested brackets/parens in URLs don't occur in our docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def tracked_markdown(root: Path) -> list[Path]:
+    listing = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=root, capture_output=True, text=True, check=True,
+    )
+    return [root / name for name in listing.stdout.split() if name]
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    problems: list[str] = []
+    in_fence = False
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            where = f"{path.relative_to(root)}:{line_number}"
+            if target.startswith("#"):
+                if github_slug(target[1:]) not in headings_of(path):
+                    problems.append(f"{where}: no heading for anchor {target!r}")
+                continue
+            raw_path, _, fragment = target.partition("#")
+            resolved = (path.parent / raw_path).resolve()
+            if not resolved.exists():
+                problems.append(f"{where}: broken link {target!r} "
+                                f"(no such path {raw_path!r})")
+                continue
+            if root.resolve() not in resolved.parents and resolved != root.resolve():
+                problems.append(f"{where}: link {target!r} escapes the repository")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if github_slug(fragment) not in headings_of(resolved):
+                    problems.append(
+                        f"{where}: {raw_path!r} has no heading for "
+                        f"anchor #{fragment}"
+                    )
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    problems: list[str] = []
+    files = tracked_markdown(root)
+    for path in files:
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

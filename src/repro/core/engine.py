@@ -58,12 +58,29 @@ exactly like a freshly forked pool would.  Retries re-dispatch the *same*
 task tuple (same seed), and the degraded path calls the kernel directly
 (never ``_shard_task``, which would re-seed the caller's generators), so no
 failure path perturbs results.
+
+Thread safety
+-------------
+Lifecycle transitions (``start``, ``shutdown``, ``resize``, broken-pool
+retirement, and the lazy pool start inside every dispatch) are serialised on
+an internal re-entrant lock, so an engine shared between threads -- the
+serving front-end's sessions, or a signal handler racing a ``with``-block
+exit -- never double-starts a pool, and concurrent/re-entrant ``shutdown``
+calls are idempotent: exactly one caller retires the executor (and, with
+``wait=True``, blocks until in-flight tasks drain); the others return
+immediately.  Dispatch itself (``submit_task`` / ``run_sharded`` /
+``submit_batch``) is safe to call from multiple threads --
+``ProcessPoolExecutor.submit`` is thread-safe and per-call task indices are
+call-local -- but :class:`EngineCounters` increments are plain integer
+updates: totals stay useful under concurrency, exact attribution of a delta
+to one call is only guaranteed for single-threaded use.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import time
 from concurrent.futures import BrokenExecutor, CancelledError, Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -270,6 +287,10 @@ class ExecutionEngine:
             raise ValueError("parallelism must be at least 1")
         self._executor = None
         self._closed = False
+        #: Serialises lifecycle transitions (pool start/retire/shutdown) so a
+        #: shared engine survives concurrent and re-entrant lifecycle calls;
+        #: re-entrant because a signal handler may land mid-``shutdown``.
+        self._lifecycle_lock = threading.RLock()
         #: Futures dispatched by submit_batch that may still be running; done
         #: futures remove themselves via callback (and are pruned on read).
         self._inflight: set = set()
@@ -293,19 +314,33 @@ class ExecutionEngine:
     def shutdown(self, wait: bool = True) -> None:
         """Retire the pool and the engine; further dispatching raises.
 
+        Idempotent and safe to invoke concurrently (or re-entrantly, e.g.
+        from a signal handler firing during a ``with``-block exit): the
+        executor handoff happens under the lifecycle lock, so exactly one
+        caller performs the drain -- with ``wait=True`` that caller blocks
+        until in-flight tasks (including a streamed batch's shard futures)
+        complete; every other caller sees the engine already closed and
+        returns immediately instead of double-shutting the executor or
+        deadlocking behind the drain.  In-flight results stay collectible:
+        the executor runs its queued and running tasks to completion before
+        retiring, so pending handles resolve bit-identically after shutdown.
+
         ``wait=False`` returns immediately: in-flight tasks still run to
         completion and the worker processes then exit on their own, but the
         caller is not blocked until they drain -- what finalizers need.
         Tolerates a pool whose workers already died: shutting down a broken
         executor must never raise out of lifecycle paths.
         """
-        executor, self._executor = self._executor, None
+        with self._lifecycle_lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        # Drain outside the lock: a second shutdown (or any lifecycle call)
+        # must not block behind a wait=True drain that can take a while.
         if executor is not None:
             try:
                 executor.shutdown(wait=wait)
             except Exception:
                 pass
-        self._closed = True
 
     def outstanding_tasks(self) -> int:
         """Tracked futures not yet completed: :meth:`submit_batch` shard
@@ -334,22 +369,23 @@ class ExecutionEngine:
         in the way: its futures are done (exception-bearing), and retiring a
         broken executor is swallowed.
         """
-        self._ensure_open()
-        if parallelism < 1:
-            raise ValueError("parallelism must be at least 1")
-        if parallelism == self.parallelism:
-            return
-        outstanding = self.outstanding_tasks()
-        if outstanding:
-            raise EngineBusyError(
-                f"cannot resize to {parallelism} workers: {outstanding} "
-                "dispatched future(s) are still in flight (streamed batch "
-                "shards and/or background tasks such as segment merges); "
-                "collect the stream / commit or await the pending handles "
-                "before resizing"
-            )
-        self.parallelism = parallelism
-        executor, self._executor = self._executor, None
+        with self._lifecycle_lock:
+            self._ensure_open()
+            if parallelism < 1:
+                raise ValueError("parallelism must be at least 1")
+            if parallelism == self.parallelism:
+                return
+            outstanding = self.outstanding_tasks()
+            if outstanding:
+                raise EngineBusyError(
+                    f"cannot resize to {parallelism} workers: {outstanding} "
+                    "dispatched future(s) are still in flight (streamed batch "
+                    "shards and/or background tasks such as segment merges); "
+                    "collect the stream / commit or await the pending handles "
+                    "before resizing"
+                )
+            self.parallelism = parallelism
+            executor, self._executor = self._executor, None
         if executor is not None:
             try:
                 executor.shutdown()
@@ -375,22 +411,25 @@ class ExecutionEngine:
         A pool left broken by worker death is retired here and replaced, so
         every dispatch path -- including generic :meth:`submit_task` work --
         self-heals instead of rethrowing ``BrokenProcessPool`` forever.
+        Runs under the lifecycle lock: two threads racing the lazy start get
+        the same pool instead of forking (and leaking) two.
         """
-        self._ensure_open()
-        if self._executor is not None and getattr(self._executor, "_broken", False):
-            self._retire_broken_pool()
-        if self._executor is None:
-            from concurrent.futures import ProcessPoolExecutor
+        with self._lifecycle_lock:
+            self._ensure_open()
+            if self._executor is not None and getattr(self._executor, "_broken", False):
+                self._retire_broken_pool()
+            if self._executor is None:
+                from concurrent.futures import ProcessPoolExecutor
 
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.parallelism,
-                initializer=_warm_worker,
-                initargs=(numbertheory.get_backend(),),
-            )
-            self.counters.pool_starts += 1
-        elif reuse:
-            self.counters.pool_reuses += 1
-        return self._executor
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.parallelism,
+                    initializer=_warm_worker,
+                    initargs=(numbertheory.get_backend(),),
+                )
+                self.counters.pool_starts += 1
+            elif reuse:
+                self.counters.pool_reuses += 1
+            return self._executor
 
     def _retire_broken_pool(self, origin=None) -> None:
         """Drop the resident pool after a failure; the next dispatch restarts.
@@ -403,12 +442,13 @@ class ExecutionEngine:
         dead there is nothing to wait for, and cancelled siblings are healed
         by their own collection's retry path.
         """
-        if origin is not None and self._executor is not origin:
-            return
-        executor, self._executor = self._executor, None
-        if executor is None:
-            return
-        self.counters.pool_restarts += 1
+        with self._lifecycle_lock:
+            if origin is not None and self._executor is not origin:
+                return
+            executor, self._executor = self._executor, None
+            if executor is None:
+                return
+            self.counters.pool_restarts += 1
         try:
             executor.shutdown(wait=False, cancel_futures=True)
         except Exception:

@@ -354,9 +354,35 @@ class PrivateRetrievalServer:
         scheduling splits the leftover workers into intra-query shards of
         the heaviest queries, merged by the associative shard merge -- either
         way each result is bit-identical to the sequential fast path's.
-        ``parallelism`` overrides the server's knob for this batch only.
+
+        Parameters
+        ----------
+        queries:
+            The embellished queries, answered and returned in order.
+        parallelism:
+            Overrides the server's worker knob for this batch only; ``None``
+            uses :attr:`parallelism`, and any value is capped at the resident
+            pool's size.  ``1`` answers the batch sequentially in-process.
+
         Aggregate counters land in :attr:`counters`; per-query snapshots in
         :attr:`last_batch_counters`.
+
+        Raises
+        ------
+        RuntimeError
+            If a *shared* injected engine has been shut down (an owned engine
+            is recreated lazily instead).  A non-retryable worker exception
+            (e.g. ``PermanentFaultError``) propagates unchanged;
+            :class:`~repro.core.engine.EngineBusyError` is never raised here
+            -- a refused mid-stream resize just serves on the current pool.
+
+        Thread safety: one server instance answers one call at a time.  The
+        counters describe the most recent entry point, so concurrent calls
+        on the same instance interleave their attribution (see
+        :meth:`iter_batch` for the exact epoch semantics).  For concurrent
+        serving give each client session its own server and share the
+        :class:`~repro.core.engine.ExecutionEngine` (whose dispatch is
+        thread-safe) -- the arrangement :mod:`repro.service` uses.
         """
         return list(self.iter_batch(queries, parallelism=parallelism))
 
@@ -376,6 +402,17 @@ class PrivateRetrievalServer:
         aggregates exactly the yielded prefix.  On the sequential path
         (``naive=True`` or one worker) each query is instead computed lazily
         when the iterator reaches it.
+
+        Parameters, raised errors and the thread-safety contract are those
+        of :meth:`process_batch` (which is this iterator, materialised);
+        additionally, because dispatch happens on the first ``next()``, a
+        worker-side permanent error surfaces out of the yielding loop, not
+        out of this call itself.  The generator holds shard futures on the
+        shared pool while suspended -- an
+        :class:`~repro.core.engine.EngineBusyError`-guarded resize elsewhere
+        will be refused until the stream is drained or closed, and an engine
+        ``shutdown(wait=True)`` during the stream waits for those futures,
+        whose results remain collectible afterwards.
 
         As with every entry point, the server's counters describe the *most
         recent* call: answering other queries on this server while a stream

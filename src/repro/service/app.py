@@ -1,0 +1,606 @@
+"""The asyncio HTTP/JSON serving front-end over the private-retrieval core.
+
+:class:`RetrievalService` turns the in-process pipeline --
+:class:`~repro.textsearch.inverted_index.InvertedIndex` +
+:class:`~repro.core.server.PrivateRetrievalServer` +
+:class:`~repro.core.engine.ExecutionEngine` -- into a long-running network
+service:
+
+* **Tenants** are named indexes.  A tenant loaded from a saved directory
+  (``InvertedIndex.load(mmap=True)``) shares one resident
+  :class:`ExecutionEngine` with every other tenant backed by the *same*
+  resolved directory, so worker pools are keyed by data, not by how many
+  names point at it.  Engines the service creates are service-owned and shut
+  down on :meth:`RetrievalService.drain`.
+* **Sessions** are long-lived clients.  Opening a session binds a tenant to
+  the client's Benaloh public key in a dedicated
+  :class:`PrivateRetrievalServer` that *shares* the tenant engine (shared ->
+  not owned -> a session going away never tears down the pool).  A session
+  answers one batch at a time (``asyncio.Lock``); concurrency comes from
+  many sessions, matching the one-server-per-client-session contract
+  documented on :meth:`PrivateRetrievalServer.process_batch`.
+* **Streaming**: a batch POST answers with chunked NDJSON.  The blocking
+  engine work runs on a worker thread iterating
+  :meth:`PrivateRetrievalServer.iter_batch`; each result is handed to the
+  event loop via ``call_soon_threadsafe`` and written as its own chunk, so
+  the client observes query results in order as shards complete, not at
+  batch end.
+* **Admission control**: batch requests pass the
+  :class:`~repro.service.admission.AdmissionController` -- bounded active
+  slots, bounded FIFO queue, ``429 + Retry-After`` beyond that, ``503``
+  while draining.  Admitted batches always run to completion, even if the
+  client disconnects mid-stream (the producer keeps consuming the engine
+  iterator so no shard future is abandoned).
+* **Metrics**: ``GET /metrics`` merges :class:`ServiceMetrics` (request and
+  latency rollups), admission state, per-tenant
+  :class:`~repro.core.server.ServerCounters` totals and engine resilience
+  counters -- the same numbers ``pr_report`` consumes in-process, so remote
+  and direct runs reconcile.
+
+Routes
+------
+==============  ======================================  =====================
+GET             /healthz                                liveness + drain flag
+GET             /metrics                                full metrics document
+GET             /tenants                                tenant summaries
+GET             /tenants/{name}/organization            shared bucket layout
+POST            /sessions                               open a session
+POST            /sessions/{sid}/queries                 batch -> NDJSON stream
+DELETE          /sessions/{sid}                         close a session
+==============  ======================================  =====================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import secrets
+import time
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+
+from repro.core.buckets import BucketOrganization
+from repro.core.engine import ExecutionEngine
+from repro.core.server import PrivateRetrievalServer, ServerCounters
+from repro.service import protocol
+from repro.service.admission import (
+    AdmissionController,
+    ServiceDrainingError,
+    ServiceSaturatedError,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.wire import (
+    WireError,
+    decode_public_key,
+    decode_query,
+    encode_counters,
+    encode_organization,
+    encode_result,
+)
+from repro.textsearch.inverted_index import InvertedIndex
+
+__all__ = ["ServiceConfig", "RetrievalService", "chunked_organization"]
+
+log = logging.getLogger(__name__)
+
+
+def chunked_organization(index: InvertedIndex, bucket_size: int) -> BucketOrganization:
+    """A deterministic bucket layout both ends can derive from the index.
+
+    Consecutive runs of ``bucket_size`` terms in sorted dictionary order.
+    The organisation is shared, non-secret state (it only drives decoy
+    choice and the co-location I/O model), but client and server must agree
+    on it; deriving it deterministically from the term dictionary -- and
+    serving it at ``/tenants/{name}/organization`` -- guarantees that
+    without shipping the organisation alongside every saved index.
+    """
+    terms = sorted(index.terms)
+    if not terms:
+        raise ValueError("cannot build an organization over an empty index")
+    buckets = tuple(
+        tuple(terms[start : start + bucket_size])
+        for start in range(0, len(terms), bucket_size)
+    )
+    return BucketOrganization(
+        buckets=buckets,
+        bucket_size=bucket_size,
+        segment_size=0,
+        specificity={},
+    )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`RetrievalService` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is on ``service.address``
+    #: BktSz for tenants whose organisation is derived, not injected.
+    bucket_size: int = 4
+    #: Worker processes per tenant engine (1 = sequential, no pool).
+    parallelism: int = 1
+    #: Concurrently *executing* batch requests.
+    max_active: int = 4
+    #: Batch requests allowed to wait for a slot before 429s start.
+    max_pending: int = 16
+    #: Retry-After hint (seconds) attached to 429 responses.
+    retry_after: float = 1.0
+    #: Memory-map saved indexes instead of materialising them.
+    mmap_indexes: bool = True
+
+
+@dataclass
+class Tenant:
+    """One named index served by the front-end."""
+
+    name: str
+    index: InvertedIndex
+    organization: BucketOrganization
+    #: Resolved index directory for disk-backed tenants (engine-sharing key).
+    index_dir: Path | None = None
+    #: Resident engine shared by this tenant's sessions (None = sequential).
+    engine: ExecutionEngine | None = None
+    #: Aggregate of every per-query counter snapshot answered for this tenant.
+    totals: ServerCounters = field(default_factory=ServerCounters)
+    queries_answered: int = 0
+    batches_answered: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "num_terms": self.index.num_terms,
+            "num_buckets": self.organization.num_buckets,
+            "bucket_size": self.organization.bucket_size,
+            "index_dir": str(self.index_dir) if self.index_dir else None,
+            "queries_answered": self.queries_answered,
+            "batches_answered": self.batches_answered,
+        }
+
+
+@dataclass
+class ClientSession:
+    """One long-lived client: a tenant bound to the client's public key."""
+
+    session_id: str
+    tenant: Tenant
+    server: PrivateRetrievalServer
+    #: Serialises batches within the session (a PrivateRetrievalServer
+    #: answers one call at a time); concurrency comes from many sessions.
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    batches: int = 0
+
+
+class RetrievalService:
+    """The serving front-end; one instance per process, one event loop."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.admission = AdmissionController(
+            max_active=self.config.max_active,
+            max_pending=self.config.max_pending,
+            retry_after=self.config.retry_after,
+        )
+        self.tenants: dict[str, Tenant] = {}
+        self.sessions: dict[str, ClientSession] = {}
+        #: Resident engines keyed by resolved index directory; tenants added
+        #: with an in-memory index get a private key of their own.
+        self._engines: dict[object, ExecutionEngine] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self.address: tuple[str, int] | None = None
+
+    # -- tenant management --------------------------------------------------------
+    def add_tenant(
+        self,
+        name: str,
+        *,
+        index_dir: str | Path | None = None,
+        index: InvertedIndex | None = None,
+        organization: BucketOrganization | None = None,
+    ) -> Tenant:
+        """Register a tenant from a saved index directory or a live index.
+
+        Exactly one of ``index_dir`` / ``index`` must be given.  Disk-backed
+        tenants load via ``InvertedIndex.load(mmap=...)`` and share their
+        engine with every tenant backed by the same resolved directory.
+        Call before :meth:`start` (or from the service's own loop thread).
+        """
+        if name in self.tenants:
+            raise ValueError(f"tenant {name!r} already registered")
+        if (index is None) == (index_dir is None):
+            raise ValueError("pass exactly one of index_dir / index")
+        engine_key: object
+        resolved: Path | None = None
+        if index_dir is not None:
+            resolved = Path(index_dir).resolve()
+            index = InvertedIndex.load(resolved, mmap=self.config.mmap_indexes)
+            engine_key = resolved
+        else:
+            engine_key = object()  # in-memory tenants never share a pool
+        if organization is None:
+            organization = chunked_organization(index, self.config.bucket_size)
+        engine = None
+        if self.config.parallelism > 1:
+            engine = self._engines.get(engine_key)
+            if engine is None:
+                engine = ExecutionEngine(parallelism=self.config.parallelism)
+                self._engines[engine_key] = engine
+        tenant = Tenant(
+            name=name,
+            index=index,
+            organization=organization,
+            index_dir=resolved,
+            engine=engine,
+        )
+        self.tenants[name] = tenant
+        return tenant
+
+    # -- lifecycle ----------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        log.info("serving on %s:%d", *self.address)
+        return self.address
+
+    async def drain(self, wait: bool = True) -> None:
+        """Graceful shutdown: finish in-flight work, reject new, release pools.
+
+        Idempotent.  New batch requests get 503 immediately; active and
+        queued ones run to completion (``wait=True`` blocks until they
+        have); then the listener closes and every service-owned engine is
+        shut down.  Session servers share those engines, so no per-session
+        teardown is needed -- and the engine's own shutdown is idempotent
+        under concurrent invocation, so a signal-handler drain racing a
+        with-block exit is safe.
+        """
+        self.admission.drain()
+        if wait:
+            await self.admission.wait_idle()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        engines, self._engines = dict(self._engines), {}
+        for engine in engines.values():
+            engine.shutdown(wait=wait)
+
+    async def __aenter__(self) -> "RetrievalService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    # -- connection handling ------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await protocol.read_request(reader)
+                except protocol.ProtocolError as exc:
+                    await protocol.send_json(writer, 400, {"error": str(exc)})
+                    break
+                if request is None:
+                    break
+                try:
+                    keep_alive = await self._dispatch(request, writer)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                except Exception:
+                    log.exception("unhandled error serving %s %s",
+                                  request.method, request.path)
+                    try:
+                        await protocol.send_json(
+                            writer, 500, {"error": "internal error"}
+                        )
+                    except ConnectionError:
+                        pass
+                    break
+                if not keep_alive or request.wants_close:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: protocol.HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Route one request; returns False when the connection must close."""
+        seg = request.segments
+        method = request.method
+        try:
+            if seg == ("healthz",) and method == "GET":
+                await protocol.send_json(
+                    writer,
+                    200,
+                    {"ok": True, "draining": self.admission.draining},
+                )
+            elif seg == ("metrics",) and method == "GET":
+                await protocol.send_json(writer, 200, self._metrics_document())
+            elif seg == ("tenants",) and method == "GET":
+                await protocol.send_json(
+                    writer,
+                    200,
+                    {"tenants": [t.summary() for t in self.tenants.values()]},
+                )
+            elif len(seg) == 3 and seg[0] == "tenants" and seg[2] == "organization":
+                if method != "GET":
+                    await self._method_not_allowed(writer, "GET")
+                else:
+                    await self._get_organization(seg[1], writer)
+            elif seg == ("sessions",) and method == "POST":
+                await self._open_session(request, writer)
+            elif len(seg) == 2 and seg[0] == "sessions" and method == "DELETE":
+                await self._close_session(seg[1], writer)
+            elif len(seg) == 3 and seg[0] == "sessions" and seg[2] == "queries":
+                if method != "POST":
+                    await self._method_not_allowed(writer, "POST")
+                else:
+                    return await self._run_batch(seg[1], request, writer)
+            else:
+                await protocol.send_json(
+                    writer, 404, {"error": f"no route for {method} {request.path}"}
+                )
+        except (WireError, protocol.ProtocolError) as exc:
+            await protocol.send_json(writer, 400, {"error": str(exc)})
+        return True
+
+    @staticmethod
+    async def _method_not_allowed(writer: asyncio.StreamWriter, allow: str) -> None:
+        await protocol.send_json(
+            writer, 405, {"error": "method not allowed"}, headers={"Allow": allow}
+        )
+
+    # -- read-only routes ---------------------------------------------------------
+    def _metrics_document(self) -> dict:
+        tenants = {}
+        for tenant in self.tenants.values():
+            entry = {
+                "queries_answered": tenant.queries_answered,
+                "batches_answered": tenant.batches_answered,
+                "totals": encode_counters(tenant.totals),
+            }
+            if tenant.engine is not None:
+                entry["engine"] = {
+                    spec.name: getattr(tenant.engine.counters, spec.name)
+                    for spec in dataclass_fields(tenant.engine.counters)
+                }
+            tenants[tenant.name] = entry
+        return {
+            "service": self.metrics.snapshot(),
+            "admission": self.admission.snapshot(),
+            "sessions_active": len(self.sessions),
+            "tenants": tenants,
+        }
+
+    async def _get_organization(self, name: str, writer) -> None:
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            await protocol.send_json(writer, 404, {"error": f"no tenant {name!r}"})
+            return
+        payload = encode_organization(tenant.organization)
+        payload["tenant"] = tenant.name
+        payload["num_terms"] = tenant.index.num_terms
+        await protocol.send_json(writer, 200, payload)
+
+    # -- session routes -----------------------------------------------------------
+    async def _open_session(self, request, writer) -> None:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise WireError("session request must be a JSON object")
+        name = body.get("tenant")
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            await protocol.send_json(writer, 404, {"error": f"no tenant {name!r}"})
+            return
+        public_key = decode_public_key(body.get("public_key"))
+        parallelism = body.get("parallelism", self.config.parallelism)
+        if not isinstance(parallelism, int) or parallelism < 1:
+            raise WireError("parallelism must be a positive integer")
+        # A session can only scale down from the tenant pool: sharing the
+        # resident engine is the point, and the engine serves any
+        # parallelism <= its pool size.
+        parallelism = min(parallelism, self.config.parallelism)
+        session_id = secrets.token_hex(8)
+        server = PrivateRetrievalServer(
+            index=tenant.index,
+            organization=tenant.organization,
+            public_key=public_key,
+            parallelism=parallelism,
+            engine=tenant.engine,
+        )
+        self.sessions[session_id] = ClientSession(
+            session_id=session_id, tenant=tenant, server=server
+        )
+        self.metrics.sessions_opened += 1
+        await protocol.send_json(
+            writer,
+            200,
+            {
+                "session": session_id,
+                "tenant": tenant.name,
+                "parallelism": parallelism,
+            },
+        )
+
+    async def _close_session(self, session_id: str, writer) -> None:
+        session = self.sessions.pop(session_id, None)
+        if session is None:
+            await protocol.send_json(
+                writer, 404, {"error": "no such session"}
+            )
+            return
+        # The session server shares the tenant engine, so close() is a no-op
+        # by design -- the pool outlives any one client.
+        session.server.close()
+        self.metrics.sessions_closed += 1
+        await protocol.send_json(
+            writer, 200, {"closed": session_id, "batches": session.batches}
+        )
+
+    # -- the batch route ----------------------------------------------------------
+    async def _run_batch(self, session_id: str, request, writer) -> bool:
+        """POST /sessions/{sid}/queries -> chunked NDJSON result stream.
+
+        Returns False when the response left the connection unusable
+        (mid-stream write failure); True to keep the connection alive.
+        """
+        session = self.sessions.get(session_id)
+        if session is None:
+            await protocol.send_json(writer, 404, {"error": "no such session"})
+            return True
+        body = request.json()
+        if not isinstance(body, dict) or not isinstance(body.get("queries"), list):
+            raise WireError("batch must be an object with a 'queries' array")
+        queries = [decode_query(q) for q in body["queries"]]
+        if not queries:
+            raise WireError("batch must contain at least one query")
+
+        request_started = time.monotonic()
+        try:
+            permit = await self.admission.admit()
+        except ServiceSaturatedError as exc:
+            self.metrics.rejected_saturated += 1
+            await protocol.send_json(
+                writer,
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            )
+            return True
+        except ServiceDrainingError as exc:
+            self.metrics.rejected_draining += 1
+            await protocol.send_json(writer, 503, {"error": str(exc)})
+            return True
+
+        self.metrics.requests_admitted += 1
+        self.metrics.requests_active += 1
+        self.metrics.queue_wait.record(permit.queue_wait_s * 1000.0)
+        try:
+            async with session.lock:
+                return await self._stream_batch(
+                    session, queries, writer, permit.queue_wait_s, request_started
+                )
+        finally:
+            permit.release()
+            self.metrics.requests_active -= 1
+            self.metrics.request_time.record(
+                (time.monotonic() - request_started) * 1000.0
+            )
+
+    async def _stream_batch(
+        self, session, queries, writer, queue_wait_s, request_started
+    ) -> bool:
+        """Run one admitted batch to completion, streaming results as they land.
+
+        The engine iterator runs on an executor thread (it blocks on shard
+        futures); results cross into the loop via ``call_soon_threadsafe``.
+        The producer always drains the iterator -- a client that disconnects
+        mid-stream stops receiving but never cancels admitted engine work.
+        """
+        loop = asyncio.get_running_loop()
+        results: asyncio.Queue = asyncio.Queue()
+        server = session.server
+
+        def produce() -> None:
+            started = time.monotonic()
+            try:
+                for index, result in enumerate(server.iter_batch(queries)):
+                    snapshot = server.last_batch_counters[index]
+                    loop.call_soon_threadsafe(
+                        results.put_nowait,
+                        ("result", index, result, snapshot,
+                         time.monotonic() - started),
+                    )
+                loop.call_soon_threadsafe(
+                    results.put_nowait, ("done", time.monotonic() - started)
+                )
+            except Exception as exc:  # surfaced to the client as an error line
+                loop.call_soon_threadsafe(results.put_nowait, ("error", exc))
+
+        producer = loop.run_in_executor(None, produce)
+        writable = True
+        failed = False
+        service_s = 0.0
+        answered = 0
+        batch_totals = ServerCounters()
+        try:
+            await protocol.start_chunked(writer, 200)
+        except ConnectionError:
+            writable = False
+        while True:
+            item = await results.get()
+            if item[0] == "result":
+                _, index, result, snapshot, elapsed = item
+                answered += 1
+                batch_totals.add(snapshot)
+                self.metrics.queries_total += 1
+                self.metrics.query_time.record(elapsed * 1000.0)
+                if writable:
+                    line = {
+                        "kind": "result",
+                        "index": index,
+                        **encode_result(result),
+                        "counters": encode_counters(snapshot),
+                        "ms": round(elapsed * 1000.0, 3),
+                    }
+                    writable = await self._write_line(writer, line)
+                continue
+            if item[0] == "done":
+                service_s = item[1]
+                self.metrics.service_time.record(service_s * 1000.0)
+                if writable:
+                    writable = await self._write_line(
+                        writer,
+                        {
+                            "kind": "done",
+                            "queries": answered,
+                            "service_ms": round(service_s * 1000.0, 3),
+                            "queue_wait_ms": round(queue_wait_s * 1000.0, 3),
+                            "counters": encode_counters(batch_totals),
+                        },
+                    )
+            else:  # "error"
+                failed = True
+                self.metrics.requests_failed += 1
+                log.exception("batch failed", exc_info=item[1])
+                if writable:
+                    writable = await self._write_line(
+                        writer, {"kind": "error", "error": str(item[1])}
+                    )
+            break
+        await producer
+        session.batches += 1
+        session.tenant.batches_answered += 1
+        session.tenant.queries_answered += answered
+        session.tenant.totals.add(batch_totals)
+        if writable:
+            try:
+                await protocol.end_chunked(writer)
+            except ConnectionError:
+                writable = False
+        # An error line terminates the stream early; close the connection so
+        # the client cannot misread the next response as the stream's tail.
+        return writable and not failed
+
+    @staticmethod
+    async def _write_line(writer, payload: dict) -> bool:
+        try:
+            await protocol.send_chunk(
+                writer, json.dumps(payload).encode("utf-8") + b"\n"
+            )
+            return True
+        except ConnectionError:
+            return False

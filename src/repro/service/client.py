@@ -1,0 +1,187 @@
+"""A blocking HTTP client for the serving front-end (stdlib only).
+
+Built on :mod:`http.client` so tests, the load generator and operators'
+scripts can talk to a running :class:`~repro.service.app.RetrievalService`
+without any dependency beyond the standard library.  The client mirrors the
+service's routes one-to-one and understands the chunked NDJSON batch stream:
+:meth:`ServiceClient.submit_batch` yields each result line as the service
+writes it, so a caller observes streaming order and latency exactly as a
+real client would.
+
+Each request opens its own connection (``Connection: close``); the service
+is long-lived, the client deliberately simple.  Errors carry the HTTP
+status and, for 429s, the parsed ``Retry-After`` hint so load generators
+can implement honest backoff.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator, Sequence
+
+from repro.core.embellish import EmbellishedQuery
+from repro.core.server import EncryptedResult
+from repro.crypto.benaloh import BenalohPublicKey
+from repro.service.wire import (
+    decode_organization,
+    decode_result,
+    encode_public_key,
+    encode_query,
+)
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the status and any ``Retry-After`` hint."""
+
+    def __init__(self, status: int, detail: str, retry_after: float | None = None):
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Blocking client for one service address.
+
+    Parameters
+    ----------
+    host, port:
+        Where the service listens (``RetrievalService.address``).
+    timeout:
+        Socket timeout in seconds for every request, including each read of
+        a streamed batch line.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload=None
+    ) -> http.client.HTTPResponse:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        body = None
+        headers = {"Connection": "close"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        if response.status >= 400:
+            detail = ""
+            try:
+                detail = json.loads(response.read()).get("error", "")
+            except Exception:
+                pass
+            retry_after = response.headers.get("Retry-After")
+            connection.close()
+            raise ServiceError(
+                response.status,
+                detail or response.reason,
+                float(retry_after) if retry_after else None,
+            )
+        # The caller must fully read (streams) or we read for it (JSON).
+        response._service_connection = connection  # keep alive until read
+        return response
+
+    def _json(self, method: str, path: str, payload=None) -> dict:
+        response = self._request(method, path, payload)
+        try:
+            return json.loads(response.read())
+        finally:
+            response._service_connection.close()
+
+    # -- read-only routes ---------------------------------------------------------
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._json("GET", "/metrics")
+
+    def tenants(self) -> list[dict]:
+        return self._json("GET", "/tenants")["tenants"]
+
+    def organization(self, tenant: str):
+        """The tenant's shared bucket layout as a
+        :class:`~repro.core.buckets.BucketOrganization`."""
+        return decode_organization(self._json("GET", f"/tenants/{tenant}/organization"))
+
+    # -- sessions -----------------------------------------------------------------
+    def open_session(
+        self,
+        tenant: str,
+        public_key: BenalohPublicKey,
+        parallelism: int | None = None,
+    ) -> str:
+        payload = {"tenant": tenant, "public_key": encode_public_key(public_key)}
+        if parallelism is not None:
+            payload["parallelism"] = parallelism
+        return self._json("POST", "/sessions", payload)["session"]
+
+    def close_session(self, session_id: str) -> dict:
+        return self._json("DELETE", f"/sessions/{session_id}")
+
+    # -- batches ------------------------------------------------------------------
+    def submit_batch(
+        self,
+        session_id: str,
+        queries: Sequence[EmbellishedQuery],
+        modulus: int,
+    ) -> Iterator[dict]:
+        """Stream one batch; yields each NDJSON line as a parsed dict.
+
+        Lines arrive in query order: ``kind == "result"`` records carry
+        ``index``, ``scores``, per-query ``counters`` and ``ms``; the final
+        ``kind == "done"`` record carries batch totals and timings.  A
+        ``kind == "error"`` line (the batch failed server-side after
+        admission) is raised as :class:`ServiceError` with status 500.
+        ``modulus`` (the session public key's ``n``) sizes decoded results.
+        """
+        payload = {"queries": [encode_query(query) for query in queries]}
+        response = self._request("POST", f"/sessions/{session_id}/queries", payload)
+        try:
+            while True:
+                raw = response.readline()
+                if not raw:
+                    break
+                line = json.loads(raw)
+                if line.get("kind") == "error":
+                    raise ServiceError(500, line.get("error", "batch failed"))
+                yield line
+                if line.get("kind") == "done":
+                    break
+        finally:
+            response._service_connection.close()
+
+    def run_batch(
+        self,
+        session_id: str,
+        queries: Sequence[EmbellishedQuery],
+        modulus: int,
+    ) -> tuple[list[EncryptedResult], dict]:
+        """Submit a batch and collect it fully: ``(results, done_line)``.
+
+        ``results[i]`` is query ``i``'s :class:`EncryptedResult` (the stream
+        is order-preserving).  Raises :class:`ServiceError` if the stream
+        ends without a ``done`` record (connection cut mid-batch).
+        """
+        results: list[EncryptedResult] = []
+        done: dict | None = None
+        for line in self.submit_batch(session_id, queries, modulus):
+            if line["kind"] == "result":
+                results.append(decode_result(line, modulus))
+            elif line["kind"] == "done":
+                done = line
+        if done is None:
+            raise ServiceError(500, "stream ended without a done record")
+        if len(results) != len(queries):
+            raise ServiceError(
+                500, f"stream delivered {len(results)}/{len(queries)} results"
+            )
+        return results, done

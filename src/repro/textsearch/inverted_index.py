@@ -988,11 +988,29 @@ class InvertedIndex:
         The unsealed delta is sealed first (the format stores sealed
         segments only), then each segment's columns are written as one
         binary blob plus a JSON manifest -- see
-        :func:`repro.textsearch.segments.write_index_directory`.  With
-        ``include_document_terms`` (the default) the per-document term
-        frequencies are saved too, so the loaded index supports further
-        incremental updates; without them it loads read-only.  Returns the
-        saved manifest.
+        :func:`repro.textsearch.segments.write_index_directory`.
+
+        Parameters
+        ----------
+        path:
+            Target directory, created if missing.  Re-saving over an
+            existing directory is crash-safe: data blobs are written under
+            fresh save-sequence-suffixed names (previously referenced blobs
+            are never rewritten), the primary manifest is swapped atomically
+            via ``os.replace``, and the previous manifest generation is
+            retained so a torn re-save falls back to it on :meth:`load`.
+        include_document_terms:
+            With the default ``True`` the per-document term frequencies are
+            saved too, so the loaded index supports further incremental
+            updates; ``False`` saves a smaller, read-only directory.
+
+        Returns the saved :class:`SegmentManifest`.  Raises ``OSError`` for
+        filesystem failures; a save that dies mid-write leaves the previous
+        generation loadable (the crash-recovery suite aborts a re-save at
+        every write operation to prove it).  Not safe to call concurrently
+        with updates or another ``save`` on the same instance -- the index
+        object is single-threaded by contract; snapshot/query concurrency
+        belongs to the serving layer above it.
         """
         self._ensure_current_arrays()
         self.seal_delta()
@@ -1066,6 +1084,13 @@ class InvertedIndex:
         flaky network filesystem wrapper raising them) are retried up to
         ``transient_retries`` times through ``retry_sleep`` -- injectable so
         fault suites run without real waiting.
+
+        Process/thread safety: any number of processes may :meth:`load` the
+        same directory concurrently (reads never mutate the tree, and the
+        OS page cache shares the mmapped bytes between them -- how multiple
+        serving tenants over one directory stay cheap).  The *returned
+        index object* is single-threaded like any other: give each thread
+        its own loaded instance, or serialise access above it.
         """
         attempts = 0
         while True:
@@ -1140,15 +1165,40 @@ class InvertedIndex:
 
     @staticmethod
     def verify_directory(path: str | Path, *, deep: bool = True) -> dict:
-        """Audit a :meth:`save` tree without loading it; see
-        :func:`repro.textsearch.segments.verify_index_directory`."""
+        """Audit a :meth:`save` tree without loading it.
+
+        Read-only and safe to run against a directory a live service is
+        serving from (saves never rewrite referenced blobs, so a concurrent
+        re-save cannot corrupt what this reads).  With ``deep`` (the
+        default) every data file is read back and checked against its
+        whole-file and per-term CRC32 checksums; ``deep=False`` checks only
+        structure, existence and sizes.  Returns a report dict -- ``ok``
+        (primary manifest fully consistent), ``problems`` (per manifest
+        candidate), ``consistent``, ``recoverable`` (the manifest
+        :meth:`load` would fall back to, ``None`` if unrecoverable) and its
+        ``save_seq``.  Corruption is *reported*, never raised; only a
+        nonexistent ``path`` raises :class:`FileNotFoundError`.  See
+        :func:`repro.textsearch.segments.verify_index_directory`.
+        """
         return verify_index_directory(path, deep=deep)
 
     @staticmethod
     def repair_directory(path: str | Path) -> dict:
         """Promote the newest fully-consistent checkpoint of a damaged
-        :meth:`save` tree; see
-        :func:`repro.textsearch.segments.repair_index_directory`."""
+        :meth:`save` tree and delete the debris.
+
+        Walks the manifest candidates newest-first with deep verification,
+        atomically installs the first fully-consistent one as
+        ``manifest.json``, and removes data files and generation manifests
+        it does not reference.  Returns ``{"recovered": <manifest name>,
+        "save_seq": ..., "removed": [...]}``.  Raises
+        :class:`~repro.textsearch.segments.CorruptIndexError` when no
+        checkpoint survives verification (nothing is deleted in that case)
+        and :class:`FileNotFoundError` for a nonexistent path.  Mutates the
+        directory -- do not run it while another process is saving to or
+        loading from the same tree; quiesce the writer first (see
+        ``docs/operations.md``).
+        """
         return repair_index_directory(path)
 
     # -- lazy impact refresh -------------------------------------------------------

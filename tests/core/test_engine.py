@@ -360,3 +360,69 @@ class TestSubmitTask:
         assert documents == {1, 3}
         assert tombstones == set()  # consumed in range
         assert written == 2 and dropped == 1
+
+
+class TestConcurrentLifecycle:
+    """Regressions for lifecycle races: the serving front-end's signal
+    handler and a ``with``-block exit may both call ``shutdown()`` -- from
+    different threads, mid-stream -- and sessions sharing an engine race its
+    lazy pool start.  Every path must be idempotent and deadlock-free."""
+
+    def test_double_shutdown_during_inflight_streamed_batch(self):
+        import threading
+
+        payloads = _batch() * 3
+        expected = [parallel.accumulate_terms(p, MODULUS)[0] for p in payloads]
+        engine = ExecutionEngine(parallelism=2)
+        pending = engine.submit_batch(payloads, MODULUS)
+
+        errors: list[BaseException] = []
+
+        def close():
+            try:
+                engine.shutdown()  # wait=True: drains in-flight shard futures
+            except BaseException as exc:  # noqa: BLE001 -- the assertion target
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads), "shutdown deadlocked"
+        assert errors == []
+        assert engine.closed and not engine.running
+        # The drained batch's results stay collectible and bit-identical.
+        assert [handle.result()[0] for handle in pending] == expected
+
+    def test_shutdown_idempotent_after_context_exit(self):
+        import math
+
+        with ExecutionEngine(parallelism=1) as engine:
+            engine.submit_task(math.factorial, 4).result()
+        engine.shutdown()  # signal handler firing after the with-block exit
+        engine.shutdown(wait=False)
+        assert engine.closed
+        with pytest.raises(RuntimeError, match="shut down"):
+            engine.submit_task(math.factorial, 3)
+
+    def test_concurrent_lazy_start_forks_one_pool(self):
+        import math
+        import threading
+
+        engine = ExecutionEngine(parallelism=2)
+        barrier = threading.Barrier(4)
+        results: list[int] = []
+
+        def dispatch():
+            barrier.wait()
+            results.append(engine.submit_task(math.factorial, 6).result())
+
+        threads = [threading.Thread(target=dispatch) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert results == [720] * 4
+        assert engine.counters.pool_starts == 1
+        engine.shutdown()

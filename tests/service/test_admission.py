@@ -1,0 +1,162 @@
+"""Unit tests of the admission controller's slot accounting.
+
+The controller is event-loop-only, so each test drives it inside
+``asyncio.run``; the invariants under test are the service's load-shedding
+contract: bounded active + bounded queue, FIFO hand-off, 429 beyond the
+queue, 503 while draining, and -- above all -- that admitted work is never
+dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionController,
+    ServiceDrainingError,
+    ServiceSaturatedError,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestSlots:
+    def test_immediate_admission_under_capacity(self):
+        async def scenario():
+            controller = AdmissionController(max_active=2, max_pending=0)
+            first = await controller.admit()
+            second = await controller.admit()
+            assert controller.active == 2
+            assert first.queue_wait_s == 0.0
+            second.release()
+            first.release()
+            assert controller.active == 0
+
+        run(scenario())
+
+    def test_release_is_idempotent(self):
+        async def scenario():
+            controller = AdmissionController(max_active=1, max_pending=0)
+            permit = await controller.admit()
+            permit.release()
+            permit.release()
+            assert controller.active == 0
+            # capacity must not have leaked negative: two more cycles work
+            with await controller.admit():
+                assert controller.active == 1
+            assert controller.active == 0
+
+        run(scenario())
+
+    def test_saturation_raises_429_material(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_active=1, max_pending=0, retry_after=0.7
+            )
+            permit = await controller.admit()
+            with pytest.raises(ServiceSaturatedError) as info:
+                await controller.admit()
+            assert info.value.retry_after == 0.7
+            permit.release()
+
+        run(scenario())
+
+
+class TestQueue:
+    def test_fifo_handoff_counts_queue_wait(self):
+        async def scenario():
+            controller = AdmissionController(max_active=1, max_pending=2)
+            first = await controller.admit()
+            order: list[int] = []
+
+            async def queued(tag: int):
+                permit = await controller.admit()
+                order.append(tag)
+                assert permit.queue_wait_s >= 0.0
+                await asyncio.sleep(0)
+                permit.release()
+
+            tasks = [asyncio.create_task(queued(1)), asyncio.create_task(queued(2))]
+            await asyncio.sleep(0)  # let both enqueue
+            assert controller.pending == 2
+            first.release()
+            await asyncio.gather(*tasks)
+            assert order == [1, 2]
+            assert controller.active == 0 and controller.pending == 0
+
+        run(scenario())
+
+    def test_queue_overflow_rejected_but_queued_work_survives(self):
+        async def scenario():
+            controller = AdmissionController(max_active=1, max_pending=1)
+            holder = await controller.admit()
+
+            async def queued():
+                permit = await controller.admit()
+                permit.release()
+                return "served"
+
+            waiter = asyncio.create_task(queued())
+            await asyncio.sleep(0)
+            with pytest.raises(ServiceSaturatedError):
+                await controller.admit()  # queue full -> shed
+            holder.release()
+            assert await waiter == "served"  # the admitted one was never dropped
+
+        run(scenario())
+
+    def test_cancelled_waiter_gives_back_its_claim(self):
+        async def scenario():
+            controller = AdmissionController(max_active=1, max_pending=2)
+            holder = await controller.admit()
+            abandoned = asyncio.create_task(controller.admit())
+            persistent = asyncio.create_task(controller.admit())
+            await asyncio.sleep(0)
+            abandoned.cancel()
+            holder.release()
+            permit = await persistent
+            assert controller.active == 1
+            permit.release()
+            assert controller.active == 0
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_draining_rejects_new_admissions(self):
+        async def scenario():
+            controller = AdmissionController(max_active=2, max_pending=2)
+            controller.drain()
+            with pytest.raises(ServiceDrainingError):
+                await controller.admit()
+
+        run(scenario())
+
+    def test_wait_idle_resolves_after_last_release(self):
+        async def scenario():
+            controller = AdmissionController(max_active=2, max_pending=2)
+            first = await controller.admit()
+            second = await controller.admit()
+            controller.drain()
+            idle = asyncio.create_task(controller.wait_idle())
+            await asyncio.sleep(0)
+            assert not idle.done()
+            first.release()
+            await asyncio.sleep(0)
+            assert not idle.done()
+            second.release()
+            await asyncio.wait_for(idle, timeout=1.0)
+
+        run(scenario())
+
+    def test_wait_idle_immediate_when_never_used(self):
+        async def scenario():
+            controller = AdmissionController(max_active=1, max_pending=0)
+            controller.drain()
+            await asyncio.wait_for(controller.wait_idle(), timeout=1.0)
+
+        run(scenario())

@@ -1,0 +1,316 @@
+"""End-to-end tests of the HTTP serving front-end over real sockets.
+
+The properties under test are the service's contract:
+
+* remote answers are **bit-identical** to in-process
+  :meth:`PrivateRetrievalServer.process_batch` -- the service adds transport
+  and scheduling, never arithmetic;
+* saturation sheds load with 429 + Retry-After but **never drops an
+  admitted batch**;
+* draining finishes in-flight streams, answers 503 to new work, and shuts
+  down cleanly;
+* ``/metrics`` reconciles with the in-process counters (the op totals are
+  invariant across transport exactly as they are across sharding).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.server import PrivateRetrievalServer
+from repro.service import ServiceError
+
+
+def make_batches(embellisher, query_terms, shape):
+    """``shape`` is a list of per-batch genuine-term counts."""
+    batches, cursor = [], 0
+    for size in shape:
+        genuine = [query_terms[(cursor + i) % len(query_terms)] for i in range(size)]
+        batches.append([embellisher.embellish([term]) for term in genuine])
+        cursor += size
+    return batches
+
+
+def direct_answers(index, service_org, benaloh_keypair, batch):
+    server = PrivateRetrievalServer(
+        index=index, organization=service_org, public_key=benaloh_keypair.public
+    )
+    return server.process_batch(batch)
+
+
+class TestBatchCorrectness:
+    def test_concurrent_sessions_bit_identical_to_direct(
+        self, running_service, index, service_org, embellisher, query_terms,
+        benaloh_keypair,
+    ):
+        service, client = running_service(max_active=4, max_pending=8)
+        batches = make_batches(embellisher, query_terms, [2, 3, 2])
+        sessions = [
+            client.open_session("corpus", benaloh_keypair.public)
+            for _ in batches
+        ]
+        remote: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def worker(slot: int):
+            try:
+                results, done = client.run_batch(
+                    sessions[slot], batches[slot], benaloh_keypair.public.n
+                )
+                assert done["queries"] == len(batches[slot])
+                remote[slot] = results
+            except BaseException as exc:  # surfaced via the errors list
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(len(batches))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        for slot, batch in enumerate(batches):
+            expected = direct_answers(index, service_org, benaloh_keypair, batch)
+            assert [r.encrypted_scores for r in remote[slot]] == [
+                e.encrypted_scores for e in expected
+            ]
+
+    def test_stream_is_ordered_and_self_describing(
+        self, running_service, embellisher, query_terms, benaloh_keypair
+    ):
+        service, client = running_service()
+        batch = make_batches(embellisher, query_terms, [3])[0]
+        session = client.open_session("corpus", benaloh_keypair.public)
+        lines = list(
+            client.submit_batch(session, batch, benaloh_keypair.public.n)
+        )
+        kinds = [line["kind"] for line in lines]
+        assert kinds == ["result", "result", "result", "done"]
+        assert [line["index"] for line in lines[:-1]] == [0, 1, 2]
+        for line in lines[:-1]:
+            assert line["counters"]["queries_processed"] == 1
+            assert line["ms"] >= 0
+        done = lines[-1]
+        assert done["counters"]["queries_processed"] == 3
+        assert done["service_ms"] >= 0 and done["queue_wait_ms"] >= 0
+
+    def test_parallel_session_matches_direct(
+        self, running_service, index, service_org, embellisher, query_terms,
+        benaloh_keypair,
+    ):
+        service, client = running_service(parallelism=2)
+        batch = make_batches(embellisher, query_terms, [2])[0]
+        session = client.open_session("corpus", benaloh_keypair.public, parallelism=2)
+        results, done = client.run_batch(session, batch, benaloh_keypair.public.n)
+        expected = direct_answers(index, service_org, benaloh_keypair, batch)
+        assert [r.encrypted_scores for r in results] == [
+            e.encrypted_scores for e in expected
+        ]
+        assert done["counters"]["shards_executed"] >= 2
+
+
+class TestAdmission:
+    def test_saturation_429s_but_never_drops_admitted(
+        self, running_service, index, service_org, embellisher, query_terms,
+        benaloh_keypair,
+    ):
+        service, client = running_service(
+            max_active=1, max_pending=1, retry_after=0.2
+        )
+        batch = make_batches(embellisher, query_terms, [3])[0]
+        sessions = [
+            client.open_session("corpus", benaloh_keypair.public) for _ in range(6)
+        ]
+        served: list[list] = []
+        shed: list[ServiceError] = []
+        lock = threading.Lock()
+
+        def hammer(session_id: str):
+            try:
+                results, done = client.run_batch(
+                    session_id, batch, benaloh_keypair.public.n
+                )
+                with lock:
+                    served.append(results)
+            except ServiceError as error:
+                with lock:
+                    shed.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(session_id,))
+            for session_id in sessions
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+
+        # every request was either fully served or cleanly shed -- none lost
+        assert len(served) + len(shed) == len(sessions)
+        assert served, "at least the first request must be admitted"
+        assert shed, "6 concurrent batches against 1+1 capacity must shed"
+        for error in shed:
+            assert error.status == 429
+            assert error.retry_after == 0.2
+        expected = direct_answers(index, service_org, benaloh_keypair, batch)
+        for results in served:  # admitted -> complete and correct
+            assert [r.encrypted_scores for r in results] == [
+                e.encrypted_scores for e in expected
+            ]
+        metrics = client.metrics()
+        assert metrics["service"]["requests"]["rejected_saturated"] == len(shed)
+        assert metrics["service"]["requests"]["admitted"] == len(served)
+
+
+class TestDrain:
+    def test_drain_completes_inflight_and_rejects_new(
+        self, running_service, embellisher, query_terms, benaloh_keypair
+    ):
+        service, client = running_service(max_active=2, max_pending=2)
+        runner = running_service.last_runner
+        batch = make_batches(embellisher, query_terms, [4])[0]
+        session = client.open_session("corpus", benaloh_keypair.public)
+
+        stream = client.submit_batch(session, batch, benaloh_keypair.public.n)
+        first = next(stream)  # the batch is admitted and producing
+        assert first["kind"] == "result"
+
+        # flip the admission gate from the service loop (loop-affine state)
+        async def start_draining():
+            service.admission.drain()
+
+        asyncio.run_coroutine_threadsafe(start_draining(), runner._loop).result(5)
+
+        with pytest.raises(ServiceError) as rejected:
+            client.run_batch(session, batch, benaloh_keypair.public.n)
+        assert rejected.value.status == 503
+
+        # the in-flight stream still runs to completion
+        remaining = list(stream)
+        assert [line["kind"] for line in remaining[:-1]] == ["result"] * 3
+        assert remaining[-1]["kind"] == "done"
+        assert remaining[-1]["queries"] == len(batch)
+
+        metrics = client.metrics()
+        assert metrics["service"]["requests"]["rejected_draining"] == 1
+        assert metrics["admission"]["draining"] is True
+        # full drain (runner teardown) completes promptly with nothing in flight
+        runner.drain(timeout=30)
+
+
+class TestMetrics:
+    def test_metrics_reconcile_with_direct_counters(
+        self, running_service, index, service_org, embellisher, query_terms,
+        benaloh_keypair,
+    ):
+        service, client = running_service()
+        batch = make_batches(embellisher, query_terms, [4])[0]
+        session = client.open_session("corpus", benaloh_keypair.public)
+        results, done = client.run_batch(session, batch, benaloh_keypair.public.n)
+
+        direct = PrivateRetrievalServer(
+            index=index, organization=service_org, public_key=benaloh_keypair.public
+        )
+        direct.process_batch(batch)
+
+        metrics = client.metrics()
+        totals = metrics["tenants"]["corpus"]["totals"]
+        # the op totals are transport-invariant, so the service's aggregate
+        # must equal the in-process run query for query
+        for name in (
+            "queries_processed",
+            "terms_processed",
+            "postings_processed",
+            "table_multiplications",
+            "modular_multiplications",
+            "blocks_read",
+        ):
+            assert totals[name] == getattr(direct.counters, name), name
+        assert done["counters"]["postings_processed"] == totals["postings_processed"]
+        assert metrics["service"]["queries_total"] == len(batch)
+        assert metrics["service"]["requests"]["admitted"] == 1
+        assert metrics["service"]["latency_ms"]["request"]["count"] == 1
+        assert metrics["service"]["latency_ms"]["per_query"]["count"] == len(batch)
+        assert metrics["tenants"]["corpus"]["batches_answered"] == 1
+
+    def test_health_tenants_and_organization_endpoints(
+        self, running_service, index, service_org, benaloh_keypair
+    ):
+        service, client = running_service()
+        assert client.health() == {"ok": True, "draining": False}
+        (summary,) = client.tenants()
+        assert summary["name"] == "corpus"
+        assert summary["num_terms"] == index.num_terms
+        fetched = client.organization("corpus")
+        assert fetched.buckets == service_org.buckets
+        assert fetched.bucket_size == service_org.bucket_size
+
+
+class TestHttpErrors:
+    def test_unknown_routes_and_ids_are_404(self, running_service, benaloh_keypair):
+        service, client = running_service()
+        for call in (
+            lambda: client._json("GET", "/nope"),
+            lambda: client.organization("ghost"),
+            lambda: client.close_session("feedfeedfeedfeed"),
+            lambda: client.open_session("ghost", benaloh_keypair.public),
+        ):
+            with pytest.raises(ServiceError) as error:
+                call()
+            assert error.value.status == 404
+
+    def test_wrong_method_is_405(self, running_service):
+        service, client = running_service()
+        with pytest.raises(ServiceError) as error:
+            client._json("PUT", "/tenants/corpus/organization")
+        assert error.value.status == 405
+
+    def test_malformed_bodies_are_400_and_connection_survives(
+        self, running_service, benaloh_keypair
+    ):
+        service, client = running_service()
+        session = client.open_session("corpus", benaloh_keypair.public)
+        host, port = service.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request(
+                "POST",
+                f"/sessions/{session}/queries",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            response.read()
+            # same (kept-alive) connection: a misaligned query is also 400
+            connection.request(
+                "POST",
+                f"/sessions/{session}/queries",
+                body=json.dumps(
+                    {"queries": [{"terms": ["a", "b"], "selectors": ["1"]}]}
+                ).encode(),
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "align" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_session_close_leaves_tenant_engine_for_others(
+        self, running_service, embellisher, query_terms, benaloh_keypair
+    ):
+        service, client = running_service()
+        batch = make_batches(embellisher, query_terms, [1])[0]
+        first = client.open_session("corpus", benaloh_keypair.public)
+        second = client.open_session("corpus", benaloh_keypair.public)
+        client.run_batch(first, batch, benaloh_keypair.public.n)
+        client.close_session(first)
+        results, done = client.run_batch(second, batch, benaloh_keypair.public.n)
+        assert done["queries"] == 1 and results

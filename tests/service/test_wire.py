@@ -1,0 +1,132 @@
+"""Round-trip and rejection tests for the JSON wire codecs."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.server import EncryptedResult, ServerCounters
+from repro.service.metrics import LatencyRollup
+from repro.service.wire import (
+    WireError,
+    decode_int,
+    decode_organization,
+    decode_public_key,
+    decode_query,
+    decode_result,
+    encode_counters,
+    encode_int,
+    encode_organization,
+    encode_public_key,
+    encode_query,
+    encode_result,
+)
+
+
+class TestIntegers:
+    def test_round_trip_survives_json(self):
+        for value in (0, 1, 255, 2**521 - 1, random.Random(3).getrandbits(1024)):
+            over_the_wire = json.loads(json.dumps(encode_int(value)))
+            assert decode_int(over_the_wire) == value
+
+    def test_rejects_non_hex(self):
+        with pytest.raises(WireError):
+            decode_int("zz")
+        with pytest.raises(WireError):
+            decode_int(None)
+        with pytest.raises(WireError):
+            decode_int(True)  # bools are not ciphertexts
+
+
+class TestQueries:
+    def test_round_trip(self, embellisher, query_terms):
+        query = embellisher.embellish(query_terms[:2])
+        decoded = decode_query(json.loads(json.dumps(encode_query(query))))
+        assert decoded == query
+
+    def test_rejects_misaligned_selectors(self):
+        with pytest.raises(WireError):
+            decode_query({"terms": ["a", "b"], "selectors": ["1"]})
+
+    def test_rejects_empty_and_malformed(self):
+        with pytest.raises(WireError):
+            decode_query({"terms": [], "selectors": []})
+        with pytest.raises(WireError):
+            decode_query({"terms": [1], "selectors": ["1"]})
+        with pytest.raises(WireError):
+            decode_query("not an object")
+
+
+class TestResultsAndKeys:
+    def test_result_round_trip(self):
+        result = EncryptedResult(
+            encrypted_scores={7: 12345678901234567890, 2: 1}, modulus=2**127
+        )
+        decoded = decode_result(
+            json.loads(json.dumps(encode_result(result))), modulus=2**127
+        )
+        assert decoded.encrypted_scores == result.encrypted_scores
+        assert decoded.modulus == result.modulus
+
+    def test_public_key_round_trip(self, benaloh_keypair):
+        key = benaloh_keypair.public
+        decoded = decode_public_key(json.loads(json.dumps(encode_public_key(key))))
+        assert (decoded.n, decoded.g, decoded.r) == (key.n, key.g, key.r)
+
+    def test_public_key_rejects_degenerate(self):
+        with pytest.raises(WireError):
+            decode_public_key({"n": "1", "g": "2", "r": 3})
+
+
+class TestOrganization:
+    def test_round_trip_preserves_layout(self, service_org):
+        decoded = decode_organization(
+            json.loads(json.dumps(encode_organization(service_org)))
+        )
+        assert decoded.buckets == service_org.buckets
+        assert decoded.bucket_size == service_org.bucket_size
+        assert decoded.segment_size == service_org.segment_size
+
+    def test_rejects_duplicate_terms(self):
+        with pytest.raises(WireError):
+            decode_organization(
+                {"buckets": [["a", "a"]], "bucket_size": 2, "segment_size": 0}
+            )
+
+
+class TestCounters:
+    def test_every_field_is_exported(self):
+        counters = ServerCounters()
+        counters.postings_processed = 42
+        encoded = encode_counters(counters)
+        assert encoded["postings_processed"] == 42
+        from dataclasses import fields
+
+        assert set(encoded) == {spec.name for spec in fields(counters)}
+
+
+class TestLatencyRollup:
+    def test_nearest_rank_percentiles(self):
+        rollup = LatencyRollup()
+        for ms in range(1, 101):  # 1..100
+            rollup.record(float(ms))
+        assert rollup.percentile(0.50) == 50.0
+        assert rollup.percentile(0.95) == 95.0
+        assert rollup.percentile(0.99) == 99.0
+        snapshot = rollup.snapshot()
+        assert snapshot["count"] == 100
+        assert snapshot["max_ms"] == 100.0
+        assert snapshot["p50_ms"] == 50.0
+
+    def test_bounded_window_evicts_oldest(self):
+        rollup = LatencyRollup(capacity=4)
+        for ms in (1.0, 2.0, 3.0, 4.0, 100.0, 100.0, 100.0, 100.0):
+            rollup.record(ms)
+        assert rollup.percentile(0.50) == 100.0  # the old cheap samples left
+        assert rollup.count == 8  # but lifetime count keeps the truth
+
+    def test_empty_rollup_is_zero(self):
+        assert LatencyRollup().percentile(0.99) == 0.0
+        assert LatencyRollup().snapshot()["mean_ms"] == 0.0
