@@ -41,6 +41,14 @@ plus the series introduced with the fault-tolerant execution layer:
   per batch, pool restarted, lost shard re-dispatched) vs the same batch on
   a clean engine, asserted bit-identical before timing,
 
+plus the series introduced with the snapshot (MVCC) read layer:
+
+* pinned-reader concurrency -- a server over one ``index.snapshot()``
+  answering the same queries quiesced vs during live seal/merge/compact on
+  a writer thread (answers asserted bit-identical first), and incremental
+  ``save`` (append newly sealed blobs + one manifest-log record) vs a
+  wholesale save of the same index, with append-only asserted,
+
 plus the series introduced with the serving front-end:
 
 * serving throughput -- a multi-threaded load generator driving concurrent
@@ -59,7 +67,9 @@ embellishment speedup is >= 3x, the resident-pool amortisation is >= 1.5x
 over per-call pool forking, the incremental update+query beats a full
 rebuild+query by >= 1.5x, the segmented sustained-update series and the
 save/load cold-start series are each >= 1.5x, the fault-injected batch
-sustains >= 0.5x the clean batch's throughput, the served (HTTP) throughput
+sustains >= 0.5x the clean batch's throughput, the pinned snapshot reader
+sustains >= 0.4x its quiesced throughput during concurrent maintenance and
+the incremental save beats a wholesale save by >= 1.1x, the served (HTTP) throughput
 is >= 0.3x the in-process direct path (the gap is the cost of serialising
 the encrypted candidate sets to hex JSON) with working 429 shedding and
 graceful drain, and -- on machines with
@@ -881,6 +891,168 @@ def bench_serving_throughput(
     return result
 
 
+def bench_snapshot_read_concurrency(
+    context,
+    keypair,
+    repeats,
+    num_documents=500,
+    reader_queries=10,
+    save_batches=None,
+):
+    """Pinned-reader throughput under concurrent maintenance + save latency.
+
+    Two series for the MVCC snapshot layer:
+
+    * **reader concurrency** -- a server pinned to one ``index.snapshot()``
+      answers the same query batch (a) on a quiesced index and (b) while a
+      writer thread drives adds/removes/seals/tiered merges/compactions on
+      the live index.  Every concurrent answer is asserted bit-identical to
+      the quiesced baseline first (the snapshot isolation contract); the
+      recorded ratio is concurrent/quiesced reader throughput.  Python's GIL
+      means the writer steals CPU -- the gate (>= 0.4x) catches the read
+      path re-acquiring locks or copying state per query, not scheduler
+      fairness.
+    * **incremental save latency** -- ``save`` back onto the directory the
+      index was last saved to (appends the newly sealed segment files plus
+      one CRC-framed manifest-log record) vs a wholesale save of the same
+      index to a fresh directory.  Previously referenced segment files are
+      asserted byte-identical after every incremental save: append, never
+      rewrite.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.core.buckets import simple_buckets
+    from repro.textsearch.corpus import Corpus, Document
+    from repro.textsearch.segments import TieredMergePolicy
+
+    if save_batches is None:
+        save_batches = max(3, repeats)
+    corpus = SyntheticCorpusGenerator(
+        lexicon=context.lexicon,
+        num_documents=num_documents + 120 + save_batches * 8,
+        seed=41,
+    ).generate()
+    documents = list(corpus)
+    base_docs = documents[:num_documents]
+    writer_stream = documents[num_documents : num_documents + 120]
+    save_stream = documents[num_documents + 120 :]
+    index = InvertedIndex.build(
+        Corpus(base_docs), merge_policy=TieredMergePolicy(fanout=4)
+    )
+    snapshot = index.snapshot()
+    organization = simple_buckets(sorted(snapshot.terms), {}, bucket_size=8)
+    embellisher = QueryEmbellisher(
+        organization=organization, keypair=keypair, rng=random.Random(43)
+    )
+    workload = QueryWorkloadGenerator(index, seed=44)
+    queries = [
+        embellisher.embellish(workload.frequency_weighted_query(4))
+        for _ in range(reader_queries)
+    ]
+    server = PrivateRetrievalServer(
+        index=snapshot, organization=organization, public_key=keypair.public
+    )
+    baseline = [server.process_query(q).encrypted_scores for q in queries]
+
+    def read_pass():
+        return [server.process_query(q).encrypted_scores for q in queries]
+
+    quiesced_samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        answers = read_pass()
+        quiesced_samples.append((time.perf_counter() - start) * 1000.0)
+        assert answers == baseline, "quiesced pinned reader diverged!"
+
+    stop = threading.Event()
+    removable = [doc.doc_id for doc in base_docs]
+
+    def writer() -> None:
+        round_no = 0
+        while not stop.is_set():
+            doc = writer_stream[round_no % len(writer_stream)]
+            index.add_document(
+                Document(doc_id=10_000_000 + round_no, text=doc.text)
+            )
+            if round_no % 3 == 0 and removable:
+                index.remove_document(removable.pop())
+            index.maintain(force_seal=round_no % 2 == 0)
+            if round_no % 25 == 24:
+                index.compact()
+            round_no += 1
+
+    concurrent_samples = []
+    writer_thread = threading.Thread(target=writer)
+    writer_thread.start()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            answers = read_pass()
+            concurrent_samples.append((time.perf_counter() - start) * 1000.0)
+            assert answers == baseline, (
+                "pinned reader diverged under concurrent maintenance!"
+            )
+    finally:
+        stop.set()
+        writer_thread.join()
+
+    quiesced_ms, concurrent_ms = min(quiesced_samples), min(concurrent_samples)
+    reader_ratio = quiesced_ms / concurrent_ms if concurrent_ms > 0 else None
+
+    # -- incremental vs wholesale save latency ---------------------------------
+    save_root = Path(tempfile.mkdtemp(prefix="bench_snapshot_")) / "index"
+    incremental_samples, wholesale_samples = [], []
+    try:
+        index.save(save_root)  # prime: the resident full checkpoint, untimed
+        for batch in range(save_batches):
+            for doc in save_stream[batch * 8 : (batch + 1) * 8]:
+                index.add_document(
+                    Document(doc_id=20_000_000 + doc.doc_id, text=doc.text)
+                )
+            index.maintain(force_seal=True)
+            before = {
+                p.name: p.read_bytes() for p in save_root.glob("segment_*.bin")
+            }
+            start = time.perf_counter()
+            index.save(save_root)
+            incremental_samples.append((time.perf_counter() - start) * 1000.0)
+            assert index.last_save_report["mode"] == "incremental"
+            for name, blob in before.items():
+                if (save_root / name).exists():
+                    assert (save_root / name).read_bytes() == blob, (
+                        f"incremental save rewrote previously referenced {name}!"
+                    )
+        for _ in range(repeats):
+            fresh = Path(tempfile.mkdtemp(prefix="bench_snapshot_full_")) / "index"
+            try:
+                start = time.perf_counter()
+                index.save(fresh, incremental=False)
+                wholesale_samples.append((time.perf_counter() - start) * 1000.0)
+                assert index.last_save_report["mode"] == "full"
+            finally:
+                shutil.rmtree(fresh.parent, ignore_errors=True)
+    finally:
+        shutil.rmtree(save_root.parent, ignore_errors=True)
+    incremental_ms = min(incremental_samples)
+    wholesale_ms = min(wholesale_samples)
+
+    return {
+        "num_documents": num_documents,
+        "reader_queries": reader_queries,
+        "quiesced_ms": round(quiesced_ms, 4),
+        "concurrent_ms": round(concurrent_ms, 4),
+        "reader_ratio": round(reader_ratio, 3) if reader_ratio is not None else None,
+        "save_batches": save_batches,
+        "incremental_save_ms": round(incremental_ms, 4),
+        "wholesale_save_ms": round(wholesale_ms, 4),
+        "save_speedup": round(wholesale_ms / incremental_ms, 2)
+        if incremental_ms > 0
+        else None,
+    }
+
+
 def _reference_index_build(corpus):
     """The seed's per-posting-object index construction, kept as the baseline."""
     from repro.textsearch.scoring import CorpusStatistics, CosineScorer
@@ -1021,6 +1193,18 @@ def main() -> int:
           f"{faulted_batch['pool_restarts']} pool restarts, "
           f"{faulted_batch['tasks_retried']} retries)")
 
+    snapshot_rc = bench_snapshot_read_concurrency(context, keypair, args.repeats)
+    results["snapshot_read_concurrency"] = snapshot_rc
+    print(f"\nsnapshot read concurrency ({snapshot_rc['reader_queries']} pinned "
+          f"queries over {snapshot_rc['num_documents']} documents):")
+    print(f"  quiesced   {snapshot_rc['quiesced_ms']:>10.3f} ms")
+    print(f"  concurrent {snapshot_rc['concurrent_ms']:>10.3f} ms  "
+          f"({snapshot_rc['reader_ratio']}x quiesced throughput during live "
+          f"seal/merge/compact, answers bit-identical)")
+    print(f"  save latency: incremental {snapshot_rc['incremental_save_ms']:.3f} ms "
+          f"vs wholesale {snapshot_rc['wholesale_save_ms']:.3f} ms "
+          f"({snapshot_rc['save_speedup']}x, append-only asserted)")
+
     summary = {
         "benchmark": "fastpath",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -1087,6 +1271,27 @@ def main() -> int:
             failures.append("drain did not complete the in-flight batch")
         if not serving["drain_rejects_new"]:
             failures.append("drain kept admitting new work")
+        reader_ratio = snapshot_rc["reader_ratio"]
+        if reader_ratio is None or reader_ratio < 0.4:
+            # The pinned read path takes no lock and copies no state per
+            # query; under a concurrent writer the only legitimate cost is
+            # GIL contention.  Falling below 0.4x means reads started
+            # serialising against maintenance again.
+            failures.append(
+                f"pinned reader under concurrent maintenance < 0.4x quiesced "
+                f"({reader_ratio}x)"
+            )
+        save_speedup = snapshot_rc["save_speedup"]
+        if save_speedup is None or save_speedup < 1.1:
+            # An incremental save appends the newly sealed blobs plus one
+            # manifest-log record instead of rewriting every segment blob.
+            # Both sides still rewrite the doc_terms sidecar in full, which
+            # dominates the wall-clock and lands the honest ratio near 1.2x
+            # on the calibration machine; 1.1x is the regression bar beneath
+            # it (an incremental save that stops reusing blobs falls to 1.0x).
+            failures.append(
+                f"incremental save < 1.1x over wholesale ({save_speedup}x)"
+            )
         ratio = faulted_batch["throughput_ratio"]
         if ratio is None or ratio < 0.5:
             # Recovery is allowed to cost wall-clock (a pool restart plus one
@@ -1119,6 +1324,8 @@ def main() -> int:
             "resident pool >= 1.5x, incremental update >= 1.5x, "
             "sustained updates >= 1.5x, cold start >= 1.5x, "
             f"faulted batch >= 0.5x clean ({ratio}x), "
+            f"pinned reader >= 0.4x quiesced ({reader_ratio}x), "
+            f"incremental save >= 1.1x wholesale ({save_speedup}x), "
             f"serving >= 0.3x direct ({serving['relative_to_direct']}x) "
             "with 429 shedding and graceful drain"
         )

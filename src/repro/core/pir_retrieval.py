@@ -35,6 +35,16 @@ from repro.textsearch.inverted_index import InvertedIndex, POSTING_BYTES
 __all__ = ["PIRRetrievalServer", "PIRRetrievalClient", "PIRRetrievalSystem"]
 
 
+def _pin_view(index):
+    """An immutable read view of ``index``, pinned for one call's lifetime.
+
+    Duck-typed like the PR server's ``_pin``: a live index yields its current
+    snapshot; an already-pinned :class:`IndexSnapshot` is read as-is.
+    """
+    snapshot = getattr(index, "snapshot", None)
+    return snapshot() if snapshot is not None else index
+
+
 @dataclass
 class PIRRetrievalServer:
     """Server side of the PIR alternative: one KO database per bucket."""
@@ -58,7 +68,11 @@ class PIRRetrievalServer:
         self.blocks_read = 0
         self.buckets_fetched = 0
 
-    def _sync_databases(self) -> None:
+    def _pin(self):
+        """An immutable read view of the index (see :func:`_pin_view`)."""
+        return _pin_view(self.index)
+
+    def _sync_databases(self, view) -> None:
         """Evict cached databases of buckets an incremental index update touched.
 
         The index's update journal names the terms whose serialised lists
@@ -67,12 +81,14 @@ class PIRRetrievalServer:
         resident.  The invalidation protocol lives on the index
         (:meth:`~repro.textsearch.inverted_index.InvertedIndex.stale_cache_terms`):
         ``None`` means this cache is behind the journal horizon and is
-        dropped wholesale.
+        dropped wholesale.  Synced against the *pinned view's* epoch, so a
+        server reading an older snapshot never evicts databases that
+        snapshot still serves.
         """
-        epoch = self.index.update_epoch
+        epoch = view.update_epoch
         if epoch == self._databases_epoch:
             return
-        stale = self.index.stale_cache_terms(self._databases_epoch)
+        stale = view.stale_cache_terms(self._databases_epoch)
         if stale is None:
             self._databases.clear()
         else:
@@ -81,28 +97,34 @@ class PIRRetrievalServer:
                     self._databases.pop(self.organization.bucket_id_of(term), None)
         self._databases_epoch = epoch
 
-    def bucket_database(self, bucket_id: int) -> PIRDatabase:
+    def bucket_database(self, bucket_id: int, view=None) -> PIRDatabase:
         """The padded bit-matrix database of one bucket (built lazily, cached;
         invalidated per bucket when incremental index updates touch its terms)."""
-        self._sync_databases()
+        if view is None:
+            view = self._pin()
+        self._sync_databases(view)
         if bucket_id not in self._databases:
             columns = [
-                self.index.serialise_list(term) or b"\x00" * POSTING_BYTES
+                view.serialise_list(term) or b"\x00" * POSTING_BYTES
                 for term in self.organization.buckets[bucket_id]
             ]
             self._databases[bucket_id] = PIRDatabase.from_columns(columns)
         return self._databases[bucket_id]
 
-    def bucket_blocks(self, bucket_id: int) -> int:
+    def bucket_blocks(self, bucket_id: int, view=None) -> int:
         """Disk blocks occupied by a bucket's (padded) inverted lists."""
-        database = self.bucket_database(bucket_id)
+        if view is None:
+            view = self._pin()
+        database = self.bucket_database(bucket_id, view)
         padded_bytes = (database.rows // 8) * database.cols
-        return max(1, -(-padded_bytes // self.index.block_size))
+        return max(1, -(-padded_bytes // view.block_size))
 
-    def answer(self, bucket_id: int, query: PIRQuery) -> PIRAnswer:
+    def answer(self, bucket_id: int, query: PIRQuery, view=None) -> PIRAnswer:
         """Answer one KO query against one bucket, charging I/O and CPU counters."""
-        database = self.bucket_database(bucket_id)
-        self.blocks_read += self.bucket_blocks(bucket_id)
+        if view is None:
+            view = self._pin()
+        database = self.bucket_database(bucket_id, view)
+        self.blocks_read += self.bucket_blocks(bucket_id, view)
         self.buckets_fetched += 1
         server = PIRServer(database, naive=self.naive)
         answer = server.answer(query)
@@ -197,13 +219,17 @@ class PIRRetrievalSystem:
         self.server.reset_counters()
         self.client.reset_counters()
 
+        # One pinned snapshot for the whole multi-term run: every retrieved
+        # list comes from the same manifest epoch even if the index is
+        # updated between terms.
+        view = self.server._pin()
         upstream = 0
         downstream = 0
         lists: dict[str, tuple] = {}
         for term in genuine:
             bucket_id, query = self.client.build_query(term)
             upstream += query.size_bytes
-            answer = self.server.answer(bucket_id, query)
+            answer = self.server.answer(bucket_id, query, view)
             downstream += answer.size_bytes
             lists[term] = self.client.decode(answer)
 
@@ -239,6 +265,7 @@ class PIRRetrievalSystem:
         genuine = [t for t in dict.fromkeys(genuine_terms) if t in self.organization]
         if not genuine:
             raise ValueError("none of the query terms are in the bucket organisation")
+        view = _pin_view(self.index)  # one epoch for the whole estimate
         element_bytes = (self.key_bits + 7) // 8
 
         buckets_fetched = 0
@@ -255,17 +282,17 @@ class PIRRetrievalSystem:
             bucket = self.organization.buckets[bucket_id]
             columns = len(bucket)
             max_list_bytes = max(
-                max(self.index.list_size_bytes(t), POSTING_BYTES) for t in bucket
+                max(view.list_size_bytes(t), POSTING_BYTES) for t in bucket
             )
             rows = max_list_bytes * 8
 
             buckets_fetched += 1
-            blocks_read += max(1, -(-(max_list_bytes * columns) // self.index.block_size))
+            blocks_read += max(1, -(-(max_list_bytes * columns) // view.block_size))
             if self.naive:
                 multiplications += columns + rows * columns
             else:
                 set_bits = sum(
-                    int.from_bytes(self.index.serialise_list(t), "big").bit_count()
+                    int.from_bytes(view.serialise_list(t), "big").bit_count()
                     for t in bucket
                 )
                 multiplications += 2 * columns + set_bits
@@ -274,7 +301,7 @@ class PIRRetrievalSystem:
             downstream += rows * element_bytes
             group_elements += columns
             residuosity_tests += rows
-            score_operations += self.index.document_frequency(term)
+            score_operations += view.document_frequency(term)
 
         return self.cost_model.pir_report(
             buckets_fetched=buckets_fetched,

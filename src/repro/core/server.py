@@ -162,7 +162,12 @@ class PrivateRetrievalServer:
     Parameters
     ----------
     index:
-        The impact-ordered inverted index of the corpus.
+        The impact-ordered inverted index of the corpus.  Either a live
+        :class:`~repro.textsearch.inverted_index.InvertedIndex` (each query
+        or batch pins a fresh immutable snapshot on entry) or a pinned
+        :class:`~repro.textsearch.inverted_index.IndexSnapshot` (the whole
+        server reads one frozen epoch -- how the service layer pins a
+        streaming session for its lifetime).
     organization:
         The bucket organisation; used only for the I/O model (lists of a
         bucket are stored in common disk blocks and fetched together), never
@@ -269,20 +274,42 @@ class PrivateRetrievalServer:
         except Exception:
             pass
 
+    # -- snapshot pinning ----------------------------------------------------------
+    def _pin(self):
+        """An immutable read view of the index, pinned for one call's lifetime.
+
+        Every entry point pins exactly once and threads the view through its
+        whole answer, so a seal/merge-commit/compact publishing a new
+        manifest mid-query can never mix epochs inside one result.  Duck
+        typing keeps the server agnostic: a live
+        :class:`~repro.textsearch.inverted_index.InvertedIndex` yields its
+        current :meth:`~repro.textsearch.inverted_index.InvertedIndex.snapshot`
+        (lock-free when nothing changed), while a server built directly over
+        an :class:`~repro.textsearch.inverted_index.IndexSnapshot` -- how the
+        service pins a whole streaming session -- reads that snapshot as-is.
+        """
+        snapshot = getattr(self.index, "snapshot", None)
+        return snapshot() if snapshot is not None else self.index
+
     # -- incremental index updates -------------------------------------------------
-    def _sync_power_plans(self) -> None:
+    def _sync_power_plans(self, view) -> None:
         """Drop cached plans for the terms index updates (may have) touched.
 
         The invalidation protocol lives on the index
         (:meth:`~repro.textsearch.inverted_index.InvertedIndex.stale_cache_terms`):
         ``None`` -- this cache is behind the journal horizon, so drop it
         wholesale (that also covers terms that have left the dictionary);
-        otherwise evict exactly the reported terms.
+        otherwise evict exactly the reported terms.  Syncing against the
+        *pinned view's* epoch (not the live index's) is what keeps a server
+        pinned to an older snapshot from evicting plans that snapshot still
+        serves: a concurrent ``maintain()`` on the live index advances its
+        journal, but this cache follows only the epochs its own views
+        observe.
         """
-        epoch = self.index.update_epoch
+        epoch = view.update_epoch
         if epoch == self._plans_epoch:
             return
-        stale = self.index.stale_cache_terms(self._plans_epoch)
+        stale = view.stale_cache_terms(self._plans_epoch)
         if stale is None:
             self._power_plans.clear()
         else:
@@ -300,10 +327,11 @@ class PrivateRetrievalServer:
         *touched* terms' plans are recomputed (the index's update journal
         says which); everything else stays cached.
         """
-        self._sync_power_plans()
+        view = self._pin()
+        self._sync_power_plans(view)
         plan = self._power_plans.get(term)
         if plan is None:
-            doc_ids, impacts = self.index.columns(term)
+            doc_ids, impacts = view.columns(term)
             if not len(doc_ids):
                 plan = ("ladder", 0, 0)
             else:
@@ -327,7 +355,7 @@ class PrivateRetrievalServer:
         its clients (client and server must agree on buckets).
         """
         unbucketed = [
-            term for term in self.index.terms if term not in self.organization
+            term for term in self._pin().terms if term not in self.organization
         ]
         if not unbucketed:
             return ()
@@ -335,11 +363,16 @@ class PrivateRetrievalServer:
         return tuple(unbucketed)
 
     def process_query(self, query: EmbellishedQuery) -> EncryptedResult:
-        """Algorithm 4: accumulate encrypted relevance scores for every candidate document."""
+        """Algorithm 4: accumulate encrypted relevance scores for every candidate document.
+
+        The query runs against a manifest snapshot pinned on entry, so a
+        concurrent writer/merge on the live index never locks (or tears) the
+        query path.
+        """
         self._counter_epoch += 1
         self.counters.reset()
         self.last_batch_counters = []
-        result = self._answer_into(query, self.counters)
+        result = self._answer_into(query, self.counters, self._pin())
         return result
 
     def process_batch(
@@ -426,6 +459,10 @@ class PrivateRetrievalServer:
         self._counter_epoch += 1
         epoch = self._counter_epoch
         self.counters.reset()
+        # One pinned view for the whole batch, including the lazily-computed
+        # sequential path: every query of the stream answers against the
+        # same manifest epoch no matter what the writer does meanwhile.
+        view = self._pin()
         # Also bound to a local: an interleaved process_query/process_batch
         # rebinds the attribute, and this stream must keep appending to (and
         # zipping against) its own snapshot list, never the newer call's.
@@ -434,7 +471,7 @@ class PrivateRetrievalServer:
         if self.naive or workers <= 1:
             for query in queries:
                 per_query = ServerCounters()
-                result = self._answer_into(query, per_query, sharded=False)
+                result = self._answer_into(query, per_query, view, sharded=False)
                 snapshots.append(per_query)
                 if self._counter_epoch == epoch:
                     self.counters.add(per_query)
@@ -447,9 +484,9 @@ class PrivateRetrievalServer:
             per_query = ServerCounters()
             per_query.queries_processed = 1
             per_query.terms_processed = len(query)
-            self._account_io(query, per_query)
+            self._account_io(query, per_query, view)
             snapshots.append(per_query)
-            payloads.append(self._payload(query))
+            payloads.append(self._payload(query, view))
         engine = self._engine_for(workers)
         batch = engine.submit_batch(
             payloads, modulus, base_seed=self.worker_base_seed, parallelism=workers
@@ -471,32 +508,36 @@ class PrivateRetrievalServer:
 
     # -- dispatch ----------------------------------------------------------------
     def _answer_into(
-        self, query: EmbellishedQuery, counters: ServerCounters, sharded: bool = True
+        self,
+        query: EmbellishedQuery,
+        counters: ServerCounters,
+        view,
+        sharded: bool = True,
     ) -> EncryptedResult:
         counters.queries_processed += 1
-        self._account_io(query, counters)
+        self._account_io(query, counters, view)
         if self.naive:
-            return self._process_naive(query, counters)
+            return self._process_naive(query, counters, view)
         if sharded and self.parallelism > 1:
-            return self._process_sharded(query, counters)
-        return self._process_power_table(query, counters)
+            return self._process_sharded(query, counters, view)
+        return self._process_power_table(query, counters, view)
 
-    def _payload(self, query: EmbellishedQuery) -> list[parallel.TermPayload]:
+    def _payload(self, query: EmbellishedQuery, view) -> list[parallel.TermPayload]:
         """The per-term work units of one query, in query order."""
-        columns = self.index.columns
+        columns = view.columns
         return [
             (selector, *columns(term)) for term, selector in query
         ]
 
     # -- naive reference path ----------------------------------------------------
     def _process_naive(
-        self, query: EmbellishedQuery, counters: ServerCounters
+        self, query: EmbellishedQuery, counters: ServerCounters, view
     ) -> EncryptedResult:
         modulus = self.public_key.n
         accumulators: dict[int, int] = {}
         for term, encrypted_selector in query:
             counters.terms_processed += 1
-            for posting in self.index.postings(term):
+            for posting in view.postings(term):
                 counters.postings_processed += 1
                 # E(u_i)^{p_ij} -- one modular exponentiation per posting.
                 contribution = pow(encrypted_selector, posting.quantised_impact, modulus)
@@ -510,10 +551,10 @@ class PrivateRetrievalServer:
 
     # -- power-table fast path (sequential) ---------------------------------------
     def _process_power_table(
-        self, query: EmbellishedQuery, counters: ServerCounters
+        self, query: EmbellishedQuery, counters: ServerCounters, view
     ) -> EncryptedResult:
         modulus = self.public_key.n
-        payload = self._payload(query)
+        payload = self._payload(query, view)
         counters.terms_processed += len(payload)
         accumulators, counts = parallel.accumulate_terms(payload, modulus)
         counters.postings_processed += counts.postings
@@ -526,10 +567,10 @@ class PrivateRetrievalServer:
 
     # -- sharded fast path ---------------------------------------------------------
     def _process_sharded(
-        self, query: EmbellishedQuery, counters: ServerCounters
+        self, query: EmbellishedQuery, counters: ServerCounters, view
     ) -> EncryptedResult:
         modulus = self.public_key.n
-        payload = self._payload(query)
+        payload = self._payload(query, view)
         counters.terms_processed += len(payload)
         engine = self._engine_for(self.parallelism)
         before = _resilience_snapshot(engine)
@@ -552,7 +593,9 @@ class PrivateRetrievalServer:
         return EncryptedResult(encrypted_scores=accumulators, modulus=modulus)
 
     # -- storage model -----------------------------------------------------------
-    def _account_io(self, query: EmbellishedQuery, counters: ServerCounters) -> None:
+    def _account_io(
+        self, query: EmbellishedQuery, counters: ServerCounters, view
+    ) -> None:
         """Charge disk I/O for the buckets covering the query's terms.
 
         All the inverted lists of one bucket live in common disk blocks
@@ -561,7 +604,7 @@ class PrivateRetrievalServer:
         its terms appear in the query.  Terms outside the organisation (the
         non-strict embellisher may emit them) are charged individually.
         """
-        block_size = self.index.block_size
+        block_size = view.block_size
         seen_buckets: set[int] = set()
         loose_bytes = 0
         for term in query.terms:
@@ -571,12 +614,12 @@ class PrivateRetrievalServer:
                     continue
                 seen_buckets.add(bucket_id)
                 bucket_bytes = sum(
-                    self.index.list_size_bytes(bucket_term)
+                    view.list_size_bytes(bucket_term)
                     for bucket_term in self.organization.buckets[bucket_id]
                 )
                 counters.blocks_read += max(1, -(-bucket_bytes // block_size))
             else:
-                loose_bytes += self.index.list_size_bytes(term)
+                loose_bytes += view.list_size_bytes(term)
         if loose_bytes:
             counters.blocks_read += max(1, -(-loose_bytes // block_size))
         counters.buckets_fetched += len(seen_buckets)

@@ -15,9 +15,13 @@ service:
 * **Sessions** are long-lived clients.  Opening a session binds a tenant to
   the client's Benaloh public key in a dedicated
   :class:`PrivateRetrievalServer` that *shares* the tenant engine (shared ->
-  not owned -> a session going away never tears down the pool).  A session
-  answers one batch at a time (``asyncio.Lock``); concurrency comes from
-  many sessions, matching the one-server-per-client-session contract
+  not owned -> a session going away never tears down the pool) and **pins**
+  the tenant index's current manifest snapshot
+  (:meth:`~repro.textsearch.inverted_index.InvertedIndex.snapshot`) for the
+  session's lifetime -- its batches read one immutable epoch with no lock
+  on the query path, concurrent with the tenant's writers and merges.  A
+  session answers one batch at a time (``asyncio.Lock``); concurrency comes
+  from many sessions, matching the one-server-per-client-session contract
   documented on :meth:`PrivateRetrievalServer.process_batch`.
 * **Streaming**: a batch POST answers with chunked NDJSON.  The blocking
   engine work runs on a worker thread iterating
@@ -414,8 +418,16 @@ class RetrievalService:
         # parallelism <= its pool size.
         parallelism = min(parallelism, self.config.parallelism)
         session_id = secrets.token_hex(8)
+        # Pin the tenant's current manifest epoch for the session's whole
+        # lifetime: the session server reads an immutable IndexSnapshot, so
+        # every batch this client streams is answered from the same frozen
+        # segment manifest no matter what seals/merges/compactions the live
+        # tenant index commits meanwhile (snapshot() is lock-free when the
+        # index hasn't changed, so sessions over a quiescent tenant share
+        # one handle).
+        pin = getattr(tenant.index, "snapshot", None)
         server = PrivateRetrievalServer(
-            index=tenant.index,
+            index=pin() if pin is not None else tenant.index,
             organization=tenant.organization,
             public_key=public_key,
             parallelism=parallelism,

@@ -87,6 +87,7 @@ from __future__ import annotations
 
 import dataclasses
 import struct
+import threading
 import time
 from array import array
 from dataclasses import dataclass
@@ -102,6 +103,7 @@ from repro.textsearch.scoring import (
 )
 from repro.textsearch.segments import (
     _EMPTY,
+    DEFAULT_WAL_COMPACT_RECORDS,
     CorruptIndexError,
     IndexSegment,
     MergeHandle,
@@ -114,6 +116,7 @@ from repro.textsearch.segments import (
     quantise_impact,
     read_index_directory,
     repair_index_directory,
+    rewrite_stale_columns,
     verify_index_directory,
     write_index_directory,
 )
@@ -122,6 +125,7 @@ from repro.textsearch.tokenizer import Tokenizer
 __all__ = [
     "Posting",
     "InvertedIndex",
+    "IndexSnapshot",
     "UpdateCounters",
     "CompactionReport",
     "CorruptIndexError",
@@ -247,6 +251,223 @@ def _tokenizer_from_spec(spec: Mapping | None) -> Tokenizer | None:
     )
 
 
+class IndexSnapshot:
+    """An immutable, epoch-pinned read view of an :class:`InvertedIndex`.
+
+    Constructed by :meth:`InvertedIndex.snapshot` (under the index's writer
+    lock, after the lazy impact refresh), a snapshot copies exactly the
+    cheap mutable shells -- each segment's ``lists`` dict, its stale-term
+    set, the per-segment dead sets, the unsealed delta's lists and the
+    update journal -- while sharing the immutable
+    :class:`~repro.textsearch.segments.PostingColumns` payloads.  From then
+    on it answers the **entire read API** of the index (``columns``,
+    ``postings``, ``terms``, ``document_frequency``, ``serialise_list``,
+    the storage model, ``stale_cache_terms`` and friends) from its pinned
+    state with **no lock on the query path**: a writer, a merge commit and
+    N readers each holding their own snapshot proceed concurrently, and the
+    reader's answers stay bit-identical to a quiesced run at its pinned
+    epoch no matter what seal/merge/compact publishes after the pin.
+
+    Deferred per-list rewrites still pending at pin time are evaluated
+    lazily *snapshot-locally* through the same pure kernel
+    (:func:`~repro.textsearch.segments.rewrite_stale_columns`) the live
+    index uses, against the impact table pinned with the snapshot -- never
+    by mutating the shared segments.  The serving layer's caches key their
+    invalidation off the snapshot's pinned ``update_epoch`` /
+    ``stale_cache_terms``, so a cache synced against a pinned snapshot is
+    never forced to evict terms that snapshot still serves, even after the
+    live index's journal horizon moves past it.
+
+    Thread safety: any number of threads may read one snapshot concurrently
+    (the internal memo dicts are benign under the GIL -- a race recomputes
+    an identical immutable value); the snapshot never writes back into the
+    index.
+    """
+
+    __slots__ = (
+        "_records",
+        "_active",
+        "_fresh",
+        "_max_impact",
+        "_levels",
+        "_update_epoch",
+        "_journal_horizon",
+        "_touched",
+        "_manifest",
+        "_merged",
+        "_rewritten",
+        "block_size",
+        "quantise_levels",
+        "stats",
+    )
+
+    def __init__(self, index: "InvertedIndex") -> None:
+        index._ensure_fresh()
+        dead = index._dead_sets()
+        self._records: list[tuple[dict, frozenset, frozenset]] = [
+            (
+                dict(segment.lists),
+                frozenset(segment.stale_terms),
+                dead[position],
+            )
+            for position, segment in enumerate(index._segments)
+        ]
+        self._active = dict(index._active_lists)
+        #: The pinned per-document impact table the deferred rewrites read.
+        #: Shared by reference -- the index *replaces* it wholesale on the
+        #: next refresh, never mutates it in place.
+        self._fresh = index._fresh
+        self._max_impact = index._max_impact
+        self._levels = index.quantise_levels
+        self._update_epoch = index._update_epoch
+        self._journal_horizon = index._journal_horizon
+        self._touched = dict(index._touched)
+        self._manifest = index.segment_manifest()
+        self._merged: dict[str, PostingColumns | None] = {}
+        self._rewritten: dict[tuple[int, str], PostingColumns | None] = {}
+        self.block_size = index.block_size
+        self.quantise_levels = index.quantise_levels
+        self.stats = index.stats
+
+    # -- pinned read core ---------------------------------------------------
+    def _segment_columns(self, position: int, term: str) -> PostingColumns | None:
+        lists, stale, dead = self._records[position]
+        columns = lists.get(term)
+        if columns is None or term not in stale:
+            return columns
+        key = (position, term)
+        cached = self._rewritten.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        rewritten, _ = rewrite_stale_columns(
+            columns, term, dead, self._fresh, self._max_impact, self._levels
+        )
+        self._rewritten[key] = rewritten
+        return rewritten
+
+    def _effective(self, term: str) -> PostingColumns | None:
+        cached = self._merged.get(term, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        runs = [
+            (self._segment_columns(position, term), self._records[position][2])
+            for position in range(len(self._records))
+        ]
+        runs.append((self._active.get(term), _EMPTY))
+        merged = merge_posting_runs(runs)
+        if merged is not None and not len(merged):
+            merged = None
+        self._merged[term] = merged
+        return merged
+
+    # -- dictionary access (mirrors InvertedIndex) --------------------------
+    @property
+    def terms(self) -> tuple[str, ...]:
+        seen = dict.fromkeys(
+            term for lists, _, _ in self._records for term in lists
+        )
+        seen.update(dict.fromkeys(self._active))
+        return tuple(term for term in seen if self._effective(term) is not None)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.terms)
+
+    def __contains__(self, term: str) -> bool:
+        return self._effective(term) is not None
+
+    def postings(self, term: str) -> tuple[Posting, ...]:
+        entries = self._effective(term)
+        if entries is None:
+            return ()
+        return entries.view()
+
+    def columns(self, term: str) -> tuple:
+        entries = self._effective(term)
+        if entries is None:
+            return array("I"), array("I")
+        return entries.doc_ids, entries.quants
+
+    def document_frequency(self, term: str) -> int:
+        entries = self._effective(term)
+        return len(entries) if entries is not None else 0
+
+    def iterate_lists(
+        self, terms: Iterable[str]
+    ) -> Iterator[tuple[str, tuple[Posting, ...]]]:
+        for term in terms:
+            entries = self._effective(term)
+            if entries is not None:
+                yield term, entries.view()
+
+    # -- storage model ------------------------------------------------------
+    def list_size_bytes(self, term: str) -> int:
+        return self.document_frequency(term) * POSTING_BYTES
+
+    def list_size_blocks(self, term: str) -> int:
+        size = self.list_size_bytes(term)
+        if size == 0:
+            return 0
+        return -(-size // self.block_size)
+
+    def total_size_bytes(self) -> int:
+        return sum(self.list_size_bytes(term) for term in self.terms)
+
+    def serialise_list(self, term: str) -> bytes:
+        entries = self._effective(term)
+        if entries is None or not len(entries):
+            return b""
+        return entries.serialise()
+
+    # -- pinned journal / manifest ------------------------------------------
+    @property
+    def max_impact(self) -> float:
+        return self._max_impact
+
+    @property
+    def update_epoch(self) -> int:
+        """The mutation epoch this snapshot is pinned at."""
+        return self._update_epoch
+
+    @property
+    def journal_horizon(self) -> int:
+        return self._journal_horizon
+
+    def segment_manifest(self) -> SegmentManifest:
+        """The segment configuration as of the pin (epoch included)."""
+        return self._manifest
+
+    def touched_since(self, epoch: int) -> frozenset[str]:
+        """Pinned-journal answer to :meth:`InvertedIndex.touched_since`.
+
+        Evaluated purely against the journal as copied at pin time, so the
+        answer never moves while the snapshot is held -- maintenance on the
+        live index cannot retroactively force a cache synced against this
+        snapshot into wholesale invalidation.
+        """
+        if epoch < self._journal_horizon:
+            conservative = set(self._touched)
+            for lists, _, _ in self._records:
+                conservative.update(lists)
+            conservative.update(self._active)
+            return frozenset(conservative)
+        exact = frozenset(
+            term for term, touched in self._touched.items() if touched > epoch
+        )
+        if epoch >= self._update_epoch:
+            return exact
+        pending: set[str] = set()
+        for _, stale, _ in self._records:
+            pending.update(stale)
+        return exact | pending
+
+    def stale_cache_terms(self, cached_epoch: int) -> frozenset[str] | None:
+        """Pinned-journal answer to :meth:`InvertedIndex.stale_cache_terms`."""
+        if cached_epoch < self._journal_horizon:
+            return None
+        return self.touched_since(cached_epoch)
+
+
 class InvertedIndex:
     """Dictionary plus impact-ordered inverted lists over a corpus.
 
@@ -369,6 +590,19 @@ class InvertedIndex:
         self._last_maintenance_epoch = 0
         self._touched: dict[str, int] = {}
         self.update_counters = UpdateCounters()
+        # -- snapshots / persistence --------------------------------------------
+        #: The currently published snapshot; readers grab it lock-free, and
+        #: every mutation or manifest change unpublishes it.
+        self._snapshot_handle: IndexSnapshot | None = None
+        #: Serialises snapshot construction against the writer entry points
+        #: (add/remove, seal, merge commit, compact, save).  RLock: sealing
+        #: nests inside auto-seal and save.
+        self._snapshot_lock = threading.RLock()
+        #: What the last save/load persisted (uuid, save_seq, per-segment
+        #: file records); threads through incremental saves.
+        self._persist: dict | None = None
+        #: Report of the most recent :meth:`save` (mode, files written...).
+        self.last_save_report: dict | None = None
         if document_terms is not None:
             self._doc_terms: dict[int, Mapping[str, int]] | None = dict(document_terms)
             self._document_frequencies: dict[str, int] | None = dict(
@@ -572,6 +806,32 @@ class InvertedIndex:
             active=active,
         )
 
+    def snapshot(self) -> IndexSnapshot:
+        """Pin an immutable read view of the index at its current epoch.
+
+        The fast path is lock-free: between manifest changes the same
+        published :class:`IndexSnapshot` is handed to every caller (reads
+        against it never touch the index again, so sharing is free).  When
+        a mutation, seal, merge commit or compaction has unpublished it,
+        the next call rebuilds one under the writer lock -- which also runs
+        the lazy impact refresh, so a snapshot is always impact-fresh.
+
+        Readers keep a snapshot for as long as they need consistency (a
+        query, a whole streamed batch, a serving session); its answers are
+        frozen at pin time and survive any concurrent maintenance
+        bit-identically.  Pinning is the serving layer's concurrency
+        contract: the index *object* stays single-writer, but any number of
+        threads may read snapshots while that writer seals, merges,
+        compacts or saves.
+        """
+        published = self._snapshot_handle
+        if published is not None:
+            return published
+        with self._snapshot_lock:
+            if self._snapshot_handle is None:
+                self._snapshot_handle = IndexSnapshot(self)
+            return self._snapshot_handle
+
     def touched_since(self, epoch: int) -> frozenset[str]:
         """Terms whose observable list content may have changed after ``epoch``.
 
@@ -638,6 +898,7 @@ class InvertedIndex:
         self._stale = True
         self._merged.clear()
         self._dead = None
+        self._snapshot_handle = None
         self._refresh_stats()
 
     def _refresh_stats(self) -> None:
@@ -685,29 +946,34 @@ class InvertedIndex:
         Duplicate ids of *live* documents are rejected; re-adding a
         previously removed id is allowed.  When ``seal_threshold`` staged
         postings accumulate, the delta is sealed automatically.
+
+        Like every writer entry point, this runs under the snapshot lock:
+        readers holding an :class:`IndexSnapshot` are unaffected, and new
+        snapshot pins serialise against the mutation.
         """
         self._require_updatable()
-        doc_id = document.doc_id
-        if doc_id in self._doc_terms:
-            raise ValueError(f"duplicate document id {doc_id}")
-        frequencies = self._tokenizer.term_frequencies(document.text)
-        self._doc_terms[doc_id] = frequencies
-        self._total_length += sum(frequencies.values())
-        for term in frequencies:
-            self._document_frequencies[term] = (
-                self._document_frequencies.get(term, 0) + 1
-            )
-        if frequencies:
-            self._active_docs.add(doc_id)
-            self._active_postings += len(frequencies)
-        self._register_mutation(frequencies)
-        self.update_counters.documents_added += 1
-        self.update_counters.tokens_tokenised += sum(frequencies.values())
-        if (
-            self.seal_threshold is not None
-            and self._active_postings >= self.seal_threshold
-        ):
-            self.seal_delta()
+        with self._snapshot_lock:
+            doc_id = document.doc_id
+            if doc_id in self._doc_terms:
+                raise ValueError(f"duplicate document id {doc_id}")
+            frequencies = self._tokenizer.term_frequencies(document.text)
+            self._doc_terms[doc_id] = frequencies
+            self._total_length += sum(frequencies.values())
+            for term in frequencies:
+                self._document_frequencies[term] = (
+                    self._document_frequencies.get(term, 0) + 1
+                )
+            if frequencies:
+                self._active_docs.add(doc_id)
+                self._active_postings += len(frequencies)
+            self._register_mutation(frequencies)
+            self.update_counters.documents_added += 1
+            self.update_counters.tokens_tokenised += sum(frequencies.values())
+            if (
+                self.seal_threshold is not None
+                and self._active_postings >= self.seal_threshold
+            ):
+                self.seal_delta()
 
     def add_documents(self, documents: Iterable[Document]) -> None:
         for document in documents:
@@ -724,23 +990,24 @@ class InvertedIndex:
         term from the dictionary and the statistics.
         """
         self._require_updatable()
-        frequencies = self._doc_terms.pop(doc_id, None)
-        if frequencies is None:
-            raise KeyError(f"unknown document id {doc_id}")
-        self._total_length -= sum(frequencies.values())
-        for term in frequencies:
-            remaining = self._document_frequencies.get(term, 0) - 1
-            if remaining > 0:
-                self._document_frequencies[term] = remaining
+        with self._snapshot_lock:
+            frequencies = self._doc_terms.pop(doc_id, None)
+            if frequencies is None:
+                raise KeyError(f"unknown document id {doc_id}")
+            self._total_length -= sum(frequencies.values())
+            for term in frequencies:
+                remaining = self._document_frequencies.get(term, 0) - 1
+                if remaining > 0:
+                    self._document_frequencies[term] = remaining
+                else:
+                    self._document_frequencies.pop(term, None)
+            if doc_id in self._active_docs:
+                self._active_docs.discard(doc_id)
+                self._active_postings -= len(frequencies)
             else:
-                self._document_frequencies.pop(term, None)
-        if doc_id in self._active_docs:
-            self._active_docs.discard(doc_id)
-            self._active_postings -= len(frequencies)
-        else:
-            self._active_tombstones.add(doc_id)
-        self._register_mutation(frequencies)
-        self.update_counters.documents_removed += 1
+                self._active_tombstones.add(doc_id)
+            self._register_mutation(frequencies)
+            self.update_counters.documents_removed += 1
 
     def remove_documents(self, doc_ids: Iterable[int]) -> None:
         for doc_id in doc_ids:
@@ -758,31 +1025,33 @@ class InvertedIndex:
         :attr:`journal_horizon`).  Returns the new segment's info, or
         ``None`` when there was nothing to seal.
         """
-        self._ensure_fresh()
-        if not self.has_pending_updates:
-            return None
-        seq = self._next_seq
-        self._next_seq += 1
-        segment = IndexSegment(
-            segment_id=self._next_segment_id,
-            generation=0,
-            seq_lo=seq,
-            seq_hi=seq,
-            lists=self._active_lists,
-            documents=set(self._active_docs),
-            tombstones=set(self._active_tombstones),
-        )
-        self._next_segment_id += 1
-        self._segments.append(segment)
-        self._active_docs = set()
-        self._active_tombstones = set()
-        self._active_lists = {}
-        self._active_postings = 0
-        self._merged.clear()
-        self._dead = None
-        self.update_counters.segments_sealed += 1
-        self._prune_journal()
-        return segment.info()
+        with self._snapshot_lock:
+            self._ensure_fresh()
+            if not self.has_pending_updates:
+                return None
+            seq = self._next_seq
+            self._next_seq += 1
+            segment = IndexSegment(
+                segment_id=self._next_segment_id,
+                generation=0,
+                seq_lo=seq,
+                seq_hi=seq,
+                lists=self._active_lists,
+                documents=set(self._active_docs),
+                tombstones=set(self._active_tombstones),
+            )
+            self._next_segment_id += 1
+            self._segments.append(segment)
+            self._active_docs = set()
+            self._active_tombstones = set()
+            self._active_lists = {}
+            self._active_postings = 0
+            self._merged.clear()
+            self._dead = None
+            self._snapshot_handle = None
+            self.update_counters.segments_sealed += 1
+            self._prune_journal()
+            return segment.info()
 
     def plan_merges(self) -> list[tuple[int, ...]]:
         """Segment-id groups the merge policy considers due (may be empty)."""
@@ -801,50 +1070,51 @@ class InvertedIndex:
         detects the moved epoch and schedules the impact refresh that
         restores bit-identity.
         """
-        self._ensure_fresh()
-        handles: list[MergeHandle] = []
-        for group in self.plan_merges():
-            ids = set(group)
-            positions = [
-                i for i, segment in enumerate(self._segments) if segment.segment_id in ids
-            ]
-            chosen = [self._segments[i] for i in positions]
-            # Flush the inputs' deferred rewrites: the kernel must merge
-            # current arrays (it copies impacts/quants verbatim).
-            dead = self._dead_sets()
-            for position in positions:
-                segment = self._segments[position]
-                for term in list(segment.stale_terms):
-                    self._refresh_list(segment, term, dead[position])
-            older_docs: set[int] = set()
-            for segment in self._segments[: positions[0]]:
-                older_docs |= segment.documents
-            # Documents tombstoned by segments newer than the range: their
-            # rows still carry pre-removal impacts (the deferred rewrite
-            # skips dead rows), so the kernel must drop them or the merged
-            # runs come out unsorted.
-            external_dead = frozenset(dead[positions[-1]])
-            parts = [
-                (dict(segment.lists), frozenset(segment.documents), frozenset(segment.tombstones))
-                for segment in chosen
-            ]
-            handle = MergeHandle(
-                segment_ids=tuple(segment.segment_id for segment in chosen),
-                generation=max(segment.generation for segment in chosen) + 1,
-                seq_lo=chosen[0].seq_lo,
-                seq_hi=chosen[-1].seq_hi,
-                epoch=self._update_epoch,
-            )
-            if engine is not None:
-                handle._future = engine.submit_task(
-                    merge_segment_parts, parts, frozenset(older_docs), external_dead
+        with self._snapshot_lock:
+            self._ensure_fresh()
+            handles: list[MergeHandle] = []
+            for group in self.plan_merges():
+                ids = set(group)
+                positions = [
+                    i for i, segment in enumerate(self._segments) if segment.segment_id in ids
+                ]
+                chosen = [self._segments[i] for i in positions]
+                # Flush the inputs' deferred rewrites: the kernel must merge
+                # current arrays (it copies impacts/quants verbatim).
+                dead = self._dead_sets()
+                for position in positions:
+                    segment = self._segments[position]
+                    for term in list(segment.stale_terms):
+                        self._refresh_list(segment, term, dead[position])
+                older_docs: set[int] = set()
+                for segment in self._segments[: positions[0]]:
+                    older_docs |= segment.documents
+                # Documents tombstoned by segments newer than the range: their
+                # rows still carry pre-removal impacts (the deferred rewrite
+                # skips dead rows), so the kernel must drop them or the merged
+                # runs come out unsorted.
+                external_dead = frozenset(dead[positions[-1]])
+                parts = [
+                    (dict(segment.lists), frozenset(segment.documents), frozenset(segment.tombstones))
+                    for segment in chosen
+                ]
+                handle = MergeHandle(
+                    segment_ids=tuple(segment.segment_id for segment in chosen),
+                    generation=max(segment.generation for segment in chosen) + 1,
+                    seq_lo=chosen[0].seq_lo,
+                    seq_hi=chosen[-1].seq_hi,
+                    epoch=self._update_epoch,
                 )
-            else:
-                handle._parts = parts
-                handle._older_docs = frozenset(older_docs)
-                handle._external_dead = external_dead
-            handles.append(handle)
-        return handles
+                if engine is not None:
+                    handle._future = engine.submit_task(
+                        merge_segment_parts, parts, frozenset(older_docs), external_dead
+                    )
+                else:
+                    handle._parts = parts
+                    handle._older_docs = frozenset(older_docs)
+                    handle._external_dead = external_dead
+                handles.append(handle)
+            return handles
 
     def commit_merge(self, handle: MergeHandle) -> bool:
         """Install a finished merge, replacing its input segments.
@@ -855,41 +1125,58 @@ class InvertedIndex:
         mutated since the merge was planned, the merged segment is installed
         and the index marked stale, so the next read re-derives impacts
         exactly as it would after any mutation batch.
+
+        The merged data is computed *outside* the lock (on an engine worker
+        or lazily in-process); only this atomic install runs under it, so
+        readers pin snapshots freely while the merge is in flight and the
+        publish itself is a constant-time segment-list swap.
         """
+        merged_result = None
         ids = set(handle.segment_ids)
         present = [segment for segment in self._segments if segment.segment_id in ids]
         if len(present) != len(ids):
             return False
-        merged_lists, documents, tombstones, written, dropped = handle.result()
-        merged = IndexSegment(
-            segment_id=self._next_segment_id,
-            generation=handle.generation,
-            seq_lo=handle.seq_lo,
-            seq_hi=handle.seq_hi,
-            lists=merged_lists,
-            documents=set(documents),
-            tombstones=set(tombstones),
-        )
-        self._next_segment_id += 1
-        position = next(
-            i for i, segment in enumerate(self._segments) if segment.segment_id in ids
-        )
-        remaining = [s for s in self._segments if s.segment_id not in ids]
-        remaining.insert(position, merged)
-        self._segments = remaining
-        counters = self.update_counters
-        counters.merges += 1
-        counters.segments_merged += len(ids)
-        counters.merge_postings_written += written
-        counters.merge_postings_dropped += dropped
-        self._merged.clear()
-        self._dead = None
-        self._prune_journal()
-        if self._update_epoch != handle.epoch:
-            # The corpus moved while the merge ran: the merged arrays carry
-            # the planning-time impacts, so force the standard lazy refresh.
-            self._stale = True
-        return True
+        # Redeem the handle before taking the lock: an in-process lazy merge
+        # can be long, and nothing it reads is index state (the parts were
+        # copied at begin time).
+        merged_result = handle.result()
+        with self._snapshot_lock:
+            present = [
+                segment for segment in self._segments if segment.segment_id in ids
+            ]
+            if len(present) != len(ids):
+                return False
+            merged_lists, documents, tombstones, written, dropped = merged_result
+            merged = IndexSegment(
+                segment_id=self._next_segment_id,
+                generation=handle.generation,
+                seq_lo=handle.seq_lo,
+                seq_hi=handle.seq_hi,
+                lists=merged_lists,
+                documents=set(documents),
+                tombstones=set(tombstones),
+            )
+            self._next_segment_id += 1
+            position = next(
+                i for i, segment in enumerate(self._segments) if segment.segment_id in ids
+            )
+            remaining = [s for s in self._segments if s.segment_id not in ids]
+            remaining.insert(position, merged)
+            self._segments = remaining
+            counters = self.update_counters
+            counters.merges += 1
+            counters.segments_merged += len(ids)
+            counters.merge_postings_written += written
+            counters.merge_postings_dropped += dropped
+            self._merged.clear()
+            self._dead = None
+            self._snapshot_handle = None
+            self._prune_journal()
+            if self._update_epoch != handle.epoch:
+                # The corpus moved while the merge ran: the merged arrays carry
+                # the planning-time impacts, so force the standard lazy refresh.
+                self._stale = True
+            return True
 
     def maintain(self, engine=None, *, force_seal: bool = False) -> dict:
         """One synchronous maintenance step: seal when due, run due merges.
@@ -921,7 +1208,16 @@ class InvertedIndex:
         the dictionary.  Content served by the read paths is bit-identical
         before and after, so no downstream cache is invalidated.  Compacting
         an already-compacted index is an idempotent no-op.
+
+        Runs under the writer lock; readers holding a pinned
+        :class:`IndexSnapshot` keep serving the pre-compaction manifest
+        (bit-identical content) while the fold runs, and the next
+        :meth:`snapshot` call picks up the single-segment layout.
         """
+        with self._snapshot_lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> CompactionReport:
         self._ensure_fresh()
         if len(self._segments) == 1 and not self.has_pending_updates:
             return CompactionReport(
@@ -970,6 +1266,7 @@ class InvertedIndex:
         self._active_postings = 0
         self._merged = {}
         self._dead = None
+        self._snapshot_handle = None
         self._prune_journal()
         counters = self.update_counters
         counters.compactions += 1
@@ -982,38 +1279,101 @@ class InvertedIndex:
         )
 
     # -- persistence ---------------------------------------------------------------
-    def save(self, path: str | Path, *, include_document_terms: bool = True) -> SegmentManifest:
+    def save(
+        self,
+        path: str | Path,
+        *,
+        include_document_terms: bool = True,
+        incremental: bool | None = None,
+        wal_compact_records: int | None = None,
+    ) -> SegmentManifest:
         """Persist the index as a columnar segment directory.
 
         The unsealed delta is sealed first (the format stores sealed
         segments only), then each segment's columns are written as one
-        binary blob plus a JSON manifest -- see
+        binary blob plus a manifest-log record appended to the directory's
+        write-ahead log -- see
         :func:`repro.textsearch.segments.write_index_directory`.
 
         Parameters
         ----------
         path:
-            Target directory, created if missing.  Re-saving over an
-            existing directory is crash-safe: data blobs are written under
-            fresh save-sequence-suffixed names (previously referenced blobs
-            are never rewritten), the primary manifest is swapped atomically
-            via ``os.replace``, and the previous manifest generation is
-            retained so a torn re-save falls back to it on :meth:`load`.
+            Target directory, created if missing.  Re-saving the *same
+            index instance* over the directory it last saved to (or was
+            loaded from) is **incremental**: only segments sealed since the
+            previous save are written as new blobs, previously persisted
+            segment files are reused by reference, and the commit is one
+            CRC-framed, fsynced append to ``wal.log`` -- previously
+            referenced blobs are never rewritten.  The log is compacted to
+            its newest record (with orphaned-blob reclamation) once it
+            exceeds ``wal_compact_records`` records.  A save that dies
+            mid-write leaves the previous record the newest consistent one,
+            so :meth:`load` falls back to it.
         include_document_terms:
             With the default ``True`` the per-document term frequencies are
             saved too, so the loaded index supports further incremental
-            updates; ``False`` saves a smaller, read-only directory.
+            updates; ``False`` saves a smaller, read-only directory (and
+            forces a wholesale save -- incremental mode needs the terms to
+            restore deferred rewrites).
+        incremental:
+            ``None`` (default) auto-detects as described above; ``False``
+            forces a wholesale save under a fresh directory identity;
+            ``True`` merely re-enables auto-detection after a ``False``.
+        wal_compact_records:
+            Compact the manifest log once it would exceed this many
+            records (default
+            :data:`~repro.textsearch.segments.DEFAULT_WAL_COMPACT_RECORDS`).
 
-        Returns the saved :class:`SegmentManifest`.  Raises ``OSError`` for
-        filesystem failures; a save that dies mid-write leaves the previous
-        generation loadable (the crash-recovery suite aborts a re-save at
-        every write operation to prove it).  Not safe to call concurrently
-        with updates or another ``save`` on the same instance -- the index
-        object is single-threaded by contract; snapshot/query concurrency
-        belongs to the serving layer above it.
+        Returns the saved :class:`SegmentManifest` and leaves the write
+        report (mode, segments written/reused, wal record count...) in
+        :attr:`last_save_report`.  Raises ``OSError`` for filesystem
+        failures; the crash-recovery suite aborts a re-save at every write
+        operation to prove fallback.  Takes the writer lock, so pinned
+        reader snapshots stay valid across the save; do not call
+        concurrently with another ``save`` on the same instance.
         """
-        self._ensure_current_arrays()
-        self.seal_delta()
+        root = Path(path)
+        want_incremental = (
+            incremental is not False
+            and include_document_terms
+            and self._doc_terms is not None
+            and self._persist is not None
+            and self._persist.get("path") == str(root.resolve())
+        )
+        with self._snapshot_lock:
+            if want_incremental:
+                # Keep deferred per-list rewrites deferred: already-persisted
+                # blobs stay byte-identical on disk and the record is marked
+                # arrays_fresh=false instead, so load re-derives impacts
+                # lazily exactly as this instance would have.
+                self._ensure_fresh()
+                self.seal_delta()
+                runtime_fresh = not any(
+                    segment.stale_terms for segment in self._segments
+                )
+            else:
+                self._ensure_current_arrays()
+                self.seal_delta()
+                runtime_fresh = True
+            return self._save_locked(
+                path,
+                include_document_terms=include_document_terms,
+                incremental=incremental,
+                runtime_fresh=runtime_fresh,
+                persist_state=self._persist if want_incremental else None,
+                wal_compact_records=wal_compact_records,
+            )
+
+    def _save_locked(
+        self,
+        path,
+        *,
+        include_document_terms,
+        incremental,
+        runtime_fresh,
+        persist_state,
+        wal_compact_records,
+    ) -> SegmentManifest:
         extra = {
             "quantise_levels": self.quantise_levels,
             "block_size": self.block_size,
@@ -1034,12 +1394,21 @@ class InvertedIndex:
                 "document_frequencies": dict(self.stats.document_frequencies),
             },
         }
-        write_index_directory(
+        kwargs = {}
+        if wal_compact_records is not None:
+            kwargs["wal_compact_records"] = wal_compact_records
+        report = write_index_directory(
             path,
             segments=self._segments,
             extra=extra,
             document_terms=self._doc_terms if include_document_terms else None,
+            persist_state=persist_state,
+            incremental=incremental,
+            runtime_fresh=runtime_fresh,
+            **kwargs,
         )
+        self._persist = report.pop("persist_state")
+        self.last_save_report = report
         return self.segment_manifest()
 
     @classmethod
@@ -1075,8 +1444,11 @@ class InvertedIndex:
         raises :class:`FileNotFoundError` naming the path; an empty or
         unrecoverable directory raises
         :class:`~repro.textsearch.segments.CorruptIndexError`; a torn
-        re-save falls back to the newest fully-consistent manifest
-        generation (see :func:`repro.textsearch.segments.verify_index_directory`
+        re-save falls back to the newest fully-consistent checkpoint --
+        ``load`` replays the ``wal.log`` manifest log to the newest record
+        whose CRC frame and data files verify, so recovery from any log
+        prefix restores exactly the state that prefix's last save committed
+        (see :func:`repro.textsearch.segments.verify_index_directory`
         / :func:`~repro.textsearch.segments.repair_index_directory` for the
         audit/repair entry points, also exposed as
         :meth:`verify_directory` / :meth:`repair_directory`).  Errors whose
@@ -1161,6 +1533,33 @@ class InvertedIndex:
             next_segment_id=next_segment_id,
             buffers=buffers,
         )
+        # Adopt the directory identity so the next save() of this instance
+        # back to the same path runs incrementally (v2 directories carry no
+        # uuid; their first re-save is wholesale and mints one).
+        if manifest.get("uuid"):
+            integrity = manifest.get("integrity", {})
+            files = {}
+            for entry in manifest.get("segments", []):
+                file_integrity = integrity.get(entry.get("file"))
+                if not file_integrity:
+                    continue
+                files[entry["segment_id"]] = {
+                    "file": entry["file"],
+                    "content_version": int(entry.get("content_version", 0)),
+                    "terms": entry["terms"],
+                    "integrity": list(file_integrity),
+                }
+            index._persist = {
+                "path": str(Path(path).resolve()),
+                "uuid": manifest["uuid"],
+                "save_seq": manifest.get("save_seq", 1),
+                "files": files,
+            }
+        if manifest.get("arrays_fresh", True) is False and document_terms is not None:
+            # The record was saved with deferred rewrites outstanding: the
+            # blobs hold pre-update arrays, so re-derive impacts on first
+            # read exactly as the saving instance would have.
+            index._stale = True
         return index
 
     @staticmethod
@@ -1172,9 +1571,13 @@ class InvertedIndex:
         re-save cannot corrupt what this reads).  With ``deep`` (the
         default) every data file is read back and checked against its
         whole-file and per-term CRC32 checksums; ``deep=False`` checks only
-        structure, existence and sizes.  Returns a report dict -- ``ok``
-        (primary manifest fully consistent), ``problems`` (per manifest
-        candidate), ``consistent``, ``recoverable`` (the manifest
+        structure, existence and sizes.  Every ``wal.log`` record's CRC
+        frame is audited either way (a torn tail is reported under
+        ``problems["wal.log"]``), and files no surviving record references
+        -- e.g. debris of an interrupted log compaction -- are listed under
+        ``orphans``.  Returns a report dict -- ``ok`` (primary manifest
+        fully consistent), ``problems`` (per manifest candidate), ``wal``,
+        ``orphans``, ``consistent``, ``recoverable`` (the checkpoint
         :meth:`load` would fall back to, ``None`` if unrecoverable) and its
         ``save_seq``.  Corruption is *reported*, never raised; only a
         nonexistent ``path`` raises :class:`FileNotFoundError`.  See
@@ -1187,10 +1590,13 @@ class InvertedIndex:
         """Promote the newest fully-consistent checkpoint of a damaged
         :meth:`save` tree and delete the debris.
 
-        Walks the manifest candidates newest-first with deep verification,
+        Walks the manifest candidates (primary, ``wal.log`` records,
+        retained v2 generations) newest-first with deep verification,
         atomically installs the first fully-consistent one as
-        ``manifest.json``, and removes data files and generation manifests
-        it does not reference.  Returns ``{"recovered": <manifest name>,
+        ``manifest.json``, rewrites the manifest log down to that single
+        record, and removes data files, generation manifests and
+        interrupted-compaction debris it does not reference.  Returns
+        ``{"recovered": <manifest name>,
         "save_seq": ..., "removed": [...]}``.  Raises
         :class:`~repro.textsearch.segments.CorruptIndexError` when no
         checkpoint survives verification (nothing is deleted in that case)
@@ -1283,65 +1689,27 @@ class InvertedIndex:
         columns = segment.lists.get(term)
         if columns is None:
             return
-        impacts_by_doc = self._fresh
-        levels = self.quantise_levels
-        max_impact = self._max_impact
+        new_columns, action = rewrite_stale_columns(
+            columns, term, dead, self._fresh, self._max_impact, self.quantise_levels
+        )
+        if action is None:
+            # Either every row is tombstoned (the observable list is empty
+            # and stays empty -- marking it touched would pin the dead term
+            # in the journal forever) or the arrays are already identical to
+            # what a rebuild would hold.
+            return
         counters = self.update_counters
-        doc_ids = columns.doc_ids
-        old_impacts = columns.impacts
-        old_quants = columns.quants
-        live: list[tuple[int, float]] = []  # (position, fresh impact)
-        ordered = True
-        changed = False
-        prev_key: tuple[float, int] | None = None
-        for position, doc_id in enumerate(doc_ids):
-            if doc_id in dead:
-                continue
-            impact = impacts_by_doc[doc_id].get(term, 0.0)
-            key = (-impact, doc_id)
-            if impact <= 0.0 or (prev_key is not None and key < prev_key):
-                ordered = False
-                break
-            prev_key = key
-            live.append((position, impact))
-            if not changed and (
-                impact != old_impacts[position]
-                or quantise_impact(impact, max_impact, levels) != old_quants[position]
-            ):
-                changed = True
-        if ordered and not live:
-            # Every row is tombstoned: the observable list is empty and
-            # stays empty, so there is nothing to rewrite -- and marking
-            # it touched would pin the dead term in the journal forever.
-            return
-        if not ordered:
-            entries = [
-                (doc_id, impacts_by_doc[doc_id].get(term, 0.0))
-                for doc_id in doc_ids
-                if doc_id not in dead
-            ]
-            entries = [entry for entry in entries if entry[1] > 0.0]
-            entries.sort(key=lambda e: (-e[1], e[0]))
+        if action == "resort":
             counters.lists_resorted += 1
-            counters.lists_requantised += 1
-            self._touched[term] = self._update_epoch
-            if entries:
-                segment.lists[term] = PostingColumns.from_entries(
-                    entries, max_impact, levels
-                )
-            else:
-                del segment.lists[term]
-            return
-        if not changed:
-            return
-        new_impacts = array("d", old_impacts)
-        new_quants = array("I", old_quants)
-        for position, impact in live:
-            new_impacts[position] = impact
-            new_quants[position] = quantise_impact(impact, max_impact, levels)
-        segment.lists[term] = PostingColumns(doc_ids, new_impacts, new_quants)
         counters.lists_requantised += 1
         self._touched[term] = self._update_epoch
+        if new_columns is None:
+            del segment.lists[term]
+        else:
+            segment.lists[term] = new_columns
+        # The on-disk blob for this segment (if any) now holds superseded
+        # arrays; the bump forces the next incremental save to rewrite it.
+        segment.content_version += 1
 
     def _ensure_current_arrays(self) -> None:
         """Flush every deferred per-list rewrite (journal/persist/merge paths)."""

@@ -34,9 +34,14 @@ The pieces provided here:
   compaction with query serving; :class:`MergeHandle` carries the pending
   result back to ``commit_merge``.
 * :func:`write_index_directory` / :func:`read_index_directory` -- the on-disk
-  columnar format behind :meth:`InvertedIndex.save` / ``load``: one binary
-  blob per segment (per term: doc ids, quants, impacts, 16-byte aligned) plus
-  a JSON manifest, readable eagerly or through ``mmap``.
+  columnar format behind :meth:`InvertedIndex.save` / ``load``: one immutable
+  binary blob per segment (per term: doc ids, quants, impacts, 16-byte
+  aligned) plus an append-only **manifest log** (``wal.log``) of CRC-framed
+  manifest records.  Incremental saves append newly sealed segment files and
+  one log record; ``load`` replays the log to the newest consistent record;
+  the log is periodically compacted with orphan-file reclamation.
+* :func:`rewrite_stale_columns` -- the pure deferred-rewrite kernel shared by
+  the index's in-place list refresh and the immutable read snapshots.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ import mmap as _mmap
 import os
 import struct
 import sys
+import uuid as _uuid
 import zlib
 from array import array
 from dataclasses import dataclass, field
@@ -63,22 +69,38 @@ __all__ = [
     "MergeHandle",
     "merge_posting_runs",
     "merge_segment_parts",
+    "rewrite_stale_columns",
     "quantise_impact",
     "write_index_directory",
     "read_index_directory",
+    "read_manifest_log",
     "verify_index_directory",
     "repair_index_directory",
     "install_io_fault_hook",
     "INDEX_FORMAT",
     "INDEX_FORMAT_VERSION",
+    "DEFAULT_WAL_COMPACT_RECORDS",
 ]
 
 #: Identifier written into every saved manifest.
 INDEX_FORMAT = "repro-index-segments"
-#: Version 2 adds per-term and per-file CRC-32 checksums plus retained
-#: ``manifest_<seq>.json`` generations; version-1 trees remain readable
-#: (no checksums to validate, no generations to fall back to).
-INDEX_FORMAT_VERSION = 2
+#: Version 3 adds the append-only manifest log (``wal.log``): every save
+#: appends one CRC-framed manifest record instead of rewriting the tree,
+#: previously persisted segment files are reused by reference, and recovery
+#: replays the log to the newest consistent record.  Version-2 trees
+#: (retained ``manifest_<seq>.json`` generations, no log) and version-1
+#: trees (no checksums, no generations) remain readable.
+INDEX_FORMAT_VERSION = 3
+
+#: Manifest-log records retained before a save compacts ``wal.log`` down to
+#: its newest record and reclaims the segment files only older records
+#: referenced.  Until compaction, *every* record in the log stays fully
+#: replayable -- its segment and doc-terms files are spared reclamation.
+DEFAULT_WAL_COMPACT_RECORDS = 32
+
+#: Framing of one manifest-log record: payload length, payload CRC-32,
+#: then the JSON payload itself.
+_WAL_FRAME = struct.Struct("<II")
 
 _EMPTY: frozenset[int] = frozenset()
 
@@ -277,6 +299,11 @@ class IndexSegment:
     #: Terms whose arrays await the deferred post-update rewrite (see
     #: ``InvertedIndex._refresh_list``); consumed on first access.
     stale_terms: set[str] = field(default_factory=set)
+    #: Bumped whenever a deferred rewrite replaces one of this segment's
+    #: lists.  Incremental persistence compares it against the version a
+    #: previously written segment file recorded to decide whether that
+    #: file's arrays still match memory (``arrays_fresh``).
+    content_version: int = 0
 
     @property
     def num_postings(self) -> int:
@@ -498,6 +525,78 @@ def merge_segment_parts(
     return merged_lists, documents, tombstones, postings_written, postings_before - postings_written
 
 
+def rewrite_stale_columns(
+    columns: PostingColumns,
+    term: str,
+    dead: AbstractSet[int],
+    impacts_by_doc: Mapping[int, Mapping[str, float]],
+    max_impact: float,
+    levels: int,
+) -> tuple[PostingColumns | None, str | None]:
+    """The pure deferred-rewrite kernel: align one list with fresh impacts.
+
+    Side-effect-free sibling of ``InvertedIndex._refresh_list``: given one
+    segment's columns for ``term``, the documents dead for that segment, and
+    the freshly derived per-document impacts, returns ``(columns, action)``
+    where ``action`` is ``None`` (arrays already observably identical --
+    returned verbatim), ``"requantise"`` (order preserved, impact/quant
+    arrays patched) or ``"resort"`` (the scorer reordered the list; rebuilt
+    from scratch, ``None`` when every row fell away).  The skip check
+    compares the stored impacts *and* quantised values of every live row to
+    what a rebuild would hold right now, so arrays are kept verbatim exactly
+    when their observable content is already identical.  A list whose every
+    row is dead is also returned verbatim: the observable list is empty
+    either way (dead rows are filtered by every read path).
+
+    Both the index's in-place rewrite and the immutable snapshots' read
+    paths call this kernel, which is what guarantees a pinned snapshot and
+    the live index derive bit-identical arrays from the same pinned inputs.
+    """
+    doc_ids = columns.doc_ids
+    old_impacts = columns.impacts
+    old_quants = columns.quants
+    live: list[tuple[int, float]] = []  # (position, fresh impact)
+    ordered = True
+    changed = False
+    prev_key: tuple[float, int] | None = None
+    for position, doc_id in enumerate(doc_ids):
+        if doc_id in dead:
+            continue
+        impact = impacts_by_doc[doc_id].get(term, 0.0)
+        key = (-impact, doc_id)
+        if impact <= 0.0 or (prev_key is not None and key < prev_key):
+            ordered = False
+            break
+        prev_key = key
+        live.append((position, impact))
+        if not changed and (
+            impact != old_impacts[position]
+            or quantise_impact(impact, max_impact, levels) != old_quants[position]
+        ):
+            changed = True
+    if ordered and not live:
+        return columns, None
+    if not ordered:
+        entries = [
+            (doc_id, impacts_by_doc[doc_id].get(term, 0.0))
+            for doc_id in doc_ids
+            if doc_id not in dead
+        ]
+        entries = [entry for entry in entries if entry[1] > 0.0]
+        entries.sort(key=lambda e: (-e[1], e[0]))
+        if not entries:
+            return None, "resort"
+        return PostingColumns.from_entries(entries, max_impact, levels), "resort"
+    if not changed:
+        return columns, None
+    new_impacts = array("d", old_impacts)
+    new_quants = array("I", old_quants)
+    for position, impact in live:
+        new_impacts[position] = impact
+        new_quants[position] = quantise_impact(impact, max_impact, levels)
+    return PostingColumns(doc_ids, new_impacts, new_quants), "requantise"
+
+
 @dataclass
 class MergeHandle:
     """One planned (possibly in-flight) segment merge.
@@ -542,20 +641,135 @@ class MergeHandle:
 # -- on-disk columnar directory format -------------------------------------------
 #
 #   <path>/
-#     manifest.json        format, version, byteorder, segment directory
-#                          (per segment: metadata, tombstones, documents and
-#                          the term -> [byte offset, row count] directory),
-#                          plus the index-level extras the caller supplies
-#     doc_terms.json       per-document term frequencies (absent => read-only)
-#     segment_<id>.bin     per term, concatenated: doc_ids (4n bytes), quants
+#     manifest.json        the newest committed manifest record: format,
+#                          version, byteorder, index uuid, save_seq, segment
+#                          directory (per segment: metadata, content_version,
+#                          tombstones, documents and the term ->
+#                          [byte offset, row count, crc32] directory), plus
+#                          the index-level extras the caller supplies
+#     wal.log              the manifest log: every save appends one
+#                          CRC-framed record (<u32 length, u32 crc32> +
+#                          compact-JSON manifest).  Recovery replays it to
+#                          the newest consistent record; a save whose record
+#                          count exceeds the compaction threshold rewrites
+#                          the log down to its newest record and reclaims
+#                          files only older records referenced
+#     segment_<id>_<seq>.bin
+#                          per term, concatenated: doc_ids (4n bytes), quants
 #                          (4n), impacts (8n) -- 16n per term, so every term
 #                          block starts 16-byte aligned and each column is
-#                          aligned for zero-copy mmap slicing
+#                          aligned for zero-copy mmap slicing.  Immutable
+#                          once written: an incremental save reuses the
+#                          files earlier saves wrote *by reference* and
+#                          writes blobs only for newly sealed segments
+#     doc_terms_<seq>.json per-document term frequencies of one save
+#                          (absent => read-only directory)
 #
 # Columns are written in native byte order (recorded in the manifest); a
 # load on a mismatched platform falls back to eager reads with a byteswap.
+#
+# Durability ordering of one save: new segment blobs and doc-terms are
+# written and fsynced first, the wal.log append (or rewrite) is fsynced next
+# -- that is the commit point -- then manifest.json is swapped atomically as
+# a convenience copy of the newest record, and only then are unreferenced
+# files reclaimed.  A crash at any byte boundary leaves a prefix of the log,
+# every record of which stays bit-identically replayable.
 
 _TERM_BLOCK_FACTOR = 16  # bytes per row: 4 (doc id) + 4 (quant) + 8 (impact)
+
+
+def _fsync_write_bytes(path: Path, data: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _fsync_directory(root: Path) -> None:
+    """Best-effort directory-entry durability (not all platforms allow it)."""
+    try:
+        fd = os.open(root, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _frame_wal_record(manifest: Mapping) -> bytes:
+    payload = json.dumps(manifest, separators=(",", ":")).encode("utf-8")
+    return _WAL_FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _scan_wal(wal_path: Path) -> tuple[list[dict], str | None]:
+    """Parse a manifest log, stopping at the first torn or corrupt frame.
+
+    Returns ``(records, problem)`` where ``problem`` describes the torn
+    tail (``None`` for a clean log or a missing file).  Frames after a bad
+    one are unreachable by construction -- the framing is lost -- so a torn
+    byte invalidates the suffix, never the prefix.
+    """
+    if not wal_path.exists():
+        return [], None
+    try:
+        data = wal_path.read_bytes()
+    except OSError as exc:
+        return [], f"unreadable ({exc})"
+    records: list[dict] = []
+    offset = 0
+    while offset + _WAL_FRAME.size <= len(data):
+        length, crc = _WAL_FRAME.unpack_from(data, offset)
+        start = offset + _WAL_FRAME.size
+        payload = data[start : start + length]
+        if len(payload) != length:
+            return records, (
+                f"record {len(records)} truncated at byte {offset} "
+                f"({len(payload)} of {length} payload bytes)"
+            )
+        if zlib.crc32(payload) != crc:
+            return records, f"record {len(records)} at byte {offset} failed its CRC"
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return records, f"record {len(records)} at byte {offset} is not valid JSON"
+        if not isinstance(record, dict):
+            return records, f"record {len(records)} at byte {offset} is not an object"
+        records.append(record)
+        offset = start + length
+    if offset != len(data):
+        return records, (
+            f"trailing {len(data) - offset} bytes after record {len(records)}"
+        )
+    return records, None
+
+
+def read_manifest_log(path: str | Path) -> list[dict]:
+    """The consistent prefix of a directory's manifest log, oldest first.
+
+    ``path`` may name the index directory or the ``wal.log`` file itself.
+    Parsing stops silently at the first torn or CRC-failing frame (the
+    crash-recovery contract: a truncated log yields its longest consistent
+    prefix); a missing log yields ``[]``.
+    """
+    candidate = Path(path)
+    wal_path = candidate / "wal.log" if candidate.is_dir() else candidate
+    records, _ = _scan_wal(wal_path)
+    return records
+
+
+def _record_files(record: Mapping) -> set[str]:
+    """Every data file one manifest record references."""
+    files = {
+        entry["file"]
+        for entry in record.get("segments", [])
+        if isinstance(entry, dict) and "file" in entry
+    }
+    if record.get("doc_terms_file"):
+        files.add(record["doc_terms_file"])
+    return files
 
 
 def _segment_blob(segment: IndexSegment) -> tuple[bytes, dict[str, tuple[int, int, int]]]:
@@ -621,57 +835,115 @@ def write_index_directory(
     segments: Sequence[IndexSegment],
     extra: Mapping[str, object],
     document_terms: Mapping[int, Mapping[str, int]] | None,
-) -> None:
+    persist_state: Mapping | None = None,
+    incremental: bool | None = None,
+    runtime_fresh: bool = True,
+    wal_compact_records: int = DEFAULT_WAL_COMPACT_RECORDS,
+) -> dict:
     """Persist sealed segments (plus index-level ``extra`` metadata) under ``path``.
 
-    Saves are crash-safe, including re-saves over an earlier checkpoint:
-    every data file of one save carries that save's sequence number in its
-    name (so a file the *previous* manifest references is never rewritten in
-    place), the manifest itself is swapped in atomically via ``os.replace``,
-    and only then are files no longer needed deleted.  A crash at any point
-    leaves either the old checkpoint fully intact (new files are
-    unreferenced orphans, reclaimed by the next save) or the new one fully
-    committed.
+    Every save appends one CRC-framed manifest record to the ``wal.log``
+    manifest log (the fsynced append is the commit point), then swaps
+    ``manifest.json`` -- a convenience copy of the newest record -- in
+    atomically via ``os.replace``.  Segment files are **immutable once
+    written**: with ``persist_state`` (the state a previous save or load of
+    the same directory returned), an *incremental* save writes blobs only
+    for segments without a previously persisted file and reuses the rest by
+    reference, so ``save`` after N update batches appends, never rewrites.
+    Files referenced by *any* record still in the log are spared
+    reclamation, keeping every record bit-identically replayable; once the
+    log exceeds ``wal_compact_records`` records, the save rewrites it down
+    to the newest record (atomic ``wal.log.tmp`` swap) and reclaims the
+    files only older records referenced.
 
-    Beyond the atomic swap, each save also writes its manifest as a retained
-    **generation** (``manifest_<seq>.json``) and spares the *previous*
-    generation's manifest and data files from reclamation.  If a crash (or a
-    filesystem that reorders writes around a rename) leaves the newest
-    checkpoint torn -- truncated data files, a torn ``manifest.json`` --
-    :func:`read_index_directory` falls back to the newest generation whose
-    manifest and files are fully consistent.  Retention is bounded to one
-    previous generation; older files are reclaimed as before.
+    ``incremental=None`` auto-detects: incremental when ``persist_state``
+    matches the directory's uuid and newest save_seq, wholesale otherwise
+    (also when ``incremental=False`` forces it, or no ``document_terms``
+    accompany the save).  ``runtime_fresh`` declares whether the in-memory
+    arrays are fully flushed; the record's ``arrays_fresh`` flag is that,
+    ANDed with every reused file still matching its segment's
+    ``content_version`` -- a load of a record with ``arrays_fresh: false``
+    re-derives impacts on first read, restoring rebuild bit-identity.
+
+    A crash at any point leaves either the old newest record intact (new
+    files are unreferenced orphans, reclaimed by the next save or
+    :func:`repair_index_directory`) or the new record fully committed.
+    Returns a report dict -- ``mode``, ``save_seq``, ``segments_written`` /
+    ``segments_reused``, ``wal_records``, ``compacted``, ``arrays_fresh``
+    and the new ``persist_state`` to thread into the next save.
     """
     root = Path(path)
     root.mkdir(parents=True, exist_ok=True)
     manifest_path = root / "manifest.json"
-    save_seq = 0
-    previous_seq: int | None = None
-    previous_files: set[str] = set()
+    wal_path = root / "wal.log"
+
+    primary: dict | None = None
     if manifest_path.exists():
         try:
-            previous = json.loads(manifest_path.read_text(encoding="utf-8"))
-            previous_seq = int(previous.get("save_seq", 0))
-            save_seq = previous_seq + 1
-            previous_files = {
-                entry["file"]
-                for entry in previous.get("segments", [])
-                if isinstance(entry, dict) and "file" in entry
-            }
-            if previous.get("doc_terms_file"):
-                previous_files.add(previous["doc_terms_file"])
-        except (ValueError, OSError, TypeError, KeyError):
-            save_seq = 1
-            previous_seq = None
-            previous_files = set()
+            parsed = json.loads(manifest_path.read_text(encoding="utf-8"))
+            primary = parsed if isinstance(parsed, dict) else None
+        except (ValueError, OSError):
+            primary = None
+    kept_records, torn = _scan_wal(wal_path)
+
+    seqs = []
+    for record in ([primary] if primary else []) + kept_records:
+        try:
+            seqs.append(int(record.get("save_seq", 0) or 0))
+        except (TypeError, ValueError):
+            continue
+    newest_seq = max(seqs) if seqs else None
+    save_seq = (newest_seq + 1) if newest_seq is not None else 1
+
+    directory_uuid = None
+    for record in ([primary] if primary else []) + list(reversed(kept_records)):
+        if isinstance(record.get("uuid"), str):
+            directory_uuid = record["uuid"]
+            break
+
+    matches = (
+        persist_state is not None
+        and persist_state.get("path") == str(root.resolve())
+        and directory_uuid is not None
+        and persist_state.get("uuid") == directory_uuid
+        and persist_state.get("save_seq") == newest_seq
+    )
+    mode = (
+        "incremental"
+        if incremental is not False and matches and document_terms is not None
+        else "full"
+    )
+    index_uuid = (
+        persist_state["uuid"] if mode == "incremental" else _uuid.uuid4().hex
+    )
+
+    reused_files: Mapping = persist_state.get("files", {}) if mode == "incremental" else {}
     manifest_segments = []
     integrity: dict[str, list[int]] = {}
+    new_persist_files: dict[int, dict] = {}
+    segments_written = 0
+    segments_reused = 0
+    files_fresh = True
     for segment in segments:
-        blob, directory = _segment_blob(segment)
-        filename = f"segment_{segment.segment_id}_{save_seq}.bin"
-        _io_event("write", root / filename)
-        (root / filename).write_bytes(blob)
-        integrity[filename] = [len(blob), zlib.crc32(blob)]
+        record = reused_files.get(segment.segment_id)
+        if record is not None and record.get("integrity"):
+            filename = record["file"]
+            entry_terms = record["terms"]
+            file_integrity = list(record["integrity"])
+            content_version = int(record.get("content_version", 0))
+            if content_version != segment.content_version:
+                files_fresh = False
+            segments_reused += 1
+        else:
+            blob, directory = _segment_blob(segment)
+            filename = f"segment_{segment.segment_id}_{save_seq}.bin"
+            _io_event("write", root / filename)
+            _fsync_write_bytes(root / filename, blob)
+            entry_terms = {term: list(entry) for term, entry in directory.items()}
+            file_integrity = [len(blob), zlib.crc32(blob)]
+            content_version = segment.content_version
+            segments_written += 1
+        integrity[filename] = file_integrity
         manifest_segments.append(
             {
                 "segment_id": segment.segment_id,
@@ -679,61 +951,111 @@ def write_index_directory(
                 "base": segment.base,
                 "seq": [segment.seq_lo, segment.seq_hi],
                 "file": filename,
+                "content_version": content_version,
                 "documents": sorted(segment.documents),
                 "tombstones": sorted(segment.tombstones),
-                "terms": {term: list(entry) for term, entry in directory.items()},
+                "terms": entry_terms,
             }
         )
+        new_persist_files[segment.segment_id] = {
+            "file": filename,
+            "content_version": content_version,
+            "terms": entry_terms,
+            "integrity": list(file_integrity),
+        }
     doc_terms_file = None
     if document_terms is not None:
         doc_terms_file = f"doc_terms_{save_seq}.json"
         payload = json.dumps(
             {str(doc_id): dict(freqs) for doc_id, freqs in document_terms.items()}
         )
+        encoded = payload.encode("utf-8")
         _io_event("write", root / doc_terms_file)
-        (root / doc_terms_file).write_text(payload, encoding="utf-8")
-        integrity[doc_terms_file] = [
-            len(payload.encode("utf-8")),
-            zlib.crc32(payload.encode("utf-8")),
-        ]
+        _fsync_write_bytes(root / doc_terms_file, encoded)
+        integrity[doc_terms_file] = [len(encoded), zlib.crc32(encoded)]
+    arrays_fresh = bool(runtime_fresh) and files_fresh
     manifest = {
         "format": INDEX_FORMAT,
         "version": INDEX_FORMAT_VERSION,
         "byteorder": sys.byteorder,
         "save_seq": save_seq,
+        "uuid": index_uuid,
+        "arrays_fresh": arrays_fresh,
         "doc_terms_file": doc_terms_file,
         "integrity": integrity,
         "segments": manifest_segments,
         **dict(extra),
     }
-    payload = json.dumps(manifest, indent=1)
-    # The retained generation first, then the atomic primary swap: readers
-    # see the old checkpoint or the new one, never a torn mix, and the
-    # generation file gives recovery a fallback if the primary tears later.
-    staging = root / "manifest.json.tmp"
-    generation_path = root / f"manifest_{save_seq}.json"
-    _io_event("write", generation_path)
-    staging.write_text(payload, encoding="utf-8")
-    os.replace(staging, generation_path)
+
+    # Commit point: the manifest record becomes durable in the log.  An
+    # append when the log is clean and under threshold; otherwise an atomic
+    # rewrite (compaction, or a torn tail that must not bury the new record
+    # behind unreachable bytes).
+    compacted = len(kept_records) + 1 > max(int(wal_compact_records), 1)
+    new_records = [manifest] if compacted else kept_records + [manifest]
+    _io_event("write", wal_path)
+    if wal_path.exists() and torn is None and not compacted:
+        with open(wal_path, "ab") as handle:
+            handle.write(_frame_wal_record(manifest))
+            handle.flush()
+            os.fsync(handle.fileno())
+    else:
+        staging = root / "wal.log.tmp"
+        _fsync_write_bytes(
+            staging, b"".join(_frame_wal_record(record) for record in new_records)
+        )
+        os.replace(staging, wal_path)
     _io_event("write", manifest_path)
-    staging.write_text(payload, encoding="utf-8")
+    staging = root / "manifest.json.tmp"
+    staging.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
     os.replace(staging, manifest_path)
-    # Reclaim files neither the new manifest nor the retained previous
-    # generation references (older saves' blobs, orphans of crashed saves).
-    current = {entry["file"] for entry in manifest_segments}
-    if doc_terms_file is not None:
-        current.add(doc_terms_file)
-    current |= previous_files
-    keep_manifests = {generation_path.name}
-    if previous_seq is not None:
-        keep_manifests.add(f"manifest_{previous_seq}.json")
+    _fsync_directory(root)
+
+    # Reclamation: keep every file any surviving log record references --
+    # each record stays replayable until compaction drops it -- plus any
+    # retained v2 generation manifests' files (their fallbacks, until a
+    # compaction supersedes them).
+    referenced: set[str] = set()
+    for record in new_records:
+        referenced |= _record_files(record)
+    for candidate in root.glob("manifest_*.json"):
+        if _generation_seq(candidate) < 0:
+            continue
+        if compacted:
+            candidate.unlink()
+            continue
+        try:
+            generation = json.loads(candidate.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            candidate.unlink()
+            continue
+        if isinstance(generation, dict):
+            referenced |= _record_files(generation)
     for pattern in ("segment_*.bin", "doc_terms*.json"):
         for candidate in root.glob(pattern):
-            if candidate.name not in current:
+            if candidate.name not in referenced:
                 candidate.unlink()
-    for candidate in root.glob("manifest_*.json"):
-        if candidate.name not in keep_manifests:
-            candidate.unlink()
+    for name in ("wal.log.tmp", "manifest.json.tmp"):
+        leftover = root / name
+        if leftover.exists():
+            leftover.unlink()
+
+    return {
+        "mode": mode,
+        "save_seq": save_seq,
+        "uuid": index_uuid,
+        "segments_written": segments_written,
+        "segments_reused": segments_reused,
+        "wal_records": len(new_records),
+        "compacted": compacted,
+        "arrays_fresh": arrays_fresh,
+        "persist_state": {
+            "path": str(root.resolve()),
+            "uuid": index_uuid,
+            "save_seq": save_seq,
+            "files": new_persist_files,
+        },
+    }
 
 
 def _generation_seq(candidate: Path) -> int:
@@ -744,21 +1066,50 @@ def _generation_seq(candidate: Path) -> int:
         return -1
 
 
-def _manifest_candidates(root: Path) -> list[Path]:
-    """Manifest files to try, in recovery order: primary, then newest-first
-    retained generations."""
-    candidates = []
+def _manifest_candidates(root: Path) -> list[tuple[str, dict | None, str | None]]:
+    """Every manifest candidate in recovery order (newest save first).
+
+    Candidates come from three sources: the primary ``manifest.json``, the
+    consistent-prefix records of the ``wal.log`` manifest log, and any
+    retained v2 ``manifest_<seq>.json`` generations.  They are ordered by
+    ``save_seq`` descending with the primary preferred at equal sequence,
+    so an intact primary resolves without a recovery marker and a committed
+    log record that never reached the primary swap still wins over the
+    stale primary.  Each element is ``(source, manifest, failure)`` --
+    ``manifest`` is ``None`` exactly when ``failure`` describes why the
+    candidate could not even be parsed.
+    """
+    entries: list[tuple[int, int, str, dict | None, str | None]] = []
     primary = root / "manifest.json"
     if primary.exists():
-        candidates.append(primary)
-    generations = [
-        candidate
-        for candidate in root.glob("manifest_*.json")
-        if _generation_seq(candidate) >= 0
-    ]
-    generations.sort(key=_generation_seq, reverse=True)
-    candidates.extend(generations)
-    return candidates
+        try:
+            manifest = json.loads(primary.read_text(encoding="utf-8"))
+            seq = 0
+            if isinstance(manifest, dict):
+                try:
+                    seq = int(manifest.get("save_seq", 0) or 0)
+                except (TypeError, ValueError):
+                    seq = 0
+            entries.append((seq, 0, "manifest.json", manifest, None))
+        except (ValueError, OSError) as exc:
+            entries.append((-1, 0, "manifest.json", None, f"unreadable ({exc})"))
+    for record in read_manifest_log(root / "wal.log"):
+        try:
+            seq = int(record.get("save_seq", 0) or 0)
+        except (TypeError, ValueError):
+            seq = 0
+        entries.append((seq, 1, f"wal.log#{seq}", record, None))
+    for candidate in root.glob("manifest_*.json"):
+        seq = _generation_seq(candidate)
+        if seq < 0:
+            continue
+        try:
+            manifest = json.loads(candidate.read_text(encoding="utf-8"))
+            entries.append((seq, 2, candidate.name, manifest, None))
+        except (ValueError, OSError) as exc:
+            entries.append((seq, 2, candidate.name, None, f"unreadable ({exc})"))
+    entries.sort(key=lambda entry: (-entry[0], entry[1]))
+    return [(source, manifest, failure) for _, _, source, manifest, failure in entries]
 
 
 def _term_entry(entry) -> tuple[int, int, int | None]:
@@ -864,32 +1215,31 @@ def _deep_problems(root: Path, manifest) -> list[str]:
 
 
 def _resolve_manifest(root: Path) -> tuple[dict, str | None]:
-    """The newest fully-consistent manifest, falling back over generations.
+    """The newest fully-consistent manifest, replaying the log as needed.
 
-    Returns ``(manifest, recovered_from)`` where ``recovered_from`` is the
-    generation filename when the primary ``manifest.json`` was unusable (a
-    torn re-save) and ``None`` when the primary was consistent.  Raises
-    :class:`CorruptIndexError` when no candidate passes.
+    Returns ``(manifest, recovered_from)`` where ``recovered_from`` names
+    the log record (``wal.log#<seq>``) or generation file used when the
+    primary ``manifest.json`` was unusable or stale (a torn or interrupted
+    re-save) and ``None`` when the primary was the newest consistent
+    candidate.  Raises :class:`CorruptIndexError` when no candidate passes.
     """
     candidates = _manifest_candidates(root)
     if not candidates:
         raise CorruptIndexError(
-            f"{root} is not an index directory: no manifest.json or "
-            "manifest_<seq>.json present",
+            f"{root} is not an index directory: no manifest.json, wal.log "
+            "record or manifest_<seq>.json present",
             path=root,
         )
     failures: list[str] = []
-    for candidate in candidates:
-        try:
-            manifest = json.loads(candidate.read_text(encoding="utf-8"))
-        except (ValueError, OSError) as exc:
-            failures.append(f"{candidate.name}: unreadable ({exc})")
+    for source, manifest, failure in candidates:
+        if failure is not None:
+            failures.append(f"{source}: {failure}")
             continue
         problems = _manifest_problems(root, manifest)
         if problems:
-            failures.append(f"{candidate.name}: " + "; ".join(problems))
+            failures.append(f"{source}: " + "; ".join(problems))
             continue
-        recovered_from = None if candidate.name == "manifest.json" else candidate.name
+        recovered_from = None if source == "manifest.json" else source
         return manifest, recovered_from
     raise CorruptIndexError(
         f"no consistent manifest generation under {root}: " + " | ".join(failures),
@@ -971,6 +1321,7 @@ def read_index_directory(
                 lists=lists,
                 documents=set(entry["documents"]),
                 tombstones=set(entry["tombstones"]),
+                content_version=int(entry.get("content_version", 0)),
             )
         )
     segments.sort(key=lambda segment: segment.seq_lo)
@@ -996,17 +1347,24 @@ def verify_index_directory(path: str | Path, *, deep: bool = True) -> dict:
     """Audit a saved index tree; never raises for corruption, reports it.
 
     Returns a report dict: ``ok`` (the primary ``manifest.json`` checkpoint
-    is fully consistent), ``problems`` (per manifest candidate, the failures
-    found), ``consistent`` (candidate manifests that pass), ``recoverable``
-    (the manifest :func:`read_index_directory` would use, or ``None`` when
-    the tree is unrecoverable), and ``save_seq`` of that manifest.  With
-    ``deep`` (the default) every data file is read and checked against its
+    is fully consistent *and* is the newest committed save), ``problems``
+    (per manifest candidate, the failures found -- log records appear as
+    ``wal.log#<seq>``), ``consistent`` (candidate manifests that pass),
+    ``recoverable`` (the candidate :func:`read_index_directory` would use,
+    or ``None`` when the tree is unrecoverable), ``save_seq`` of that
+    candidate, ``wal`` (record count plus the torn-tail/CRC audit of the
+    manifest log -- a torn tail is reported under ``problems["wal.log"]``
+    but only invalidates the records behind it), and ``orphans`` (files no
+    parseable candidate references -- debris of an interrupted save or log
+    compaction, reclaimed by :func:`repair_index_directory`).  With ``deep``
+    (the default) every data file is read and checked against its
     whole-file and per-term checksums; without it only structure, existence,
     and sizes are checked.
     """
     root = Path(path)
     if not root.is_dir():
         raise FileNotFoundError(f"no such index directory: {root}")
+    wal_records, wal_problem = _scan_wal(root / "wal.log")
     report: dict = {
         "path": str(root),
         "ok": False,
@@ -1014,58 +1372,76 @@ def verify_index_directory(path: str | Path, *, deep: bool = True) -> dict:
         "consistent": [],
         "recoverable": None,
         "save_seq": None,
+        "wal": {"records": len(wal_records), "torn": wal_problem is not None},
+        "orphans": [],
     }
+    if wal_problem is not None:
+        report["problems"]["wal.log"] = [wal_problem]
     candidates = _manifest_candidates(root)
     if not candidates:
-        report["problems"]["manifest.json"] = ["no manifest present"]
+        report["problems"].setdefault("manifest.json", ["no manifest present"])
         return report
-    for candidate in candidates:
-        try:
-            manifest = json.loads(candidate.read_text(encoding="utf-8"))
-        except (ValueError, OSError) as exc:
-            report["problems"][candidate.name] = [f"unreadable ({exc})"]
+    referenced: set[str] = set()
+    for source, manifest, failure in candidates:
+        if failure is not None:
+            report["problems"][source] = [failure]
             continue
+        referenced |= _record_files(manifest)
         problems = _manifest_problems(root, manifest)
         if not problems and deep:
             problems = _deep_problems(root, manifest)
         if problems:
-            report["problems"][candidate.name] = problems
+            report["problems"][source] = problems
         else:
-            report["consistent"].append(candidate.name)
+            report["consistent"].append(source)
             if report["recoverable"] is None:
-                report["recoverable"] = candidate.name
+                report["recoverable"] = source
                 report["save_seq"] = manifest.get("save_seq")
-    report["ok"] = "manifest.json" in report["consistent"]
+    for pattern in ("segment_*.bin", "doc_terms*.json"):
+        for candidate_path in root.glob(pattern):
+            if candidate_path.name not in referenced:
+                report["orphans"].append(candidate_path.name)
+    for name in ("wal.log.tmp", "manifest.json.tmp"):
+        if (root / name).exists():
+            report["orphans"].append(name)
+    report["orphans"].sort()
+    report["ok"] = (
+        "manifest.json" in report["consistent"]
+        and report["recoverable"] == "manifest.json"
+    )
     return report
 
 
 def repair_index_directory(path: str | Path) -> dict:
     """Promote the newest fully-consistent checkpoint and drop the debris.
 
-    Walks the manifest candidates (primary first, then retained generations
-    newest-first) with deep verification; the first fully-consistent one
-    becomes ``manifest.json`` (atomic swap), and data files or generation
-    manifests it does not reference are removed.  Returns a report dict
-    (``recovered``: the manifest promoted; ``save_seq``; ``removed``: the
-    filenames deleted).  Raises :class:`CorruptIndexError` when no candidate
-    survives verification -- the tree holds no safely-readable checkpoint.
+    Walks the manifest candidates (newest save first: primary, log records,
+    retained generations) with deep verification; the first fully-consistent
+    one becomes ``manifest.json`` (atomic swap) *and* the manifest log is
+    rewritten to that single record, so the repaired tree is exactly a
+    freshly compacted save.  Data files no longer referenced -- orphans of
+    an interrupted save or log compaction, older records' blobs -- are
+    removed, along with staging leftovers (``wal.log.tmp``,
+    ``manifest.json.tmp``) and superseded generation manifests.  Returns a
+    report dict (``recovered``: the candidate promoted; ``save_seq``;
+    ``removed``: the filenames deleted).  Raises :class:`CorruptIndexError`
+    when no candidate survives verification -- the tree holds no
+    safely-readable checkpoint (nothing is deleted in that case).
     """
     root = Path(path)
     if not root.is_dir():
         raise FileNotFoundError(f"no such index directory: {root}")
     failures: list[str] = []
-    chosen: tuple[Path, dict] | None = None
-    for candidate in _manifest_candidates(root):
-        try:
-            manifest = json.loads(candidate.read_text(encoding="utf-8"))
-        except (ValueError, OSError) as exc:
-            failures.append(f"{candidate.name}: unreadable ({exc})")
+    chosen: tuple[str, dict] | None = None
+    for source, manifest, failure in _manifest_candidates(root):
+        if failure is not None:
+            failures.append(f"{source}: {failure}")
             continue
         problems = _manifest_problems(root, manifest) or _deep_problems(root, manifest)
         if problems:
-            failures.append(f"{candidate.name}: " + "; ".join(problems))
+            failures.append(f"{source}: " + "; ".join(problems))
             continue
-        chosen = (candidate, manifest)
+        chosen = (source, manifest)
         break
     if chosen is None:
         raise CorruptIndexError(
@@ -1074,32 +1450,36 @@ def repair_index_directory(path: str | Path) -> dict:
             + (f" ({' | '.join(failures)})" if failures else ""),
             path=root,
         )
-    candidate, manifest = chosen
-    payload = json.dumps(manifest, indent=1)
+    source, manifest = chosen
     save_seq = manifest.get("save_seq")
-    generation_name = f"manifest_{save_seq}.json" if save_seq is not None else None
-    if candidate.name != "manifest.json":
-        staging = root / "manifest.json.tmp"
-        staging.write_text(payload, encoding="utf-8")
-        os.replace(staging, root / "manifest.json")
-    referenced = {
-        entry["file"] for entry in manifest.get("segments", []) if "file" in entry
-    }
-    if manifest.get("doc_terms_file"):
-        referenced.add(manifest["doc_terms_file"])
     removed: list[str] = []
+    wal_path = root / "wal.log"
+    old_records, _ = _scan_wal(wal_path)
+    staging = root / "wal.log.tmp"
+    _fsync_write_bytes(staging, _frame_wal_record(manifest))
+    os.replace(staging, wal_path)
+    if len(old_records) != 1 or old_records[0] != manifest:
+        removed.append("wal.log (rewritten)")
+    if source != "manifest.json":
+        staging = root / "manifest.json.tmp"
+        staging.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+        os.replace(staging, root / "manifest.json")
+    referenced = _record_files(manifest)
     for pattern in ("segment_*.bin", "doc_terms*.json"):
         for stale in root.glob(pattern):
             if stale.name not in referenced:
                 stale.unlink()
                 removed.append(stale.name)
     for stale in root.glob("manifest_*.json"):
-        if stale.name != generation_name:
-            stale.unlink()
-            removed.append(stale.name)
+        stale.unlink()
+        removed.append(stale.name)
+    leftover = root / "manifest.json.tmp"
+    if leftover.exists():
+        leftover.unlink()
+        removed.append("manifest.json.tmp")
     return {
         "path": str(root),
-        "recovered": candidate.name,
+        "recovered": source,
         "save_seq": save_seq,
         "removed": sorted(removed),
     }

@@ -110,7 +110,7 @@ class TestShardedServerProperties:
         # worker pool runs (process-pool start-up per hypothesis example would
         # swamp the suite; real workers run in tests/core/test_parallel.py).
         server = PrivateRetrievalServer(**kwargs)
-        payload = server._payload(query)
+        payload = server._payload(query, server._pin())
         shards = parallel.partition_payload(payload, data.draw(st.integers(2, 4)))
         partials = [
             parallel.accumulate_terms(shard, benaloh_keypair.public.n)[0]

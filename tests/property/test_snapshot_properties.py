@@ -1,0 +1,332 @@
+"""Property tests: snapshot-isolated reads under concurrent maintenance.
+
+The MVCC acceptance property: a reader that pins an
+:class:`~repro.textsearch.inverted_index.IndexSnapshot` keeps returning
+**bit-identical ciphertexts and operation counters** -- exactly what a
+quiesced run at the pinned epoch returns -- while the live index seals,
+merges, compacts and takes further updates, from hypothesis-driven mutation
+schedules and from a real reader thread racing real maintenance.  The
+serving-cache regression rides along: a power-plan cache synced against a
+pinned snapshot must never be evicted by the live index's journal horizon
+moving past the pinned epoch.
+"""
+
+import random
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.buckets import simple_buckets
+from repro.core.embellish import QueryEmbellisher
+from repro.core.server import PrivateRetrievalServer
+from repro.textsearch.corpus import Corpus, Document
+from repro.textsearch.inverted_index import InvertedIndex
+from repro.textsearch.scoring import BM25Scorer, CosineScorer
+from repro.textsearch.segments import TieredMergePolicy
+
+from tests.property.test_segment_properties import (
+    KEYPAIR,
+    _apply,
+    segmented_scenarios,
+)
+
+SCORERS = {"cosine": CosineScorer(), "bm25": BM25Scorer()}
+
+
+def _content(view):
+    """The full observable read state of an index or snapshot, bit-exact."""
+    return {
+        term: (
+            tuple(
+                (p.doc_id, p.impact, p.quantised_impact) for p in view.postings(term)
+            ),
+            view.serialise_list(term),
+            view.document_frequency(term),
+        )
+        for term in sorted(view.terms)
+    }
+
+
+def _apply_trailing(operations, index, live):
+    """Apply a second scenario's operations on top of an existing history.
+
+    Its doc ids were drawn independently of the first scenario's final state,
+    so adds are re-numbered past every live id and removes target documents
+    actually present.
+    """
+    next_id = max((doc.doc_id for doc in live), default=0) + 1
+    for kind, payload in operations:
+        if kind == "add":
+            renumbered = Document(doc_id=next_id, text=payload.text)
+            next_id += 1
+            index.add_document(renumbered)
+            live.append(renumbered)
+        elif kind == "remove":
+            if not live:
+                continue
+            victim = live[payload % len(live)].doc_id
+            index.remove_document(victim)
+            live[:] = [doc for doc in live if doc.doc_id != victim]
+        elif kind == "seal":
+            index.seal_delta()
+        else:
+            index.maintain(force_seal=True)
+
+
+def _server_for(view, organization):
+    return PrivateRetrievalServer(
+        index=view, organization=organization, public_key=KEYPAIR.public
+    )
+
+
+def _query_for(terms, seed, organization):
+    rng = random.Random(seed)
+    genuine = rng.sample(terms, k=min(2, len(terms)))
+    embellisher = QueryEmbellisher(
+        organization=organization, keypair=KEYPAIR, rng=random.Random(seed + 1)
+    )
+    return embellisher.embellish(genuine)
+
+
+class TestPinnedReaderIsolation:
+    @given(
+        scenario=segmented_scenarios(),
+        trailing=segmented_scenarios(),
+        seed=st.integers(0, 2**16),
+        scorer_name=st.sampled_from(["cosine", "bm25"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pinned_reader_bit_identical_across_seal_merge_compact(
+        self, scenario, trailing, seed, scorer_name
+    ):
+        """Pin, then mutate/seal/merge/compact the live index: the pinned
+        snapshot's ciphertexts, counters and full read state never move."""
+        base, operations, fanout = scenario
+        scorer = SCORERS[scorer_name]
+        index = InvertedIndex.build(
+            Corpus(base),
+            scorer=scorer,
+            merge_policy=TieredMergePolicy(fanout=fanout),
+        )
+        live = list(base)
+        _apply(operations, index, live)
+
+        snapshot = index.snapshot()
+        terms = sorted(snapshot.terms)
+        if not terms:
+            return
+        organization = simple_buckets(terms, {}, bucket_size=min(3, len(terms)))
+        query = _query_for(terms, seed, organization)
+        pinned_server = _server_for(snapshot, organization)
+        before_content = _content(snapshot)
+        before_result = pinned_server.process_query(query)
+        before_counters = ServerCountersTuple(pinned_server)
+
+        # Concurrent history: more updates, seals, merges, then a full
+        # compaction -- every way a new manifest can be published.
+        _, trailing_ops, _ = trailing
+        _apply_trailing(trailing_ops, index, live)
+        index.maintain(force_seal=True)
+        index.compact()
+
+        after_result = pinned_server.process_query(query)
+        after_counters = ServerCountersTuple(pinned_server)
+        assert after_result.encrypted_scores == before_result.encrypted_scores
+        assert after_counters == before_counters
+        assert _content(snapshot) == before_content
+
+        # The live index meanwhile serves the *new* truth, matching a
+        # rebuild -- isolation, not staleness of the live path.
+        rebuilt = InvertedIndex.build(Corpus(live), scorer=scorer)
+        fresh = index.snapshot()
+        assert _content(fresh) == _content(rebuilt)
+
+    @given(scenario=segmented_scenarios(), seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_snapshot_equals_quiesced_live_index_at_pin_time(self, scenario, seed):
+        """A snapshot is the live index's read state, frozen: identical
+        content and identical query answers at the moment of the pin."""
+        base, operations, fanout = scenario
+        index = InvertedIndex.build(
+            Corpus(base), merge_policy=TieredMergePolicy(fanout=fanout)
+        )
+        live = list(base)
+        _apply(operations, index, live)
+        snapshot = index.snapshot()
+        assert _content(snapshot) == _content(index)
+        terms = sorted(snapshot.terms)
+        if not terms:
+            return
+        organization = simple_buckets(terms, {}, bucket_size=min(3, len(terms)))
+        query = _query_for(terms, seed, organization)
+        from_snapshot = _server_for(snapshot, organization).process_query(query)
+        from_live = _server_for(index, organization).process_query(query)
+        assert from_snapshot.encrypted_scores == from_live.encrypted_scores
+
+    def test_snapshot_handle_is_reused_until_a_mutation(self):
+        """The no-change fast path is lock-free handle reuse; any mutation or
+        manifest publication mints a fresh pin."""
+        index = InvertedIndex.build(
+            Corpus([Document(doc_id=1, text="water soaked tissues")])
+        )
+        first = index.snapshot()
+        assert index.snapshot() is first
+        index.add_document(Document(doc_id=2, text="yeast nitrogen diving"))
+        second = index.snapshot()
+        assert second is not first
+        assert index.snapshot() is second
+        index.seal_delta()
+        assert index.snapshot() is not second
+
+
+def ServerCountersTuple(server):
+    """Counters as a comparable tuple (ServerCounters is mutable/dataclass)."""
+    from dataclasses import astuple
+
+    return astuple(server.counters)
+
+
+class TestConcurrentReaderThread:
+    def test_reader_thread_pinned_across_real_concurrent_maintenance(self):
+        """A reader thread hammering a pinned snapshot races a writer doing
+        adds, removes, seals, merges and a compaction on the live index --
+        every answer the reader gets is bit-identical to its first."""
+        rng = random.Random(4242)
+        base = [
+            Document(doc_id=i, text=" ".join(rng.sample(_WORDS, 4)))
+            for i in range(12)
+        ]
+        index = InvertedIndex.build(
+            Corpus(base),
+            seal_threshold=2,
+            merge_policy=TieredMergePolicy(fanout=2),
+        )
+        snapshot = index.snapshot()
+        terms = sorted(snapshot.terms)
+        organization = simple_buckets(terms, {}, bucket_size=3)
+        query = _query_for(terms, 7, organization)
+        server = _server_for(snapshot, organization)
+        baseline = server.process_query(query).encrypted_scores
+
+        stop = threading.Event()
+        divergences: list[str] = []
+
+        def read_loop() -> None:
+            reader = _server_for(snapshot, organization)
+            while not stop.is_set():
+                result = reader.process_query(query)
+                if result.encrypted_scores != baseline:
+                    divergences.append("ciphertext mismatch under concurrency")
+                    return
+
+        thread = threading.Thread(target=read_loop)
+        thread.start()
+        try:
+            next_id = 1000
+            for round_no in range(30):
+                index.add_document(
+                    Document(
+                        doc_id=next_id, text=" ".join(rng.sample(_WORDS, 5))
+                    )
+                )
+                next_id += 1
+                if round_no % 3 == 0:
+                    index.remove_document(next_id - 1)
+                index.maintain(force_seal=round_no % 2 == 0)
+                if round_no % 10 == 9:
+                    index.compact()
+        finally:
+            stop.set()
+            thread.join()
+        assert divergences == []
+        # And once more after the dust settles: still the pinned answer.
+        assert server.process_query(query).encrypted_scores == baseline
+
+
+_WORDS = (
+    "osteosarcoma radiation therapy water soaked tissues yeast nitrogen "
+    "diving wine terrorism huntsville cellar train sleep town keep"
+).split()
+
+
+class TestServingCacheRegression:
+    def test_pinned_cache_survives_journal_horizon_advancing(self):
+        """Regression (the satellite): ``stale_cache_terms`` invalidation
+        must not evict power plans a pinned older snapshot still serves.
+
+        A server synced at epoch E over a pinned snapshot keeps its plan
+        cache and its bit-identical answers even after ``maintain()`` on the
+        live index prunes the journal and moves the horizon past E -- the
+        cache follows the *pinned view's* epoch, which never moves.
+        """
+        index = InvertedIndex.build(
+            Corpus(
+                [
+                    Document(doc_id=1, text="water soaked tissues wine"),
+                    Document(doc_id=2, text="yeast nitrogen diving wine"),
+                    Document(doc_id=3, text="radiation therapy water"),
+                ]
+            ),
+            seal_threshold=1,
+            merge_policy=TieredMergePolicy(fanout=2),
+        )
+        snapshot = index.snapshot()
+        pinned_epoch = snapshot.update_epoch
+        terms = sorted(snapshot.terms)
+        organization = simple_buckets(terms, {}, bucket_size=3)
+        query = _query_for(terms, 11, organization)
+        server = _server_for(snapshot, organization)
+        baseline = server.process_query(query)
+        for term in terms:
+            server.power_plan(term)
+        plans_before = dict(server._power_plans)
+        assert plans_before  # the plan lookups populated the cache
+
+        # Advance the live journal horizon decisively past the pinned epoch:
+        # many update batches, maintenance (which prunes the journal), and a
+        # compaction.
+        for i in range(8):
+            index.add_document(
+                Document(doc_id=100 + i, text="wine cellar water therapy")
+            )
+            index.maintain(force_seal=True)
+        index.compact()
+        index.maintain(force_seal=True)
+        assert index.update_epoch > pinned_epoch
+        # The live index would now demand wholesale eviction from a cache
+        # synced at the pinned epoch...
+        assert index.stale_cache_terms(pinned_epoch) is None
+
+        # ...but the pinned server consults its snapshot, which still honours
+        # the pinned epoch, so nothing is evicted:
+        result = server.process_query(query)
+        for term in terms:
+            server.power_plan(term)
+        assert server._power_plans == plans_before
+        assert server._plans_epoch == pinned_epoch
+        assert result.encrypted_scores == baseline.encrypted_scores
+        # The snapshot's own protocol never demands wholesale invalidation
+        # for caches at or beyond its pinned epoch.
+        assert snapshot.stale_cache_terms(pinned_epoch) == frozenset()
+
+    def test_fresh_server_on_live_index_does_resync(self):
+        """Counter-check: a server over the *live* index (not a snapshot)
+        still follows the journal and serves the new truth."""
+        index = InvertedIndex.build(
+            Corpus([Document(doc_id=1, text="water soaked tissues")]),
+            seal_threshold=1,
+        )
+        terms = sorted(index.terms)
+        organization = simple_buckets(terms, {}, bucket_size=3)
+        query = _query_for(terms, 3, organization)
+        server = _server_for(index, organization)
+        before = server.process_query(query)
+        index.add_document(Document(doc_id=2, text="water water water soaked"))
+        index.maintain(force_seal=True)
+        after = server.process_query(query)
+        # Impacts changed under the added document; the live-index server
+        # re-synced and answers differently...
+        assert after.encrypted_scores != before.encrypted_scores
+        # ...and identically to a quiesced fresh server over the same state.
+        fresh = _server_for(index, organization).process_query(query)
+        assert after.encrypted_scores == fresh.encrypted_scores

@@ -22,6 +22,7 @@ from repro.textsearch import Corpus, CorruptIndexError, Document, InvertedIndex
 from repro.textsearch.segments import (
     _TERM_BLOCK_FACTOR,
     install_io_fault_hook,
+    read_manifest_log,
     repair_index_directory,
     verify_index_directory,
 )
@@ -250,9 +251,15 @@ class TestTypedLoadErrors:
         index = _build_index()
         root = tmp_path / "ckpt"
         index.save(root)
+        expected = _snapshot(InvertedIndex.load(root))
         for name in list(p.name for p in root.iterdir()):
             if name.startswith("manifest"):
                 (root / name).write_text("{ not json")
+        # The manifest log still holds the committed record, so an
+        # unparseable primary alone is recoverable...
+        assert _snapshot(InvertedIndex.load(root)) == expected
+        # ...but once every candidate source is gone the error is typed.
+        (root / "wal.log").write_bytes(b"not a CRC-framed log")
         with pytest.raises(CorruptIndexError):
             InvertedIndex.load(root)
 
@@ -272,10 +279,11 @@ class TestVerifyAndRepair:
         import json
 
         manifest = json.loads((root / "manifest.json").read_text())
-        # Destroy a current-generation data file absent from generation A.
-        previous = json.loads(
-            (root / f"manifest_{manifest['save_seq'] - 1}.json").read_text()
-        )
+        # Destroy a current-checkpoint data file absent from the previous
+        # manifest-log record (checkpoint A).
+        records = read_manifest_log(root)
+        previous = records[-2]
+        assert previous["save_seq"] == manifest["save_seq"] - 1
         previous_files = {entry["file"] for entry in previous["segments"]}
         victims = [
             entry["file"]

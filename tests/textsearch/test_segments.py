@@ -529,9 +529,10 @@ class TestPersistence:
     def test_resave_reclaims_orphaned_segment_files(self, tmp_path, base_documents, extra_documents):
         """Regression: segment ids only grow, so repeated checkpoints to one
         path used to accumulate unreferenced segment_<id>.bin blobs.
-        Retention for crash recovery is bounded: a re-save keeps exactly the
-        current checkpoint plus the previous generation, so a third save
-        reclaims the first generation's files."""
+        Retention for crash recovery is bounded by the manifest log: every
+        file a surviving ``wal.log`` record references is kept, and log
+        compaction (here forced with ``wal_compact_records=1``) drops the
+        older records and reclaims the blobs only they referenced."""
         import json
 
         index = InvertedIndex.build(Corpus(base_documents))
@@ -545,11 +546,15 @@ class TestPersistence:
         manifest = json.loads((target / "manifest.json").read_text())
         referenced = {entry["file"] for entry in manifest["segments"]}
         on_disk = {p.name for p in target.glob("segment_*.bin")}
-        # Current checkpoint plus the retained previous generation, no more.
+        # Current checkpoint plus the retained previous record's files.
         assert on_disk == referenced | first_gen
         index.add_document(extra_documents[1])
-        index.save(target)
+        index.save(target, wal_compact_records=1)
+        manifest = json.loads((target / "manifest.json").read_text())
+        referenced = {entry["file"] for entry in manifest["segments"]}
         on_disk = {p.name for p in target.glob("segment_*.bin")}
+        # Compacted to a single record: exactly its files survive.
+        assert on_disk == referenced
         assert not (on_disk & first_gen)  # bounded: generation 0 reclaimed
         loaded = InvertedIndex.load(target)
         rebuilt = InvertedIndex.build(
@@ -560,10 +565,12 @@ class TestPersistence:
     def test_resave_never_rewrites_previously_referenced_files(
         self, tmp_path, base_documents, extra_documents
     ):
-        """Crash safety: a re-save must not touch any file the previous
+        """Crash safety: a re-save must not rewrite any file the previous
         manifest references -- a crash mid-save would otherwise corrupt a
-        previously valid checkpoint.  Data files carry the save sequence in
-        their names and the manifest is swapped atomically."""
+        previously valid checkpoint.  An incremental re-save *reuses* the
+        previous segment blobs by reference (byte-identical on disk) and
+        appends blobs only for newly sealed segments; the per-save
+        ``doc_terms_<seq>.json`` carries the save sequence in its name."""
         import json
 
         index = InvertedIndex.build(Corpus(base_documents))
@@ -571,13 +578,19 @@ class TestPersistence:
         index.save(target)
         old_manifest = json.loads((target / "manifest.json").read_text())
         old_files = {e["file"] for e in old_manifest["segments"]}
-        old_files.add(old_manifest["doc_terms_file"])
+        old_bytes = {name: (target / name).read_bytes() for name in old_files}
         index.add_document(extra_documents[0])
         index.save(target)
         new_manifest = json.loads((target / "manifest.json").read_text())
         new_files = {e["file"] for e in new_manifest["segments"]}
-        new_files.add(new_manifest["doc_terms_file"])
-        assert not (old_files & new_files)  # disjoint: old files never rewritten
+        # The base segment is reused by reference, bit-identical on disk;
+        # only the newly sealed delta segment got a new blob.
+        assert old_files < new_files
+        for name, payload in old_bytes.items():
+            assert (target / name).read_bytes() == payload
+        assert index.last_save_report["mode"] == "incremental"
+        assert index.last_save_report["segments_reused"] == len(old_files)
+        assert new_manifest["doc_terms_file"] != old_manifest["doc_terms_file"]
         assert new_manifest["save_seq"] == old_manifest["save_seq"] + 1
 
     def test_maintenance_config_round_trips_through_save_load(

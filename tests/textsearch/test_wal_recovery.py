@@ -1,0 +1,342 @@
+"""Write-ahead manifest-log tests: incremental saves, replay, compaction.
+
+The persistence contract of the WAL storage layer:
+
+* ``save`` after N update batches **appends** -- previously referenced
+  segment files are reused by reference and never rewritten;
+* ``load`` replays the log to the newest consistent record, so truncating
+  the log to any record-prefix boundary recovers *that* save bit-identically,
+  and truncating at any other byte recovers a recorded save or raises the
+  typed :class:`CorruptIndexError` (the PR 6 sweep, extended to the log);
+* log compaction bounds the record count and reclaims the files only the
+  dropped records referenced;
+* ``verify_directory(deep=True)`` audits WAL record CRCs and reports the
+  orphans an interrupted compaction leaves; ``repair_directory`` removes
+  them.
+"""
+
+import json
+import shutil
+import struct
+
+import pytest
+
+from repro.core.faults import FaultInjector, FaultPlan, PermanentFaultError
+from repro.textsearch import Corpus, CorruptIndexError, Document, InvertedIndex
+from repro.textsearch.segments import (
+    install_io_fault_hook,
+    read_manifest_log,
+    repair_index_directory,
+    verify_index_directory,
+)
+
+_WORDS = (
+    "alpha beta gamma delta epsilon zeta eta theta iota kappa "
+    "lambda sigma omega"
+).split()
+_FRAME = struct.Struct("<II")
+
+
+def _build_index(num_docs: int = 10) -> InvertedIndex:
+    docs = [
+        Document(
+            doc_id=i,
+            text=" ".join(_WORDS[(i + k) % len(_WORDS)] for k in range(2 + i % 5)),
+        )
+        for i in range(num_docs)
+    ]
+    return InvertedIndex.build(Corpus(docs))
+
+
+def _snapshot(index: InvertedIndex):
+    """The logical content of an index: every term's full posting list."""
+    return {
+        term: tuple(
+            (p.doc_id, p.impact, p.quantised_impact) for p in index.postings(term)
+        )
+        for term in sorted(index.terms)
+    }
+
+
+def _record_boundaries(blob: bytes):
+    """Byte offsets in ``wal.log`` at which each CRC-framed record ends."""
+    boundaries = []
+    offset = 0
+    while offset + _FRAME.size <= len(blob):
+        length, _crc = _FRAME.unpack_from(blob, offset)
+        offset += _FRAME.size + length
+        if offset > len(blob):
+            break
+        boundaries.append(offset)
+    return boundaries
+
+
+def _incremental_history(tmp_path, saves: int = 4):
+    """One initial full save plus ``saves`` incremental ones; returns the
+    directory, the per-save logical snapshots, and each save's report."""
+    index = _build_index()
+    root = tmp_path / "ckpt"
+    index.save(root)
+    snapshots = [_snapshot(InvertedIndex.load(root))]
+    reports = [index.last_save_report]
+    for i in range(saves):
+        index.add_document(
+            Document(doc_id=500 + i, text=f"omega alpha sigma fresh{i}")
+        )
+        index.maintain(force_seal=True)
+        index.save(root)
+        snapshots.append(_snapshot(InvertedIndex.load(root)))
+        reports.append(index.last_save_report)
+    return root, snapshots, reports
+
+
+class TestAppendOnlyIncrementalSaves:
+    def test_save_appends_and_never_rewrites_referenced_files(self, tmp_path):
+        index = _build_index()
+        root = tmp_path / "ckpt"
+        index.save(root)
+        assert index.last_save_report["mode"] == "full"
+        for i in range(4):
+            before = {
+                p.name: p.read_bytes() for p in root.glob("segment_*.bin")
+            }
+            wal_before = (root / "wal.log").read_bytes()
+            index.add_document(
+                Document(doc_id=500 + i, text=f"omega alpha sigma fresh{i}")
+            )
+            index.maintain(force_seal=True)
+            index.save(root)
+            report = index.last_save_report
+            assert report["mode"] == "incremental"
+            # Background merges may fold small segments into new files, but
+            # at least the bulk segment is always reused by reference.
+            assert report["segments_reused"] >= 1
+            # Every previously referenced blob is still there, byte for byte.
+            for name, blob in before.items():
+                assert (root / name).read_bytes() == blob, name
+            # The log grew by appending; the old bytes are a strict prefix.
+            wal_after = (root / "wal.log").read_bytes()
+            assert wal_after[: len(wal_before)] == wal_before
+            assert len(wal_after) > len(wal_before)
+
+    def test_incremental_directory_loads_bit_identical_to_fresh_full_save(
+        self, tmp_path
+    ):
+        root, snapshots, _reports = _incremental_history(tmp_path)
+        incremental = InvertedIndex.load(root)
+        fresh_dir = tmp_path / "fresh"
+        incremental.save(fresh_dir)  # new path: wholesale by construction
+        assert incremental.last_save_report["mode"] == "full"
+        assert _snapshot(InvertedIndex.load(fresh_dir)) == snapshots[-1]
+        assert _snapshot(incremental) == snapshots[-1]
+
+    def test_save_seq_and_wal_records_advance_per_save(self, tmp_path):
+        root, _snapshots, reports = _incremental_history(tmp_path, saves=3)
+        assert [r["save_seq"] for r in reports] == [1, 2, 3, 4]
+        assert [r["wal_records"] for r in reports] == [1, 2, 3, 4]
+        assert [r["save_seq"] for r in read_manifest_log(root)] == [1, 2, 3, 4]
+
+
+class TestLogReplayRecovery:
+    def test_every_record_prefix_recovers_that_save_bit_identically(self, tmp_path):
+        root, snapshots, _reports = _incremental_history(tmp_path)
+        blob = (root / "wal.log").read_bytes()
+        boundaries = _record_boundaries(blob)
+        assert len(boundaries) == len(snapshots)
+        for which, boundary in enumerate(boundaries):
+            work = tmp_path / f"prefix_{which}"
+            shutil.copytree(root, work)
+            (work / "wal.log").write_bytes(blob[:boundary])
+            # Remove the convenience copy: recovery must come from the log.
+            (work / "manifest.json").unlink()
+            assert _snapshot(InvertedIndex.load(work)) == snapshots[which], (
+                f"replaying the log truncated after record {which} did not "
+                "recover that save"
+            )
+
+    def test_truncating_the_log_at_every_byte_recovers_or_raises(self, tmp_path):
+        root, snapshots, _reports = _incremental_history(tmp_path, saves=2)
+        blob = (root / "wal.log").read_bytes()
+        recovered, rejected = 0, 0
+        for cut in range(len(blob)):
+            work = tmp_path / f"cut_{cut}"
+            shutil.copytree(root, work)
+            (work / "wal.log").write_bytes(blob[:cut])
+            (work / "manifest.json").unlink()
+            try:
+                loaded = InvertedIndex.load(work)
+            except CorruptIndexError:
+                rejected += 1
+                continue
+            assert _snapshot(loaded) in snapshots, (
+                f"truncating wal.log at byte {cut} produced an index "
+                "matching no recorded save"
+            )
+            recovered += 1
+            shutil.rmtree(work)
+        # A mid-record tear keeps every earlier record replayable, so every
+        # cut past the first record boundary recovers; only cuts starving
+        # the very first record (no candidate manifest left) may reject.
+        boundaries = _record_boundaries(blob)
+        assert recovered > 0
+        assert rejected > 0  # both contract outcomes must actually occur
+        assert rejected <= boundaries[0]
+
+    def test_corrupting_a_mid_log_record_flags_wal_but_keeps_loading(self, tmp_path):
+        root, snapshots, _reports = _incremental_history(tmp_path, saves=2)
+        blob = bytearray((root / "wal.log").read_bytes())
+        boundaries = _record_boundaries(bytes(blob))
+        # Flip a payload bit inside the *second* record.
+        blob[boundaries[0] + _FRAME.size + 4] ^= 0x01
+        (root / "wal.log").write_bytes(bytes(blob))
+        report = verify_index_directory(root)
+        assert report["wal"]["torn"] is True
+        assert report["problems"]["wal.log"]
+        # The primary manifest is intact, so the directory still loads the
+        # newest save; the poisoned tail only costs the older records.
+        assert _snapshot(InvertedIndex.load(root)) == snapshots[-1]
+
+    def test_aborting_an_incremental_save_at_every_write_keeps_a_loadable_state(
+        self, tmp_path
+    ):
+        """PR 6's torn-resave sweep, on the append path: kill the incremental
+        save at each successive write; the directory must load as the state
+        before or after the save."""
+        template_root, snapshots, _reports = _incremental_history(
+            tmp_path, saves=1
+        )
+        snap_before = snapshots[-1]
+
+        def resaved(work):
+            loaded = InvertedIndex.load(work)
+            loaded.add_document(Document(doc_id=900, text="omega beta sigma torn"))
+            loaded.maintain(force_seal=True)
+            return loaded
+
+        probe_dir = tmp_path / "probe"
+        shutil.copytree(template_root, probe_dir)
+        probe_index = resaved(probe_dir)
+        counter = FaultInjector(plan=FaultPlan())
+        previous = install_io_fault_hook(counter.io_hook())
+        try:
+            probe_index.save(probe_dir)
+        finally:
+            install_io_fault_hook(previous)
+        assert probe_index.last_save_report["mode"] == "incremental"
+        snap_after = _snapshot(InvertedIndex.load(probe_dir))
+        total_writes = counter.io_operations
+        assert total_writes >= 3  # new blobs + doc_terms + wal + manifest
+
+        for op in range(total_writes):
+            work = tmp_path / f"abort_{op}"
+            shutil.copytree(template_root, work)
+            victim = resaved(work)
+            hook = FaultInjector(
+                plan=FaultPlan(io_permanent_at=frozenset({op}))
+            ).io_hook()
+            previous = install_io_fault_hook(hook)
+            try:
+                with pytest.raises(PermanentFaultError):
+                    victim.save(work)
+            finally:
+                install_io_fault_hook(previous)
+            assert _snapshot(InvertedIndex.load(work)) in (
+                snap_before,
+                snap_after,
+            ), f"aborting the incremental save at write op {op} lost both states"
+
+
+class TestLogCompaction:
+    def test_compaction_bounds_records_and_reclaims_dropped_files(self, tmp_path):
+        index = _build_index()
+        root = tmp_path / "ckpt"
+        index.save(root, wal_compact_records=3)
+        for i in range(6):
+            index.add_document(
+                Document(doc_id=500 + i, text=f"omega alpha sigma fresh{i}")
+            )
+            index.maintain(force_seal=True)
+            index.save(root, wal_compact_records=3)
+            assert index.last_save_report["wal_records"] <= 3
+        records = read_manifest_log(root)
+        assert len(records) <= 3
+        # Every file on disk is referenced by a surviving record: the blobs
+        # only dropped records referenced were reclaimed.
+        referenced = {
+            entry["file"] for record in records for entry in record["segments"]
+        }
+        referenced |= {record["doc_terms_file"] for record in records}
+        on_disk = {
+            p.name
+            for p in root.iterdir()
+            if p.name.startswith(("segment_", "doc_terms"))
+        }
+        assert on_disk == referenced
+        # And the compacted directory still loads to the current state.
+        assert _snapshot(InvertedIndex.load(root)) == _snapshot(index)
+
+    def test_compaction_report_and_single_record_rewrite(self, tmp_path):
+        root, _snapshots, _reports = _incremental_history(tmp_path, saves=3)
+        index = InvertedIndex.load(root)
+        index.add_document(Document(doc_id=900, text="omega beta sigma last"))
+        index.maintain(force_seal=True)
+        index.save(root, wal_compact_records=1)
+        report = index.last_save_report
+        assert report["compacted"] is True
+        assert report["wal_records"] == 1
+        records = read_manifest_log(root)
+        assert len(records) == 1
+        assert records[0]["save_seq"] == report["save_seq"]
+
+
+class TestVerifyAndRepairWal:
+    def test_verify_reports_wal_records_and_no_orphans_when_healthy(self, tmp_path):
+        root, _snapshots, reports = _incremental_history(tmp_path, saves=2)
+        report = verify_index_directory(root, deep=True)
+        assert report["ok"] is True
+        assert report["wal"] == {"records": reports[-1]["wal_records"], "torn": False}
+        assert report["orphans"] == []
+
+    def test_interrupted_compaction_debris_is_reported_and_repaired(self, tmp_path):
+        root, snapshots, _reports = _incremental_history(tmp_path, saves=2)
+        # Simulate a compaction that died mid-swap: a staged log rewrite and
+        # a segment blob no surviving record references.
+        (root / "wal.log.tmp").write_bytes(b"staged log rewrite, never swapped")
+        orphan = root / "segment_999_9.bin"
+        orphan.write_bytes(b"\x00" * 64)
+
+        report = verify_index_directory(root, deep=True)
+        assert "segment_999_9.bin" in report["orphans"]
+        assert "wal.log.tmp" in report["orphans"]
+        # Debris never blocks recovery of the committed state.
+        assert report["recoverable"] == "manifest.json"
+
+        outcome = repair_index_directory(root)
+        assert "segment_999_9.bin" in outcome["removed"]
+        # The staged log is consumed by repair's own atomic rewrite; either
+        # way no debris survives.
+        assert not orphan.exists()
+        assert not (root / "wal.log.tmp").exists()
+        healed = verify_index_directory(root, deep=True)
+        assert healed["ok"] is True
+        assert healed["orphans"] == []
+        assert _snapshot(InvertedIndex.load(root)) == snapshots[-1]
+
+    def test_deep_verify_audits_wal_record_crcs(self, tmp_path):
+        root, _snapshots, _reports = _incremental_history(tmp_path, saves=2)
+        blob = bytearray((root / "wal.log").read_bytes())
+        boundaries = _record_boundaries(bytes(blob))
+        blob[boundaries[0] + _FRAME.size + 2] ^= 0x01
+        (root / "wal.log").write_bytes(bytes(blob))
+        report = verify_index_directory(root, deep=True)
+        assert report["wal"]["torn"] is True
+        assert any("wal" in key for key in report["problems"])
+
+    def test_repair_after_log_rewrite_is_a_compacted_save(self, tmp_path):
+        root, snapshots, _reports = _incremental_history(tmp_path, saves=2)
+        repair_index_directory(root)
+        records = read_manifest_log(root)
+        assert len(records) == 1
+        assert _snapshot(InvertedIndex.load(root)) == snapshots[-1]
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert manifest["save_seq"] == records[0]["save_seq"]
