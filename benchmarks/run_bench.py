@@ -57,6 +57,15 @@ plus the series introduced with the serving front-end:
   p50/p95/p99, with correctness asserted bit-identical to the in-process
   path and saturation (429) / graceful-drain probes riding along,
 
+plus the series introduced with the distributed scatter-gather layer:
+
+* distributed scatter-gather -- a ``QueryCoordinator`` over 1, 2 and 4
+  local shard-server *processes* (``save_sharded`` layout, HTTP partials
+  route, epoch-stamped merge), asserted bit-identical to the single-node
+  server before timing, with a replica-failover probe (one replica of a
+  2-replica shard SIGKILLed; the batch in flight must complete
+  bit-identically off the survivor),
+
 -- and writes a ``BENCH_fastpath.json`` summary next to the other benchmark
 results so the performance trajectory is tracked from PR to PR:
 
@@ -72,12 +81,14 @@ sustains >= 0.4x its quiesced throughput during concurrent maintenance and
 the incremental save beats a wholesale save by >= 1.1x, the served (HTTP) throughput
 is >= 0.3x the in-process direct path (the gap is the cost of serialising
 the encrypted candidate sets to hex JSON) with working 429 shedding and
-graceful drain, and -- on machines with
+graceful drain, the replica-failover probe completes its batch
+bit-identically with at least one failover retry, and -- on machines with
 >= 4 CPUs -- the batched accumulation throughput at 4 workers is >= 2x
-sequential.  The parallel gate scales with the hardware (process
-parallelism cannot beat sequential on a single-core box, so there the
-series is recorded but not gated); CI runs on 4-vCPU runners, where the 2x
-bar is enforced.
+sequential and the distributed batch throughput at 4 shard processes is
+>= 1.6x one shard.  The parallel and distributed gates scale with the
+hardware (process parallelism cannot beat sequential on a single-core box,
+so there the series are recorded but not gated); CI runs on 4-vCPU
+runners, where the 2x and 1.6x bars are enforced.
 """
 
 from __future__ import annotations
@@ -226,6 +237,113 @@ def bench_parallel_batch(context, keypair, repeats, batch_size=48, terms=6, work
         },
         "speedup_at_4": round(series_ms["1"] / series_ms["4"], 2) if "4" in series_ms else None,
     }
+
+
+def bench_distributed_scatter_gather(
+    context, keypair, repeats, batch_size=8, terms=3, shard_counts=(1, 2, 4)
+):
+    """Coordinator batch throughput over 1/2/4 local shard-server processes.
+
+    The real distributed read path, end to end: the context index is
+    :func:`~repro.core.partitioning.save_sharded` under a hash term->shard
+    map, a :class:`~repro.service.cluster.LocalShardCluster` spawns one
+    child process per shard (each a full ``RetrievalService`` over its
+    shard's WAL directory), and a
+    :class:`~repro.core.coordinator.QueryCoordinator` scatters each batch
+    over HTTP and merges the epoch-stamped partials.  Before any timing,
+    every shard count's first batch is asserted **bit-identical** to the
+    same batch through an in-process single-node server -- the merge is a
+    product in Z*_n, so sharding must never change a single bit.
+
+    Unlike the in-process worker series this buys real parallelism on
+    multi-core boxes: each shard process accumulates its slice of the
+    postings under its own interpreter (no shared GIL), and the coordinator
+    gathers all shards concurrently.  The ``--check`` gate requires >= 1.6x
+    batch throughput at 4 shards vs 1 -- enforced, like the worker gate,
+    only on >= 4-CPU machines (process parallelism cannot beat one core
+    against itself; the artifact records eligibility either way).
+
+    A replica-failover probe rides along: a 2-shard topology with two
+    replica processes per shard, the preferred replica of shard 0 SIGKILLed
+    so the batch in flight hits a dead socket mid-gather -- the batch must
+    still complete, bit-identical, off the surviving replica.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.engine import RetryPolicy
+    from repro.core.partitioning import HashPartitioner, save_sharded
+    from repro.service.app import chunked_organization
+    from repro.service.cluster import LocalShardCluster
+
+    organization = chunked_organization(context.index, 4)
+    embellisher = QueryEmbellisher(
+        organization=organization, keypair=keypair, rng=random.Random(91)
+    )
+    workload = QueryWorkloadGenerator(context.index, seed=92)
+    batch = [
+        embellisher.embellish(workload.frequency_weighted_query(terms))
+        for _ in range(batch_size)
+    ]
+    direct = PrivateRetrievalServer(
+        index=context.index, organization=organization, public_key=keypair.public
+    )
+    expected = [r.encrypted_scores for r in direct.process_batch(batch)]
+
+    root = Path(tempfile.mkdtemp(prefix="bench_distributed_"))
+    result: dict = {
+        "batch_size": batch_size,
+        "terms": terms,
+        "cpu_count": os.cpu_count() or 1,
+        "series_ms": {},
+        "throughput_qps": {},
+    }
+    try:
+        for num_shards in shard_counts:
+            shard_root = root / f"shards-{num_shards}"
+            save_sharded(
+                context.index, shard_root, HashPartitioner(num_shards=num_shards)
+            )
+            with LocalShardCluster(shard_root, tenant="bench") as cluster:
+                with cluster.coordinator(keypair.public) as coordinator:
+                    got = [
+                        r.encrypted_scores for r in coordinator.process_batch(batch)
+                    ]
+                    assert got == expected, (
+                        f"distributed batch diverged from single-node at "
+                        f"{num_shards} shards!"
+                    )
+                    samples = []
+                    for _ in range(repeats):
+                        start = time.perf_counter()
+                        coordinator.process_batch(batch)
+                        samples.append((time.perf_counter() - start) * 1000.0)
+            best = min(samples)
+            result["series_ms"][str(num_shards)] = round(best, 3)
+            result["throughput_qps"][str(num_shards)] = round(
+                batch_size / (best / 1000.0), 2
+            )
+        one = result["series_ms"].get("1")
+        four = result["series_ms"].get("4")
+        result["speedup_at_4"] = round(one / four, 2) if one and four else None
+
+        # -- replica-failover probe ---------------------------------------------
+        failover_root = root / "failover"
+        save_sharded(context.index, failover_root, HashPartitioner(num_shards=2))
+        with LocalShardCluster(
+            failover_root, tenant="bench", replicas_per_shard=2
+        ) as cluster:
+            with cluster.coordinator(
+                keypair.public,
+                retry=RetryPolicy(max_retries=3, backoff_base=0.01),
+            ) as coordinator:
+                cluster.kill_replica(0, 0)  # batch in flight hits a dead socket
+                got = [r.encrypted_scores for r in coordinator.process_batch(batch)]
+                result["failover_bit_identical"] = got == expected
+                result["failover_retries"] = coordinator.counters.tasks_retried
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return result
 
 
 def bench_faulted_batch_throughput(context, keypair, repeats, batch_size=20, terms=6):
@@ -1183,6 +1301,23 @@ def main() -> int:
           f"drain finished in-flight: {serving['drain_inflight_completed']}, "
           f"refused new: {serving['drain_rejects_new']}")
 
+    distributed = bench_distributed_scatter_gather(context, keypair, args.repeats)
+    distributed["distributed_gate"] = (
+        "enforced when --check (>= 4 CPUs)"
+        if distributed["cpu_count"] >= 4
+        else f"not enforceable: {distributed['cpu_count']} CPU(s), need 4"
+    )
+    results["distributed_scatter_gather"] = distributed
+    print(f"\ndistributed scatter-gather ({distributed['batch_size']} queries, "
+          f"shard processes over HTTP, bit-identity asserted):")
+    for n, ms in distributed["series_ms"].items():
+        qps = distributed["throughput_qps"][n]
+        print(f"  shards={n:<3} {ms:>10.3f} ms  {qps:>8.2f} q/s")
+    if distributed["speedup_at_4"] is not None:
+        print(f"  speedup at 4 shards: {distributed['speedup_at_4']:.2f}x")
+    print(f"  failover probe: bit-identical={distributed['failover_bit_identical']}, "
+          f"{distributed['failover_retries']} failover retries")
+
     faulted_batch = bench_faulted_batch_throughput(context, keypair, args.repeats)
     results["faulted_batch_throughput"] = faulted_batch
     print(f"\nfaulted batch throughput ({faulted_batch['batch_size']} queries, "
@@ -1299,6 +1434,32 @@ def main() -> int:
             failures.append(
                 f"faulted batch throughput < 0.5x clean ({ratio}x)"
             )
+        if not distributed["failover_bit_identical"]:
+            failures.append(
+                "replica failover batch diverged from the single-node oracle"
+            )
+        if distributed["failover_retries"] < 1:
+            failures.append(
+                "replica failover probe recorded no retries (the kill was not "
+                "exercised)"
+            )
+        shard_speedup = distributed["speedup_at_4"]
+        if cpus >= 4:
+            # Same hardware condition as the worker gate: four shard
+            # *processes* cannot out-accumulate one on a single core.  On
+            # multi-core machines each shard owns ~1/4 of the postings and
+            # its own interpreter, so 1.6x is a conservative floor under the
+            # HTTP + hex-JSON gather overhead.
+            if shard_speedup is None or shard_speedup < 1.6:
+                failures.append(
+                    f"distributed batch throughput at 4 shards < 1.6x one shard "
+                    f"({shard_speedup}x)"
+                )
+        else:
+            print(
+                f"WARNING: 4-shard >=1.6x throughput gate SKIPPED -- this machine "
+                f"has {cpus} CPU(s); the gate is enforced on >=4-CPU runners (CI)."
+            )
         speedup_at_4 = parallel_batch["speedup_at_4"]
         if cpus >= 4:
             # Process parallelism cannot beat sequential without cores to run
@@ -1327,10 +1488,15 @@ def main() -> int:
             f"pinned reader >= 0.4x quiesced ({reader_ratio}x), "
             f"incremental save >= 1.1x wholesale ({save_speedup}x), "
             f"serving >= 0.3x direct ({serving['relative_to_direct']}x) "
-            "with 429 shedding and graceful drain"
+            "with 429 shedding and graceful drain, "
+            f"replica failover bit-identical with "
+            f"{distributed['failover_retries']} retries"
         )
         if cpus >= 4:
-            gates += f", 4-worker throughput >= 2x ({speedup_at_4}x)"
+            gates += (
+                f", 4-worker throughput >= 2x ({speedup_at_4}x)"
+                f", 4-shard throughput >= 1.6x ({shard_speedup}x)"
+            )
         print(f"CHECK PASSED: {gates}")
     return 0
 

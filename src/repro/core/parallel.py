@@ -43,6 +43,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.partitioning import lpt_assignment, proportional_shares
 from repro.crypto import numbertheory
 
 __all__ = [
@@ -254,13 +255,16 @@ def partition_payload(
         return [list(payload)] if payload else []
     if costs is None:
         costs = [term_cost(entry) for entry in payload]
-    order = sorted(range(len(payload)), key=lambda i: costs[i], reverse=True)
+    # The LPT core is shared with the static term->shard maps of
+    # repro.core.partitioning -- dynamic and distributed placement balance
+    # work through the same greedy.
+    assignment = lpt_assignment(costs, min(shards, len(payload)))
     buckets: list[list[TermPayload]] = [[] for _ in range(min(shards, len(payload)))]
-    loads = [0] * len(buckets)
+    # LPT visits items costliest-first, but bucket contents must keep the
+    # costliest-first arrival order the greedy produced; replay in that order.
+    order = sorted(range(len(payload)), key=lambda i: costs[i], reverse=True)
     for i in order:
-        lightest = loads.index(min(loads))
-        buckets[lightest].append(payload[i])
-        loads[lightest] += costs[i]
+        buckets[assignment[i]].append(payload[i])
     return [bucket for bucket in buckets if bucket]
 
 
@@ -280,19 +284,7 @@ def hybrid_shard_plan(weights: Sequence[int], parallelism: int) -> list[int]:
     postings never receive extra workers; a query cannot use more shards
     than it has terms, but :func:`partition_payload` clamps that downstream.
     """
-    queries = len(weights)
-    if queries == 0 or parallelism <= 0:
-        return []
-    shares = [1] * queries
-    leftover = parallelism - queries
-    for _ in range(max(0, leftover)):
-        heaviest = max(
-            range(queries), key=lambda i: (weights[i] / shares[i], weights[i], -i)
-        )
-        if weights[heaviest] == 0:
-            break
-        shares[heaviest] += 1
-    return shares
+    return proportional_shares(weights, parallelism)
 
 
 def merge_shard_results(

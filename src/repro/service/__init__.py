@@ -16,6 +16,9 @@ Public surface:
   :class:`~repro.service.admission.ServiceSaturatedError` /
   :class:`~repro.service.admission.ServiceDrainingError`
 * the wire codecs in :mod:`repro.service.wire`
+* the distribution layer in :mod:`repro.service.cluster` -- shard-server
+  processes, the HTTP shard backend and :class:`LocalShardCluster` assembly
+  for :mod:`repro.core.coordinator` scatter-gather serving
 """
 
 from repro.service.admission import (
@@ -24,7 +27,12 @@ from repro.service.admission import (
     ServiceSaturatedError,
 )
 from repro.service.app import RetrievalService, ServiceConfig, chunked_organization
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailableError
+from repro.service.cluster import (
+    HttpShardBackend,
+    LocalShardCluster,
+    ShardServerProcess,
+)
 from repro.service.metrics import LatencyRollup, ServiceMetrics
 from repro.service.runner import ServiceRunner
 
@@ -37,6 +45,10 @@ __all__ = [
     "chunked_organization",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailableError",
+    "HttpShardBackend",
+    "LocalShardCluster",
+    "ShardServerProcess",
     "LatencyRollup",
     "ServiceMetrics",
     "ServiceRunner",

@@ -41,6 +41,17 @@ service:
   counters -- the same numbers ``pr_report`` consumes in-process, so remote
   and direct runs reconcile.
 
+* **Distribution roles**: the same front-end binary plays both sides of the
+  scatter-gather architecture (:mod:`repro.core.coordinator`).  As a **shard
+  server**, ``POST /shards/{tenant}/partials`` accumulates a scattered
+  sub-batch over the tenant's (shard) index and answers with epoch-stamped,
+  modulus-tagged partial accumulators.  As a **coordinator front-end**,
+  :meth:`RetrievalService.add_distributed_tenant` registers a tenant whose
+  sessions run a :class:`~repro.core.coordinator.QueryCoordinator` over
+  remote shard replicas instead of a local server -- the batch route streams
+  through it unchanged, because the coordinator mirrors the server's
+  ``iter_batch`` / ``last_batch_counters`` surface.
+
 Routes
 ------
 ==============  ======================================  =====================
@@ -51,6 +62,7 @@ GET             /tenants/{name}/organization            shared bucket layout
 POST            /sessions                               open a session
 POST            /sessions/{sid}/queries                 batch -> NDJSON stream
 DELETE          /sessions/{sid}                         close a session
+POST            /shards/{tenant}/partials               scatter -> partials
 ==============  ======================================  =====================
 """
 
@@ -61,11 +73,12 @@ import json
 import logging
 import secrets
 import time
-from dataclasses import dataclass, field, fields as dataclass_fields
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from pathlib import Path
 
 from repro.core.buckets import BucketOrganization
-from repro.core.engine import ExecutionEngine
+from repro.core.coordinator import QueryCoordinator, ShardTopology, data_epoch
+from repro.core.engine import ExecutionEngine, RetryPolicy
 from repro.core.server import PrivateRetrievalServer, ServerCounters
 from repro.service import protocol
 from repro.service.admission import (
@@ -76,11 +89,13 @@ from repro.service.admission import (
 from repro.service.metrics import ServiceMetrics
 from repro.service.wire import (
     WireError,
+    decode_partial_request,
     decode_public_key,
     decode_query,
     encode_counters,
     encode_organization,
     encode_result,
+    encode_shard_response,
 )
 from repro.textsearch.inverted_index import InvertedIndex
 
@@ -136,27 +151,42 @@ class ServiceConfig:
 
 @dataclass
 class Tenant:
-    """One named index served by the front-end."""
+    """One named index served by the front-end.
+
+    ``index`` is ``None`` for *distributed* tenants
+    (:meth:`RetrievalService.add_distributed_tenant`): the data lives on
+    remote shard servers and sessions run a
+    :class:`~repro.core.coordinator.QueryCoordinator` built by
+    ``coordinator_factory``.
+    """
 
     name: str
-    index: InvertedIndex
+    index: InvertedIndex | None
     organization: BucketOrganization
     #: Resolved index directory for disk-backed tenants (engine-sharing key).
     index_dir: Path | None = None
     #: Resident engine shared by this tenant's sessions (None = sequential).
     engine: ExecutionEngine | None = None
+    #: Builds a per-session coordinator for distributed tenants
+    #: (``public_key -> QueryCoordinator``); ``None`` for local tenants.
+    coordinator_factory: object = None
     #: Aggregate of every per-query counter snapshot answered for this tenant.
     totals: ServerCounters = field(default_factory=ServerCounters)
     queries_answered: int = 0
     batches_answered: int = 0
 
     def summary(self) -> dict:
+        num_terms = (
+            self.index.num_terms if self.index is not None
+            else self.organization.num_terms
+        )
         return {
             "name": self.name,
-            "num_terms": self.index.num_terms,
+            "num_terms": num_terms,
             "num_buckets": self.organization.num_buckets,
             "bucket_size": self.organization.bucket_size,
             "index_dir": str(self.index_dir) if self.index_dir else None,
+            "distributed": self.coordinator_factory is not None,
             "queries_answered": self.queries_answered,
             "batches_answered": self.batches_answered,
         }
@@ -191,6 +221,10 @@ class RetrievalService:
         #: Resident engines keyed by resolved index directory; tenants added
         #: with an in-memory index get a private key of their own.
         self._engines: dict[object, ExecutionEngine] = {}
+        #: Shard-role accumulation servers, one per (tenant, public key),
+        #: each with a lock serialising its batches (a PrivateRetrievalServer
+        #: answers one call at a time).
+        self._shard_servers: dict[tuple, tuple[PrivateRetrievalServer, asyncio.Lock]] = {}
         self._server: asyncio.AbstractServer | None = None
         self.address: tuple[str, int] | None = None
 
@@ -236,6 +270,76 @@ class RetrievalService:
             organization=organization,
             index_dir=resolved,
             engine=engine,
+        )
+        self.tenants[name] = tenant
+        return tenant
+
+    def add_distributed_tenant(
+        self,
+        name: str,
+        *,
+        organization: BucketOrganization,
+        partitioner,
+        replicas,
+        expected_epochs=(),
+        shard_tenant: str | None = None,
+        allow_partial: bool = False,
+        retry: RetryPolicy | None = None,
+        timeout: float = 60.0,
+    ) -> Tenant:
+        """Register a tenant whose data lives on remote shard servers.
+
+        ``replicas[s]`` lists shard ``s``'s replica addresses as ``(host,
+        port)`` pairs (first preferred); each shard server must serve the
+        shard's index as tenant ``shard_tenant`` (default: this tenant's
+        name).  Sessions against this tenant run a
+        :class:`~repro.core.coordinator.QueryCoordinator` scattering to
+        those replicas over HTTP, with ``expected_epochs`` pinned for skew
+        detection (pass the split's
+        :attr:`~repro.core.partitioning.ShardedIndexLayout.epochs`) and
+        failover under ``retry``.
+        """
+        if name in self.tenants:
+            raise ValueError(f"tenant {name!r} already registered")
+        # Local import: cluster builds on the client layer, which this
+        # module must stay importable without.
+        from repro.service.cluster import HttpShardBackend
+
+        shard_tenant = shard_tenant or name
+        addresses = tuple(tuple(tuple(address) for address in shard) for shard in replicas)
+        pinned = tuple(expected_epochs)
+        policy = retry or RetryPolicy()
+
+        def coordinator_factory(public_key) -> QueryCoordinator:
+            topology = ShardTopology(
+                partitioner=partitioner,
+                replicas=tuple(
+                    tuple(
+                        HttpShardBackend(
+                            host=host,
+                            port=port,
+                            tenant=shard_tenant,
+                            public_key=public_key,
+                            timeout=timeout,
+                        )
+                        for host, port in shard
+                    )
+                    for shard in addresses
+                ),
+                expected_epochs=pinned,
+            )
+            return QueryCoordinator(
+                topology=topology,
+                public_key=public_key,
+                retry=policy,
+                allow_partial=allow_partial,
+            )
+
+        tenant = Tenant(
+            name=name,
+            index=None,
+            organization=organization,
+            coordinator_factory=coordinator_factory,
         )
         self.tenants[name] = tenant
         return tenant
@@ -353,6 +457,11 @@ class RetrievalService:
                     await self._method_not_allowed(writer, "POST")
                 else:
                     return await self._run_batch(seg[1], request, writer)
+            elif len(seg) == 3 and seg[0] == "shards" and seg[2] == "partials":
+                if method != "POST":
+                    await self._method_not_allowed(writer, "POST")
+                else:
+                    await self._shard_partials(seg[1], request, writer)
             else:
                 await protocol.send_json(
                     writer, 404, {"error": f"no route for {method} {request.path}"}
@@ -396,7 +505,10 @@ class RetrievalService:
             return
         payload = encode_organization(tenant.organization)
         payload["tenant"] = tenant.name
-        payload["num_terms"] = tenant.index.num_terms
+        payload["num_terms"] = (
+            tenant.index.num_terms if tenant.index is not None
+            else tenant.organization.num_terms
+        )
         await protocol.send_json(writer, 200, payload)
 
     # -- session routes -----------------------------------------------------------
@@ -425,14 +537,22 @@ class RetrievalService:
         # tenant index commits meanwhile (snapshot() is lock-free when the
         # index hasn't changed, so sessions over a quiescent tenant share
         # one handle).
-        pin = getattr(tenant.index, "snapshot", None)
-        server = PrivateRetrievalServer(
-            index=pin() if pin is not None else tenant.index,
-            organization=tenant.organization,
-            public_key=public_key,
-            parallelism=parallelism,
-            engine=tenant.engine,
-        )
+        if tenant.coordinator_factory is not None:
+            # Distributed tenant: the session's "server" is a coordinator
+            # scattering to shard replicas.  It mirrors iter_batch /
+            # last_batch_counters, so the batch route streams through it
+            # unchanged; epoch pinning happens shard-side (the coordinator
+            # rejects replicas that drift from its pinned epochs).
+            server = tenant.coordinator_factory(public_key)
+        else:
+            pin = getattr(tenant.index, "snapshot", None)
+            server = PrivateRetrievalServer(
+                index=pin() if pin is not None else tenant.index,
+                organization=tenant.organization,
+                public_key=public_key,
+                parallelism=parallelism,
+                engine=tenant.engine,
+            )
         self.sessions[session_id] = ClientSession(
             session_id=session_id, tenant=tenant, server=server
         )
@@ -476,7 +596,11 @@ class RetrievalService:
         body = request.json()
         if not isinstance(body, dict) or not isinstance(body.get("queries"), list):
             raise WireError("batch must be an object with a 'queries' array")
-        queries = [decode_query(q) for q in body["queries"]]
+        # Validate every selector ciphertext against the session key's
+        # modulus: values outside Z*_n were never produced by this key and
+        # must bounce as a 400, not silently accumulate in the wrong ring.
+        modulus = session.server.public_key.n
+        queries = [decode_query(q, modulus) for q in body["queries"]]
         if not queries:
             raise WireError("batch must contain at least one query")
 
@@ -511,6 +635,107 @@ class RetrievalService:
             self.metrics.request_time.record(
                 (time.monotonic() - request_started) * 1000.0
             )
+
+    # -- the shard-server role ----------------------------------------------------
+    def _shard_server_for(
+        self, tenant: Tenant, public_key
+    ) -> tuple[PrivateRetrievalServer, asyncio.Lock]:
+        """The accumulation server answering partials for one (tenant, key).
+
+        Cached so repeated scatters from the same coordinator session reuse
+        the server's power-plan cache; each entry carries its own lock
+        because a PrivateRetrievalServer answers one call at a time while
+        different keys' servers may run concurrently.
+        """
+        key = (tenant.name, public_key.n, public_key.g, public_key.r)
+        entry = self._shard_servers.get(key)
+        if entry is None:
+            server = PrivateRetrievalServer(
+                index=tenant.index,
+                organization=tenant.organization,
+                public_key=public_key,
+                parallelism=self.config.parallelism,
+                engine=tenant.engine,
+            )
+            entry = (server, asyncio.Lock())
+            self._shard_servers[key] = entry
+        return entry
+
+    async def _shard_partials(self, name: str, request, writer) -> None:
+        """POST /shards/{tenant}/partials -> epoch-stamped partial accumulators.
+
+        The shard server never sees the whole query -- only the slice of
+        ``(term, selector)`` pairs routed to it -- and cannot tell genuine
+        terms from decoys any more than a single-node server can.  The
+        response tags the modulus the partials were accumulated under and
+        stamps the shard's data epoch so the coordinator can reject skew.
+        """
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            await protocol.send_json(writer, 404, {"error": f"no tenant {name!r}"})
+            return
+        if tenant.index is None:
+            await protocol.send_json(
+                writer,
+                400,
+                {"error": f"tenant {name!r} is distributed; it holds no shard data"},
+            )
+            return
+        body = request.json()
+        public_key, queries = decode_partial_request(body)
+
+        request_started = time.monotonic()
+        try:
+            permit = await self.admission.admit()
+        except ServiceSaturatedError as exc:
+            self.metrics.rejected_saturated += 1
+            await protocol.send_json(
+                writer,
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            )
+            return
+        except ServiceDrainingError as exc:
+            self.metrics.rejected_draining += 1
+            await protocol.send_json(writer, 503, {"error": str(exc)})
+            return
+
+        self.metrics.requests_admitted += 1
+        self.metrics.requests_active += 1
+        self.metrics.queue_wait.record(permit.queue_wait_s * 1000.0)
+        server, lock = self._shard_server_for(tenant, public_key)
+        loop = asyncio.get_running_loop()
+
+        def accumulate():
+            results = server.process_batch(queries)
+            counters = [replace(snapshot) for snapshot in server.last_batch_counters]
+            return results, counters
+
+        try:
+            async with lock:
+                results, counters = await loop.run_in_executor(None, accumulate)
+        finally:
+            permit.release()
+            self.metrics.requests_active -= 1
+            self.metrics.request_time.record(
+                (time.monotonic() - request_started) * 1000.0
+            )
+
+        batch_totals = ServerCounters()
+        for snapshot in counters:
+            batch_totals.add(snapshot)
+        self.metrics.queries_total += len(queries)
+        tenant.batches_answered += 1
+        tenant.queries_answered += len(queries)
+        tenant.totals.add(batch_totals)
+        payload = encode_shard_response(
+            data_epoch(tenant.index),
+            public_key.n,
+            [result.encrypted_scores for result in results],
+            counters,
+        )
+        await protocol.send_json(writer, 200, payload)
 
     async def _stream_batch(
         self, session, queries, writer, queue_wait_s, request_started

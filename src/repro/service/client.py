@@ -30,7 +30,7 @@ from repro.service.wire import (
     encode_query,
 )
 
-__all__ = ["ServiceError", "ServiceClient"]
+__all__ = ["ServiceError", "ServiceUnavailableError", "ServiceClient"]
 
 
 class ServiceError(RuntimeError):
@@ -40,6 +40,35 @@ class ServiceError(RuntimeError):
         super().__init__(f"HTTP {status}: {detail}")
         self.status = status
         self.retry_after = retry_after
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service cannot answer right now -- but retrying may work.
+
+    Raised for a 503 (the service told us it is draining) *and* for raw
+    connection failures -- ``ConnectionResetError`` when the server drains
+    mid-stream, a refused connect, a torn chunked read -- which previously
+    leaked out of the client untyped.  ``mid_stream`` distinguishes the two
+    failure shapes that matter to a caller holding partial results: ``False``
+    means the request never produced any result (safe to resubmit
+    wholesale), ``True`` means the stream died after delivery started (the
+    batch may have partially executed server-side; resubmitting re-runs it).
+    ``transient`` is duck-typed truthy so retry machinery
+    (:mod:`repro.core.engine`, :mod:`repro.core.coordinator`) classifies
+    this as retryable without importing the service layer.
+    """
+
+    transient = True
+
+    def __init__(
+        self,
+        detail: str,
+        retry_after: float | None = None,
+        *,
+        mid_stream: bool = False,
+    ):
+        super().__init__(503, detail, retry_after)
+        self.mid_stream = mid_stream
 
 
 class ServiceClient:
@@ -71,8 +100,18 @@ class ServiceClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        connection.request(method, path, body=body, headers=headers)
-        response = connection.getresponse()
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+        except (ConnectionError, http.client.BadStatusLine, EOFError) as exc:
+            # The server went away before answering: a drain closing the
+            # listener, or a crash.  Either way the request never started
+            # producing results, so it is safe to retry elsewhere/later.
+            connection.close()
+            raise ServiceUnavailableError(
+                f"connection to {self.host}:{self.port} failed before a "
+                f"response: {exc!r}"
+            ) from exc
         if response.status >= 400:
             detail = ""
             try:
@@ -81,10 +120,17 @@ class ServiceClient:
                 pass
             retry_after = response.headers.get("Retry-After")
             connection.close()
+            retry_after_s = float(retry_after) if retry_after else None
+            if response.status == 503:
+                # The service *said* it is unavailable (draining): typed, so
+                # callers distinguish an orderly drain from a crash.
+                raise ServiceUnavailableError(
+                    detail or response.reason, retry_after_s
+                )
             raise ServiceError(
                 response.status,
                 detail or response.reason,
-                float(retry_after) if retry_after else None,
+                retry_after_s,
             )
         # The caller must fully read (streams) or we read for it (JSON).
         response._service_connection = connection  # keep alive until read
@@ -147,7 +193,19 @@ class ServiceClient:
         response = self._request("POST", f"/sessions/{session_id}/queries", payload)
         try:
             while True:
-                raw = response.readline()
+                try:
+                    raw = response.readline()
+                except (ConnectionError, http.client.IncompleteRead) as exc:
+                    # The stream died after the response started: the server
+                    # drained or crashed mid-batch.  Surface it typed (with
+                    # mid_stream set) instead of leaking a raw
+                    # ConnectionResetError, so callers can tell an orderly
+                    # drain from a protocol bug and know delivery had begun.
+                    raise ServiceUnavailableError(
+                        f"stream from {self.host}:{self.port} ended "
+                        f"mid-batch: {exc!r}",
+                        mid_stream=True,
+                    ) from exc
                 if not raw:
                     break
                 line = json.loads(raw)

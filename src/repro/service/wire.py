@@ -33,6 +33,11 @@ __all__ = [
     "encode_organization",
     "decode_organization",
     "encode_counters",
+    "decode_counters",
+    "encode_partial_request",
+    "decode_partial_request",
+    "encode_shard_response",
+    "decode_shard_response",
 ]
 
 
@@ -73,7 +78,26 @@ def encode_query(query: EmbellishedQuery) -> dict:
     }
 
 
-def decode_query(obj) -> EmbellishedQuery:
+def _check_ciphertext(value: int, modulus: int | None, what: str) -> int:
+    """Reject ciphertexts outside the session's residue ring.
+
+    A Benaloh ciphertext lives in ``Z*_n``: values at or above the modulus
+    (or below 1) were never produced by the session key, and accumulating
+    them would silently compute in the wrong ring.  Decoders that know the
+    tenant's modulus enforce this, turning a corrupt or mismatched client
+    into a 400 instead of garbage ciphertext arithmetic.
+    """
+    if modulus is not None and not 1 <= value < modulus:
+        raise WireError(
+            f"{what} {format(value, 'x')} outside the session modulus "
+            f"(expected 1 <= value < {format(modulus, 'x')})"
+        )
+    return value
+
+
+def decode_query(obj, modulus: int | None = None) -> EmbellishedQuery:
+    """Decode one embellished query; with ``modulus``, every selector
+    ciphertext is validated against the session key's ring."""
     terms = _expect(obj, "terms", list, "query")
     selectors = _expect(obj, "selectors", list, "query")
     if len(terms) != len(selectors):
@@ -85,7 +109,10 @@ def decode_query(obj) -> EmbellishedQuery:
     return EmbellishedQuery(
         terms=tuple(terms),
         encrypted_selectors=tuple(
-            decode_int(value, "query selector") for value in selectors
+            _check_ciphertext(
+                decode_int(value, "query selector"), modulus, "query selector"
+            )
+            for value in selectors
         ),
     )
 
@@ -159,3 +186,102 @@ def encode_counters(counters: ServerCounters) -> dict:
     from dataclasses import fields
 
     return {spec.name: getattr(counters, spec.name) for spec in fields(counters)}
+
+
+def decode_counters(obj) -> ServerCounters:
+    """The inverse of :func:`encode_counters`; unknown fields are ignored
+    (a newer shard may count things an older coordinator does not know),
+    missing ones default to zero."""
+    from dataclasses import fields
+
+    if not isinstance(obj, Mapping):
+        raise WireError("counters must be an object")
+    counters = ServerCounters()
+    for spec in fields(counters):
+        value = obj.get(spec.name, 0)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise WireError(f"counters.{spec.name} must be an integer")
+        setattr(counters, spec.name, value)
+    return counters
+
+
+# -- scatter-gather partials -------------------------------------------------------
+# The coordinator <-> shard-server wire format.  A partial request carries the
+# session public key (the shard accumulates under it and echoes its modulus
+# back) and one sub-query per scattered query; the response is epoch-stamped
+# -- the data version the replica answered from, checked against the
+# coordinator's pinned topology -- and modulus-tagged so a partial accumulated
+# under the wrong key can never reach a merge.  Nothing here assumes the
+# shard lives on the same box: ints travel as hex, ids as strings, exactly
+# like the client-facing codecs.
+def encode_partial_request(public_key: BenalohPublicKey, subqueries) -> dict:
+    """``subqueries`` is a sequence of ``(terms, selectors)`` pairs (one per
+    scattered query, already restricted to the target shard's terms)."""
+    return {
+        "public_key": encode_public_key(public_key),
+        "queries": [
+            {
+                "terms": list(terms),
+                "selectors": [encode_int(value) for value in selectors],
+            }
+            for terms, selectors in subqueries
+        ],
+    }
+
+
+def decode_partial_request(obj) -> tuple[BenalohPublicKey, list[EmbellishedQuery]]:
+    """Decode a scatter request; selector ciphertexts are validated against
+    the request's own public-key modulus."""
+    public_key = decode_public_key(_expect(obj, "public_key", None, "partial request"))
+    queries = _expect(obj, "queries", list, "partial request")
+    if not queries:
+        raise WireError("partial request must contain at least one sub-query")
+    return public_key, [decode_query(query, public_key.n) for query in queries]
+
+
+def encode_shard_response(epoch: int, modulus: int, partials, counters) -> dict:
+    """``partials[q]`` is query ``q``'s accumulator map; ``counters[q]`` its
+    shard-side :class:`~repro.core.server.ServerCounters`."""
+    return {
+        "epoch": epoch,
+        "modulus": encode_int(modulus),
+        "partials": [
+            {
+                "scores": {
+                    str(doc_id): encode_int(value) for doc_id, value in partial.items()
+                },
+                "counters": encode_counters(per_query),
+            }
+            for partial, per_query in zip(partials, counters)
+        ],
+    }
+
+
+def decode_shard_response(obj):
+    """Decode into a :class:`repro.core.coordinator.ShardResponse`."""
+    from repro.core.coordinator import ShardResponse
+
+    epoch = _expect(obj, "epoch", int, "shard response")
+    modulus = decode_int(
+        _expect(obj, "modulus", None, "shard response"), "shard response modulus"
+    )
+    entries = _expect(obj, "partials", list, "shard response")
+    partials = []
+    counters = []
+    for entry in entries:
+        scores = _expect(entry, "scores", Mapping, "shard partial")
+        partials.append(
+            {
+                int(doc_id): _check_ciphertext(
+                    decode_int(value, "partial score"), modulus, "partial score"
+                )
+                for doc_id, value in scores.items()
+            }
+        )
+        counters.append(decode_counters(_expect(entry, "counters", None, "shard partial")))
+    return ShardResponse(
+        epoch=epoch,
+        modulus=modulus,
+        partials=tuple(partials),
+        counters=tuple(counters),
+    )

@@ -832,6 +832,65 @@ class InvertedIndex:
                 self._snapshot_handle = IndexSnapshot(self)
             return self._snapshot_handle
 
+    def split(self, partitioner) -> list["InvertedIndex"]:
+        """Partition the dictionary into per-shard read-only indexes.
+
+        ``partitioner`` is any object exposing ``num_shards`` and
+        ``shard_of(term) -> int`` (see :mod:`repro.core.partitioning`).
+        Every live term's merged posting list is routed to exactly one
+        shard; the returned list has one index per shard, in shard order,
+        with shards owning no terms left empty rather than omitted.
+
+        Shard lists are taken from a pinned :meth:`snapshot`, so a split is
+        a consistent cut at one epoch even under concurrent maintenance.
+        The posting columns are shared by reference -- byte-identical to
+        what the unsplit index serves -- and each shard inherits the global
+        ``quantise_levels`` and ``max_impact``, so quantised impacts (and
+        therefore the homomorphic power tables built from them) agree
+        exactly with the single-node index.  Corpus-wide statistics
+        (``num_documents``, ``average_document_length``) are copied
+        unchanged; ``document_frequencies`` is restricted to the shard's
+        terms.  The shards carry no ``document_terms`` and are therefore
+        read-only: re-split after updating the source index.
+        """
+        num_shards = int(partitioner.num_shards)
+        if num_shards < 1:
+            raise ValueError("partitioner must define at least one shard")
+        view = self.snapshot()
+        lists: list[dict[str, PostingColumns]] = [{} for _ in range(num_shards)]
+        frequencies: list[dict[str, int]] = [{} for _ in range(num_shards)]
+        for term in view.terms:
+            columns = view._effective(term)
+            if columns is None:
+                continue
+            shard = partitioner.shard_of(term)
+            if not 0 <= shard < num_shards:
+                raise ValueError(
+                    f"partitioner routed {term!r} to shard {shard} "
+                    f"outside [0, {num_shards})"
+                )
+            lists[shard][term] = columns
+            frequencies[shard][term] = len(columns)
+        shards: list[InvertedIndex] = []
+        for shard_id in range(num_shards):
+            stats = CorpusStatistics(
+                num_documents=self.stats.num_documents,
+                document_frequencies=frequencies[shard_id],
+                average_document_length=self.stats.average_document_length,
+            )
+            shards.append(
+                InvertedIndex(
+                    lists[shard_id],
+                    stats,
+                    self.quantise_levels,
+                    self.block_size,
+                    scorer=self._scorer,
+                    tokenizer=self._tokenizer,
+                    max_impact=self._max_impact,
+                )
+            )
+        return shards
+
     def touched_since(self, epoch: int) -> frozenset[str]:
         """Terms whose observable list content may have changed after ``epoch``.
 

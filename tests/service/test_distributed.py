@@ -1,0 +1,404 @@
+"""The distribution layer over real sockets: the scatter-gather wire format,
+typed connection-failure translation, the shard partials route, and a full
+multi-process cluster behind the front-end.
+
+Everything here runs against actual services -- background-thread runners for
+the HTTP surface, genuine child processes for the cluster test -- because the
+failure modes under test (mid-stream resets, SIGKILLed replicas) only exist
+on real connections.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.core.coordinator import LocalShardBackend, data_epoch
+from repro.core.partitioning import HashPartitioner, save_sharded
+from repro.core.server import PrivateRetrievalServer, ServerCounters
+from repro.service import (
+    RetrievalService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceRunner,
+    ServiceUnavailableError,
+)
+from repro.service.cluster import HttpShardBackend, LocalShardCluster
+from repro.service.wire import (
+    WireError,
+    decode_counters,
+    decode_partial_request,
+    decode_query,
+    decode_shard_response,
+    encode_counters,
+    encode_int,
+    encode_partial_request,
+    encode_public_key,
+    encode_query,
+    encode_shard_response,
+)
+
+
+# -- wire codecs -------------------------------------------------------------------
+def test_partial_request_round_trip(benaloh_keypair):
+    subqueries = [
+        (["alpha", "beta"], [17, 23]),
+        (["gamma"], [benaloh_keypair.public.n - 1]),
+    ]
+    payload = json.loads(
+        json.dumps(encode_partial_request(benaloh_keypair.public, subqueries))
+    )
+    public_key, queries = decode_partial_request(payload)
+    assert public_key == benaloh_keypair.public
+    assert [(list(q.terms), list(q.encrypted_selectors)) for q in queries] == [
+        (list(t), list(s)) for t, s in subqueries
+    ]
+
+
+def test_shard_response_round_trip(benaloh_keypair):
+    modulus = benaloh_keypair.public.n
+    counters = ServerCounters()
+    counters.modular_multiplications = 41
+    counters.queries_processed = 1
+    payload = json.loads(
+        json.dumps(
+            encode_shard_response(7, modulus, [{3: 19, 11: modulus - 1}], [counters])
+        )
+    )
+    response = decode_shard_response(payload)
+    assert response.epoch == 7
+    assert response.modulus == modulus
+    assert response.partials == ({3: 19, 11: modulus - 1},)
+    assert response.counters[0].modular_multiplications == 41
+    assert response.counters[0].queries_processed == 1
+
+
+def test_counters_codec_tolerates_schema_drift():
+    counters = ServerCounters()
+    counters.blocks_read = 5
+    encoded = encode_counters(counters)
+    encoded["a_future_counter"] = 99  # newer shard, older coordinator
+    decoded = decode_counters(encoded)
+    assert decoded.blocks_read == 5
+    assert decode_counters({}).blocks_read == 0  # missing defaults to zero
+    with pytest.raises(WireError):
+        decode_counters({"blocks_read": "five"})
+
+
+# -- satellite (b): ciphertexts validated against the tenant's modulus -------------
+def test_decode_query_rejects_out_of_ring_selectors(benaloh_keypair):
+    modulus = benaloh_keypair.public.n
+    for bad in (0, modulus, modulus + 12):
+        with pytest.raises(WireError, match="modulus"):
+            decode_query(
+                {"terms": ["a"], "selectors": [encode_int(bad)]}, modulus
+            )
+    # In-ring values pass, and no modulus means no ring check (legacy paths).
+    decode_query({"terms": ["a"], "selectors": [encode_int(modulus - 1)]}, modulus)
+    decode_query({"terms": ["a"], "selectors": [encode_int(modulus + 12)]})
+
+
+def test_decode_partial_request_rejects_out_of_ring_selectors(benaloh_keypair):
+    payload = encode_partial_request(
+        benaloh_keypair.public, [(["a"], [benaloh_keypair.public.n])]
+    )
+    with pytest.raises(WireError, match="modulus"):
+        decode_partial_request(payload)
+
+
+def test_decode_shard_response_rejects_out_of_ring_scores(benaloh_keypair):
+    modulus = benaloh_keypair.public.n
+    payload = encode_shard_response(1, modulus, [{4: modulus + 3}], [ServerCounters()])
+    with pytest.raises(WireError, match="modulus"):
+        decode_shard_response(payload)
+
+
+def test_service_rejects_out_of_ring_selector_with_400(
+    running_service, benaloh_keypair, embellisher, query_terms
+):
+    """Regression: a ciphertext at/above the session modulus must bounce as a
+    400 on the batch route, never reach accumulation."""
+    _, client = running_service()
+    session = client.open_session("corpus", benaloh_keypair.public)
+    query = embellisher.embellish(query_terms[:2])
+    encoded = encode_query(query)
+    encoded["selectors"][0] = encode_int(benaloh_keypair.public.n)
+    with pytest.raises(ServiceError) as excinfo:
+        list(
+            client._request(
+                "POST", f"/sessions/{session}/queries", {"queries": [encoded]}
+            )
+        )
+    assert excinfo.value.status == 400
+
+
+def test_partials_route_rejects_out_of_ring_selector_with_400(
+    running_service, benaloh_keypair
+):
+    _, client = running_service()
+    payload = encode_partial_request(
+        benaloh_keypair.public, [(["anything"], [1])]
+    )
+    payload["queries"][0]["selectors"][0] = encode_int(benaloh_keypair.public.n + 8)
+    with pytest.raises(ServiceError) as excinfo:
+        client._json("POST", "/shards/corpus/partials", payload)
+    assert excinfo.value.status == 400
+
+
+# -- satellite (a): typed connection-failure translation ---------------------------
+def test_connect_refused_is_typed_unavailable():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    client = ServiceClient("127.0.0.1", port, timeout=2.0)
+    with pytest.raises(ServiceUnavailableError) as excinfo:
+        client.health()
+    assert excinfo.value.transient is True
+    assert excinfo.value.mid_stream is False
+    assert excinfo.value.status == 503
+
+
+def test_drain_503_is_typed_unavailable(
+    running_service, benaloh_keypair, embellisher, query_terms
+):
+    """A draining service answers batches with 503; the client surfaces it as
+    the same typed error as a connection failure (drain before any response:
+    ``mid_stream`` stays False, the batch is safe to resubmit elsewhere)."""
+    service, client = running_service()
+    session = client.open_session("corpus", benaloh_keypair.public)
+    service.admission.drain()
+    query = embellisher.embellish(query_terms[:2])
+    with pytest.raises(ServiceUnavailableError) as excinfo:
+        client.run_batch(session, [query], benaloh_keypair.public.n)
+    assert excinfo.value.mid_stream is False
+    assert excinfo.value.transient is True
+
+
+class _AbortingServer:
+    """A raw socket server that dies on purpose, deterministically.
+
+    ``mode="pre-response"`` accepts and slams the connection shut before any
+    bytes of response; ``mode="mid-stream"`` sends valid headers plus one
+    NDJSON line of a chunked batch stream, then resets -- exactly what a
+    crashing service looks like to a client holding partial results.
+    """
+
+    def __init__(self, mode: str):
+        self.mode = mode
+        self.listener = socket.socket()
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(1)
+        self.port = self.listener.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        conn, _ = self.listener.accept()
+        conn.recv(65536)  # drain the request
+        if self.mode == "mid-stream":
+            first = json.dumps({"kind": "result", "index": 0, "scores": {}}) + "\n"
+            chunk = f"{len(first.encode()):x}\r\n{first}\r\n"
+            conn.sendall(
+                (
+                    "HTTP/1.1 200 OK\r\n"
+                    "Content-Type: application/x-ndjson\r\n"
+                    "Transfer-Encoding: chunked\r\n"
+                    "\r\n" + chunk
+                ).encode()
+            )
+        # RST instead of FIN: linger(on, 0) makes close() reset the peer,
+        # which is what an abrupt process death produces.
+        import struct
+
+        conn.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        conn.close()
+
+    def close(self):
+        self.listener.close()
+        self.thread.join(timeout=5)
+
+
+def test_pre_response_reset_is_typed_unavailable():
+    server = _AbortingServer("pre-response")
+    try:
+        client = ServiceClient("127.0.0.1", server.port, timeout=5.0)
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            client.health()
+        assert excinfo.value.mid_stream is False, "no response started: resubmittable"
+    finally:
+        server.close()
+
+
+def test_mid_stream_reset_is_typed_unavailable_with_mid_stream_flag():
+    """Regression for the raw ``ConnectionResetError`` that used to leak out
+    of ``submit_batch`` when the server died mid-stream."""
+    server = _AbortingServer("mid-stream")
+    try:
+        client = ServiceClient("127.0.0.1", server.port, timeout=5.0)
+        lines = []
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            for line in client.submit_batch("session", [], modulus=97):
+                lines.append(line)
+        assert excinfo.value.mid_stream is True, "delivery had begun: not resubmittable"
+        assert excinfo.value.transient is True
+        assert lines and lines[0]["kind"] == "result"
+    finally:
+        server.close()
+
+
+# -- the shard partials route ------------------------------------------------------
+def test_http_backend_matches_local_backend(
+    running_service, index, service_org, benaloh_keypair, embellisher, query_terms
+):
+    """The HTTP shard backend must be observationally identical to the
+    in-process reference backend: same partials, same modulus tag, and an
+    epoch stamp matching the served index's data epoch."""
+    service, client = running_service()
+    query = embellisher.embellish(query_terms[:3])
+    subqueries = [(list(query.terms), list(query.encrypted_selectors))]
+
+    remote = HttpShardBackend(
+        host=client.host,
+        port=client.port,
+        tenant="corpus",
+        public_key=benaloh_keypair.public,
+    )
+    local = LocalShardBackend(
+        PrivateRetrievalServer(
+            index=index, organization=service_org, public_key=benaloh_keypair.public
+        )
+    )
+    over_http = remote.accumulate(subqueries)
+    in_process = local.accumulate(subqueries)
+    assert over_http.partials == in_process.partials
+    assert over_http.modulus == in_process.modulus == benaloh_keypair.public.n
+    assert over_http.epoch == data_epoch(index)
+    assert over_http.counters[0].queries_processed == 1
+    assert over_http.counters[0].modular_multiplications > 0
+
+
+def test_partials_route_unknown_tenant_404(running_service, benaloh_keypair):
+    _, client = running_service()
+    payload = encode_partial_request(benaloh_keypair.public, [(["a"], [2])])
+    with pytest.raises(ServiceError) as excinfo:
+        client._json("POST", "/shards/nobody/partials", payload)
+    assert excinfo.value.status == 404
+
+
+# -- the full cluster: processes, front-end, failover ------------------------------
+@pytest.fixture(scope="module")
+def sharded_root(index, tmp_path_factory):
+    root = tmp_path_factory.mktemp("shards")
+    save_sharded(index, root, HashPartitioner(num_shards=2))
+    return root
+
+
+def test_cluster_end_to_end_with_replica_kill(
+    sharded_root, index, service_org, benaloh_keypair, embellisher, query_terms
+):
+    """The whole distributed read path, multi-process: shard servers as real
+    child processes, a coordinator-backed front-end tenant, bit-identity
+    with the single-node oracle -- then SIGKILL a replica and the next batch
+    must still complete bit-identically off the survivor."""
+    from repro.core.engine import RetryPolicy
+
+    oracle = PrivateRetrievalServer(
+        index=index, organization=service_org, public_key=benaloh_keypair.public
+    )
+    rng = random.Random(3)
+    queries = [
+        embellisher.embellish(rng.sample(query_terms, 3)) for _ in range(3)
+    ]
+    expected = [r.encrypted_scores for r in oracle.process_batch(queries)]
+
+    with LocalShardCluster(
+        sharded_root, tenant="books", replicas_per_shard=2
+    ) as cluster:
+        # Direct coordinator over the cluster's HTTP backends.
+        coordinator = cluster.coordinator(
+            benaloh_keypair.public,
+            retry=RetryPolicy(max_retries=3, backoff_base=0.01),
+        )
+        got = [r.encrypted_scores for r in coordinator.process_batch(queries)]
+        assert got == expected
+
+        # The same topology served through the front-end service.
+        front = RetrievalService(ServiceConfig(bucket_size=4))
+        front.add_distributed_tenant(
+            "books",
+            organization=service_org,
+            partitioner=cluster.layout.partitioner,
+            replicas=[
+                [replica.address for replica in shard]
+                for shard in cluster.replicas
+            ],
+            expected_epochs=cluster.layout.epochs,
+            retry=RetryPolicy(max_retries=3, backoff_base=0.01),
+        )
+        runner = ServiceRunner(front)
+        host, port = runner.start()
+        try:
+            client = ServiceClient(host, port)
+            summary = [t for t in client.tenants() if t["name"] == "books"][0]
+            assert summary["distributed"] is True
+            session = client.open_session("books", benaloh_keypair.public)
+            results, done = client.run_batch(
+                session, queries, benaloh_keypair.public.n
+            )
+            assert [r.encrypted_scores for r in results] == expected
+            assert done["counters"]["merge_multiplications"] > 0
+
+            # Failover drill: kill shard 0's preferred replica, rerun.
+            cluster.kill_replica(0, 0)
+            assert not cluster.replicas[0][0].alive
+            results, done = client.run_batch(
+                session, queries, benaloh_keypair.public.n
+            )
+            assert [r.encrypted_scores for r in results] == expected
+            assert done["counters"]["tasks_retried"] > 0
+            client.close_session(session)
+        finally:
+            runner.stop()
+
+
+def test_front_end_rejects_partials_for_distributed_tenant(
+    service_org, benaloh_keypair
+):
+    """A coordinator-role tenant holds no shard data; asking it for partials
+    is a client error, not a crash."""
+    front = RetrievalService(ServiceConfig(bucket_size=4))
+    front.add_distributed_tenant(
+        "books",
+        organization=service_org,
+        partitioner=HashPartitioner(num_shards=1),
+        replicas=[[("127.0.0.1", 1)]],
+    )
+    runner = ServiceRunner(front)
+    host, port = runner.start()
+    try:
+        client = ServiceClient(host, port)
+        payload = encode_partial_request(benaloh_keypair.public, [(["a"], [2])])
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("POST", "/shards/books/partials", payload)
+        assert excinfo.value.status == 400
+        # And the organization route still works without local data.
+        org = client.organization("books")
+        assert org.num_buckets == service_org.num_buckets
+    finally:
+        runner.stop()
+
+
+def test_partial_request_requires_public_key(benaloh_keypair):
+    with pytest.raises(WireError):
+        decode_partial_request({"queries": [{"terms": ["a"], "selectors": ["2"]}]})
+    with pytest.raises(WireError):
+        decode_partial_request(
+            {"public_key": encode_public_key(benaloh_keypair.public), "queries": []}
+        )
