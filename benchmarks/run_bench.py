@@ -107,6 +107,7 @@ import random  # noqa: E402
 from repro.core.embellish import QueryEmbellisher  # noqa: E402
 from repro.core.server import PrivateRetrievalServer  # noqa: E402
 from repro.core.workloads import QueryWorkloadGenerator  # noqa: E402
+from repro.crypto import numbertheory  # noqa: E402
 from repro.crypto.benaloh import generate_keypair  # noqa: E402
 from repro.crypto.pir import PIRClient, PIRDatabase, PIRServer  # noqa: E402
 from repro.experiments.harness import ExperimentContext  # noqa: E402
@@ -237,6 +238,95 @@ def bench_parallel_batch(context, keypair, repeats, batch_size=48, terms=6, work
         },
         "speedup_at_4": round(series_ms["1"] / series_ms["4"], 2) if "4" in series_ms else None,
     }
+
+
+def bench_vectorised_accumulation(context, keypair, repeats, batch_size=48, terms=6):
+    """Compiled batch kernels vs the pure-python loop at equal worker counts.
+
+    The workload is the ``parallel_batch_accumulation`` shape (the same 48
+    frequency-weighted embellished queries over the longest lists), answered
+    sequentially (``parallelism=1``) first under the default ``python``
+    backend and then under the ``cffi`` backend, so the only variable is the
+    kernel implementation.  Encrypted scores *and* the per-query operation
+    counters (postings, table multiplications, modular multiplications) are
+    asserted bit-identical before any timing.  When the compiled backend is
+    unavailable (no cffi, no numpy, no C toolchain) the series records why
+    and the ``--check`` gate for it is skipped with a warning.
+    """
+    from repro.crypto import kernels, numbertheory
+
+    organization = context.buckets(8, None, searchable_only=True)
+    embellisher = QueryEmbellisher(
+        organization=organization, keypair=keypair, rng=random.Random(6)
+    )
+    generator = QueryWorkloadGenerator(context.index, seed=7)
+    queries = [
+        embellisher.embellish(generator.frequency_weighted_query(terms))
+        for _ in range(batch_size)
+    ]
+    server = PrivateRetrievalServer(
+        index=context.index, organization=organization, public_key=keypair.public
+    )
+
+    def counter_rows():
+        return [
+            (
+                c.postings_processed,
+                c.table_multiplications,
+                c.modular_multiplications,
+            )
+            for c in server.last_batch_counters
+        ]
+
+    try:
+        kernels.ensure_compiled()
+        available = True
+        unavailable_reason = None
+    except RuntimeError as exc:
+        available = False
+        unavailable_reason = str(exc).splitlines()[0]
+
+    result = {
+        "batch_size": batch_size,
+        "terms": terms,
+        "workers": 1,
+        "backend": "cffi" if available else "python",
+        "compiled_available": available,
+    }
+    if not available:
+        result["unavailable_reason"] = unavailable_reason
+
+    numbertheory.set_backend("python")
+    try:
+        baseline = server.process_batch(queries, parallelism=1)
+        baseline_counters = counter_rows()
+        python_samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            server.process_batch(queries, parallelism=1)
+            python_samples.append((time.perf_counter() - start) * 1000.0)
+        result["python_ms"] = round(min(python_samples), 4)
+
+        if available:
+            numbertheory.set_backend("cffi")
+            vectorised = server.process_batch(queries, parallelism=1)
+            assert [r.encrypted_scores for r in vectorised] == [
+                r.encrypted_scores for r in baseline
+            ], "vectorised kernels diverged from the python oracle!"
+            assert counter_rows() == baseline_counters, (
+                "vectorised kernels changed the operation counters!"
+            )
+            cffi_samples = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                server.process_batch(queries, parallelism=1)
+                cffi_samples.append((time.perf_counter() - start) * 1000.0)
+            result["cffi_ms"] = round(min(cffi_samples), 4)
+            result["speedup"] = round(result["python_ms"] / result["cffi_ms"], 2)
+    finally:
+        numbertheory.set_backend("python")
+        server.close()
+    return result
 
 
 def bench_distributed_scatter_gather(
@@ -1287,6 +1377,23 @@ def main() -> int:
     if parallel_batch["speedup_at_4"] is not None:
         print(f"  speedup at 4 workers: {parallel_batch['speedup_at_4']:.2f}x")
 
+    vectorised = bench_vectorised_accumulation(context, keypair, args.repeats)
+    vectorised["vectorised_gate"] = (
+        "enforced when --check (compiled backend available)"
+        if vectorised["compiled_available"]
+        else "not enforceable: compiled backend unavailable "
+        f"({vectorised.get('unavailable_reason', 'unknown')})"
+    )
+    results["vectorised_accumulation"] = vectorised
+    print(f"\nvectorised accumulation ({vectorised['batch_size']} queries, "
+          f"1 worker, bit-identity + counters asserted):")
+    print(f"  python {vectorised['python_ms']:>10.3f} ms")
+    if vectorised["compiled_available"]:
+        print(f"  cffi   {vectorised['cffi_ms']:>10.3f} ms  "
+              f"({vectorised['speedup']:.2f}x)")
+    else:
+        print(f"  cffi   unavailable: {vectorised.get('unavailable_reason')}")
+
     serving = bench_serving_throughput(context, keypair, args.repeats)
     results["serving_throughput"] = serving
     print(f"\nserving throughput ({serving['clients']} client threads x "
@@ -1339,6 +1446,11 @@ def main() -> int:
     print(f"  save latency: incremental {snapshot_rc['incremental_save_ms']:.3f} ms "
           f"vs wholesale {snapshot_rc['wholesale_save_ms']:.3f} ms "
           f"({snapshot_rc['save_speedup']}x, append-only asserted)")
+
+    # Every series records which numbertheory backend its timings ran under
+    # (the vectorised series, which switches backends itself, sets its own).
+    for series in results.values():
+        series.setdefault("backend", numbertheory.get_backend())
 
     summary = {
         "benchmark": "fastpath",
@@ -1460,6 +1572,22 @@ def main() -> int:
                 f"WARNING: 4-shard >=1.6x throughput gate SKIPPED -- this machine "
                 f"has {cpus} CPU(s); the gate is enforced on >=4-CPU runners (CI)."
             )
+        if vectorised["compiled_available"]:
+            # The compiled kernels replace the same per-posting loop at the
+            # same worker count, so the bar is pure constant-factor: batched
+            # Montgomery folds must land >= 5x over the python oracle.
+            if vectorised.get("speedup") is None or vectorised["speedup"] < 5.0:
+                failures.append(
+                    f"vectorised accumulation < 5x python at 1 worker "
+                    f"({vectorised.get('speedup')}x)"
+                )
+        else:
+            print(
+                f"WARNING: vectorised >=5x kernel gate SKIPPED -- compiled "
+                f"backend unavailable on this machine "
+                f"({vectorised.get('unavailable_reason')}); the gate is "
+                f"enforced where cffi + numpy + a C toolchain are present (CI)."
+            )
         speedup_at_4 = parallel_batch["speedup_at_4"]
         if cpus >= 4:
             # Process parallelism cannot beat sequential without cores to run
@@ -1497,6 +1625,8 @@ def main() -> int:
                 f", 4-worker throughput >= 2x ({speedup_at_4}x)"
                 f", 4-shard throughput >= 1.6x ({shard_speedup}x)"
             )
+        if vectorised["compiled_available"]:
+            gates += f", vectorised kernels >= 5x ({vectorised['speedup']}x)"
         print(f"CHECK PASSED: {gates}")
     return 0
 

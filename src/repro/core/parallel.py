@@ -44,7 +44,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.partitioning import lpt_assignment, proportional_shares
-from repro.crypto import numbertheory
+from repro.crypto import kernels, numbertheory
+from repro.crypto.kernels import build_power_table, power_table_strategy
 
 __all__ = [
     "ShardCounts",
@@ -73,31 +74,6 @@ TermPayload = tuple[int, array, array]
 #: Default base seed for worker re-seeding; callers override it per run for
 #: independent streams, and :func:`derive_worker_seed` stretches it per shard.
 DEFAULT_WORKER_SEED = 0x20100A
-
-
-def power_table_strategy(distinct_impacts, max_impact: int) -> tuple[str, int]:
-    """Pick the cheaper power-table build strategy and its multiplication count.
-
-    ``"ladder"`` multiplies ``E(u)`` into itself ``max_impact - 1`` times and
-    reads every distinct power off the way up -- best when the distinct
-    impacts densely cover ``1..max_impact``.  ``"binary"`` squares its way to
-    ``E(u)^(2^k)`` and assembles each distinct power from its set bits -- best
-    when the distinct impacts are sparse in a wide range.  Both use only
-    modular multiplications, and both are deterministic functions of the
-    list's distinct quantised impacts, so the analytic cost estimator replays
-    the choice (and the exact count) without touching a ciphertext.
-    """
-    # E(u)^0 = 1 costs nothing; only positive impacts need table work.
-    # (Indexes built by InvertedIndex.build never contain zero impacts, but
-    # hand-built postings may.)
-    positive = [p for p in distinct_impacts if p]
-    if not positive:
-        return "ladder", 0
-    ladder = max(0, max_impact - 1)
-    binary = (max_impact.bit_length() - 1) + sum(p.bit_count() - 1 for p in positive)
-    if ladder <= binary:
-        return "ladder", ladder
-    return "binary", binary
 
 
 @dataclass
@@ -136,59 +112,6 @@ def term_cost(entry: TermPayload) -> int:
     return len(doc_ids) + table_multiplications
 
 
-def build_power_table(selector: int, impacts, modulus: int) -> tuple[dict[int, int], int]:
-    """``({p: E(u)^p}, multiplications)`` for one list's distinct impacts."""
-    multiplications = 0
-    distinct = sorted(set(impacts))
-
-    table: dict[int, int] = {}
-    if not distinct:
-        # An empty inverted list needs no powers at all.
-        return table, multiplications
-    if distinct[0] == 0:
-        # E(u)^0 = 1, matching pow(selector, 0, modulus) on the naive path.
-        table[0] = 1
-        distinct = distinct[1:]
-        if not distinct:
-            return table, multiplications
-    max_impact = distinct[-1]
-    strategy, _ = power_table_strategy(distinct, max_impact)
-    if strategy == "ladder":
-        # Incremental ladder: E(u)^1 is the selector itself, every further
-        # power is one multiplication; read the needed powers off the way.
-        wanted = set(distinct)
-        power = selector
-        if 1 in wanted:
-            table[1] = power
-        for exponent in range(2, max_impact + 1):
-            power = (power * selector) % modulus
-            multiplications += 1
-            if exponent in wanted:
-                table[exponent] = power
-    else:
-        # Sparse impacts: square up to E(u)^(2^k), then assemble each
-        # distinct power from its set bits (popcount - 1 multiplications).
-        squarings = [selector]
-        for _ in range(max_impact.bit_length() - 1):
-            squarings.append(squarings[-1] * squarings[-1] % modulus)
-            multiplications += 1
-        for exponent in distinct:
-            power = None
-            remaining = exponent
-            level = 0
-            while remaining:
-                if remaining & 1:
-                    if power is None:
-                        power = squarings[level]
-                    else:
-                        power = power * squarings[level] % modulus
-                        multiplications += 1
-                remaining >>= 1
-                level += 1
-            table[exponent] = power
-    return table, multiplications
-
-
 def accumulate_terms(
     payload: Sequence[TermPayload], modulus: int
 ) -> tuple[dict[int, int], ShardCounts]:
@@ -196,23 +119,32 @@ def accumulate_terms(
 
     This is the one implementation behind the sequential fast path, every
     shard worker and every batch worker.  Returns the per-document encrypted
-    accumulators and the exact operation counts.  When the optional ``gmpy2``
-    backend is active the big-integer arithmetic runs on ``mpz`` values; the
-    results are converted back to plain ``int`` so callers (and equivalence
-    tests) see identical objects either way.
+    accumulators and the exact operation counts.  The pure-python per-posting
+    loop below is the correctness oracle; the optional backends route whole
+    payloads through :mod:`repro.crypto.kernels` -- run-grouped ``mpz``
+    arithmetic under ``gmpy2``, batched Montgomery-form C kernels under
+    ``cffi`` (falling back to the oracle whenever a payload leaves the
+    kernel's envelope).  Every path returns plain-``int`` accumulators in the
+    same insertion order with identical values and identical counters, so
+    callers and equivalence suites see the same objects whichever backend is
+    active.
     """
+    backend = numbertheory.get_backend()
+    if backend == "cffi":
+        fast = kernels.accumulate_compiled(payload, modulus)
+        if fast is not None:
+            accumulators, postings, table_mults, accumulator_mults = fast
+            return accumulators, ShardCounts(postings, table_mults, accumulator_mults)
+    elif backend == "gmpy2":
+        grouped = kernels.accumulate_grouped(payload, modulus, numbertheory.backend_int)
+        accumulators, postings, table_mults, accumulator_mults = grouped
+        return accumulators, ShardCounts(postings, table_mults, accumulator_mults)
     counts = ShardCounts()
     accumulators: dict[int, int] = {}
     accumulator_get = accumulators.get
-    wrapped = numbertheory.get_backend() != "python"
-    if wrapped:
-        wrap = numbertheory.backend_int
-        modulus = wrap(modulus)
     for selector, doc_ids, impacts in payload:
         if not len(doc_ids):
             continue
-        if wrapped:
-            selector = wrap(selector)
         table, table_mults = build_power_table(selector, impacts, modulus)
         counts.table_multiplications += table_mults
         counts.postings += len(doc_ids)
@@ -228,8 +160,6 @@ def accumulate_terms(
                 accumulators[doc_id] = existing * table[impact] % modulus
         new_candidates += len(accumulators)
         counts.accumulator_multiplications += len(doc_ids) - new_candidates
-    if wrapped:
-        accumulators = {doc_id: int(value) for doc_id, value in accumulators.items()}
     return accumulators, counts
 
 
@@ -424,6 +354,7 @@ def reseed_worker(seed: int) -> None:
 
     benaloh.reseed_default_rng(seed)
     paillier.reseed_default_rng(seed)
+    numbertheory.reseed_default_rng(seed)
 
 
 def _shard_task(

@@ -175,12 +175,20 @@ class ZeroEncryptionPool:
         """Add ``count`` fresh one-time encryptions of zero to the stock.
 
         A deployed client runs this during idle time; here it also runs
-        automatically when the stock is exhausted mid-query.
+        automatically when the stock is exhausted mid-query.  An encryption
+        of zero is ``mu^r mod n`` (``g^0`` contributes nothing), so the batch
+        draws every ``mu`` first -- consuming the rng stream exactly as
+        per-entry ``encrypt(0)`` calls would -- and then runs one
+        common-exponent :func:`repro.crypto.kernels.modexp_batch`, which the
+        compiled backend executes as a Montgomery square-and-multiply sweep.
         """
+        from repro.crypto import kernels
+
         count = count if count is not None else self._batch
-        encrypt = self.public.encrypt
         rng = self._rng
-        self._pool.extend(encrypt(0, rng) for _ in range(count))
+        public = self.public
+        units = [public._random_unit(rng) for _ in range(count)]
+        self._pool.extend(kernels.modexp_batch(units, public.r, public.n))
         self.seed_encryptions += count
 
     def draw(self) -> int:

@@ -1,0 +1,1338 @@
+"""Batched modular-arithmetic kernels behind the ``numbertheory`` backend gate.
+
+Every query in the reproduction bottoms out in per-posting modular
+multiplications -- the power-table accumulation kernel in
+:mod:`repro.core.parallel`, zero-pool replenishment in
+:mod:`repro.crypto.benaloh`, and the packed-bitmask row fold in
+:mod:`repro.crypto.pir`.  This module attacks the constant factor of those
+inner loops with three cooperating pieces:
+
+**Power-table plans.**  :func:`power_table_strategy` picks the cheapest way
+to build ``{p: E(u)^p}`` for one list's distinct quantised impacts -- the
+incremental *ladder*, the square-and-assemble *binary* method, or a
+fixed-base *windowed* (2^w-ary) method that squares to the base powers
+``E(u)^(2^(w*k))``, ladders each base up to the largest base-2^w digit that
+position needs, and assembles every distinct power from its non-zero digits.
+:func:`power_table_plan` lowers the chosen strategy to a tiny multiplication
+program (an op list ``slot[dst] = slot[src1] * slot[src2]``) whose length
+*is* the strategy's predicted cost, so the analytic estimators, the pure
+python builder and the compiled builder count ``table_multiplications``
+identically by construction.
+
+**Montgomery-form batch accumulation.**  :func:`accumulate_compiled` runs a
+whole payload's table builds and posting folds in Montgomery representation:
+selectors are converted once per payload, every multiplication in the
+compiled kernel is a reduction-free CIOS Montgomery multiply, and
+accumulators convert back (one REDC per candidate document) at the end.
+Montgomery conversion is a bijection on ``Z_n`` and every intermediate is
+kept canonical (``< n``), so the final residues -- and the operation
+counters -- are bit-identical to the pure-python oracle loop.
+
+**The compiled backend.**  The C kernel is compiled on demand with cffi
+(``-O3``, plain C, no external libraries) and cached on disk under
+``$REPRO_KERNEL_CACHE`` (default: a per-user directory in the system temp
+dir), so worker processes load the shared object instead of recompiling.
+It is registered as the ``"cffi"`` backend next to ``"gmpy2"`` in
+:func:`repro.crypto.numbertheory.set_backend`; when no C toolchain (or no
+cffi, or no numpy) is available, :func:`ensure_compiled` raises a loud
+:class:`RuntimeError` and every batch entry point falls back cleanly to the
+pure-python oracle, which remains the default and the ground truth.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import shutil
+import tempfile
+from functools import lru_cache
+from typing import Sequence
+
+__all__ = [
+    "HAVE_NUMPY",
+    "HAVE_CFFI",
+    "power_table_strategy",
+    "power_table_plan",
+    "build_power_table",
+    "PowerPlan",
+    "ensure_compiled",
+    "compiled_available",
+    "accumulate_compiled",
+    "accumulate_grouped",
+    "pir_fold_rows",
+    "modexp_batch",
+]
+
+try:  # pragma: no cover - numpy is in requirements-dev but stays optional
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+HAVE_NUMPY = _np is not None
+HAVE_CFFI = importlib.util.find_spec("cffi") is not None
+
+# -- strategy selection -------------------------------------------------------------
+#
+# The strategy function is the single source of truth for which table build
+# the kernel performs *and* what the analytic cost estimators predict: the
+# plan builder below asserts that the op program it emits has exactly the
+# length this function returns.
+
+
+def power_table_strategy(distinct_impacts, max_impact: int) -> tuple[str, int]:
+    """Pick the cheapest power-table build strategy and its multiplication count.
+
+    ``"ladder"`` multiplies ``E(u)`` into itself ``max_impact - 1`` times and
+    reads every distinct power off the way up -- best when the distinct
+    impacts densely cover ``1..max_impact``.  ``"binary"`` squares its way to
+    ``E(u)^(2^k)`` and assembles each distinct power from its set bits -- best
+    when the distinct impacts are sparse in a wide range.  ``"windowed{w}"``
+    (w >= 2) generalises binary to base-2^w digits: ``(bitlen-1)//w * w``
+    squarings to reach each base power ``E(u)^(2^(w*k))``, a per-position
+    ladder up to the largest digit that position needs, then ``nnz - 1``
+    assembly multiplications per distinct power; with ``w = 1`` its cost
+    formula degenerates to exactly the binary count.  All strategies use only
+    modular multiplications and are deterministic functions of the list's
+    distinct quantised impacts, so the analytic cost estimator replays the
+    choice (and the exact count) without touching a ciphertext.  Ties keep
+    the lower-indexed strategy (ladder, then binary), preserving the historic
+    choice wherever windowing does not strictly win.
+    """
+    # E(u)^0 = 1 costs nothing; only positive impacts need table work.
+    # (Indexes built by InvertedIndex.build never contain zero impacts, but
+    # hand-built postings may.)
+    positive = [p for p in distinct_impacts if p]
+    if not positive:
+        return "ladder", 0
+    ladder = max(0, max_impact - 1)
+    binary = (max_impact.bit_length() - 1) + sum(p.bit_count() - 1 for p in positive)
+    if ladder <= binary:
+        name, best = "ladder", ladder
+    else:
+        name, best = "binary", binary
+    w = 2
+    while (1 << w) < max_impact:
+        cost = _windowed_cost(positive, max_impact, w)
+        if cost < best:
+            name, best = f"windowed{w}", cost
+        w += 1
+    return name, best
+
+
+def _windowed_cost(positive: Sequence[int], max_impact: int, w: int) -> int:
+    """Multiplications the 2^w-ary table build costs for these impacts."""
+    base_positions = (max_impact.bit_length() - 1) // w
+    cost = base_positions * w  # squarings up to E(u)^(2^(w*k))
+    digit_mask = (1 << w) - 1
+    max_digit: dict[int, int] = {}
+    for exponent in positive:
+        position = 0
+        nonzero = 0
+        while exponent:
+            digit = exponent & digit_mask
+            if digit:
+                nonzero += 1
+                if digit > max_digit.get(position, 0):
+                    max_digit[position] = digit
+            exponent >>= w
+            position += 1
+        cost += nonzero - 1  # assembly of this power from its digit powers
+    # Per-position ladder from base_k^1 up to the largest digit needed there.
+    cost += sum(digit - 1 for digit in max_digit.values() if digit > 1)
+    return cost
+
+
+# -- power-table plans --------------------------------------------------------------
+
+
+class PowerPlan:
+    """A lowered power-table build: a straight-line multiplication program.
+
+    Slot 0 holds the constant 1 (``E(u)^0``), slot 1 the selector itself
+    (``E(u)^1``, stored unreduced exactly as the historic builder did), and
+    op ``i`` writes slot ``2 + i`` with ``slot[src1] * slot[src2] mod n``.
+    ``slot_of`` maps each distinct impact to the slot holding its power.
+    ``len(ops)`` equals :func:`power_table_strategy`'s predicted cost by
+    construction -- asserted at build time -- which is what keeps
+    ``table_multiplications`` identical across the python, gmpy2 and
+    compiled execution paths.
+    """
+
+    __slots__ = ("strategy", "ops", "slot_of", "nslots", "_np_ops", "_np_lookup")
+
+    def __init__(self, strategy: str, ops, slot_of) -> None:
+        self.strategy = strategy
+        self.ops = ops
+        self.slot_of = slot_of
+        self.nslots = 2 + len(ops)
+        self._np_ops = None
+        self._np_lookup = None
+
+    def np_ops(self):
+        """``(src1, src2, dst)`` uint32 arrays for the compiled executor."""
+        if self._np_ops is None:
+            src1 = _np.fromiter((op[0] for op in self.ops), dtype=_np.uint32, count=len(self.ops))
+            src2 = _np.fromiter((op[1] for op in self.ops), dtype=_np.uint32, count=len(self.ops))
+            dst = _np.arange(2, 2 + len(self.ops), dtype=_np.uint32)
+            self._np_ops = (src1, src2, dst)
+        return self._np_ops
+
+    def np_lookup(self):
+        """uint32 array mapping impact value -> slot index (dense, 0-filled)."""
+        if self._np_lookup is None:
+            max_impact = max(self.slot_of) if self.slot_of else 0
+            lookup = _np.zeros(max_impact + 1, dtype=_np.uint32)
+            for impact, slot in self.slot_of.items():
+                lookup[impact] = slot
+            self._np_lookup = lookup
+        return self._np_lookup
+
+
+@lru_cache(maxsize=4096)
+def power_table_plan(distinct: tuple[int, ...]) -> PowerPlan:
+    """The multiplication program for one sorted tuple of distinct impacts.
+
+    Payloads repeat distinct-impact sets heavily (quantised impacts take few
+    values), so plans are memoised on the tuple; the cache is shared by the
+    python and compiled builders.
+    """
+    ops: list[tuple[int, int]] = []
+    slot_of: dict[int, int] = {}
+    if not distinct:
+        return PowerPlan("ladder", ops, slot_of)
+    if distinct[0] == 0:
+        slot_of[0] = 0
+        distinct = distinct[1:]
+        if not distinct:
+            return PowerPlan("ladder", ops, slot_of)
+    max_impact = distinct[-1]
+    strategy, expected = power_table_strategy(distinct, max_impact)
+
+    def emit(src1: int, src2: int) -> int:
+        ops.append((src1, src2))
+        return 1 + len(ops)  # the op's destination slot (2 + index)
+
+    if strategy == "ladder":
+        wanted = set(distinct)
+        if 1 in wanted:
+            slot_of[1] = 1
+        slot = 1
+        for exponent in range(2, max_impact + 1):
+            slot = emit(slot, 1)
+            if exponent in wanted:
+                slot_of[exponent] = slot
+    else:
+        width = 1 if strategy == "binary" else int(strategy[len("windowed"):])
+        digit_mask = (1 << width) - 1
+        base_positions = (max_impact.bit_length() - 1) // width
+        # Base powers E(u)^(2^(w*k)): w squarings per step.
+        base_slots = [1]
+        for _ in range(base_positions):
+            slot = base_slots[-1]
+            for _ in range(width):
+                slot = emit(slot, slot)
+            base_slots.append(slot)
+        # Digits of every distinct power, and each position's largest digit.
+        digits_of: dict[int, list[tuple[int, int]]] = {}
+        max_digit: dict[int, int] = {}
+        for exponent in distinct:
+            position = 0
+            remaining = exponent
+            digits: list[tuple[int, int]] = []
+            while remaining:
+                digit = remaining & digit_mask
+                if digit:
+                    digits.append((position, digit))
+                    if digit > max_digit.get(position, 0):
+                        max_digit[position] = digit
+                remaining >>= width
+                position += 1
+            digits_of[exponent] = digits
+        # Per-position ladders base_k^d for d up to that position's max digit.
+        digit_slots: dict[int, dict[int, int]] = {}
+        for position in sorted(max_digit):
+            base = base_slots[position]
+            slots = {1: base}
+            slot = base
+            for digit in range(2, max_digit[position] + 1):
+                slot = emit(slot, base)
+                slots[digit] = slot
+            digit_slots[position] = slots
+        # Assemble each distinct power from its non-zero digit powers.
+        for exponent in distinct:
+            parts = [digit_slots[position][digit] for position, digit in digits_of[exponent]]
+            slot = parts[0]
+            for part in parts[1:]:
+                slot = emit(slot, part)
+            slot_of[exponent] = slot
+    if len(ops) != expected:  # pragma: no cover - structural invariant
+        raise AssertionError(
+            f"plan for {distinct} emitted {len(ops)} ops, strategy "
+            f"{strategy!r} predicted {expected}"
+        )
+    return PowerPlan(strategy, ops, slot_of)
+
+
+def build_power_table(selector: int, impacts, modulus: int) -> tuple[dict[int, int], int]:
+    """``({p: E(u)^p}, multiplications)`` for one list's distinct impacts.
+
+    Executes the cached :func:`power_table_plan` with plain modular
+    arithmetic; ``selector`` may be any type supporting ``*`` and ``%``
+    (plain int, or gmpy2 ``mpz`` under that backend).  ``table[1]`` is the
+    selector object itself, unreduced, matching the historic builder.
+    """
+    distinct = tuple(sorted(set(impacts)))
+    if not distinct:
+        return {}, 0
+    plan = power_table_plan(distinct)
+    slots = [1, selector]
+    append = slots.append
+    for src1, src2 in plan.ops:
+        append(slots[src1] * slots[src2] % modulus)
+    table = {impact: slots[slot] for impact, slot in plan.slot_of.items()}
+    return table, len(plan.ops)
+
+
+# -- grouped (gmpy2-oriented) accumulation ------------------------------------------
+
+
+def _impact_runs(doc_ids, impacts):
+    """Yield ``(impact, doc_id_slice)`` runs of equal consecutive impacts.
+
+    Inverted lists are impact-ordered, so runs are long; grouping hoists the
+    table lookup out of the inner loop while visiting postings in their
+    original order (runs are consecutive slices), which keeps dict insertion
+    order -- and therefore the result -- identical to the per-posting loop.
+    """
+    start = 0
+    total = len(doc_ids)
+    for index in range(1, total + 1):
+        if index == total or impacts[index] != impacts[start]:
+            yield impacts[start], doc_ids[start:index]
+            start = index
+
+
+def accumulate_grouped(
+    payload, modulus: int, wrap
+) -> tuple[dict[int, int], int, int, int]:
+    """Run-grouped accumulation with backend-wrapped big integers.
+
+    ``wrap`` converts plain ints to the active backend's integer type (gmpy2
+    ``mpz``; the identity under pure python, which the equivalence tests use
+    to exercise this path without gmpy2 installed).  Returns
+    ``(accumulators, postings, table_multiplications,
+    accumulator_multiplications)`` with accumulator values converted back to
+    plain ``int``, bit-identical to the per-posting oracle loop.
+    """
+    accumulators: dict[int, object] = {}
+    accumulator_get = accumulators.get
+    postings = 0
+    table_multiplications = 0
+    accumulator_multiplications = 0
+    wrapped_modulus = wrap(modulus)
+    for selector, doc_ids, impacts in payload:
+        if not len(doc_ids):
+            continue
+        table, table_mults = build_power_table(wrap(selector), impacts, wrapped_modulus)
+        table_multiplications += table_mults
+        postings += len(doc_ids)
+        new_candidates = -len(accumulators)
+        for impact, run_docs in _impact_runs(doc_ids, impacts):
+            value = table[impact]
+            for doc_id in run_docs:
+                existing = accumulator_get(doc_id)
+                if existing is None:
+                    accumulators[doc_id] = value
+                else:
+                    accumulators[doc_id] = existing * value % wrapped_modulus
+        new_candidates += len(accumulators)
+        accumulator_multiplications += len(doc_ids) - new_candidates
+    plain = {doc_id: int(value) for doc_id, value in accumulators.items()}
+    return plain, postings, table_multiplications, accumulator_multiplications
+
+
+# -- the compiled Montgomery kernel -------------------------------------------------
+#
+# Plain C, u128 arithmetic, merged-CIOS Montgomery multiplication (the
+# multiply and reduction interleave per limb of ``a``, so the working vector
+# is touched once per limb).  MAXL bounds the modulus at 66 limbs (4224
+# bits), far beyond experiment key sizes.  The nl == 16 dispatch gives gcc a
+# compile-time limb count for the dominant 1024-bit case (~10% faster than
+# the variable-count loop).
+
+MAXL = 66
+
+_KERNEL_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+#define MAXL 66
+
+static void mont_mul_n(uint64_t *out, const uint64_t *a, const uint64_t *b,
+                       const uint64_t *n, uint64_t n0inv, const int nl)
+{
+    uint64_t t[MAXL + 1];
+    memset(t, 0, (size_t)(nl + 1) * sizeof(uint64_t));
+    for (int i = 0; i < nl; i++) {
+        uint64_t ai = a[i];
+        unsigned __int128 c0 = (unsigned __int128)ai * b[0] + t[0];
+        uint64_t m = (uint64_t)c0 * n0inv;
+        unsigned __int128 c1 = (unsigned __int128)m * n[0] + (uint64_t)c0;
+        unsigned __int128 carry = (c0 >> 64) + (c1 >> 64);
+        for (int j = 1; j < nl; j++) {
+            unsigned __int128 cur = (unsigned __int128)ai * b[j] + t[j] + (uint64_t)carry;
+            unsigned __int128 cur2 = (unsigned __int128)m * n[j] + (uint64_t)cur;
+            t[j - 1] = (uint64_t)cur2;
+            carry = (carry >> 64) + (cur >> 64) + (cur2 >> 64);
+        }
+        unsigned __int128 last = (unsigned __int128)t[nl] + carry;
+        t[nl - 1] = (uint64_t)last;
+        t[nl] = (uint64_t)(last >> 64);
+    }
+    uint64_t res[MAXL];
+    uint64_t borrow = 0;
+    for (int j = 0; j < nl; j++) {
+        unsigned __int128 diff = (unsigned __int128)t[j] - n[j] - borrow;
+        res[j] = (uint64_t)diff;
+        borrow = (uint64_t)(diff >> 64) & 1;
+    }
+    if (t[nl] != 0 || borrow == 0)
+        memcpy(out, res, (size_t)nl * sizeof(uint64_t));
+    else
+        memcpy(out, t, (size_t)nl * sizeof(uint64_t));
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define REPRO_HAVE_ADX16 1
+/* 1024-bit Montgomery multiply with MULX + dual ADCX/ADOX carry chains.
+ * Two passes per word: t += a_i*b, then t += m*n and shift one limb.
+ * Requires BMI2 + ADX (runtime-gated by the caller). */
+__attribute__((target("bmi2,adx")))
+static void mont_mul_adx16(uint64_t *out, const uint64_t *a, const uint64_t *b,
+                           const uint64_t *n, uint64_t n0inv)
+{
+    uint64_t t[18];
+    memset(t, 0, sizeof(t));
+    for (int i = 0; i < 16; i++) {
+        __asm__ volatile(
+            "xorl %%eax, %%eax\n\t"  /* clear CF and OF */
+            "movq 0(%[t]), %%r8\n\t"
+            "movq 8(%[t]), %%r9\n\t"
+            "mulxq 0(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 0(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 16(%[t]), %%r8\n\t"
+            "mulxq 8(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 8(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 24(%[t]), %%r9\n\t"
+            "mulxq 16(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 16(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 32(%[t]), %%r8\n\t"
+            "mulxq 24(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 24(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 40(%[t]), %%r9\n\t"
+            "mulxq 32(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 32(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 48(%[t]), %%r8\n\t"
+            "mulxq 40(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 40(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 56(%[t]), %%r9\n\t"
+            "mulxq 48(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 48(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 64(%[t]), %%r8\n\t"
+            "mulxq 56(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 56(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 72(%[t]), %%r9\n\t"
+            "mulxq 64(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 64(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 80(%[t]), %%r8\n\t"
+            "mulxq 72(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 72(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 88(%[t]), %%r9\n\t"
+            "mulxq 80(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 80(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 96(%[t]), %%r8\n\t"
+            "mulxq 88(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 88(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 104(%[t]), %%r9\n\t"
+            "mulxq 96(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 96(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 112(%[t]), %%r8\n\t"
+            "mulxq 104(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 104(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 120(%[t]), %%r9\n\t"
+            "mulxq 112(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 112(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 128(%[t]), %%r8\n\t"
+            "mulxq 120(%[b]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 120(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movl $0, %%eax\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 128(%[t])\n\t"
+            "setc %%al\n\t"
+            "seto %%cl\n\t"
+            "movzbl %%al, %%eax\n\t"
+            "movzbl %%cl, %%ecx\n\t"
+            "addq %%rcx, %%rax\n\t"
+            "addq %%rax, 136(%[t])\n\t"
+            : : [t] "r"(t), [b] "r"(b), "d"(a[i])
+            : "rax", "rcx", "r8", "r9", "r10", "cc", "memory");
+        uint64_t m = t[0] * n0inv;
+        __asm__ volatile(
+            "xorl %%eax, %%eax\n\t"
+            "movq 0(%[t]), %%r8\n\t"
+            "movq 8(%[t]), %%r9\n\t"
+            "mulxq 0(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 16(%[t]), %%r8\n\t"
+            "mulxq 8(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 0(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 24(%[t]), %%r9\n\t"
+            "mulxq 16(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 8(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 32(%[t]), %%r8\n\t"
+            "mulxq 24(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 16(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 40(%[t]), %%r9\n\t"
+            "mulxq 32(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 24(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 48(%[t]), %%r8\n\t"
+            "mulxq 40(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 32(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 56(%[t]), %%r9\n\t"
+            "mulxq 48(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 40(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 64(%[t]), %%r8\n\t"
+            "mulxq 56(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 48(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 72(%[t]), %%r9\n\t"
+            "mulxq 64(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 56(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 80(%[t]), %%r8\n\t"
+            "mulxq 72(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 64(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 88(%[t]), %%r9\n\t"
+            "mulxq 80(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 72(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 96(%[t]), %%r8\n\t"
+            "mulxq 88(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 80(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 104(%[t]), %%r9\n\t"
+            "mulxq 96(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 88(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 112(%[t]), %%r8\n\t"
+            "mulxq 104(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 96(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 120(%[t]), %%r9\n\t"
+            "mulxq 112(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 104(%[t])\n\t"
+            "adoxq %%r10, %%r9\n\t"
+            "movq 128(%[t]), %%r8\n\t"
+            "mulxq 120(%[n]), %%rax, %%r10\n\t"
+            "adcxq %%rax, %%r9\n\t"
+            "movq %%r9, 112(%[t])\n\t"
+            "adoxq %%r10, %%r8\n\t"
+            "movq 136(%[t]), %%r9\n\t"
+            "movl $0, %%eax\n\t"
+            "adcxq %%rax, %%r8\n\t"
+            "movq %%r8, 120(%[t])\n\t"  /* t[15] = old t[16] */
+            "setc %%al\n\t"
+            "seto %%cl\n\t"
+            "movzbl %%al, %%eax\n\t"
+            "movzbl %%cl, %%ecx\n\t"
+            "addq %%rcx, %%rax\n\t"
+            "addq %%r9, %%rax\n\t"  /* + old t[17] */
+            "movq %%rax, 128(%[t])\n\t"  /* t[16] */
+            "movq $0, 136(%[t])\n\t"  /* t[17] */
+            : : [t] "r"(t), [n] "r"(n), "d"(m)
+            : "rax", "rcx", "r8", "r9", "r10", "cc", "memory");
+    }
+    uint64_t res[16];
+    uint64_t borrow = 0;
+    for (int j = 0; j < 16; j++) {
+        unsigned __int128 diff = (unsigned __int128)t[j] - n[j] - borrow;
+        res[j] = (uint64_t)diff;
+        borrow = (uint64_t)(diff >> 64) & 1;
+    }
+    if (t[16] != 0 || borrow == 0)
+        memcpy(out, res, sizeof(res));
+    else
+        memcpy(out, t, 16 * sizeof(uint64_t));
+}
+#endif  /* x86_64 ADX path */
+
+static int repro_cpu_adx = -1;
+
+static inline void mont_mul_(uint64_t *out, const uint64_t *a, const uint64_t *b,
+                             const uint64_t *n, uint64_t n0inv, int nl)
+{
+    if (nl == 16) {
+#ifdef REPRO_HAVE_ADX16
+        if (repro_cpu_adx < 0)
+            repro_cpu_adx = __builtin_cpu_supports("bmi2")
+                && __builtin_cpu_supports("adx");
+        if (repro_cpu_adx) {
+            mont_mul_adx16(out, a, b, n, n0inv);
+            return;
+        }
+#endif
+        mont_mul_n(out, a, b, n, n0inv, 16);
+        return;
+    }
+    mont_mul_n(out, a, b, n, n0inv, nl);
+}
+
+static void mont_redc_n(uint64_t *out, const uint64_t *a,
+                        const uint64_t *n, uint64_t n0inv, const int nl)
+{
+    uint64_t t[MAXL + 1];
+    memcpy(t, a, (size_t)nl * sizeof(uint64_t));
+    t[nl] = 0;
+    for (int i = 0; i < nl; i++) {
+        uint64_t m = t[0] * n0inv;
+        unsigned __int128 c1 = (unsigned __int128)m * n[0] + t[0];
+        unsigned __int128 carry = c1 >> 64;
+        for (int j = 1; j < nl; j++) {
+            unsigned __int128 cur = (unsigned __int128)m * n[j] + t[j] + (uint64_t)carry;
+            t[j - 1] = (uint64_t)cur;
+            carry = (carry >> 64) + (cur >> 64);
+        }
+        unsigned __int128 last = (unsigned __int128)t[nl] + carry;
+        t[nl - 1] = (uint64_t)last;
+        t[nl] = (uint64_t)(last >> 64);
+    }
+    uint64_t res[MAXL];
+    uint64_t borrow = 0;
+    for (int j = 0; j < nl; j++) {
+        unsigned __int128 diff = (unsigned __int128)t[j] - n[j] - borrow;
+        res[j] = (uint64_t)diff;
+        borrow = (uint64_t)(diff >> 64) & 1;
+    }
+    if (t[nl] != 0 || borrow == 0)
+        memcpy(out, res, (size_t)nl * sizeof(uint64_t));
+    else
+        memcpy(out, t, (size_t)nl * sizeof(uint64_t));
+}
+
+static inline void mont_redc_(uint64_t *out, const uint64_t *a,
+                              const uint64_t *n, uint64_t n0inv, int nl)
+{
+    if (nl == 16)
+        mont_redc_n(out, a, n, n0inv, 16);
+    else
+        mont_redc_n(out, a, n, n0inv, nl);
+}
+
+void repro_mont_mul(uint64_t *out, const uint64_t *a, const uint64_t *b,
+                    const uint64_t *n, uint64_t n0inv, int nl)
+{
+    mont_mul_(out, a, b, n, n0inv, nl);
+}
+
+void repro_mont_redc(uint64_t *out, const uint64_t *a,
+                     const uint64_t *n, uint64_t n0inv, int nl)
+{
+    mont_redc_(out, a, n, n0inv, nl);
+}
+
+void repro_mul_many(uint64_t *out, const uint64_t *a, long count,
+                    const uint64_t *b, const uint64_t *n, uint64_t n0inv,
+                    int nl)
+{
+    for (long i = 0; i < count; i++)
+        mont_mul_(out + i * nl, a + i * nl, b, n, n0inv, nl);
+}
+
+void repro_redc_many(uint64_t *out, const uint64_t *a, long count,
+                     const uint64_t *n, uint64_t n0inv, int nl)
+{
+    for (long i = 0; i < count; i++)
+        mont_redc_(out + i * nl, a + i * nl, n, n0inv, nl);
+}
+
+void repro_program(uint64_t *ws, const uint32_t *src1, const uint32_t *src2,
+                   const uint32_t *dst, long count, const uint64_t *n,
+                   uint64_t n0inv, int nl)
+{
+    for (long i = 0; i < count; i++)
+        mont_mul_(ws + (long)dst[i] * nl, ws + (long)src1[i] * nl,
+                  ws + (long)src2[i] * nl, n, n0inv, nl);
+}
+
+void repro_fold(uint64_t *acc, const uint64_t *table, const uint32_t *rows,
+                const uint32_t *tidx, long count, const uint64_t *n,
+                uint64_t n0inv, int nl)
+{
+    for (long i = 0; i < count; i++) {
+        uint64_t *slot = acc + (long)rows[i] * nl;
+        mont_mul_(slot, slot, table + (long)tidx[i] * nl, n, n0inv, nl);
+    }
+}
+
+void repro_pow_many(uint64_t *out, const uint64_t *bases, long count,
+                    const uint64_t *exp, int ebits, const uint64_t *one_m,
+                    const uint64_t *n, uint64_t n0inv, int nl)
+{
+    for (long i = 0; i < count; i++) {
+        const uint64_t *base = bases + i * nl;
+        uint64_t *res = out + i * nl;
+        memcpy(res, one_m, (size_t)nl * sizeof(uint64_t));
+        for (int bit = ebits - 1; bit >= 0; bit--) {
+            mont_mul_(res, res, res, n, n0inv, nl);
+            if ((exp[bit >> 6] >> (bit & 63)) & 1)
+                mont_mul_(res, res, base, n, n0inv, nl);
+        }
+    }
+}
+"""
+
+_KERNEL_CDEF = """
+void repro_mont_mul(uint64_t *out, const uint64_t *a, const uint64_t *b,
+                    const uint64_t *n, uint64_t n0inv, int nl);
+void repro_mont_redc(uint64_t *out, const uint64_t *a,
+                     const uint64_t *n, uint64_t n0inv, int nl);
+void repro_mul_many(uint64_t *out, const uint64_t *a, long count,
+                    const uint64_t *b, const uint64_t *n, uint64_t n0inv,
+                    int nl);
+void repro_redc_many(uint64_t *out, const uint64_t *a, long count,
+                     const uint64_t *n, uint64_t n0inv, int nl);
+void repro_program(uint64_t *ws, const uint32_t *src1, const uint32_t *src2,
+                   const uint32_t *dst, long count, const uint64_t *n,
+                   uint64_t n0inv, int nl);
+void repro_fold(uint64_t *acc, const uint64_t *table, const uint32_t *rows,
+                const uint32_t *tidx, long count, const uint64_t *n,
+                uint64_t n0inv, int nl);
+void repro_pow_many(uint64_t *out, const uint64_t *bases, long count,
+                    const uint64_t *exp, int ebits, const uint64_t *one_m,
+                    const uint64_t *n, uint64_t n0inv, int nl);
+"""
+
+_COMPILE_ARGS = ("-O3",)
+
+#: Loaded ``(ffi, lib)`` pair, or the failure reason once loading failed.
+_COMPILED: tuple | None = None
+_COMPILE_ERROR: str | None = None
+
+
+def _cache_dir() -> str:
+    configured = os.environ.get("REPRO_KERNEL_CACHE")
+    if configured:
+        return configured
+    try:
+        uid = os.getuid()
+    except AttributeError:  # pragma: no cover - non-POSIX
+        uid = 0
+    return os.path.join(tempfile.gettempdir(), f"repro-kernels-cache-{uid}")
+
+
+def _module_name() -> str:
+    import hashlib
+
+    digest = hashlib.sha256(
+        (_KERNEL_SOURCE + _KERNEL_CDEF + " ".join(_COMPILE_ARGS)).encode()
+    ).hexdigest()[:16]
+    return f"_repro_kernels_{digest}"
+
+
+def _load_extension(path: str, modname: str):
+    spec = importlib.util.spec_from_file_location(modname, path)
+    if spec is None or spec.loader is None:  # pragma: no cover - defensive
+        raise ImportError(f"cannot load kernel extension from {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.ffi, module.lib
+
+
+def _compile_or_load():
+    """Compile the kernel (once per machine) or load the cached extension."""
+    from cffi import FFI
+
+    import importlib.machinery
+
+    modname = _module_name()
+    suffix = importlib.machinery.EXTENSION_SUFFIXES[0]
+    cache_dir = _cache_dir()
+    target = os.path.join(cache_dir, modname + suffix)
+    if os.path.exists(target):
+        return _load_extension(target, modname)
+    os.makedirs(cache_dir, exist_ok=True)
+    builder = FFI()
+    builder.cdef(_KERNEL_CDEF)
+    builder.set_source(modname, _KERNEL_SOURCE, extra_compile_args=list(_COMPILE_ARGS))
+    workdir = tempfile.mkdtemp(prefix="build-", dir=cache_dir)
+    try:
+        built = builder.compile(tmpdir=workdir)
+        # Atomic publish: concurrent builders race benignly, last one wins
+        # with an identical artefact (the module name pins the source hash).
+        os.replace(built, target)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return _load_extension(target, modname)
+
+
+def _self_test(ffi, lib) -> None:
+    """Verify the compiled arithmetic against python pow/mul on random cases."""
+    import random
+
+    rng = random.Random(0x5EED)
+    for bits in (16, 64, 128, 1024, 1536):
+        modulus = (rng.getrandbits(bits) | (1 << (bits - 1))) | 1
+        nl = (modulus.bit_length() + 63) // 64
+        radix = 1 << (64 * nl)
+        n0inv = (-pow(modulus, -1, 1 << 64)) % (1 << 64)
+        n_buf = ffi.new("uint64_t[]", nl)
+        ffi.memmove(n_buf, modulus.to_bytes(nl * 8, "little"), nl * 8)
+        out = ffi.new("uint64_t[]", nl)
+        a_buf = ffi.new("uint64_t[]", nl)
+        b_buf = ffi.new("uint64_t[]", nl)
+        for _ in range(8):
+            a = rng.randrange(modulus)
+            b = rng.randrange(modulus)
+            a_m = a * radix % modulus
+            b_m = b * radix % modulus
+            ffi.memmove(a_buf, a_m.to_bytes(nl * 8, "little"), nl * 8)
+            ffi.memmove(b_buf, b_m.to_bytes(nl * 8, "little"), nl * 8)
+            lib.repro_mont_mul(out, a_buf, b_buf, n_buf, n0inv, nl)
+            got = int.from_bytes(bytes(ffi.buffer(out, nl * 8)), "little")
+            if got != a * b * radix % modulus:
+                raise RuntimeError(
+                    f"compiled Montgomery multiply self-test failed at {bits} bits"
+                )
+            lib.repro_mont_redc(out, a_buf, n_buf, n0inv, nl)
+            got = int.from_bytes(bytes(ffi.buffer(out, nl * 8)), "little")
+            if got != a:
+                raise RuntimeError(
+                    f"compiled Montgomery reduction self-test failed at {bits} bits"
+                )
+
+
+def ensure_compiled():
+    """Return the loaded ``(ffi, lib)`` pair, compiling on first use.
+
+    Raises a loud :class:`RuntimeError` naming the reason (no cffi, no numpy,
+    no C toolchain, or a failed self-test) when the compiled backend cannot
+    be provided; the failure is cached so repeated probes stay cheap.
+    """
+    global _COMPILED, _COMPILE_ERROR
+    if _COMPILED is not None:
+        return _COMPILED
+    if _COMPILE_ERROR is not None:
+        raise RuntimeError(_COMPILE_ERROR)
+    if not HAVE_CFFI:
+        _COMPILE_ERROR = (
+            "the cffi backend was requested but cffi is not installed; "
+            "install the optional extra (pip install 'repro-pangdx10[compiled]')"
+        )
+        raise RuntimeError(_COMPILE_ERROR)
+    if _np is None:
+        _COMPILE_ERROR = (
+            "the cffi backend was requested but numpy is not installed; "
+            "install the optional extra (pip install 'repro-pangdx10[vector]')"
+        )
+        raise RuntimeError(_COMPILE_ERROR)
+    try:
+        ffi, lib = _compile_or_load()
+        _self_test(ffi, lib)
+    except RuntimeError:
+        raise
+    except Exception as exc:  # distutils/compiler errors are not RuntimeError
+        _COMPILE_ERROR = (
+            f"the cffi kernel backend could not be compiled or loaded: {exc!r}; "
+            "a working C compiler (cc/gcc) is required, or unset the backend "
+            "with numbertheory.set_backend('python')"
+        )
+        raise RuntimeError(_COMPILE_ERROR) from exc
+    _COMPILED = (ffi, lib)
+    return _COMPILED
+
+
+def compiled_available() -> bool:
+    """True when the compiled kernel loads (compiling it on first call)."""
+    try:
+        ensure_compiled()
+    except RuntimeError:
+        return False
+    return True
+
+
+# -- Montgomery contexts ------------------------------------------------------------
+
+
+class _MontgomeryContext:
+    """Per-modulus Montgomery constants plus persistent C-side buffers."""
+
+    __slots__ = ("modulus", "nl", "n0inv", "one", "n_c", "r2_c", "one_c", "one_row")
+
+    def __init__(self, ffi, modulus: int) -> None:
+        self.modulus = modulus
+        nl = (modulus.bit_length() + 63) // 64
+        self.nl = nl
+        radix = 1 << (64 * nl)
+        self.n0inv = (-pow(modulus, -1, 1 << 64)) % (1 << 64)
+        r2 = radix * radix % modulus
+        self.one = radix % modulus
+        self.n_c = ffi.new("uint64_t[]", nl)
+        ffi.memmove(self.n_c, modulus.to_bytes(nl * 8, "little"), nl * 8)
+        self.r2_c = ffi.new("uint64_t[]", nl)
+        ffi.memmove(self.r2_c, r2.to_bytes(nl * 8, "little"), nl * 8)
+        self.one_c = ffi.new("uint64_t[]", nl)
+        ffi.memmove(self.one_c, self.one.to_bytes(nl * 8, "little"), nl * 8)
+        self.one_row = _np.frombuffer(
+            self.one.to_bytes(nl * 8, "little"), dtype=_np.uint64
+        )
+
+
+_CONTEXTS: dict[int, _MontgomeryContext] = {}
+_CONTEXT_CAP = 16
+
+
+def _montgomery_context(ffi, modulus: int) -> _MontgomeryContext | None:
+    """The cached context for ``modulus``, or None when unsupported (even/small/huge)."""
+    context = _CONTEXTS.get(modulus)
+    if context is not None:
+        return context
+    if modulus < 3 or modulus % 2 == 0 or modulus.bit_length() > 64 * MAXL:
+        return None
+    if len(_CONTEXTS) >= _CONTEXT_CAP:
+        _CONTEXTS.clear()
+    context = _MontgomeryContext(ffi, modulus)
+    _CONTEXTS[modulus] = context
+    return context
+
+
+def _u64_ptr(ffi, arr):
+    # from_buffer (not cast) so the returned cdata keeps ``arr`` alive for
+    # the duration of the call even when ``arr`` is a temporary.
+    return ffi.from_buffer("uint64_t[]", arr, require_writable=False)
+
+
+def _u32_ptr(ffi, arr):
+    return ffi.from_buffer("uint32_t[]", arr, require_writable=False)
+
+
+def _ints_to_rows(values, nl: int):
+    """Pack an iterable of ints (< 2^(64*nl)) into a (count, nl) uint64 array."""
+    width = nl * 8
+    raw = b"".join(value.to_bytes(width, "little") for value in values)
+    return _np.frombuffer(raw, dtype=_np.uint64).reshape(-1, nl).copy()
+
+
+def _rows_to_ints(rows) -> list[int]:
+    width = rows.shape[1] * 8
+    raw = rows.tobytes()
+    from_bytes = int.from_bytes
+    return [
+        from_bytes(raw[offset : offset + width], "little")
+        for offset in range(0, len(raw), width)
+    ]
+
+
+def _to_montgomery(ffi, lib, rows, context):
+    """Convert a (count, nl) array of canonical residues to Montgomery form."""
+    out = _np.empty_like(rows)
+    lib.repro_mul_many(
+        _u64_ptr(ffi, out),
+        _u64_ptr(ffi, rows),
+        rows.shape[0],
+        context.r2_c,
+        context.n_c,
+        context.n0inv,
+        context.nl,
+    )
+    return out
+
+
+#: Workspace / index-array size ceilings; payloads beyond them (or with
+#: impacts too large to tabulate densely) fall back to the oracle loop.
+_SLOT_CAP = 1 << 20
+_MAX_PLAN_IMPACT = 1 << 20
+
+#: Per-impact-column prepared data, keyed by the column's bytes.  Payload
+#: columns are the index's own storage, so the same quantised-impact columns
+#: recur across queries; caching the distinct set, the plan and the
+#: plan-relative slot column (all pure functions of the column content)
+#: removes the per-term python prep from the batch hot path.
+_COLUMN_CACHE: dict[bytes, tuple] = {}
+_COLUMN_CACHE_CAP = 1 << 16
+
+
+def _as_uint32(values):
+    """Zero-copy ``uint32`` view of a typed array, copying only if needed."""
+    try:
+        return _np.frombuffer(values, dtype=_np.uint32)
+    except (TypeError, ValueError, BufferError):
+        return _np.asarray(values, dtype=_np.uint32)
+
+
+def _prepared_column(impact_column) -> tuple:
+    """``(plan, relative_slot_column)`` for one term's impact column."""
+    key = impact_column.tobytes()
+    entry = _COLUMN_CACHE.get(key)
+    if entry is None:
+        distinct = tuple(sorted(set(impact_column.tolist())))
+        if distinct[-1] > _MAX_PLAN_IMPACT:
+            entry = (None, None)
+        else:
+            plan = power_table_plan(distinct)
+            entry = (plan, plan.np_lookup()[impact_column])
+        if len(_COLUMN_CACHE) >= _COLUMN_CACHE_CAP:
+            _COLUMN_CACHE.clear()
+        _COLUMN_CACHE[key] = entry
+    return entry
+
+
+def accumulate_compiled(payload, modulus: int):
+    """Whole-payload Montgomery accumulation on the compiled kernel.
+
+    Returns ``(accumulators, postings, table_multiplications,
+    accumulator_multiplications)`` -- the accumulator dict in the same
+    (first-occurrence) insertion order, with the same canonical residues and
+    the same counter values as the pure-python oracle loop -- or ``None``
+    whenever any input falls outside the kernel's envelope (no numpy or
+    compiled library, even/tiny/huge modulus, out-of-range selectors,
+    mismatched columns, oversized workspaces), in which case the caller runs
+    the oracle loop instead.
+    """
+    if _np is None:
+        return None
+    try:
+        ffi, lib = ensure_compiled()
+    except RuntimeError:
+        return None
+    context = _montgomery_context(ffi, modulus)
+    if context is None:
+        return None
+
+    selectors = []
+    doc_columns = []
+    slot_columns = []
+    plans = []
+    lengths = []
+    postings = 0
+    table_multiplications = 0
+    total_slots = 0
+    try:
+        for selector, doc_ids, impacts in payload:
+            count = len(doc_ids)
+            if not count:
+                continue
+            if count != len(impacts):
+                return None
+            if not isinstance(selector, int) or not 0 <= selector < modulus:
+                return None
+            impact_column = _as_uint32(impacts)
+            doc_column = _as_uint32(doc_ids)
+            plan, relative_slots = _prepared_column(impact_column)
+            if plan is None:
+                return None
+            selectors.append(selector)
+            doc_columns.append(doc_column)
+            slot_columns.append(relative_slots)
+            plans.append(plan)
+            lengths.append(count)
+            postings += count
+            table_multiplications += len(plan.ops)
+            total_slots += plan.nslots
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if not plans:
+        return {}, 0, 0, 0
+    if total_slots > _SLOT_CAP or postings >= 1 << 31:
+        return None
+
+    nl = context.nl
+    slot_counts = _np.fromiter(
+        (plan.nslots for plan in plans), dtype=_np.int64, count=len(plans)
+    )
+    term_bases = _np.concatenate(([0], _np.cumsum(slot_counts)[:-1]))
+
+    # Workspace (Montgomery form): slot 0 = one, slot 1 = the selector, the
+    # rest written by each term's multiplication program.
+    workspace = _np.empty((total_slots, nl), dtype=_np.uint64)
+    selectors_m = _to_montgomery(ffi, lib, _ints_to_rows(selectors, nl), context)
+    workspace[term_bases] = context.one_row
+    workspace[term_bases + 1] = selectors_m
+
+    op_counts = _np.fromiter(
+        (len(plan.ops) for plan in plans), dtype=_np.int64, count=len(plans)
+    )
+    if op_counts.any():
+        op_bases = _np.repeat(term_bases, op_counts).astype(_np.uint32)
+        src1 = _np.concatenate([plan.np_ops()[0] for plan in plans]) + op_bases
+        src2 = _np.concatenate([plan.np_ops()[1] for plan in plans]) + op_bases
+        dst = _np.concatenate([plan.np_ops()[2] for plan in plans]) + op_bases
+        lib.repro_program(
+            _u64_ptr(ffi, workspace),
+            _u32_ptr(ffi, src1),
+            _u32_ptr(ffi, src2),
+            _u32_ptr(ffi, dst),
+            len(dst),
+            context.n_c,
+            context.n0inv,
+            nl,
+        )
+
+    all_docs = _np.concatenate(doc_columns)
+    posting_bases = _np.repeat(
+        term_bases, _np.asarray(lengths, dtype=_np.int64)
+    ).astype(_np.uint32)
+    all_slots = _np.concatenate(slot_columns) + posting_bases
+    npost = len(all_docs)
+    max_doc = int(all_docs.max())
+    if max_doc <= (npost << 2) + 65536:
+        # Dense first-occurrence scan: O(postings + max_doc) instead of the
+        # O(n log n) sort inside np.unique.  Reversed fancy assignment keeps
+        # the *smallest* posting position per candidate (last write wins).
+        first_seen = _np.full(max_doc + 1, -1, dtype=_np.int64)
+        first_seen[all_docs[::-1]] = _np.arange(npost - 1, -1, -1)
+        unique_docs = _np.flatnonzero(first_seen >= 0)
+        first_index = first_seen[unique_docs]
+        rank = _np.empty(max_doc + 1, dtype=_np.int64)
+        rank[unique_docs] = _np.arange(len(unique_docs))
+        inverse = rank[all_docs]
+    else:
+        unique_docs, first_index, inverse = _np.unique(
+            all_docs, return_index=True, return_inverse=True
+        )
+    first_slots = all_slots[first_index]
+
+    # Convert only the table slots that seed an accumulator back to normal
+    # form (far fewer distinct slots than candidate documents), then
+    # gather-copy: each candidate's accumulator starts as the *canonical*
+    # power of its first posting, exactly the oracle's dict insert.  The
+    # fold then multiplies Montgomery-form table rows into normal-form
+    # accumulators -- mont_mul(x, y*R) = x*y mod n -- so accumulators stay
+    # canonical throughout and no per-document output conversion is needed.
+    seed_slots = _np.unique(first_slots)
+    seed_rows_m = _np.ascontiguousarray(workspace[seed_slots])
+    seed_rows = _np.empty_like(seed_rows_m)
+    lib.repro_redc_many(
+        _u64_ptr(ffi, seed_rows),
+        _u64_ptr(ffi, seed_rows_m),
+        len(seed_slots),
+        context.n_c,
+        context.n0inv,
+        nl,
+    )
+    accumulators_n = _np.ascontiguousarray(
+        seed_rows[_np.searchsorted(seed_slots, first_slots)]
+    )
+    remaining = _np.ones(len(all_docs), dtype=bool)
+    remaining[first_index] = False
+    fold_rows = _np.ascontiguousarray(inverse[remaining].astype(_np.uint32))
+    fold_slots = _np.ascontiguousarray(all_slots[remaining])
+    # Only the remaining postings cost a multiplication -- which is exactly
+    # the oracle's count, postings - distinct candidates.
+    if len(fold_rows):
+        lib.repro_fold(
+            _u64_ptr(ffi, accumulators_n),
+            _u64_ptr(ffi, workspace),
+            _u32_ptr(ffi, fold_rows),
+            _u32_ptr(ffi, fold_slots),
+            len(fold_rows),
+            context.n_c,
+            context.n0inv,
+            nl,
+        )
+
+    # Rebuild the dict in the oracle's insertion order (first occurrence of
+    # each candidate in posting order), not np.unique's sorted order, so the
+    # result compares equal *including iteration order*.
+    values = _rows_to_ints(accumulators_n)
+    order_positions = _np.sort(first_index)
+    ordered_docs = all_docs[order_positions].tolist()
+    ordered_rows = inverse[order_positions].tolist()
+    accumulators = {
+        doc: values[row] for doc, row in zip(ordered_docs, ordered_rows)
+    }
+    accumulator_multiplications = len(all_docs) - len(unique_docs)
+    return accumulators, postings, table_multiplications, accumulator_multiplications
+
+
+def pir_fold_rows(row_masks, cols: int, base: int, ratios, modulus: int):
+    """Compiled set-bit row fold for the packed PIR answer path.
+
+    Computes ``gamma_i = base * prod_{set bits j of mask_i} ratios[j] mod n``
+    for every row, returning ``(answers, set_bit_count)`` bit-identical to
+    the python while-loop (``set_bit_count`` is the number of ratio
+    multiplications the python path would meter), or ``None`` when the
+    kernel envelope does not apply and the caller should run the loop.
+    """
+    if _np is None:
+        return None
+    try:
+        ffi, lib = ensure_compiled()
+    except RuntimeError:
+        return None
+    context = _montgomery_context(ffi, modulus)
+    if context is None:
+        return None
+    rows = len(row_masks)
+    if rows == 0:
+        return [], 0
+    if rows >= 1 << 31 or cols >= 1 << 31 or not 0 <= base < modulus:
+        return None
+    nl = context.nl
+    mask_bytes = (cols + 7) // 8
+    try:
+        packed = b"".join(mask.to_bytes(mask_bytes, "little") for mask in row_masks)
+        ratio_rows = _ints_to_rows(ratios, nl)
+    except (OverflowError, ValueError, TypeError, AttributeError):
+        return None
+    if ratio_rows.shape[0] != cols:
+        return None
+    bit_matrix = _np.unpackbits(
+        _np.frombuffer(packed, dtype=_np.uint8).reshape(rows, mask_bytes),
+        axis=1,
+        bitorder="little",
+    )[:, :cols]
+    fold_rows, fold_cols = _np.nonzero(bit_matrix)
+    count = len(fold_rows)
+
+    # Fold in the normal domain against a Montgomery-form ratio table:
+    # mont_mul(x, y*R) = x*y mod n, so the accumulators stay canonical
+    # residues throughout and no per-row output conversion is needed.
+    ratios_m = _to_montgomery(ffi, lib, ratio_rows, context)
+    base_rows = _ints_to_rows([base], nl)
+    accumulators = _np.ascontiguousarray(
+        _np.broadcast_to(base_rows[0], (rows, nl))
+    )
+    lib.repro_fold(
+        _u64_ptr(ffi, accumulators),
+        _u64_ptr(ffi, ratios_m),
+        _u32_ptr(ffi, _np.ascontiguousarray(fold_rows.astype(_np.uint32))),
+        _u32_ptr(ffi, _np.ascontiguousarray(fold_cols.astype(_np.uint32))),
+        count,
+        context.n_c,
+        context.n0inv,
+        nl,
+    )
+    return _rows_to_ints(accumulators), count
+
+
+def _modexp_batch_compiled(bases, exponent: int, modulus: int):
+    """``[pow(b, e, n) for b in bases]`` on the kernel, or None off-envelope."""
+    if _np is None:
+        return None
+    try:
+        ffi, lib = ensure_compiled()
+    except RuntimeError:
+        return None
+    context = _montgomery_context(ffi, modulus)
+    if context is None:
+        return None
+    if exponent < 0 or not all(
+        isinstance(b, int) and 0 <= b < modulus for b in bases
+    ):
+        return None
+    nl = context.nl
+    base_rows = _ints_to_rows(bases, nl)
+    bases_m = _to_montgomery(ffi, lib, base_rows, context)
+    ebits = exponent.bit_length()
+    exp_words = max(1, (ebits + 63) // 64)
+    exp_c = ffi.new("uint64_t[]", exp_words)
+    ffi.memmove(exp_c, exponent.to_bytes(exp_words * 8, "little"), exp_words * 8)
+    powers_m = _np.empty_like(bases_m)
+    lib.repro_pow_many(
+        _u64_ptr(ffi, powers_m),
+        _u64_ptr(ffi, bases_m),
+        len(bases),
+        exp_c,
+        ebits,
+        context.one_c,
+        context.n_c,
+        context.n0inv,
+        nl,
+    )
+    out = _np.empty_like(powers_m)
+    lib.repro_redc_many(
+        _u64_ptr(ffi, out), _u64_ptr(ffi, powers_m), len(bases), context.n_c,
+        context.n0inv, nl,
+    )
+    return _rows_to_ints(out)
+
+
+def modexp_batch(bases, exponent: int, modulus: int) -> list[int]:
+    """``[pow(base, exponent, modulus) for base in bases]`` on the active backend.
+
+    A common-exponent batch (the zero-pool replenishment shape: every pool
+    entry is ``mu^r mod n`` for the same public ``r``).  Dispatches on
+    :func:`repro.crypto.numbertheory.get_backend`: the compiled kernel runs
+    one Montgomery square-and-multiply per base; gmpy2 uses ``powmod`` with
+    the attribute lookups hoisted; pure python is the oracle.  All paths
+    return identical canonical residues.
+    """
+    bases = list(bases)
+    if not bases:
+        return []
+    from repro.crypto import numbertheory
+
+    backend = numbertheory.get_backend()
+    if backend == "cffi":
+        result = _modexp_batch_compiled(bases, exponent, modulus)
+        if result is not None:
+            return result
+    elif backend == "gmpy2":  # pragma: no cover - exercised only with gmpy2
+        powmod = numbertheory.gmpy2_powmod()
+        if powmod is not None:
+            return [int(powmod(base, exponent, modulus)) for base in bases]
+    return [pow(base, exponent, modulus) for base in bases]

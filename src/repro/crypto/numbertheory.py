@@ -16,10 +16,12 @@ from typing import Iterable, Sequence
 
 __all__ = [
     "HAVE_GMPY2",
+    "HAVE_CFFI",
     "available_backends",
     "get_backend",
     "set_backend",
     "backend_int",
+    "reseed_default_rng",
     "modmul",
     "modexp",
     "egcd",
@@ -34,14 +36,15 @@ __all__ = [
     "bit_length_of",
 ]
 
-# -- optional C-accelerated big-integer backend ------------------------------------
+# -- optional accelerated big-integer backends -------------------------------------
 #
 # ``gmpy2`` (GMP bindings) speeds up the modular arithmetic that dominates the
-# hot paths by several times at realistic key sizes.  It is strictly optional:
-# availability is auto-detected here, but pure Python stays the *default and
-# the correctness oracle* -- the backend only switches on an explicit
-# :func:`set_backend` call, so a plain install never silently changes which
-# code computes the published numbers.
+# hot paths by several times at realistic key sizes, and ``cffi`` compiles the
+# batched Montgomery kernels of :mod:`repro.crypto.kernels` on machines with a
+# C toolchain.  Both are strictly optional: availability is auto-detected
+# here, but pure Python stays the *default and the correctness oracle* -- the
+# backend only switches on an explicit :func:`set_backend` call, so a plain
+# install never silently changes which code computes the published numbers.
 
 try:  # pragma: no cover - exercised only where gmpy2 is installed
     import gmpy2 as _gmpy2
@@ -51,12 +54,47 @@ except ImportError:  # pragma: no cover - the baked-in toolchain has no gmpy2
     _gmpy2 = None
     HAVE_GMPY2 = False
 
+try:
+    import importlib.util as _importlib_util
+
+    HAVE_CFFI = _importlib_util.find_spec("cffi") is not None
+except (ImportError, ValueError):  # pragma: no cover - defensive
+    HAVE_CFFI = False
+
 _BACKEND = "python"
+
+#: Shared fallback generator for callers that do not thread their own rng.
+#: A single module-level instance keeps the stream stateful across calls
+#: instead of constructing (and expensively seeding) a fresh ``Random()``
+#: per primality test -- the same anti-pattern already purged from the
+#: benaloh/paillier fallbacks.
+_DEFAULT_RNG = random.Random()
+
+
+def reseed_default_rng(seed: int) -> None:
+    """Explicitly re-seed the module-level fallback generator.
+
+    Worker processes call this with a per-task derived seed before doing any
+    work: a forked child otherwise inherits a byte-for-byte copy of the
+    parent's generator state and a spawned child starts from OS entropy.
+    See :func:`repro.core.parallel.reseed_worker`.
+    """
+    _DEFAULT_RNG.seed(seed)
 
 
 def available_backends() -> tuple[str, ...]:
-    """Backends usable on this install (``"python"`` always; ``"gmpy2"`` if importable)."""
-    return ("python", "gmpy2") if HAVE_GMPY2 else ("python",)
+    """Backends usable on this install.
+
+    ``"python"`` always; ``"gmpy2"`` when importable; ``"cffi"`` when cffi is
+    importable (actually compiling the kernel is deferred to
+    :func:`set_backend`, which fails loudly when no C toolchain exists).
+    """
+    backends = ["python"]
+    if HAVE_GMPY2:
+        backends.append("gmpy2")
+    if HAVE_CFFI:
+        backends.append("cffi")
+    return tuple(backends)
 
 
 def get_backend() -> str:
@@ -64,23 +102,76 @@ def get_backend() -> str:
     return _BACKEND
 
 
+def _python_modmul(a: int, b: int, modulus: int) -> int:
+    return (a * b) % modulus
+
+
+def _python_modexp(base: int, exponent: int, modulus: int) -> int:
+    return pow(base, exponent, modulus)
+
+
+def _gmpy2_ops():  # pragma: no cover - exercised only where gmpy2 is installed
+    """Scalar modmul/modexp with gmpy2 attribute lookups hoisted.
+
+    Binding ``mpz``/``powmod`` into closure cells once per backend switch
+    (instead of resolving ``_gmpy2.mpz`` on every call) is what makes the
+    scalar helpers safe to use in per-posting loops.
+    """
+    mpz = _gmpy2.mpz
+    powmod = _gmpy2.powmod
+
+    def gmpy2_modmul(a: int, b: int, modulus: int) -> int:
+        return int(mpz(a) * b % modulus)
+
+    def gmpy2_modexp(base: int, exponent: int, modulus: int) -> int:
+        return int(powmod(base, exponent, modulus))
+
+    return gmpy2_modmul, gmpy2_modexp
+
+
+def gmpy2_powmod():
+    """The raw ``gmpy2.powmod`` (or None), for batch helpers that hoist it."""
+    return _gmpy2.powmod if HAVE_GMPY2 else None
+
+
+_MODMUL = _python_modmul
+_MODEXP = _python_modexp
+
+
 def set_backend(name: str) -> str:
     """Select the big-integer backend; returns the previously active one.
 
     ``"python"`` is always accepted.  ``"gmpy2"`` raises :class:`RuntimeError`
-    when the module is not importable, so callers fail loudly instead of
-    silently benchmarking the wrong arithmetic.
+    when the module is not importable, and ``"cffi"`` raises
+    :class:`RuntimeError` when cffi/numpy are missing or the kernel fails to
+    compile (no C toolchain), so callers fail loudly instead of silently
+    benchmarking the wrong arithmetic.  Scalar :func:`modmul`/:func:`modexp`
+    are rebound on switch; the batch kernels in :mod:`repro.crypto.kernels`
+    consult :func:`get_backend` per payload.
     """
-    global _BACKEND
-    if name not in ("python", "gmpy2"):
+    global _BACKEND, _MODMUL, _MODEXP
+    if name not in ("python", "gmpy2", "cffi"):
         raise ValueError(f"unknown backend {name!r}; choose from {available_backends()}")
     if name == "gmpy2" and not HAVE_GMPY2:
         raise RuntimeError(
             "the gmpy2 backend was requested but gmpy2 is not installed; "
             "install the optional extra (pip install 'repro-pangdx10[fast]')"
         )
+    if name == "cffi":
+        # Compiles (or loads the cached kernel) now, raising a RuntimeError
+        # that names the missing piece -- cffi, numpy, or a C compiler.
+        from repro.crypto import kernels
+
+        kernels.ensure_compiled()
     previous = _BACKEND
     _BACKEND = name
+    if name == "gmpy2":  # pragma: no cover - exercised only with gmpy2
+        _MODMUL, _MODEXP = _gmpy2_ops()
+    else:
+        # The compiled backend accelerates the *batch* kernels; its scalar
+        # helpers stay on python arithmetic (a single modmul has no batch to
+        # amortise conversions over).
+        _MODMUL, _MODEXP = _python_modmul, _python_modexp
     return previous
 
 
@@ -89,8 +180,9 @@ def backend_int(value: int):
 
     Arithmetic operators on the returned values dispatch to GMP when the
     gmpy2 backend is active, so hot loops written with plain ``*`` and ``%``
-    accelerate without branching per operation.  Under the python backend
-    this is the identity.
+    accelerate without branching per operation.  Under the python and cffi
+    backends this is the identity (the cffi backend batches whole payloads
+    instead of wrapping scalars).
     """
     if _BACKEND == "gmpy2":
         return _gmpy2.mpz(value)
@@ -99,16 +191,12 @@ def backend_int(value: int):
 
 def modmul(a: int, b: int, modulus: int) -> int:
     """``(a * b) % modulus`` on the active backend, returned as a plain int."""
-    if _BACKEND == "gmpy2":
-        return int(_gmpy2.mpz(a) * b % modulus)
-    return (a * b) % modulus
+    return _MODMUL(a, b, modulus)
 
 
 def modexp(base: int, exponent: int, modulus: int) -> int:
     """``pow(base, exponent, modulus)`` on the active backend, as a plain int."""
-    if _BACKEND == "gmpy2":
-        return int(_gmpy2.powmod(base, exponent, modulus))
-    return pow(base, exponent, modulus)
+    return _MODEXP(base, exponent, modulus)
 
 # Small primes used for cheap trial division before Miller-Rabin.
 _SMALL_PRIMES: Sequence[int] = (
@@ -158,7 +246,8 @@ def is_probable_prime(n: int, rounds: int = 24, rng: random.Random | None = None
             return True
         if n % p == 0:
             return False
-    rng = rng or random.Random()
+    if rng is None:
+        rng = _DEFAULT_RNG
     # Write n - 1 as d * 2^s with d odd.
     d = n - 1
     s = 0
